@@ -1,0 +1,127 @@
+// Reproduces Fig 7: Particles scalability — average query error (top) and
+// per-query runtime (bottom) for three 4-D selection templates as the
+// number of snapshots grows from 1 to 3.
+//
+// Methods (Sec 6.3): Uni (uniform sample), Strat on (density, grp), EntNo2D
+// (1-D statistics only), EntAll (COMPOSITE statistics on the 5 most
+// correlated non-snapshot pairs, 100 buckets each).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace entropydb;
+using namespace entropydb::bench;
+
+int main() {
+  BenchScale scale = ReadScale();
+  PrintHeader("Fig 7: Particles scalability (error + runtime)");
+
+  struct Template {
+    const char* label;
+    std::vector<std::string> attrs;
+  };
+  const Template templates[] = {
+      {"Q1: den&mass&grp&type", {"density", "mass", "grp", "type"}},
+      {"Q2: mass&x&y&z", {"mass", "x", "y", "z"}},
+      {"Q3: y&z&grp&type", {"y", "z", "grp", "type"}},
+  };
+
+  for (uint32_t snapshots = 1; snapshots <= 3; ++snapshots) {
+    ParticlesConfig cfg;
+    cfg.rows_per_snapshot = scale.particle_rows_per_snapshot;
+    cfg.num_snapshots = snapshots;
+    cfg.seed = 7;
+    auto table_r = ParticlesGenerator::Generate(cfg);
+    if (!table_r.ok()) {
+      std::fprintf(stderr, "%s\n", table_r.status().ToString().c_str());
+      return 1;
+    }
+    const Table& table = **table_r;
+    AttrId snapshot_attr = *table.schema().IndexOf("snapshot");
+
+    // EntAll: 5 statistic pairs over the most correlated non-snapshot
+    // attributes, 100 buckets each (Sec 6.3). Pairs are picked with the
+    // attribute-cover strategy (the paper's preferred selection, Sec 4.3):
+    // taking the raw top-5 correlations chains every pair through the
+    // two-value grp hub and the inclusion-exclusion closure explodes.
+    auto ranked = PairSelector::RankPairs(table, {snapshot_attr});
+    auto chosen = PairSelector::Choose(ranked, 5,
+                                       PairStrategy::kAttributeCover);
+    StatisticSelector sel(SelectionHeuristic::kComposite);
+    if (snapshots == 1) {
+      std::printf("EntAll pairs:");
+      for (const auto& pr : chosen) {
+        std::printf(" (%s,%s)", table.schema().attribute(pr.a).name.c_str(),
+                    table.schema().attribute(pr.b).name.c_str());
+      }
+      std::printf("\n");
+    }
+    auto build_entall = [&](size_t budget) {
+      std::vector<MultiDimStatistic> all_stats;
+      for (const auto& pr : chosen) {
+        auto s = sel.Select(table, pr.a, pr.b, budget);
+        all_stats.insert(all_stats.end(), s.begin(), s.end());
+      }
+      return EntropySummary::Build(table, all_stats);
+    };
+    auto entall = build_entall(100);
+    for (size_t budget : {50u, 25u}) {
+      if (entall.ok() || !entall.status().IsResourceExhausted()) break;
+      entall = build_entall(budget);
+    }
+
+    auto no2d = EntropySummary::Build(table, {});
+    auto uni = UniformSampler::Create(table, scale.sample_fraction, 13);
+    AttrId den = *table.schema().IndexOf("density");
+    AttrId grp = *table.schema().IndexOf("grp");
+    auto strat = StratifiedSampler::Create(table, den, grp,
+                                           scale.sample_fraction, 14);
+    if (!no2d.ok() || !entall.ok() || !uni.ok() || !strat.ok()) {
+      std::fprintf(stderr, "method construction failed\n");
+      return 1;
+    }
+
+    std::vector<Method> methods;
+    methods.push_back(SampleMethod(
+        "Uni", std::make_shared<WeightedSample>(std::move(*uni))));
+    methods.push_back(SampleMethod(
+        "Strat", std::make_shared<WeightedSample>(std::move(*strat))));
+    methods.push_back(SummaryMethod("No2D", *no2d));
+    methods.push_back(SummaryMethod("EntAll", *entall));
+
+    std::printf("\n-- %u snapshot(s), %zu rows --\n", snapshots,
+                table.num_rows());
+    std::printf("%-24s %-8s %12s %12s %14s\n", "template", "method",
+                "heavy_err", "light_err", "avg_query_ms");
+    WorkloadConfig wcfg;
+    wcfg.num_heavy = 50;
+    wcfg.num_light = 50;
+    wcfg.num_nonexistent = 0;
+    for (const auto& t : templates) {
+      std::vector<AttrId> attrs;
+      for (const auto& name : t.attrs) {
+        attrs.push_back(*table.schema().IndexOf(name));
+      }
+      auto w = SelectWorkload(table, attrs, wcfg);
+      if (!w.ok()) return 1;
+      for (const auto& m : methods) {
+        double heavy = AvgErrorOn(m, table.num_attributes(), attrs, w->heavy);
+        double light = AvgErrorOn(m, table.num_attributes(), attrs, w->light);
+        double ms =
+            AvgQuerySeconds(m, table.num_attributes(), attrs, w->heavy) * 1e3;
+        std::printf("%-24s %-8s %12.3f %12.3f %14.4f\n", t.label,
+                    m.name.c_str(), heavy, light, ms);
+      }
+    }
+  }
+  std::printf(
+      "\npaper shape: sampling strong on heavy hitters; EntAll well below "
+      "No2D\non Q1 (3 of its 5 statistics cover Q1's attributes); nobody "
+      "does well on\nlight hitters except where statistics/stratification "
+      "align. Runtime note:\nthe paper's samples lived in Postgres (1 GB "
+      "scans, ~1-4 s) while ours are\nin-memory, so sample scans here are "
+      "microseconds; the reproduced claim is\nthat summary latency is "
+      "milliseconds and independent of base-data size.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace entropydb {
+namespace bench {
+
+BenchScale ReadScale() {
+  BenchScale s;
+  const char* env = std::getenv("ENTROPYDB_BENCH_SCALE");
+  if (env != nullptr) {
+    double f = std::atof(env);
+    if (f > 0) {
+      s.flights_rows = static_cast<size_t>(s.flights_rows * f);
+      s.particle_rows_per_snapshot =
+          static_cast<size_t>(s.particle_rows_per_snapshot * f);
+      s.bs_two_pair = static_cast<size_t>(s.bs_two_pair * f);
+      s.bs_three_pair = static_cast<size_t>(s.bs_three_pair * f);
+    }
+  }
+  return s;
+}
+
+std::pair<AttrId, AttrId> FlightsPairs::pair(int which) const {
+  switch (which) {
+    case 1:
+      return {origin, distance};
+    case 2:
+      return {dest, distance};
+    case 3:
+      return {time, distance};
+    default:
+      return {origin, dest};
+  }
+}
+
+FlightsPairs ResolveFlightsPairs(const Table& table) {
+  FlightsPairs p;
+  p.date = *table.schema().IndexOf("fl_date");
+  p.origin = *table.schema().IndexOf("origin");
+  p.dest = *table.schema().IndexOf("dest");
+  p.time = *table.schema().IndexOf("fl_time");
+  p.distance = *table.schema().IndexOf("distance");
+  return p;
+}
+
+Result<FlightsSummaries> BuildFlightsSummaries(const Table& table,
+                                               const BenchScale& scale) {
+  FlightsPairs pairs = ResolveFlightsPairs(table);
+  StatisticSelector sel(SelectionHeuristic::kComposite);
+  auto stats_for = [&](std::vector<int> which, size_t per_pair) {
+    std::vector<MultiDimStatistic> stats;
+    for (int w : which) {
+      auto [a, b] = pairs.pair(w);
+      auto s = sel.Select(table, a, b, per_pair);
+      stats.insert(stats.end(), s.begin(), s.end());
+    }
+    return stats;
+  };
+
+  FlightsSummaries out;
+  ASSIGN_OR_RETURN(out.no2d, EntropySummary::Build(table, {}));
+  ASSIGN_OR_RETURN(out.ent12, EntropySummary::Build(
+                                  table, stats_for({1, 2}, scale.bs_two_pair)));
+  ASSIGN_OR_RETURN(out.ent34, EntropySummary::Build(
+                                  table, stats_for({3, 4}, scale.bs_two_pair)));
+  ASSIGN_OR_RETURN(
+      out.ent123,
+      EntropySummary::Build(table, stats_for({1, 2, 3}, scale.bs_three_pair)));
+  return out;
+}
+
+Method SummaryMethod(std::string name,
+                     std::shared_ptr<EntropySummary> summary) {
+  return Method{std::move(name), [summary](const CountingQuery& q) {
+                  auto est = summary->AnswerCount(q);
+                  return est.ok() ? est->expectation : 0.0;
+                }};
+}
+
+Method SampleMethod(std::string name,
+                    std::shared_ptr<WeightedSample> sample) {
+  return Method{std::move(name), [sample](const CountingQuery& q) {
+                  return SampleEstimator(*sample).Count(q).expectation;
+                }};
+}
+
+double AvgErrorOn(const Method& method, size_t num_attrs,
+                  const std::vector<AttrId>& attrs,
+                  const std::vector<QueryPoint>& points) {
+  std::vector<double> truths, ests;
+  truths.reserve(points.size());
+  ests.reserve(points.size());
+  for (const auto& p : points) {
+    auto q = PointQuery(num_attrs, attrs, p.key);
+    truths.push_back(p.true_count);
+    ests.push_back(std::round(method.answer(q)));
+  }
+  return AverageError(truths, ests);
+}
+
+double FMeasureOn(const Method& method, size_t num_attrs,
+                  const std::vector<AttrId>& attrs,
+                  const std::vector<QueryPoint>& light,
+                  const std::vector<QueryPoint>& nulls) {
+  std::vector<double> light_est, null_est;
+  for (const auto& p : light) {
+    light_est.push_back(method.answer(PointQuery(num_attrs, attrs, p.key)));
+  }
+  for (const auto& p : nulls) {
+    null_est.push_back(method.answer(PointQuery(num_attrs, attrs, p.key)));
+  }
+  return ComputeFMeasure(light_est, null_est).f;
+}
+
+double AvgQuerySeconds(const Method& method, size_t num_attrs,
+                       const std::vector<AttrId>& attrs,
+                       const std::vector<QueryPoint>& points) {
+  if (points.empty()) return 0.0;
+  Timer timer;
+  double sink = 0.0;
+  for (const auto& p : points) {
+    sink += method.answer(PointQuery(num_attrs, attrs, p.key));
+  }
+  double elapsed = timer.ElapsedSeconds();
+  // Keep the optimizer honest.
+  if (sink < -1.0) std::fprintf(stderr, "impossible\n");
+  return elapsed / static_cast<double>(points.size());
+}
+
+std::shared_ptr<Table> ProjectTable(const Table& table,
+                                    const std::vector<AttrId>& attrs) {
+  std::vector<AttributeSpec> specs;
+  for (AttrId a : attrs) specs.push_back(table.schema().attribute(a));
+  TableBuilder builder{Schema(std::move(specs))};
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    builder.SetDomain(static_cast<AttrId>(i), table.domain(attrs[i]));
+  }
+  std::vector<Code> row(attrs.size());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t i = 0; i < attrs.size(); ++i) row[i] = table.at(r, attrs[i]);
+    builder.AppendEncodedRow(row);
+  }
+  auto t = builder.Finish();
+  return t.ok() ? *t : nullptr;
+}
+
+void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace entropydb

@@ -1,0 +1,101 @@
+// Quickstart: build a MaxEnt summary of a synthetic flights table and answer
+// a few exploratory queries, comparing against the exact answers.
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "entropydb.h"
+
+using namespace entropydb;
+
+int main() {
+  // 1. Load (here: generate) the dataset.
+  FlightsConfig config;
+  config.num_rows = 200'000;
+  config.seed = 42;
+  auto table_r = FlightsGenerator::Generate(config);
+  if (!table_r.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 table_r.status().ToString().c_str());
+    return 1;
+  }
+  const Table& table = **table_r;
+  std::printf("table: %zu rows, %zu attributes, |Tup| = %.3g\n",
+              table.num_rows(), table.num_attributes(),
+              table.NumPossibleTuples());
+
+  // 2. Pick correlated attribute pairs and gather COMPOSITE 2-D statistics.
+  auto date_attr = table.schema().IndexOf("fl_date");
+  auto ranked = PairSelector::RankPairs(table, {*date_attr});
+  auto chosen =
+      PairSelector::Choose(ranked, /*ba=*/2, PairStrategy::kAttributeCover);
+  StatisticSelector selector(SelectionHeuristic::kComposite);
+  std::vector<MultiDimStatistic> stats;
+  for (const auto& pair : chosen) {
+    std::printf("2-D statistics on (%s, %s), Cramer's V = %.3f\n",
+                table.schema().attribute(pair.a).name.c_str(),
+                table.schema().attribute(pair.b).name.c_str(),
+                pair.cramers_v);
+    auto s = selector.Select(table, pair.a, pair.b, /*budget=*/300);
+    stats.insert(stats.end(), s.begin(), s.end());
+  }
+
+  // 3. Build the summary (compress the polynomial + solve the model).
+  auto summary_r = EntropySummary::Build(table, stats);
+  if (!summary_r.ok()) {
+    std::fprintf(stderr, "build: %s\n", summary_r.status().ToString().c_str());
+    return 1;
+  }
+  auto summary = *summary_r;
+  const auto& report = summary->solver_report();
+  std::printf(
+      "summary: %zu variables, %zu compressed groups vs %.3g uncompressed "
+      "terms,\n  solved in %zu iterations (err %.2e, %.2fs, converged=%s)\n",
+      summary->registry().TotalVariables(), summary->polynomial().NumGroups(),
+      summary->polynomial().UncompressedTermCount(), report.iterations,
+      report.final_error, report.wall_seconds,
+      report.converged ? "yes" : "no");
+
+  // 4. Ask exploratory questions; compare with the exact scan.
+  ExactEvaluator exact(table);
+  struct Example {
+    const char* label;
+    Result<CountingQuery> query;
+  } examples[] = {
+      {"flights from S0",
+       QueryBuilder(table).WhereEquals("origin", Value(std::string("S0"))).Build()},
+      {"flights from S0 to S17",
+       QueryBuilder(table)
+           .WhereEquals("origin", Value(std::string("S0")))
+           .WhereEquals("dest", Value(std::string("S17")))
+           .Build()},
+      {"mid-range flights (500-1000 miles)",
+       QueryBuilder(table).WhereBetween("distance", 500, 1000).Build()},
+      {"long flights shorter than 2 hours (rare)",
+       QueryBuilder(table)
+           .WhereBetween("distance", 1500, 3000)
+           .WhereBetween("fl_time", 15, 120)
+           .Build()},
+  };
+
+  std::printf("\n%-42s %12s %12s %10s\n", "query", "true", "estimate",
+              "stddev");
+  for (auto& ex : examples) {
+    if (!ex.query.ok()) {
+      std::fprintf(stderr, "query build: %s\n",
+                   ex.query.status().ToString().c_str());
+      return 1;
+    }
+    auto est = summary->AnswerCount(*ex.query);
+    if (!est.ok()) {
+      std::fprintf(stderr, "answer: %s\n", est.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t truth = exact.Count(*ex.query);
+    std::printf("%-42s %12llu %12.1f %10.1f\n", ex.label,
+                static_cast<unsigned long long>(truth), est->expectation,
+                est->StdDev());
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Demonstrates the paper's headline qualitative claim (Sec 6.2, Fig 6):
+// a MaxEnt summary distinguishes *rare* values from *nonexistent* ones,
+// which samples structurally cannot — a missing group in a sample is
+// indistinguishable from a group that was never there.
+//
+// Run:  ./build/examples/rare_values
+
+#include <cstdio>
+
+#include "entropydb.h"
+
+using namespace entropydb;
+
+namespace {
+
+template <typename T>
+T Unwrap(Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  FlightsConfig cfg;
+  cfg.num_rows = 300'000;
+  cfg.seed = 42;
+  auto table_ptr = Unwrap(FlightsGenerator::Generate(cfg));
+  const Table& table = *table_ptr;
+  AttrId origin = Unwrap(table.schema().IndexOf("origin"));
+  AttrId dest = Unwrap(table.schema().IndexOf("dest"));
+
+  // Summary with COMPOSITE statistics on (origin, dest) plus a ZERO
+  // overlay is what kills phantoms; here we use a plain COMPOSITE budget.
+  StatisticSelector selector(SelectionHeuristic::kComposite);
+  auto summary = Unwrap(
+      EntropySummary::Build(table, selector.Select(table, origin, dest, 400)));
+  auto uni = Unwrap(UniformSampler::Create(table, 0.01, 11));
+  SampleEstimator sample(uni);
+
+  WorkloadConfig wcfg;
+  wcfg.num_heavy = 0;
+  wcfg.num_light = 60;
+  wcfg.num_nonexistent = 120;
+  auto w = Unwrap(SelectWorkload(table, {origin, dest}, wcfg));
+
+  std::vector<double> ent_light, ent_null, uni_light, uni_null;
+  for (const auto& p : w.light) {
+    auto q = PointQuery(table.num_attributes(), w.attrs, p.key);
+    ent_light.push_back(Unwrap(summary->AnswerCount(q)).expectation);
+    uni_light.push_back(sample.Count(q).expectation);
+  }
+  for (const auto& p : w.nonexistent) {
+    auto q = PointQuery(table.num_attributes(), w.attrs, p.key);
+    ent_null.push_back(Unwrap(summary->AnswerCount(q)).expectation);
+    uni_null.push_back(sample.Count(q).expectation);
+  }
+
+  auto ent = ComputeFMeasure(ent_light, ent_null);
+  auto uni_f = ComputeFMeasure(uni_light, uni_null);
+
+  std::printf("rare-vs-nonexistent discrimination on (origin, dest):\n\n");
+  std::printf("  %-12s %10s %10s %10s %14s %14s\n", "method", "precision",
+              "recall", "F", "rare found", "false alarms");
+  std::printf("  %-12s %10.3f %10.3f %10.3f %10zu/%zu %14zu\n", "EntropyDB",
+              ent.precision, ent.recall, ent.f, ent.light_positive,
+              ent_light.size(), ent.null_positive);
+  std::printf("  %-12s %10.3f %10.3f %10.3f %10zu/%zu %14zu\n", "Uni 1%",
+              uni_f.precision, uni_f.recall, uni_f.f, uni_f.light_positive,
+              uni_light.size(), uni_f.null_positive);
+
+  // Show a few concrete routes.
+  std::printf("\n  example rare routes (true count 1-3):\n");
+  std::printf("  %-14s %10s %12s %12s\n", "route", "true", "EntropyDB",
+              "Uni 1%");
+  int shown = 0;
+  for (size_t i = 0; i < w.light.size() && shown < 5; ++i) {
+    if (w.light[i].true_count > 3) continue;
+    auto q = PointQuery(table.num_attributes(), w.attrs, w.light[i].key);
+    std::printf("  %s->%-8s %10.0f %12.2f %12.1f\n",
+                table.domain(origin).LabelFor(w.light[i].key[0]).c_str(),
+                table.domain(dest).LabelFor(w.light[i].key[1]).c_str(),
+                w.light[i].true_count, ent_light[i], uni_light[i]);
+    ++shown;
+  }
+  std::printf(
+      "\nThe sample reports 0 for almost every rare route — false negatives "
+      "it\ncannot distinguish from truly nonexistent routes. The summary "
+      "finds every\nrare route at the cost of some false alarms; a larger "
+      "statistic budget\n(see bench_fig2_heuristics) trades those off.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#ifndef ENTROPYDB_COMMON_PREFIX_SUM_H_
+#define ENTROPYDB_COMMON_PREFIX_SUM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace entropydb {
+
+/// \brief Inclusive prefix sums over a dense double array with O(1) interval
+/// queries.
+///
+/// The MaxEnt evaluation oracle (Sec 4.2 of the paper) reduces every factor of
+/// the compressed polynomial to "sum of masked alpha values over a bucket
+/// interval"; this helper makes each such factor a constant-time lookup after
+/// one O(N) build per (attribute, mask) pair.
+class PrefixSum {
+ public:
+  PrefixSum() = default;
+
+  explicit PrefixSum(const std::vector<double>& values) { Build(values); }
+
+  /// Rebuilds from `values`; afterwards RangeSum(i, j) sums values[i..j].
+  void Build(const std::vector<double>& values) {
+    sums_.resize(values.size() + 1);
+    sums_[0] = 0.0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      sums_[i + 1] = sums_[i] + values[i];
+    }
+  }
+
+  /// Sum of values[lo..hi], inclusive on both ends. Requires lo <= hi < size.
+  double RangeSum(size_t lo, size_t hi) const {
+    assert(hi + 1 < sums_.size() && lo <= hi);
+    return sums_[hi + 1] - sums_[lo];
+  }
+
+  /// Sum over the whole array.
+  double Total() const { return sums_.empty() ? 0.0 : sums_.back(); }
+
+  size_t size() const { return sums_.empty() ? 0 : sums_.size() - 1; }
+
+ private:
+  std::vector<double> sums_;
+};
+
+/// \brief Difference array supporting range-add / point-read, the dual of
+/// PrefixSum.
+///
+/// Used by the batched derivative engine: every compressed-polynomial group
+/// contributes its cofactor to a contiguous interval of per-value derivative
+/// slots, which is two point updates here followed by one finalize pass.
+class DiffArray {
+ public:
+  explicit DiffArray(size_t n) : diff_(n + 1, 0.0) {}
+
+  /// Adds `delta` to every slot in [lo, hi] inclusive.
+  void RangeAdd(size_t lo, size_t hi, double delta) {
+    assert(hi + 1 < diff_.size() && lo <= hi);
+    diff_[lo] += delta;
+    diff_[hi + 1] -= delta;
+  }
+
+  /// Materializes the accumulated values; invalidates further RangeAdd use
+  /// until Clear().
+  std::vector<double> Finalize() const {
+    std::vector<double> out(diff_.size() - 1);
+    double acc = 0.0;
+    for (size_t i = 0; i + 1 < diff_.size(); ++i) {
+      acc += diff_[i];
+      out[i] = acc;
+    }
+    return out;
+  }
+
+  /// Resets all pending updates to zero.
+  void Clear() { std::fill(diff_.begin(), diff_.end(), 0.0); }
+
+  size_t size() const { return diff_.size() - 1; }
+
+ private:
+  std::vector<double> diff_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_COMMON_PREFIX_SUM_H_

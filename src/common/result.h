@@ -1,0 +1,74 @@
+#ifndef ENTROPYDB_COMMON_RESULT_H_
+#define ENTROPYDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace entropydb {
+
+/// \brief Either a value of type `T` or a non-OK `Status`.
+///
+/// Modeled on `arrow::Result`. Invariant: exactly one of {value, error} is
+/// set; a `Result` constructed from an OK status is invalid and asserts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Status of the operation; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Must only be called when `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Convenience aliases matching Arrow naming.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates the error of a `Result` expression, otherwise assigns the value.
+///   ASSIGN_OR_RETURN(auto table, LoadTable(path));
+#define ENTROPYDB_CONCAT_INNER(a, b) a##b
+#define ENTROPYDB_CONCAT(a, b) ENTROPYDB_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto ENTROPYDB_CONCAT(_res_, __LINE__) = (expr);           \
+  if (!ENTROPYDB_CONCAT(_res_, __LINE__).ok())               \
+    return ENTROPYDB_CONCAT(_res_, __LINE__).status();       \
+  lhs = std::move(ENTROPYDB_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_COMMON_RESULT_H_

@@ -1,0 +1,33 @@
+#ifndef ENTROPYDB_COMMON_STR_UTIL_H_
+#define ENTROPYDB_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace entropydb {
+
+/// Splits `input` on `delim`, preserving empty fields.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Joins `parts` with `delim`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a signed 64-bit integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_COMMON_STR_UTIL_H_

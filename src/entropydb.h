@@ -1,0 +1,59 @@
+#ifndef ENTROPYDB_ENTROPYDB_H_
+#define ENTROPYDB_ENTROPYDB_H_
+
+/// \file entropydb.h
+/// \brief Umbrella header for the EntropyDB library — probabilistic database
+/// summarization for interactive data exploration (Orr, Balazinska, Suciu;
+/// VLDB 2017).
+///
+/// Typical use:
+/// \code
+///   using namespace entropydb;
+///   auto table = FlightsGenerator::Generate({.num_rows = 500000});
+///   auto pairs = PairSelector::RankPairs(**table);
+///   StatisticSelector sel(SelectionHeuristic::kComposite);
+///   auto stats = sel.Select(**table, pairs[0].a, pairs[0].b, 1000);
+///   auto summary = EntropySummary::Build(**table, stats);
+///   auto q = QueryBuilder(**table)
+///                .WhereEquals("origin", Value(std::string("S3")))
+///                .WhereBetween("distance", 500, 1000)
+///                .Build();
+///   auto estimate = (*summary)->AnswerCount(*q);
+/// \endcode
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "maxent/answerer.h"
+#include "maxent/budget_advisor.h"
+#include "maxent/dense_model.h"
+#include "maxent/gradient_solver.h"
+#include "maxent/polynomial.h"
+#include "maxent/solver.h"
+#include "maxent/summary.h"
+#include "maxent/variable_registry.h"
+#include "query/counting_query.h"
+#include "query/exact_evaluator.h"
+#include "query/linear_query.h"
+#include "query/parser.h"
+#include "query/predicate.h"
+#include "sampling/sample_estimator.h"
+#include "sampling/stratified_sampler.h"
+#include "sampling/uniform_sampler.h"
+#include "stats/correlation.h"
+#include "stats/histogram.h"
+#include "stats/kd_tree.h"
+#include "stats/pair_selector.h"
+#include "stats/selector.h"
+#include "stats/statistic.h"
+#include "storage/csv.h"
+#include "storage/table.h"
+#include "storage/table_builder.h"
+#include "workload/flights.h"
+#include "workload/metrics.h"
+#include "workload/particles.h"
+#include "workload/query_workload.h"
+
+#endif  // ENTROPYDB_ENTROPYDB_H_

@@ -1,0 +1,127 @@
+#include "maxent/answerer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace entropydb {
+
+double QueryEstimate::StdDev() const { return std::sqrt(variance); }
+
+std::pair<double, double> QueryEstimate::ConfidenceInterval(double z,
+                                                            double n) const {
+  double half = z * StdDev();
+  return {std::max(0.0, expectation - half), std::min(n, expectation + half)};
+}
+
+double QueryEstimate::RoundedCount() const { return std::round(expectation); }
+
+QueryAnswerer::QueryAnswerer(const VariableRegistry& reg,
+                             const CompressedPolynomial& poly,
+                             const ModelState& state)
+    : reg_(reg), poly_(poly), state_(state) {
+  full_value_ = poly_.EvaluateUnmasked(state_).value;
+}
+
+Result<QueryEstimate> QueryAnswerer::Answer(const CountingQuery& q) const {
+  if (q.num_attributes() != reg_.num_attributes()) {
+    return Status::InvalidArgument("query arity does not match the summary");
+  }
+  if (!(full_value_ > 0.0)) {
+    return Status::FailedPrecondition("summary is not solved (P <= 0)");
+  }
+  QueryMask mask = QueryMask::FromQuery(q, reg_.domain_sizes());
+  const double masked = poly_.Evaluate(state_, mask).value;
+  const double p = std::clamp(masked / full_value_, 0.0, 1.0);
+  QueryEstimate est;
+  est.expectation = reg_.n() * p;
+  est.variance = reg_.n() * p * (1.0 - p);
+  return est;
+}
+
+Result<std::vector<QueryEstimate>> QueryAnswerer::AnswerGroupByAttribute(
+    AttrId a, const CountingQuery& base) const {
+  if (base.num_attributes() != reg_.num_attributes()) {
+    return Status::InvalidArgument("query arity does not match the summary");
+  }
+  if (a >= reg_.num_attributes()) {
+    return Status::OutOfRange("group-by attribute out of range");
+  }
+  if (!(full_value_ > 0.0)) {
+    return Status::FailedPrecondition("summary is not solved (P <= 0)");
+  }
+  // Mask with the base filter but leave attribute `a` unconstrained: the
+  // per-value masked cofactors then split the filtered mass by value.
+  CountingQuery relaxed = base;
+  relaxed.Where(a, AttrPredicate::Any());
+  QueryMask mask = QueryMask::FromQuery(relaxed, reg_.domain_sizes());
+  auto ctx = poly_.Evaluate(state_, mask);
+  auto cof = poly_.AlphaDerivatives(state_, ctx, a);
+
+  const AttrPredicate& pred = base.predicate(a);
+  const double n = reg_.n();
+  std::vector<QueryEstimate> out(reg_.domain_size(a));
+  for (Code v = 0; v < reg_.domain_size(a); ++v) {
+    QueryEstimate est;
+    if (pred.Matches(v)) {
+      const double p =
+          std::clamp(state_.alpha[a][v] * cof[v] / full_value_, 0.0, 1.0);
+      est.expectation = n * p;
+      est.variance = n * p * (1.0 - p);
+    }
+    out[v] = est;
+  }
+  return out;
+}
+
+Result<QueryEstimate> QueryAnswerer::AnswerSum(
+    AttrId a, const std::vector<double>& weights,
+    const CountingQuery& q) const {
+  if (a >= reg_.num_attributes()) {
+    return Status::OutOfRange("aggregate attribute out of range");
+  }
+  if (weights.size() != reg_.domain_size(a)) {
+    return Status::InvalidArgument(
+        "weight vector must have one entry per value of the attribute");
+  }
+  ASSIGN_OR_RETURN(std::vector<QueryEstimate> counts,
+                   AnswerGroupByAttribute(a, q));
+  QueryEstimate est;
+  for (Code v = 0; v < weights.size(); ++v) {
+    est.expectation += weights[v] * counts[v].expectation;
+    est.variance += weights[v] * weights[v] * counts[v].variance;
+  }
+  return est;
+}
+
+Result<QueryEstimate> QueryAnswerer::AnswerAvg(
+    AttrId a, const std::vector<double>& weights,
+    const CountingQuery& q) const {
+  ASSIGN_OR_RETURN(QueryEstimate sum, AnswerSum(a, weights, q));
+  ASSIGN_OR_RETURN(QueryEstimate count, Answer(q));
+  QueryEstimate est;
+  if (count.expectation > 0.0) {
+    est.expectation = sum.expectation / count.expectation;
+  }
+  return est;
+}
+
+Result<std::map<std::vector<Code>, QueryEstimate>> QueryAnswerer::AnswerGroupBy(
+    const std::vector<AttrId>& attrs,
+    const std::vector<std::vector<Code>>& keys,
+    const CountingQuery& base) const {
+  std::map<std::vector<Code>, QueryEstimate> out;
+  for (const auto& key : keys) {
+    if (key.size() != attrs.size()) {
+      return Status::InvalidArgument("group-by key arity mismatch");
+    }
+    CountingQuery q = base;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      q.Where(attrs[i], AttrPredicate::Point(key[i]));
+    }
+    ASSIGN_OR_RETURN(QueryEstimate est, Answer(q));
+    out.emplace(key, est);
+  }
+  return out;
+}
+
+}  // namespace entropydb

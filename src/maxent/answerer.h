@@ -1,0 +1,91 @@
+#ifndef ENTROPYDB_MAXENT_ANSWERER_H_
+#define ENTROPYDB_MAXENT_ANSWERER_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "maxent/polynomial.h"
+#include "maxent/variable_registry.h"
+#include "query/counting_query.h"
+
+namespace entropydb {
+
+/// \brief A probabilistic query answer: expectation plus dispersion.
+///
+/// Under the solved MaxEnt model the n tuples are i.i.d. draws from the
+/// tuple distribution (the partition function factorizes as Z = P^n,
+/// Lemma 3.1), so any counting query is Binomial(n, p) with
+/// p = P[mask] / P. That yields the closed-form variance the paper lists as
+/// its single-statistic formula (Sec 7).
+struct QueryEstimate {
+  double expectation = 0.0;
+  double variance = 0.0;
+
+  double StdDev() const;
+  /// Central `z`-sigma interval, clamped to [0, n].
+  std::pair<double, double> ConfidenceInterval(double z, double n) const;
+  /// Expectation rounded to the nearest integer count (the paper rounds
+  /// sub-0.5 estimates to zero when detecting nonexistent values, Sec 4.3).
+  double RoundedCount() const;
+};
+
+/// \brief Answers linear counting queries on a solved MaxEnt model via the
+/// optimized evaluation of Sec 4.2: zero the excluded 1-D variables,
+/// evaluate P once, scale by n / P.
+class QueryAnswerer {
+ public:
+  /// `state` must already be solved; the unmasked P is cached here.
+  QueryAnswerer(const VariableRegistry& reg, const CompressedPolynomial& poly,
+                const ModelState& state);
+
+  /// E[<q, I>] (and variance) for a conjunctive counting query.
+  Result<QueryEstimate> Answer(const CountingQuery& q) const;
+
+  /// Point-group-by: for each listed code combination of `attrs`, the
+  /// estimate of COUNT(*) at that point with `base` as the residual filter.
+  /// Mirrors the paper's SELECT A.., COUNT(*) GROUP BY templates.
+  Result<std::map<std::vector<Code>, QueryEstimate>> AnswerGroupBy(
+      const std::vector<AttrId>& attrs,
+      const std::vector<std::vector<Code>>& keys,
+      const CountingQuery& base) const;
+
+  /// Whole-attribute group-by: E[COUNT(*) | base AND A_a = v] for every
+  /// value v of attribute `a`, computed in ONE masked evaluation plus one
+  /// batched derivative pass (by multilinearity,
+  /// E[count(base AND A_a = v)] = n * alpha_{a,v} * dP[mask]/dalpha_{a,v}
+  /// / P). Far cheaper than |D_a| point queries; this is how the paper's
+  /// "GROUP BY A ORDER BY cnt LIMIT k" template should be evaluated.
+  Result<std::vector<QueryEstimate>> AnswerGroupByAttribute(
+      AttrId a, const CountingQuery& base) const;
+
+  /// SUM aggregate of a per-value weight over one attribute:
+  /// E[sum over matching rows of weight(A_a)] — a general linear query
+  /// (Sec 3.1). `weights` has one entry per value of `a` (e.g. bucket
+  /// midpoints for a bucketized numeric attribute). The variance field is
+  /// the weighted Binomial bound sum_v w_v^2 Var[count_v] (an upper-bound
+  /// style approximation: per-value counts are treated independently).
+  Result<QueryEstimate> AnswerSum(AttrId a,
+                                  const std::vector<double>& weights,
+                                  const CountingQuery& q) const;
+
+  /// AVG aggregate: AnswerSum / AnswerCount (returns 0 when the matching
+  /// count is 0). Variance via the delta method on the ratio is omitted;
+  /// the variance field holds 0.
+  Result<QueryEstimate> AnswerAvg(AttrId a,
+                                  const std::vector<double>& weights,
+                                  const CountingQuery& q) const;
+
+  /// Unmasked P (the normalization constant's base).
+  double FullPolynomialValue() const { return full_value_; }
+
+ private:
+  const VariableRegistry& reg_;
+  const CompressedPolynomial& poly_;
+  const ModelState& state_;
+  double full_value_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_MAXENT_ANSWERER_H_

@@ -1,0 +1,92 @@
+#include "maxent/budget_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "maxent/summary.h"
+#include "stats/selector.h"
+#include "workload/metrics.h"
+#include "workload/query_workload.h"
+
+namespace entropydb {
+
+Result<std::vector<BudgetCandidate>> BudgetAdvisor::Advise(
+    const Table& table, size_t total_budget, const AdvisorOptions& options) {
+  if (total_budget == 0) {
+    return Status::InvalidArgument("total budget must be positive");
+  }
+  auto ranked = PairSelector::RankPairs(table, options.exclude);
+  if (ranked.empty()) {
+    return Status::FailedPrecondition("table has fewer than two attributes");
+  }
+
+  StatisticSelector selector(SelectionHeuristic::kComposite);
+  std::vector<BudgetCandidate> out;
+
+  for (size_t ba : options.candidate_ba) {
+    if (ba == 0) continue;
+    BudgetCandidate cand;
+    cand.ba = ba;
+    cand.bs = std::max<size_t>(1, total_budget / ba);
+    cand.pairs =
+        PairSelector::Choose(ranked, ba, PairStrategy::kAttributeCover);
+    if (cand.pairs.empty()) continue;
+
+    std::vector<MultiDimStatistic> stats;
+    for (const auto& p : cand.pairs) {
+      auto s = selector.Select(table, p.a, p.b, cand.bs);
+      stats.insert(stats.end(), s.begin(), s.end());
+    }
+    ASSIGN_OR_RETURN(auto summary, EntropySummary::Build(table, stats));
+
+    // Score on the covered pairs' own point workloads (heavy accuracy and
+    // rare-vs-nonexistent F), averaged over pairs.
+    WorkloadConfig wcfg;
+    wcfg.num_heavy = options.num_heavy;
+    wcfg.num_light = options.num_light;
+    wcfg.num_nonexistent = options.num_nonexistent;
+    wcfg.seed = options.seed;
+    double err_sum = 0.0, f_sum = 0.0;
+    size_t templates = 0;
+    for (const auto& p : cand.pairs) {
+      ASSIGN_OR_RETURN(auto w,
+                       SelectWorkload(table, {p.a, p.b}, wcfg));
+      std::vector<double> truths, ests, light_est, null_est;
+      for (const auto& pt : w.heavy) {
+        auto q = PointQuery(table.num_attributes(), w.attrs, pt.key);
+        ASSIGN_OR_RETURN(auto est, summary->AnswerCount(q));
+        truths.push_back(pt.true_count);
+        ests.push_back(est.RoundedCount());
+      }
+      for (const auto& pt : w.light) {
+        auto q = PointQuery(table.num_attributes(), w.attrs, pt.key);
+        ASSIGN_OR_RETURN(auto est, summary->AnswerCount(q));
+        light_est.push_back(est.expectation);
+      }
+      for (const auto& pt : w.nonexistent) {
+        auto q = PointQuery(table.num_attributes(), w.attrs, pt.key);
+        ASSIGN_OR_RETURN(auto est, summary->AnswerCount(q));
+        null_est.push_back(est.expectation);
+      }
+      err_sum += AverageError(truths, ests);
+      f_sum += ComputeFMeasure(light_est, null_est).f;
+      ++templates;
+    }
+    if (templates == 0) continue;
+    cand.heavy_error = err_sum / static_cast<double>(templates);
+    cand.f_measure = f_sum / static_cast<double>(templates);
+    cand.score = (1.0 - cand.heavy_error) + cand.f_measure;
+    out.push_back(std::move(cand));
+  }
+
+  if (out.empty()) {
+    return Status::FailedPrecondition("no viable budget split found");
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const BudgetCandidate& x, const BudgetCandidate& y) {
+                     return x.score > y.score;
+                   });
+  return out;
+}
+
+}  // namespace entropydb

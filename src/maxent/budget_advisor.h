@@ -1,0 +1,58 @@
+#ifndef ENTROPYDB_MAXENT_BUDGET_ADVISOR_H_
+#define ENTROPYDB_MAXENT_BUDGET_ADVISOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/pair_selector.h"
+#include "stats/statistic.h"
+#include "storage/table.h"
+
+namespace entropydb {
+
+/// One evaluated budget split.
+struct BudgetCandidate {
+  size_t ba = 0;            ///< number of attribute pairs ("breadth")
+  size_t bs = 0;            ///< statistics per pair ("depth")
+  std::vector<ScoredPair> pairs;
+  double heavy_error = 0.0;  ///< avg symmetric error on heavy hitters
+  double f_measure = 0.0;    ///< rare-vs-nonexistent F
+  double score = 0.0;        ///< (1 - heavy_error) + f_measure
+};
+
+/// Advisor configuration.
+struct AdvisorOptions {
+  /// Ba values to evaluate; each gets bs = total_budget / ba.
+  std::vector<size_t> candidate_ba = {1, 2, 3};
+  /// Attributes to exclude from pairing (e.g. near-uniform ones).
+  std::vector<AttrId> exclude;
+  /// Evaluation workload size per template.
+  size_t num_heavy = 40;
+  size_t num_light = 40;
+  size_t num_nonexistent = 80;
+  uint64_t seed = 97;
+};
+
+/// \brief Automates the Sec 4.3 open question: "given a budget B, which
+/// Ba attribute pairs do we collect statistics on and which Bs statistics
+/// per pair?" (the paper fixes Ba by hand and calls automation future
+/// work).
+///
+/// For each candidate Ba the advisor picks pairs by attribute cover,
+/// builds a COMPOSITE summary with bs = B / Ba, scores it on an
+/// auto-generated heavy/light/nonexistent workload over the covered
+/// attribute pairs, and returns every candidate with the best one first
+/// (score = (1 - heavy_error) + F). This directly mirrors the Fig 8
+/// breadth-vs-depth trade-off.
+class BudgetAdvisor {
+ public:
+  /// Evaluates all candidate splits of `total_budget`. The best candidate
+  /// is `result.front()`.
+  static Result<std::vector<BudgetCandidate>> Advise(
+      const Table& table, size_t total_budget,
+      const AdvisorOptions& options = {});
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_MAXENT_BUDGET_ADVISOR_H_

@@ -1,0 +1,63 @@
+#ifndef ENTROPYDB_MAXENT_MASK_H_
+#define ENTROPYDB_MAXENT_MASK_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "query/counting_query.h"
+#include "storage/domain.h"
+
+namespace entropydb {
+
+/// \brief The variable-zeroing mask of the optimized query answering method
+/// (Sec 4.2).
+///
+/// For a query defined by per-attribute predicates rho_i, the paper's result
+/// is E[<q,I>] = n/P * P[alpha_j = 0 for every 1-D variable j excluded by
+/// rho_i]. A QueryMask records, per attribute, which codes remain allowed;
+/// `std::nullopt` means the attribute is untouched (rho_i = TRUE), which the
+/// evaluator exploits by reusing unmasked prefix sums.
+class QueryMask {
+ public:
+  /// All-pass mask over `m` attributes.
+  explicit QueryMask(size_t m) : allowed_(m) {}
+
+  /// Builds the mask for a conjunctive counting query.
+  static QueryMask FromQuery(const CountingQuery& q,
+                             const std::vector<uint32_t>& domain_sizes) {
+    QueryMask mask(q.num_attributes());
+    for (AttrId a = 0; a < q.num_attributes(); ++a) {
+      const AttrPredicate& p = q.predicate(a);
+      if (p.is_any()) continue;
+      std::vector<uint8_t> allow(domain_sizes[a], 0);
+      for (Code v = 0; v < domain_sizes[a]; ++v) {
+        allow[v] = p.Matches(v) ? 1 : 0;
+      }
+      mask.allowed_[a] = std::move(allow);
+    }
+    return mask;
+  }
+
+  size_t num_attributes() const { return allowed_.size(); }
+
+  /// True when the attribute has no restriction.
+  bool IsAny(AttrId a) const { return !allowed_[a].has_value(); }
+
+  /// True when code `v` of attribute `a` survives the mask.
+  bool Allows(AttrId a, Code v) const {
+    return !allowed_[a].has_value() || (*allowed_[a])[v] != 0;
+  }
+
+  /// Restricts attribute `a` to exactly the codes in `allow` (1 = keep).
+  void Restrict(AttrId a, std::vector<uint8_t> allow) {
+    allowed_[a] = std::move(allow);
+  }
+
+ private:
+  std::vector<std::optional<std::vector<uint8_t>>> allowed_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_MAXENT_MASK_H_

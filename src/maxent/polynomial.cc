@@ -1,0 +1,378 @@
+#include "maxent/polynomial.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace entropydb {
+
+namespace {
+
+/// Union-find over attribute ids, used to split statistics into connected
+/// components.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Status CompressedPolynomial::EnumerateGroups(const VariableRegistry& reg,
+                                             Component* comp,
+                                             size_t max_groups) {
+  const size_t nattrs = comp->attrs.size();
+  // Local attribute position lookup.
+  std::unordered_map<AttrId, size_t> pos;
+  for (size_t i = 0; i < nattrs; ++i) pos[comp->attrs[i]] = i;
+
+  // Full-domain rectangle template.
+  std::vector<Interval> full(nattrs);
+  for (size_t i = 0; i < nattrs; ++i) {
+    full[i] = Interval{0, reg.domain_size(comp->attrs[i]) - 1};
+  }
+
+  comp->stats_offset.push_back(0);
+
+  // Applies stat `sid`'s ranges to `rect`; false when empty.
+  auto intersect = [&](const MultiDimStatistic& s,
+                       std::vector<Interval>* rect) {
+    for (size_t i = 0; i < s.attrs.size(); ++i) {
+      size_t p = pos.at(s.attrs[i]);
+      (*rect)[p] = (*rect)[p].Intersect(s.ranges[i]);
+      if ((*rect)[p].empty()) return false;
+    }
+    return true;
+  };
+
+  // Ordered DFS over compatible sets: each set S = {s_1 < s_2 < ...} is
+  // reached exactly once, by inserting its members in increasing order.
+  // Subsets of compatible sets are compatible, so pruning on an empty
+  // intersection is exhaustive, not heuristic.
+  std::vector<uint32_t> set_stack;
+  std::vector<std::vector<Interval>> rect_stack;
+
+  // Emits the current set as a group.
+  auto emit = [&]() -> Status {
+    if (comp->num_groups() >= max_groups) {
+      return Status::ResourceExhausted(
+          "compressed polynomial exceeds max_groups = " +
+          std::to_string(max_groups) +
+          "; reduce the statistic budget or raise the cap");
+    }
+    const auto& rect = rect_stack.back();
+    comp->rects.insert(comp->rects.end(), rect.begin(), rect.end());
+    comp->stats_flat.insert(comp->stats_flat.end(), set_stack.begin(),
+                            set_stack.end());
+    comp->stats_offset.push_back(
+        static_cast<uint32_t>(comp->stats_flat.size()));
+    uint32_t g = static_cast<uint32_t>(comp->num_groups() - 1);
+    for (uint32_t sid : set_stack) {
+      // Local index of sid within comp->stats (sorted): binary search.
+      size_t local = std::lower_bound(comp->stats.begin(), comp->stats.end(),
+                                      sid) -
+                     comp->stats.begin();
+      comp->stat_groups[local].push_back(g);
+    }
+    return Status::OK();
+  };
+
+  // Depth-first extension starting after local stat index `from`.
+  // Implemented iteratively-recursively via an explicit lambda.
+  struct Frame {
+    size_t next;  // next local stat index to try
+  };
+  std::vector<Frame> frames;
+
+  // Seed: empty set with full rectangle; do NOT emit (the base term is
+  // handled separately by the evaluator).
+  rect_stack.push_back(full);
+  frames.push_back(Frame{0});
+
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    if (f.next >= comp->stats.size()) {
+      frames.pop_back();
+      rect_stack.pop_back();
+      if (!set_stack.empty()) set_stack.pop_back();
+      continue;
+    }
+    size_t idx = f.next++;
+    uint32_t sid = comp->stats[idx];
+    std::vector<Interval> rect = rect_stack.back();
+    if (!intersect(reg.multi_dim(sid), &rect)) continue;
+    // Found a compatible extension: record it and descend.
+    set_stack.push_back(sid);
+    rect_stack.push_back(std::move(rect));
+    RETURN_NOT_OK(emit());
+    frames.push_back(Frame{idx + 1});
+  }
+  return Status::OK();
+}
+
+Result<CompressedPolynomial> CompressedPolynomial::Build(
+    const VariableRegistry& reg, PolynomialOptions opts) {
+  CompressedPolynomial poly;
+  poly.domain_sizes_ = reg.domain_sizes();
+  const size_t m = reg.num_attributes();
+  const size_t k = reg.num_multi_dim();
+
+  // 1. Connected components of the statistic/attribute graph.
+  UnionFind uf(m);
+  for (size_t j = 0; j < k; ++j) {
+    const auto& s = reg.multi_dim(j);
+    for (size_t i = 1; i < s.attrs.size(); ++i) {
+      uf.Union(s.attrs[0], s.attrs[i]);
+    }
+  }
+  // Attributes touched by at least one statistic.
+  std::vector<bool> touched(m, false);
+  for (size_t j = 0; j < k; ++j) {
+    for (AttrId a : reg.multi_dim(j).attrs) touched[a] = true;
+  }
+  std::unordered_map<size_t, int> root_to_comp;
+  poly.attr_component_.assign(m, -1);
+  for (AttrId a = 0; a < m; ++a) {
+    if (!touched[a]) {
+      poly.free_attrs_.push_back(a);
+      continue;
+    }
+    size_t root = uf.Find(a);
+    auto it = root_to_comp.find(root);
+    int c;
+    if (it == root_to_comp.end()) {
+      c = static_cast<int>(poly.components_.size());
+      root_to_comp.emplace(root, c);
+      poly.components_.emplace_back();
+    } else {
+      c = it->second;
+    }
+    poly.attr_component_[a] = c;
+    poly.components_[c].attrs.push_back(a);
+  }
+
+  // 2. Assign statistics to components.
+  poly.delta_component_.assign(k, -1);
+  for (size_t j = 0; j < k; ++j) {
+    int c = poly.attr_component_[reg.multi_dim(j).attrs[0]];
+    poly.delta_component_[j] = c;
+    poly.components_[c].stats.push_back(static_cast<uint32_t>(j));
+  }
+  for (auto& comp : poly.components_) {
+    std::sort(comp.attrs.begin(), comp.attrs.end());
+    std::sort(comp.stats.begin(), comp.stats.end());
+    comp.stat_groups.resize(comp.stats.size());
+  }
+
+  // 3. Enumerate compatible statistic sets per component, respecting a
+  // global budget.
+  size_t remaining = opts.max_groups;
+  for (auto& comp : poly.components_) {
+    RETURN_NOT_OK(EnumerateGroups(reg, &comp, remaining));
+    remaining -= comp.num_groups();
+  }
+
+  // 4. Position lookups for derivative passes.
+  poly.attr_pos_.resize(poly.components_.size());
+  for (size_t c = 0; c < poly.components_.size(); ++c) {
+    for (size_t i = 0; i < poly.components_[c].attrs.size(); ++i) {
+      poly.attr_pos_[c][poly.components_[c].attrs[i]] = i;
+    }
+  }
+  return poly;
+}
+
+CompressedPolynomial::EvalContext CompressedPolynomial::Evaluate(
+    const ModelState& state, const QueryMask& mask) const {
+  EvalContext ctx;
+  const size_t m = domain_sizes_.size();
+  ctx.prefix.resize(m);
+  ctx.attr_total.resize(m);
+
+  // Per-attribute masked prefix sums; the only O(N_i) work per evaluation.
+  std::vector<double> buf;
+  for (AttrId a = 0; a < m; ++a) {
+    const auto& alpha = state.alpha[a];
+    if (mask.IsAny(a)) {
+      ctx.prefix[a].Build(alpha);
+    } else {
+      buf.assign(alpha.size(), 0.0);
+      for (Code v = 0; v < alpha.size(); ++v) {
+        if (mask.Allows(a, v)) buf[v] = alpha[v];
+      }
+      ctx.prefix[a].Build(buf);
+    }
+    ctx.attr_total[a] = ctx.prefix[a].Total();
+  }
+
+  ctx.free_product = 1.0;
+  for (AttrId a : free_attrs_) ctx.free_product *= ctx.attr_total[a];
+
+  ctx.comp_value.resize(components_.size());
+  for (size_t c = 0; c < components_.size(); ++c) {
+    const Component& comp = components_[c];
+    // Base term (S = {}) plus every compatible-set summand.
+    double base = 1.0;
+    for (AttrId a : comp.attrs) base *= ctx.attr_total[a];
+    double total = base;
+    for (size_t g = 0; g < comp.num_groups(); ++g) {
+      total += GroupProduct(comp, g, ctx, state, SIZE_MAX, UINT32_MAX);
+    }
+    ctx.comp_value[c] = total;
+  }
+
+  ctx.value = ctx.free_product;
+  for (double v : ctx.comp_value) ctx.value *= v;
+  return ctx;
+}
+
+CompressedPolynomial::EvalContext CompressedPolynomial::EvaluateUnmasked(
+    const ModelState& state) const {
+  return Evaluate(state, QueryMask(domain_sizes_.size()));
+}
+
+double CompressedPolynomial::GroupProduct(const Component& comp, size_t g,
+                                          const EvalContext& ctx,
+                                          const ModelState& state,
+                                          size_t skip_pos,
+                                          uint32_t skip_stat) const {
+  const size_t nattrs = comp.attrs.size();
+  double prod = 1.0;
+  const Interval* rect = &comp.rects[g * nattrs];
+  for (size_t i = 0; i < nattrs; ++i) {
+    if (i == skip_pos) continue;
+    prod *= ctx.prefix[comp.attrs[i]].RangeSum(rect[i].lo, rect[i].hi);
+    if (prod == 0.0) return 0.0;
+  }
+  for (uint32_t s = comp.stats_offset[g]; s < comp.stats_offset[g + 1]; ++s) {
+    uint32_t sid = comp.stats_flat[s];
+    if (sid == skip_stat) continue;
+    prod *= state.delta[sid] - 1.0;
+    if (prod == 0.0) return 0.0;
+  }
+  return prod;
+}
+
+std::vector<double> CompressedPolynomial::AlphaDerivatives(
+    const ModelState& state, const EvalContext& ctx, AttrId a) const {
+  const uint32_t na = domain_sizes_[a];
+  const int c = attr_component_[a];
+
+  if (c < 0) {
+    // Free attribute: P = T_a * Rest, so dP/dalpha_{a,v} = Rest for all v.
+    double rest = 1.0;
+    for (AttrId f : free_attrs_) {
+      if (f != a) rest *= ctx.attr_total[f];
+    }
+    for (double v : ctx.comp_value) rest *= v;
+    return std::vector<double>(na, rest);
+  }
+
+  const Component& comp = components_[c];
+  const size_t pos = attr_pos_[c].at(a);
+  const size_t nattrs = comp.attrs.size();
+  const double outer = OuterProduct(ctx, c);
+
+  DiffArray diff(na);
+  // Base term contributes prod of the other attributes' totals to every v.
+  double base = 1.0;
+  for (size_t i = 0; i < nattrs; ++i) {
+    if (i != pos) base *= ctx.attr_total[comp.attrs[i]];
+  }
+  diff.RangeAdd(0, na - 1, base);
+  // Each group contributes its cofactor on the group's interval of `a`.
+  for (size_t g = 0; g < comp.num_groups(); ++g) {
+    const Interval& iv = comp.rects[g * nattrs + pos];
+    double cof = GroupProduct(comp, g, ctx, state, pos, UINT32_MAX);
+    if (cof != 0.0) diff.RangeAdd(iv.lo, iv.hi, cof);
+  }
+  std::vector<double> out = diff.Finalize();
+  for (double& v : out) v *= outer;
+  return out;
+}
+
+double CompressedPolynomial::DeltaDerivativeLocal(const ModelState& state,
+                                                  const EvalContext& ctx,
+                                                  uint32_t j) const {
+  const int c = delta_component_[j];
+  const Component& comp = components_[c];
+  size_t local = std::lower_bound(comp.stats.begin(), comp.stats.end(), j) -
+                 comp.stats.begin();
+  double sum = 0.0;
+  for (uint32_t g : comp.stat_groups[local]) {
+    sum += GroupProduct(comp, g, ctx, state, SIZE_MAX, j);
+  }
+  return sum;
+}
+
+double CompressedPolynomial::DeltaDerivative(const ModelState& state,
+                                             const EvalContext& ctx,
+                                             uint32_t j) const {
+  return OuterProduct(ctx, delta_component_[j]) *
+         DeltaDerivativeLocal(state, ctx, j);
+}
+
+double CompressedPolynomial::OuterProduct(const EvalContext& ctx,
+                                          int comp) const {
+  double prod = ctx.free_product;
+  for (size_t c = 0; c < ctx.comp_value.size(); ++c) {
+    if (static_cast<int>(c) != comp) prod *= ctx.comp_value[c];
+  }
+  return prod;
+}
+
+size_t CompressedPolynomial::NumGroups() const {
+  size_t total = 0;
+  for (const auto& comp : components_) total += comp.num_groups();
+  return total;
+}
+
+size_t CompressedPolynomial::CompressedSize() const {
+  size_t total = free_attrs_.size();
+  for (const auto& comp : components_) {
+    total += comp.attrs.size();  // base term factors
+    total += comp.rects.size() + comp.stats_flat.size();
+  }
+  return total;
+}
+
+double CompressedPolynomial::UncompressedTermCount() const {
+  double d = 1.0;
+  for (uint32_t n : domain_sizes_) d *= n;
+  return d;
+}
+
+size_t CompressedPolynomial::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& comp : components_) {
+    bytes += comp.rects.size() * sizeof(Interval);
+    bytes += comp.stats_flat.size() * sizeof(uint32_t);
+    bytes += comp.stats_offset.size() * sizeof(uint32_t);
+    for (const auto& v : comp.stat_groups) bytes += v.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+size_t CompressedPolynomial::MaxSetSize() const {
+  size_t best = 0;
+  for (const auto& comp : components_) {
+    for (size_t g = 0; g < comp.num_groups(); ++g) {
+      best = std::max<size_t>(
+          best, comp.stats_offset[g + 1] - comp.stats_offset[g]);
+    }
+  }
+  return best;
+}
+
+}  // namespace entropydb

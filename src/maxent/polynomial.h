@@ -1,0 +1,150 @@
+#ifndef ENTROPYDB_MAXENT_POLYNOMIAL_H_
+#define ENTROPYDB_MAXENT_POLYNOMIAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/prefix_sum.h"
+#include "common/result.h"
+#include "maxent/mask.h"
+#include "maxent/variable_registry.h"
+
+namespace entropydb {
+
+/// Knobs for polynomial construction.
+struct PolynomialOptions {
+  /// Hard cap on the number of compressed groups; Build fails with
+  /// ResourceExhausted beyond it (the paper's compression degrades past the
+  /// point where gathering "all possible multi-dimensional statistics" makes
+  /// the compressed form larger than the SOP polynomial, Sec 4.1).
+  size_t max_groups = 4'000'000;
+};
+
+/// \brief The compressed MaxEnt polynomial P of Theorem 4.1.
+///
+/// Internally stores the flattened form obtained by substituting
+/// delta_j = 1 + d_j for every multi-dimensional variable:
+///
+///   P = prod_{free i} T_i * prod_{components c} P_c
+///   P_c = sum over compatible stat sets S (incl. the empty set) of
+///         prod_{i in attrs(c)} IntervalSum_i(rect(S)) * prod_{j in S} d_j
+///
+/// where T_i = sum_v alpha_{i,v} and IntervalSum is taken over the
+/// intersection rectangle of S (full domain on unconstrained attributes).
+/// Compatible = non-empty rectangle intersection; by 1-D Helly it suffices
+/// to check intervals pairwise, and compatible sets are enumerated exactly
+/// once by ordered DFS. Attributes not mentioned by any multi-dimensional
+/// statistic stay fully factorized ("free"), and statistics on disconnected
+/// attribute groups never cross-multiply — this connected-component
+/// factorization is what keeps the group count near
+/// O(B_a * R * sum_i N_i) (Theorem 4.2).
+///
+/// The polynomial is multilinear: every variable (1-D alpha or
+/// multi-dimensional delta) has degree one, which the solver exploits.
+class CompressedPolynomial {
+ public:
+  /// Builds the compressed structure for the registry's statistics.
+  static Result<CompressedPolynomial> Build(const VariableRegistry& reg,
+                                            PolynomialOptions opts = {});
+
+  /// \brief Everything produced by one evaluation pass: P itself plus the
+  /// factor caches the derivative and solver paths reuse.
+  struct EvalContext {
+    /// Per attribute: prefix sums of (masked) alpha values.
+    std::vector<PrefixSum> prefix;
+    /// Per attribute: T_i under the mask.
+    std::vector<double> attr_total;
+    /// Per component: P_c under the mask.
+    std::vector<double> comp_value;
+    /// Product of T_i over free attributes.
+    double free_product = 1.0;
+    /// P (the full product).
+    double value = 0.0;
+  };
+
+  /// Evaluates P with some 1-D variables zeroed (Sec 4.2 optimized query
+  /// answering). O(sum_i N_i + total group factors).
+  EvalContext Evaluate(const ModelState& state, const QueryMask& mask) const;
+
+  /// Evaluates P with no mask.
+  EvalContext EvaluateUnmasked(const ModelState& state) const;
+
+  /// dP/dalpha_{a,v} for every v of attribute `a`, in one batched pass over
+  /// the groups (difference-array trick). `ctx` must come from `state`.
+  /// Because P is linear in the whole alpha family of an attribute
+  /// (overcompleteness, Eq 7), the result does not depend on that family's
+  /// current values.
+  std::vector<double> AlphaDerivatives(const ModelState& state,
+                                       const EvalContext& ctx,
+                                       AttrId a) const;
+
+  /// dP/ddelta_j for one multi-dimensional statistic.
+  double DeltaDerivative(const ModelState& state, const EvalContext& ctx,
+                         uint32_t j) const;
+
+  /// dP_c/ddelta_j restricted to j's component (no outer factors).
+  double DeltaDerivativeLocal(const ModelState& state, const EvalContext& ctx,
+                              uint32_t j) const;
+
+  /// Product of all factors of P except component `comp`'s value.
+  double OuterProduct(const EvalContext& ctx, int comp) const;
+
+  /// Component index of attribute `a`, or -1 when the attribute is free.
+  int ComponentOfAttr(AttrId a) const { return attr_component_[a]; }
+  /// Component index of multi-dim statistic `j`.
+  int ComponentOfDelta(uint32_t j) const { return delta_component_[j]; }
+
+  size_t NumComponents() const { return components_.size(); }
+  /// Total number of non-empty compatible statistic sets (the paper's
+  /// "summands"), excluding the per-component base terms.
+  size_t NumGroups() const;
+  /// Scalar-factor count of the compressed representation — the "size"
+  /// measure of Theorem 4.2 (counts interval factors and delta factors).
+  size_t CompressedSize() const;
+  /// Monomial count of the uncompressed SOP polynomial: |Tup| = prod N_i.
+  double UncompressedTermCount() const;
+  /// Approximate heap footprint of the compressed structure in bytes.
+  size_t MemoryBytes() const;
+
+  /// Largest number of statistics in any compatible set (max |S|).
+  size_t MaxSetSize() const;
+
+ private:
+  struct Component {
+    std::vector<AttrId> attrs;      ///< sorted attribute ids
+    std::vector<uint32_t> stats;    ///< global multi-dim stat ids, sorted
+    /// Flat rectangles: group g spans rects[g*attrs.size() .. +attrs.size()).
+    std::vector<Interval> rects;
+    /// Flat stat-id lists with offsets (global ids).
+    std::vector<uint32_t> stats_flat;
+    std::vector<uint32_t> stats_offset;  ///< size num_groups()+1
+    /// Per global stat id (local order of `stats`): groups containing it.
+    std::vector<std::vector<uint32_t>> stat_groups;
+
+    size_t num_groups() const { return stats_offset.size() - 1; }
+  };
+
+  /// Recursively extends a compatible set with higher-indexed statistics.
+  static Status EnumerateGroups(const VariableRegistry& reg, Component* comp,
+                                size_t max_groups);
+
+  /// Product over the group's interval factors, skipping attribute position
+  /// `skip_pos` (pass SIZE_MAX to include all), times the group's delta
+  /// factors (skipping global stat `skip_stat`, pass UINT32_MAX to keep all).
+  double GroupProduct(const Component& comp, size_t g,
+                      const EvalContext& ctx, const ModelState& state,
+                      size_t skip_pos, uint32_t skip_stat) const;
+
+  std::vector<uint32_t> domain_sizes_;
+  std::vector<AttrId> free_attrs_;
+  std::vector<Component> components_;
+  std::vector<int> attr_component_;    ///< per attribute; -1 = free
+  std::vector<int> delta_component_;   ///< per multi-dim stat
+  /// Per component, per attr position: local position lookup by attribute.
+  std::vector<std::unordered_map<AttrId, size_t>> attr_pos_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_MAXENT_POLYNOMIAL_H_

@@ -1,0 +1,136 @@
+#include "maxent/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/timer.h"
+
+namespace entropydb {
+
+namespace {
+/// Values below this are treated as numerically zero cofactors; the
+/// corresponding variable carries no probability mass and is skipped.
+constexpr double kTinyCofactor = 1e-300;
+}  // namespace
+
+Result<double> MaxEntSolver::Sweep(ModelState* state) const {
+  const double n = reg_.n();
+  double max_err = 0.0;
+
+  // ---- 1-D families, one attribute at a time (exact Gauss-Seidel). ----
+  for (AttrId a = 0; a < reg_.num_attributes(); ++a) {
+    auto ctx = poly_.EvaluateUnmasked(*state);
+    if (!(ctx.value > 0.0) || !std::isfinite(ctx.value)) {
+      return Status::FailedPrecondition(
+          "polynomial evaluated to a non-positive value during solving; "
+          "statistics are inconsistent or numerically degenerate");
+    }
+    // Cofactors A_v = dP/dalpha_{a,v}: independent of the whole family's
+    // current values, so one batch serves the entire sequential sweep.
+    std::vector<double> cof = poly_.AlphaDerivatives(*state, ctx, a);
+    double p = ctx.value;
+    for (Code v = 0; v < reg_.domain_size(a); ++v) {
+      const double s = reg_.OneDTarget(a, v);
+      const double av = cof[v];
+      double& alpha = state->alpha[a][v];
+      if (s <= 0.0) {
+        // Zero statistic: pinned; P already reflects alpha = 0.
+        alpha = 0.0;
+        continue;
+      }
+      if (av <= kTinyCofactor || s >= n) continue;  // no mass / saturated
+      const double expected = alpha * av / p * n;
+      max_err = std::max(max_err, std::abs(expected - s) / n);
+      const double b = std::max(p - alpha * av, 0.0);
+      const double next = s * b / ((n - s) * av);
+      p = b + next * av;  // incremental P maintenance
+      alpha = next;
+    }
+  }
+
+  // ---- Multi-dimensional statistics, one at a time. ----
+  if (reg_.num_multi_dim() > 0) {
+    auto ctx = poly_.EvaluateUnmasked(*state);
+    if (!(ctx.value > 0.0) || !std::isfinite(ctx.value)) {
+      return Status::FailedPrecondition(
+          "polynomial evaluated to a non-positive value during solving");
+    }
+    for (uint32_t j = 0; j < reg_.num_multi_dim(); ++j) {
+      const double s = reg_.multi_dim(j).target;
+      double& delta = state->delta[j];
+      if (s <= 0.0) {
+        delta = 0.0;  // ZERO statistic: never updated (Sec 4.3)
+        continue;
+      }
+      if (s >= n) continue;
+      const int c = poly_.ComponentOfDelta(j);
+      // Local cofactor within the component; the outer factors multiply both
+      // numerator and denominator of the update and cancel, but are needed
+      // for the error metric.
+      const double local = poly_.DeltaDerivativeLocal(*state, ctx, j);
+      if (local <= kTinyCofactor) continue;
+      const double outer = poly_.OuterProduct(ctx, c);
+      const double p = outer * ctx.comp_value[c];
+      if (!(p > 0.0)) {
+        return Status::FailedPrecondition(
+            "polynomial evaluated to a non-positive value during solving");
+      }
+      const double av = outer * local;
+      const double expected = delta * av / p * n;
+      max_err = std::max(max_err, std::abs(expected - s) / n);
+      const double comp_b = ctx.comp_value[c] - delta * local;
+      const double b = outer * std::max(comp_b, 0.0);
+      const double next = s * b / ((n - s) * av);
+      // Maintain the component value so later deltas see the update.
+      ctx.comp_value[c] = std::max(comp_b, 0.0) + next * local;
+      delta = next;
+    }
+  }
+  return max_err;
+}
+
+Result<SolverReport> MaxEntSolver::Solve(ModelState* state) const {
+  Timer timer;
+  SolverReport report;
+  for (size_t it = 0; it < opts_.max_iterations; ++it) {
+    ASSIGN_OR_RETURN(double err, Sweep(state));
+    report.iterations = it + 1;
+    report.final_error = err;
+    if (opts_.record_trace) report.error_trace.push_back(err);
+    if (err < opts_.tolerance) {
+      report.converged = true;
+      break;
+    }
+  }
+  // The in-sweep error is measured pre-update; refresh it post-hoc so the
+  // report reflects the final state.
+  report.final_error = MaxStatisticError(*state);
+  report.converged = report.final_error < opts_.tolerance;
+  report.wall_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+double MaxEntSolver::MaxStatisticError(const ModelState& state) const {
+  const double n = reg_.n();
+  auto ctx = poly_.EvaluateUnmasked(state);
+  if (!(ctx.value > 0.0)) return std::numeric_limits<double>::infinity();
+  double max_err = 0.0;
+  for (AttrId a = 0; a < reg_.num_attributes(); ++a) {
+    std::vector<double> cof = poly_.AlphaDerivatives(state, ctx, a);
+    for (Code v = 0; v < reg_.domain_size(a); ++v) {
+      const double expected = state.alpha[a][v] * cof[v] / ctx.value * n;
+      max_err =
+          std::max(max_err, std::abs(expected - reg_.OneDTarget(a, v)) / n);
+    }
+  }
+  for (uint32_t j = 0; j < reg_.num_multi_dim(); ++j) {
+    const double av = poly_.DeltaDerivative(state, ctx, j);
+    const double expected = state.delta[j] * av / ctx.value * n;
+    max_err = std::max(
+        max_err, std::abs(expected - reg_.multi_dim(j).target) / n);
+  }
+  return max_err;
+}
+
+}  // namespace entropydb

@@ -1,0 +1,85 @@
+#include "maxent/variable_registry.h"
+
+#include <algorithm>
+
+namespace entropydb {
+
+namespace {
+
+Status ValidateMds(const std::vector<MultiDimStatistic>& mds,
+                   const std::vector<uint32_t>& domain_sizes) {
+  for (const auto& s : mds) {
+    if (s.attrs.empty() || s.attrs.size() != s.ranges.size()) {
+      return Status::InvalidArgument("malformed multi-dim statistic");
+    }
+    if (!std::is_sorted(s.attrs.begin(), s.attrs.end()) ||
+        std::adjacent_find(s.attrs.begin(), s.attrs.end()) != s.attrs.end()) {
+      return Status::InvalidArgument(
+          "multi-dim statistic attributes must be strictly increasing");
+    }
+    for (size_t i = 0; i < s.attrs.size(); ++i) {
+      if (s.attrs[i] >= domain_sizes.size()) {
+        return Status::OutOfRange("statistic attribute out of range");
+      }
+      if (s.ranges[i].empty() || s.ranges[i].hi >= domain_sizes[s.attrs[i]]) {
+        return Status::OutOfRange("statistic interval out of domain");
+      }
+    }
+    if (s.target < 0) {
+      return Status::InvalidArgument("negative statistic target");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<VariableRegistry> VariableRegistry::Create(
+    std::vector<uint32_t> domain_sizes,
+    std::vector<std::vector<double>> one_d_targets,
+    std::vector<MultiDimStatistic> mds, double n) {
+  if (domain_sizes.size() != one_d_targets.size()) {
+    return Status::InvalidArgument("domain/target arity mismatch");
+  }
+  if (n < 0) return Status::InvalidArgument("negative cardinality");
+  for (size_t a = 0; a < domain_sizes.size(); ++a) {
+    if (domain_sizes[a] == 0) {
+      return Status::InvalidArgument("empty domain for attribute " +
+                                     std::to_string(a));
+    }
+    if (one_d_targets[a].size() != domain_sizes[a]) {
+      return Status::InvalidArgument(
+          "1-D target count mismatch on attribute " + std::to_string(a));
+    }
+    for (double s : one_d_targets[a]) {
+      if (s < 0) return Status::InvalidArgument("negative 1-D target");
+    }
+  }
+  RETURN_NOT_OK(ValidateMds(mds, domain_sizes));
+
+  VariableRegistry reg;
+  reg.domain_sizes_ = std::move(domain_sizes);
+  reg.one_d_targets_ = std::move(one_d_targets);
+  reg.mds_ = std::move(mds);
+  reg.n_ = n;
+  return reg;
+}
+
+ModelState ModelState::InitialState(const VariableRegistry& reg) {
+  ModelState st;
+  st.alpha.resize(reg.num_attributes());
+  const double n = reg.n() > 0 ? reg.n() : 1.0;
+  for (AttrId a = 0; a < reg.num_attributes(); ++a) {
+    st.alpha[a].resize(reg.domain_size(a));
+    for (Code v = 0; v < reg.domain_size(a); ++v) {
+      st.alpha[a][v] = reg.OneDTarget(a, v) / n;
+    }
+  }
+  st.delta.resize(reg.num_multi_dim());
+  for (size_t j = 0; j < st.delta.size(); ++j) {
+    st.delta[j] = (reg.multi_dim(j).target == 0.0) ? 0.0 : 1.0;
+  }
+  return st;
+}
+
+}  // namespace entropydb

@@ -1,0 +1,77 @@
+#ifndef ENTROPYDB_MAXENT_VARIABLE_REGISTRY_H_
+#define ENTROPYDB_MAXENT_VARIABLE_REGISTRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/statistic.h"
+#include "storage/schema.h"
+
+namespace entropydb {
+
+/// \brief The full set of MaxEnt model variables and their target statistics.
+///
+/// Per the paper (Sec 3.1):
+///  - for every attribute A_i and every active-domain value v there is one
+///    1-D variable alpha_{i,v} with target s_{i,v} = |sigma_{A_i=v}(I)|
+///    (a complete, overcomplete family per attribute), and
+///  - for every multi-dimensional statistic j there is one variable delta_j
+///    with target s_j.
+class VariableRegistry {
+ public:
+  /// \param domain_sizes  N_i per attribute.
+  /// \param one_d_targets s_{i,v} per attribute/value; shape must match.
+  /// \param mds           multi-dimensional statistics (validated).
+  /// \param n             relation cardinality.
+  static Result<VariableRegistry> Create(
+      std::vector<uint32_t> domain_sizes,
+      std::vector<std::vector<double>> one_d_targets,
+      std::vector<MultiDimStatistic> mds, double n);
+
+  size_t num_attributes() const { return domain_sizes_.size(); }
+  uint32_t domain_size(AttrId a) const { return domain_sizes_[a]; }
+  const std::vector<uint32_t>& domain_sizes() const { return domain_sizes_; }
+
+  double n() const { return n_; }
+
+  /// Target of 1-D statistic (A_a = v).
+  double OneDTarget(AttrId a, Code v) const { return one_d_targets_[a][v]; }
+  const std::vector<std::vector<double>>& one_d_targets() const {
+    return one_d_targets_;
+  }
+
+  size_t num_multi_dim() const { return mds_.size(); }
+  const MultiDimStatistic& multi_dim(size_t j) const { return mds_[j]; }
+  const std::vector<MultiDimStatistic>& multi_dims() const { return mds_; }
+
+  /// Total variable count (for reporting).
+  size_t TotalVariables() const {
+    size_t t = mds_.size();
+    for (auto n : domain_sizes_) t += n;
+    return t;
+  }
+
+ private:
+  std::vector<uint32_t> domain_sizes_;
+  std::vector<std::vector<double>> one_d_targets_;
+  std::vector<MultiDimStatistic> mds_;
+  double n_ = 0.0;
+};
+
+/// \brief Mutable model parameters: current values of every variable.
+struct ModelState {
+  /// alpha[a][v], one per attribute/value.
+  std::vector<std::vector<double>> alpha;
+  /// delta[j], one per multi-dimensional statistic.
+  std::vector<double> delta;
+
+  /// Initializes alpha to the 1-D-only closed form s_{i,v}/n (exact MaxEnt
+  /// solution when no multi-dim statistics exist) and delta to the neutral 1
+  /// (or 0 for zero-count statistics, which the solver then never updates).
+  static ModelState InitialState(const VariableRegistry& reg);
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_MAXENT_VARIABLE_REGISTRY_H_

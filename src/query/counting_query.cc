@@ -1,0 +1,85 @@
+#include "query/counting_query.h"
+
+namespace entropydb {
+
+std::string CountingQuery::ToString(const Schema& schema) const {
+  std::string out = "COUNT(*) WHERE ";
+  bool first = true;
+  for (AttrId a = 0; a < preds_.size(); ++a) {
+    if (preds_[a].is_any()) continue;
+    if (!first) out += " AND ";
+    first = false;
+    out += schema.attribute(a).name + " " + preds_[a].ToString();
+  }
+  if (first) out += "TRUE";
+  return out;
+}
+
+QueryBuilder& QueryBuilder::WhereEquals(const std::string& attr,
+                                        const Value& v) {
+  auto idx = table_.schema().IndexOf(attr);
+  if (!idx.ok()) {
+    if (first_error_.ok()) first_error_ = idx.status();
+    return *this;
+  }
+  auto code = table_.domain(*idx).Encode(v);
+  if (!code.ok()) {
+    if (first_error_.ok()) first_error_ = code.status();
+    return *this;
+  }
+  query_.Where(*idx, AttrPredicate::Point(*code));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereBetween(const std::string& attr, double lo,
+                                         double hi) {
+  auto idx = table_.schema().IndexOf(attr);
+  if (!idx.ok()) {
+    if (first_error_.ok()) first_error_ = idx.status();
+    return *this;
+  }
+  const Domain& dom = table_.domain(*idx);
+  if (dom.is_categorical()) {
+    if (first_error_.ok()) {
+      first_error_ = Status::InvalidArgument(
+          "WhereBetween on categorical attribute '" + attr + "'");
+    }
+    return *this;
+  }
+  auto [clo, chi] = dom.BucketRange(lo, hi);
+  if (chi < clo) {
+    // Empty range: use a set predicate with no codes.
+    query_.Where(*idx, AttrPredicate::InSet({}));
+  } else {
+    query_.Where(*idx, AttrPredicate::Range(clo, chi));
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereCode(const std::string& attr, Code code) {
+  auto idx = table_.schema().IndexOf(attr);
+  if (!idx.ok()) {
+    if (first_error_.ok()) first_error_ = idx.status();
+    return *this;
+  }
+  query_.Where(*idx, AttrPredicate::Point(code));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereCodeRange(const std::string& attr, Code lo,
+                                           Code hi) {
+  auto idx = table_.schema().IndexOf(attr);
+  if (!idx.ok()) {
+    if (first_error_.ok()) first_error_ = idx.status();
+    return *this;
+  }
+  query_.Where(*idx, AttrPredicate::Range(lo, hi));
+  return *this;
+}
+
+Result<CountingQuery> QueryBuilder::Build() {
+  if (!first_error_.ok()) return first_error_;
+  return query_;
+}
+
+}  // namespace entropydb

@@ -1,0 +1,89 @@
+#ifndef ENTROPYDB_QUERY_COUNTING_QUERY_H_
+#define ENTROPYDB_QUERY_COUNTING_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace entropydb {
+
+/// \brief A conjunctive counting query: SELECT COUNT(*) WHERE /\_i rho_i(A_i)
+/// (Eq 16 of the paper). One predicate per attribute; kAny for ignored
+/// attributes.
+class CountingQuery {
+ public:
+  CountingQuery() = default;
+
+  /// Query over `m` attributes with all-ANY predicates.
+  explicit CountingQuery(size_t m) : preds_(m) {}
+
+  explicit CountingQuery(std::vector<AttrPredicate> preds)
+      : preds_(std::move(preds)) {}
+
+  size_t num_attributes() const { return preds_.size(); }
+  const AttrPredicate& predicate(AttrId a) const { return preds_[a]; }
+  const std::vector<AttrPredicate>& predicates() const { return preds_; }
+
+  /// Replaces the predicate of one attribute (builder style).
+  CountingQuery& Where(AttrId a, AttrPredicate p) {
+    preds_[a] = std::move(p);
+    return *this;
+  }
+
+  /// True when the encoded tuple satisfies all predicates.
+  bool Matches(const std::vector<Code>& tuple) const {
+    for (AttrId a = 0; a < preds_.size(); ++a) {
+      if (!preds_[a].Matches(tuple[a])) return false;
+    }
+    return true;
+  }
+
+  /// Number of attributes with a non-ANY predicate.
+  size_t NumConstrained() const {
+    size_t k = 0;
+    for (const auto& p : preds_) k += p.is_any() ? 0 : 1;
+    return k;
+  }
+
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const CountingQuery& o) const { return preds_ == o.preds_; }
+
+ private:
+  std::vector<AttrPredicate> preds_;
+};
+
+/// \brief Convenience builder that resolves attribute names and raw values
+/// against a table's schema and domains.
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(const Table& table)
+      : table_(table), query_(table.num_attributes()) {}
+
+  /// WHERE attr = value (categorical label or numeric point).
+  QueryBuilder& WhereEquals(const std::string& attr, const Value& v);
+
+  /// WHERE attr BETWEEN lo AND hi in raw-value space (numeric domains).
+  QueryBuilder& WhereBetween(const std::string& attr, double lo, double hi);
+
+  /// WHERE attr = exact bucket code.
+  QueryBuilder& WhereCode(const std::string& attr, Code code);
+
+  /// WHERE attr IN (codes).
+  QueryBuilder& WhereCodeRange(const std::string& attr, Code lo, Code hi);
+
+  /// Finalizes; fails if any referenced attribute/value did not resolve.
+  Result<CountingQuery> Build();
+
+ private:
+  const Table& table_;
+  CountingQuery query_;
+  Status first_error_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_QUERY_COUNTING_QUERY_H_

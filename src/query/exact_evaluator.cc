@@ -1,0 +1,69 @@
+#include "query/exact_evaluator.h"
+
+namespace entropydb {
+
+uint64_t ExactEvaluator::Count(const CountingQuery& q) const {
+  // Collect the non-ANY predicates once so the row loop touches only the
+  // constrained columns.
+  std::vector<std::pair<AttrId, const AttrPredicate*>> active;
+  for (AttrId a = 0; a < q.num_attributes(); ++a) {
+    if (!q.predicate(a).is_any()) active.emplace_back(a, &q.predicate(a));
+  }
+  uint64_t count = 0;
+  const size_t n = table_.num_rows();
+  for (size_t row = 0; row < n; ++row) {
+    bool match = true;
+    for (const auto& [a, p] : active) {
+      if (!p->Matches(table_.at(row, a))) {
+        match = false;
+        break;
+      }
+    }
+    count += match ? 1 : 0;
+  }
+  return count;
+}
+
+std::map<std::vector<Code>, uint64_t> ExactEvaluator::GroupByCount(
+    const std::vector<AttrId>& attrs, const CountingQuery& q) const {
+  std::vector<std::pair<AttrId, const AttrPredicate*>> active;
+  for (AttrId a = 0; a < q.num_attributes(); ++a) {
+    if (!q.predicate(a).is_any()) active.emplace_back(a, &q.predicate(a));
+  }
+  std::map<std::vector<Code>, uint64_t> groups;
+  std::vector<Code> key(attrs.size());
+  const size_t n = table_.num_rows();
+  for (size_t row = 0; row < n; ++row) {
+    bool match = true;
+    for (const auto& [a, p] : active) {
+      if (!p->Matches(table_.at(row, a))) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    for (size_t i = 0; i < attrs.size(); ++i) key[i] = table_.at(row, attrs[i]);
+    ++groups[key];
+  }
+  return groups;
+}
+
+std::vector<uint64_t> ExactEvaluator::Histogram1D(AttrId a) const {
+  std::vector<uint64_t> hist(table_.domain(a).size(), 0);
+  const auto& col = table_.column(a).codes();
+  for (Code c : col) ++hist[c];
+  return hist;
+}
+
+std::vector<uint64_t> ExactEvaluator::Histogram2D(AttrId a, AttrId b) const {
+  const size_t nb = table_.domain(b).size();
+  std::vector<uint64_t> hist(table_.domain(a).size() * nb, 0);
+  const auto& ca = table_.column(a).codes();
+  const auto& cb = table_.column(b).codes();
+  for (size_t row = 0; row < ca.size(); ++row) {
+    ++hist[static_cast<size_t>(ca[row]) * nb + cb[row]];
+  }
+  return hist;
+}
+
+}  // namespace entropydb

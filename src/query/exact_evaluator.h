@@ -1,0 +1,48 @@
+#ifndef ENTROPYDB_QUERY_EXACT_EVALUATOR_H_
+#define ENTROPYDB_QUERY_EXACT_EVALUATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "query/counting_query.h"
+#include "storage/table.h"
+
+namespace entropydb {
+
+/// \brief Exact (ground-truth) query evaluation by full columnar scan.
+///
+/// Used to (a) compute the statistics s_j fed to the MaxEnt solver,
+/// (b) provide the "true" answers in every accuracy experiment, and
+/// (c) time the exact-scan baseline.
+class ExactEvaluator {
+ public:
+  explicit ExactEvaluator(const Table& table) : table_(table) {}
+
+  /// COUNT(*) of rows matching `q`.
+  uint64_t Count(const CountingQuery& q) const;
+
+  /// GROUP BY `attrs` COUNT(*) over rows matching `q`; keys are code tuples
+  /// in the order of `attrs`. Ordered map for deterministic iteration.
+  std::map<std::vector<Code>, uint64_t> GroupByCount(
+      const std::vector<AttrId>& attrs, const CountingQuery& q) const;
+
+  /// GROUP BY with no filter.
+  std::map<std::vector<Code>, uint64_t> GroupByCount(
+      const std::vector<AttrId>& attrs) const {
+    return GroupByCount(attrs, CountingQuery(table_.num_attributes()));
+  }
+
+  /// Dense 1-D histogram of attribute `a` (length = domain size).
+  std::vector<uint64_t> Histogram1D(AttrId a) const;
+
+  /// Dense 2-D histogram of attributes (a, b), row-major `[ca * Nb + cb]`.
+  std::vector<uint64_t> Histogram2D(AttrId a, AttrId b) const;
+
+ private:
+  const Table& table_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_QUERY_EXACT_EVALUATOR_H_

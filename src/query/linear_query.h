@@ -1,0 +1,92 @@
+#ifndef ENTROPYDB_QUERY_LINEAR_QUERY_H_
+#define ENTROPYDB_QUERY_LINEAR_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/counting_query.h"
+#include "storage/domain.h"
+
+namespace entropydb {
+
+/// \brief Mixed-radix indexing of the full tuple space Tup = D1 x ... x Dm
+/// (Fig 1 of the paper).
+///
+/// Tuple (c1, .., cm) maps to index sum_i c_i * stride_i. Only usable when
+/// |Tup| fits in memory; the dense reference model and property tests rely on
+/// it, while production paths never materialize Tup.
+class TupleSpace {
+ public:
+  explicit TupleSpace(std::vector<uint32_t> domain_sizes)
+      : sizes_(std::move(domain_sizes)), strides_(sizes_.size()) {
+    uint64_t stride = 1;
+    for (size_t i = sizes_.size(); i-- > 0;) {
+      strides_[i] = stride;
+      stride *= sizes_[i];
+    }
+    total_ = stride;
+  }
+
+  size_t num_attributes() const { return sizes_.size(); }
+  uint64_t size() const { return total_; }
+  uint32_t domain_size(size_t a) const { return sizes_[a]; }
+
+  /// Index of an encoded tuple.
+  uint64_t IndexOf(const std::vector<Code>& tuple) const {
+    uint64_t idx = 0;
+    for (size_t a = 0; a < sizes_.size(); ++a) idx += tuple[a] * strides_[a];
+    return idx;
+  }
+
+  /// Inverse of IndexOf.
+  std::vector<Code> TupleAt(uint64_t index) const {
+    std::vector<Code> t(sizes_.size());
+    for (size_t a = 0; a < sizes_.size(); ++a) {
+      t[a] = static_cast<Code>(index / strides_[a]);
+      index %= strides_[a];
+    }
+    return t;
+  }
+
+ private:
+  std::vector<uint32_t> sizes_;
+  std::vector<uint64_t> strides_;
+  uint64_t total_ = 1;
+};
+
+/// \brief A linear query q in R^d over the tuple space (Sec 3.1): the answer
+/// on instance I is <q, n^I>.
+///
+/// Dense representation — test/reference use only.
+class LinearQuery {
+ public:
+  explicit LinearQuery(uint64_t d) : coeffs_(d, 0.0) {}
+
+  /// Lifts a conjunctive counting query to its 0/1 coefficient vector.
+  static LinearQuery FromCounting(const TupleSpace& space,
+                                  const CountingQuery& q) {
+    LinearQuery lq(space.size());
+    for (uint64_t i = 0; i < space.size(); ++i) {
+      lq.coeffs_[i] = q.Matches(space.TupleAt(i)) ? 1.0 : 0.0;
+    }
+    return lq;
+  }
+
+  double& operator[](uint64_t i) { return coeffs_[i]; }
+  double operator[](uint64_t i) const { return coeffs_[i]; }
+  uint64_t dimension() const { return coeffs_.size(); }
+
+  /// <q, n> for a frequency vector n.
+  double Dot(const std::vector<double>& freq) const {
+    double s = 0.0;
+    for (uint64_t i = 0; i < coeffs_.size(); ++i) s += coeffs_[i] * freq[i];
+    return s;
+  }
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_QUERY_LINEAR_QUERY_H_

@@ -1,0 +1,207 @@
+#include "query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace entropydb {
+
+namespace {
+
+/// Flat token stream: identifiers/numbers/quoted strings plus the symbols
+/// ( ) , = *.
+struct Tokenizer {
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+
+  static Result<Tokenizer> Split(const std::string& text) {
+    Tokenizer t;
+    size_t i = 0;
+    while (i < text.size()) {
+      char c = text[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',' || c == '=' || c == '*') {
+        t.tokens.emplace_back(1, c);
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        size_t end = text.find('\'', i + 1);
+        if (end == std::string::npos) {
+          return Status::InvalidArgument("unterminated quoted string");
+        }
+        t.tokens.push_back(text.substr(i + 1, end - i - 1));
+        i = end + 1;
+        continue;
+      }
+      size_t start = i;
+      while (i < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[i])) &&
+             text[i] != '(' && text[i] != ')' && text[i] != ',' &&
+             text[i] != '=') {
+        ++i;
+      }
+      t.tokens.push_back(text.substr(start, i - start));
+    }
+    return t;
+  }
+
+  bool Done() const { return pos >= tokens.size(); }
+  const std::string& Peek() const { return tokens[pos]; }
+  std::string Next() { return tokens[pos++]; }
+
+  /// Case-insensitive keyword check, consuming on match.
+  bool Eat(const std::string& keyword) {
+    if (Done()) return false;
+    const std::string& t = tokens[pos];
+    if (t.size() != keyword.size()) return false;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(t[i])) != keyword[i]) {
+        return false;
+      }
+    }
+    ++pos;
+    return true;
+  }
+
+  Status Expect(const std::string& keyword) {
+    if (Eat(keyword)) return Status::OK();
+    return Status::InvalidArgument(
+        "expected '" + keyword + "'" +
+        (Done() ? " at end of query" : (", got '" + Peek() + "'")));
+  }
+};
+
+Result<AttrId> ResolveAttr(const std::string& name,
+                           const std::vector<std::string>& attr_names) {
+  for (AttrId a = 0; a < attr_names.size(); ++a) {
+    if (attr_names[a] == name) return a;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+/// Maps a raw token (label or number) to a code of `domain`.
+Result<Code> ResolveValue(const std::string& token, const Domain& domain) {
+  if (domain.is_categorical()) {
+    return domain.Encode(Value(token));
+  }
+  ASSIGN_OR_RETURN(double v, ParseDouble(token));
+  return domain.BucketOf(v);
+}
+
+Status ParseCondition(Tokenizer& tok, const std::vector<std::string>& names,
+                      const std::vector<Domain>& domains,
+                      CountingQuery* where) {
+  if (tok.Done()) return Status::InvalidArgument("dangling WHERE/AND");
+  ASSIGN_OR_RETURN(AttrId attr, ResolveAttr(tok.Next(), names));
+  const Domain& domain = domains[attr];
+
+  if (tok.Eat("=")) {
+    if (tok.Done()) return Status::InvalidArgument("missing value after =");
+    ASSIGN_OR_RETURN(Code code, ResolveValue(tok.Next(), domain));
+    where->Where(attr, AttrPredicate::Point(code));
+    return Status::OK();
+  }
+  if (tok.Eat("BETWEEN")) {
+    if (tok.Done()) return Status::InvalidArgument("missing BETWEEN bounds");
+    std::string lo_tok = tok.Next();
+    RETURN_NOT_OK(tok.Expect("AND"));
+    if (tok.Done()) return Status::InvalidArgument("missing upper bound");
+    std::string hi_tok = tok.Next();
+    if (domain.is_categorical()) {
+      ASSIGN_OR_RETURN(Code lo, ResolveValue(lo_tok, domain));
+      ASSIGN_OR_RETURN(Code hi, ResolveValue(hi_tok, domain));
+      if (hi < lo) std::swap(lo, hi);
+      where->Where(attr, AttrPredicate::Range(lo, hi));
+    } else {
+      ASSIGN_OR_RETURN(double lo, ParseDouble(lo_tok));
+      ASSIGN_OR_RETURN(double hi, ParseDouble(hi_tok));
+      auto [clo, chi] = domain.BucketRange(lo, hi);
+      if (chi < clo) {
+        where->Where(attr, AttrPredicate::InSet({}));  // empty range
+      } else {
+        where->Where(attr, AttrPredicate::Range(clo, chi));
+      }
+    }
+    return Status::OK();
+  }
+  if (tok.Eat("IN")) {
+    RETURN_NOT_OK(tok.Expect("("));
+    std::vector<Code> codes;
+    while (!tok.Eat(")")) {
+      if (tok.Done()) return Status::InvalidArgument("unterminated IN list");
+      if (tok.Eat(",")) continue;
+      ASSIGN_OR_RETURN(Code code, ResolveValue(tok.Next(), domain));
+      codes.push_back(code);
+    }
+    where->Where(attr, AttrPredicate::InSet(std::move(codes)));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("expected =, BETWEEN, or IN after '" +
+                                 names[attr] + "'");
+}
+
+}  // namespace
+
+std::string ParsedQuery::AggregateName() const {
+  switch (aggregate) {
+    case Aggregate::kCount:
+      return "COUNT";
+    case Aggregate::kSum:
+      return "SUM";
+    case Aggregate::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+Result<ParsedQuery> ParseQuery(const std::string& text,
+                               const std::vector<std::string>& attr_names,
+                               const std::vector<Domain>& domains) {
+  if (attr_names.size() != domains.size()) {
+    return Status::InvalidArgument("attribute/domain arity mismatch");
+  }
+  ASSIGN_OR_RETURN(Tokenizer tok, Tokenizer::Split(text));
+  ParsedQuery out;
+  out.where = CountingQuery(attr_names.size());
+
+  auto parse_agg_attr = [&]() -> Status {
+    RETURN_NOT_OK(tok.Expect("("));
+    if (tok.Done()) return Status::InvalidArgument("missing aggregate attr");
+    ASSIGN_OR_RETURN(out.agg_attr, ResolveAttr(tok.Next(), attr_names));
+    return tok.Expect(")");
+  };
+
+  if (tok.Eat("COUNT")) {
+    out.aggregate = ParsedQuery::Aggregate::kCount;
+    RETURN_NOT_OK(tok.Expect("("));
+    RETURN_NOT_OK(tok.Expect("*"));
+    RETURN_NOT_OK(tok.Expect(")"));
+  } else if (tok.Eat("SUM")) {
+    out.aggregate = ParsedQuery::Aggregate::kSum;
+    RETURN_NOT_OK(parse_agg_attr());
+  } else if (tok.Eat("AVG")) {
+    out.aggregate = ParsedQuery::Aggregate::kAvg;
+    RETURN_NOT_OK(parse_agg_attr());
+  } else {
+    return Status::InvalidArgument("query must start with COUNT, SUM or AVG");
+  }
+
+  if (tok.Done()) return out;
+  RETURN_NOT_OK(tok.Expect("WHERE"));
+  do {
+    RETURN_NOT_OK(ParseCondition(tok, attr_names, domains, &out.where));
+  } while (tok.Eat("AND"));
+
+  if (!tok.Done()) {
+    return Status::InvalidArgument("trailing tokens after query: '" +
+                                   tok.Peek() + "'");
+  }
+  return out;
+}
+
+}  // namespace entropydb

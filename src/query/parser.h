@@ -1,0 +1,45 @@
+#ifndef ENTROPYDB_QUERY_PARSER_H_
+#define ENTROPYDB_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/counting_query.h"
+#include "storage/domain.h"
+
+namespace entropydb {
+
+/// \brief A parsed aggregate query over a summarized relation.
+struct ParsedQuery {
+  enum class Aggregate { kCount, kSum, kAvg };
+  Aggregate aggregate = Aggregate::kCount;
+  /// Aggregated attribute (SUM/AVG only).
+  AttrId agg_attr = 0;
+  /// The conjunctive filter (kAny everywhere when no WHERE clause).
+  CountingQuery where;
+
+  std::string AggregateName() const;
+};
+
+/// \brief Parses the paper's query dialect against a summary's attribute
+/// names and domains:
+///
+///   COUNT(*) [WHERE cond [AND cond]...]
+///   SUM(attr) [WHERE ...]      AVG(attr) [WHERE ...]
+///
+///   cond := attr = value
+///         | attr BETWEEN lo AND hi        (raw-value range)
+///         | attr IN (v1, v2, ...)
+///
+/// Values are categorical labels (optionally 'quoted') or numbers; numeric
+/// values are mapped through the attribute's bucketized domain, exactly as
+/// the paper transforms "a user's query into our domain" (Sec 6.1).
+/// Keywords are case-insensitive; attribute names are case-sensitive.
+Result<ParsedQuery> ParseQuery(const std::string& text,
+                               const std::vector<std::string>& attr_names,
+                               const std::vector<Domain>& domains);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_QUERY_PARSER_H_

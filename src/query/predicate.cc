@@ -1,0 +1,25 @@
+#include "query/predicate.h"
+
+namespace entropydb {
+
+std::string AttrPredicate::ToString() const {
+  switch (kind_) {
+    case Kind::kAny:
+      return "ANY";
+    case Kind::kPoint:
+      return "=[" + std::to_string(lo_) + "]";
+    case Kind::kRange:
+      return "in [" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
+    case Kind::kSet: {
+      std::string out = "in {";
+      for (size_t i = 0; i < set_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(set_[i]);
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+}  // namespace entropydb

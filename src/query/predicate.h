@@ -1,0 +1,112 @@
+#ifndef ENTROPYDB_QUERY_PREDICATE_H_
+#define ENTROPYDB_QUERY_PREDICATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/domain.h"
+
+namespace entropydb {
+
+/// \brief Predicate over a single attribute, in encoded (bucket code) space.
+///
+/// The paper's optimized query answering (Sec 4.2, Eq 16) assumes every query
+/// is a conjunction of one predicate per attribute, each of which is TRUE,
+/// a point, a range, or (our generalization) an arbitrary code set. All four
+/// shapes reduce to an "allowed code set" used to zero excluded 1-D model
+/// variables.
+class AttrPredicate {
+ public:
+  enum class Kind { kAny, kPoint, kRange, kSet };
+
+  /// Matches every value (the query ignores this attribute).
+  AttrPredicate() : kind_(Kind::kAny) {}
+
+  static AttrPredicate Any() { return AttrPredicate(); }
+
+  static AttrPredicate Point(Code c) {
+    AttrPredicate p;
+    p.kind_ = Kind::kPoint;
+    p.lo_ = p.hi_ = c;
+    return p;
+  }
+
+  /// Inclusive code range [lo, hi].
+  static AttrPredicate Range(Code lo, Code hi) {
+    AttrPredicate p;
+    p.kind_ = Kind::kRange;
+    p.lo_ = lo;
+    p.hi_ = hi;
+    return p;
+  }
+
+  /// Arbitrary set of codes (sorted, deduplicated internally).
+  static AttrPredicate InSet(std::vector<Code> codes) {
+    AttrPredicate p;
+    p.kind_ = Kind::kSet;
+    std::sort(codes.begin(), codes.end());
+    codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+    p.set_ = std::move(codes);
+    return p;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_any() const { return kind_ == Kind::kAny; }
+  Code lo() const { return lo_; }
+  Code hi() const { return hi_; }
+  const std::vector<Code>& set() const { return set_; }
+
+  /// True when code `c` satisfies the predicate.
+  bool Matches(Code c) const {
+    switch (kind_) {
+      case Kind::kAny:
+        return true;
+      case Kind::kPoint:
+        return c == lo_;
+      case Kind::kRange:
+        return lo_ <= c && c <= hi_;
+      case Kind::kSet:
+        return std::binary_search(set_.begin(), set_.end(), c);
+    }
+    return false;
+  }
+
+  /// Number of codes allowed out of a domain of `domain_size`.
+  size_t Selectivity(size_t domain_size) const {
+    switch (kind_) {
+      case Kind::kAny:
+        return domain_size;
+      case Kind::kPoint:
+        return lo_ < domain_size ? 1 : 0;
+      case Kind::kRange: {
+        Code hi = std::min<Code>(hi_, static_cast<Code>(domain_size - 1));
+        return lo_ <= hi ? hi - lo_ + 1 : 0;
+      }
+      case Kind::kSet: {
+        size_t cnt = 0;
+        for (Code c : set_) cnt += (c < domain_size) ? 1 : 0;
+        return cnt;
+      }
+    }
+    return 0;
+  }
+
+  /// Renders e.g. "=[5]", "in [3,9]", "ANY".
+  std::string ToString() const;
+
+  bool operator==(const AttrPredicate& o) const {
+    return kind_ == o.kind_ && lo_ == o.lo_ && hi_ == o.hi_ && set_ == o.set_;
+  }
+
+ private:
+  Kind kind_;
+  Code lo_ = 0;
+  Code hi_ = 0;
+  std::vector<Code> set_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_QUERY_PREDICATE_H_

@@ -1,0 +1,28 @@
+#include "sampling/sample_estimator.h"
+
+namespace entropydb {
+
+QueryEstimate SampleEstimator::Count(const CountingQuery& q) const {
+  const Table& t = *sample_.rows;
+  std::vector<std::pair<AttrId, const AttrPredicate*>> active;
+  for (AttrId a = 0; a < q.num_attributes(); ++a) {
+    if (!q.predicate(a).is_any()) active.emplace_back(a, &q.predicate(a));
+  }
+  QueryEstimate est;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    bool match = true;
+    for (const auto& [a, p] : active) {
+      if (!p->Matches(t.at(r, a))) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    const double w = sample_.weights[r];
+    est.expectation += w;
+    est.variance += w * (w - 1.0);
+  }
+  return est;
+}
+
+}  // namespace entropydb

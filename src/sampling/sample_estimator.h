@@ -1,0 +1,29 @@
+#ifndef ENTROPYDB_SAMPLING_SAMPLE_ESTIMATOR_H_
+#define ENTROPYDB_SAMPLING_SAMPLE_ESTIMATOR_H_
+
+#include "maxent/answerer.h"
+#include "query/counting_query.h"
+#include "sampling/sample.h"
+
+namespace entropydb {
+
+/// \brief Horvitz-Thompson count estimation over a weighted sample.
+///
+/// expectation = sum of weights of matching sample rows. The variance field
+/// uses the Bernoulli/Poisson-sampling approximation
+/// sum_i w_i (w_i - 1) over matching rows, which is exact for Bernoulli
+/// samples and a slight over-estimate for without-replacement strata.
+class SampleEstimator {
+ public:
+  explicit SampleEstimator(const WeightedSample& sample) : sample_(sample) {}
+
+  /// Estimated COUNT(*) for a conjunctive query.
+  QueryEstimate Count(const CountingQuery& q) const;
+
+ private:
+  const WeightedSample& sample_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_SAMPLING_SAMPLE_ESTIMATOR_H_

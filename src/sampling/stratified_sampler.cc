@@ -1,0 +1,72 @@
+#include "sampling/stratified_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "storage/table_builder.h"
+
+namespace entropydb {
+
+Result<WeightedSample> StratifiedSampler::Create(const Table& base, AttrId a,
+                                                 AttrId b, double fraction,
+                                                 uint64_t seed) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("sampling fraction must be in (0, 1]");
+  }
+  if (a >= base.num_attributes() || b >= base.num_attributes() || a == b) {
+    return Status::InvalidArgument("bad stratification attributes");
+  }
+
+  // Bucket row ids by stratum key (combined 2-D code).
+  const uint64_t nb = base.domain(b).size();
+  std::unordered_map<uint64_t, std::vector<uint32_t>> strata;
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    uint64_t key = static_cast<uint64_t>(base.at(r, a)) * nb + base.at(r, b);
+    strata[key].push_back(static_cast<uint32_t>(r));
+  }
+
+  Rng rng(seed);
+  TableBuilder builder(base.schema());
+  for (AttrId i = 0; i < base.num_attributes(); ++i) {
+    builder.SetDomain(i, base.domain(i));
+  }
+  std::vector<double> weights;
+  const size_t m = base.num_attributes();
+  std::vector<Code> row(m);
+
+  // Deterministic iteration order: sort stratum keys.
+  std::vector<uint64_t> keys;
+  keys.reserve(strata.size());
+  for (const auto& [k, _] : strata) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+
+  for (uint64_t key : keys) {
+    auto& rows = strata[key];
+    const size_t nh = rows.size();
+    size_t take = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(fraction * nh)));
+    take = std::min(take, nh);
+    // Partial Fisher-Yates: uniform without replacement.
+    for (size_t i = 0; i < take; ++i) {
+      size_t j = i + rng.Uniform(nh - i);
+      std::swap(rows[i], rows[j]);
+    }
+    const double w = static_cast<double>(nh) / static_cast<double>(take);
+    for (size_t i = 0; i < take; ++i) {
+      for (AttrId att = 0; att < m; ++att) row[att] = base.at(rows[i], att);
+      builder.AppendEncodedRow(row);
+      weights.push_back(w);
+    }
+  }
+
+  ASSIGN_OR_RETURN(auto table, builder.Finish());
+  WeightedSample sample;
+  sample.rows = std::move(table);
+  sample.weights = std::move(weights);
+  sample.fraction = fraction;
+  sample.name = "Strat";
+  return sample;
+}
+
+}  // namespace entropydb

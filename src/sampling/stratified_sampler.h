@@ -1,0 +1,27 @@
+#ifndef ENTROPYDB_SAMPLING_STRATIFIED_SAMPLER_H_
+#define ENTROPYDB_SAMPLING_STRATIFIED_SAMPLER_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sampling/sample.h"
+
+namespace entropydb {
+
+/// \brief Stratified sampling on an attribute pair — the paper's stratified
+/// baselines (Sec 6.2: "stratified samples along the same attribute-pairs
+/// as the 2D statistics").
+///
+/// Strata are the distinct (A_a, A_b) code combinations present in the base
+/// table. Each stratum of size N_h receives n_h = max(1, round(fraction *
+/// N_h)) sample rows drawn uniformly without replacement, so rare strata
+/// are guaranteed representation (the classic advantage over uniform
+/// sampling); each sampled row carries weight N_h / n_h.
+class StratifiedSampler {
+ public:
+  static Result<WeightedSample> Create(const Table& base, AttrId a, AttrId b,
+                                       double fraction, uint64_t seed);
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_SAMPLING_STRATIFIED_SAMPLER_H_

@@ -1,0 +1,36 @@
+#include "sampling/uniform_sampler.h"
+
+#include "storage/table_builder.h"
+
+namespace entropydb {
+
+Result<WeightedSample> UniformSampler::Create(const Table& base,
+                                              double fraction,
+                                              uint64_t seed) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("sampling fraction must be in (0, 1]");
+  }
+  Rng rng(seed);
+  TableBuilder builder(base.schema());
+  for (AttrId a = 0; a < base.num_attributes(); ++a) {
+    builder.SetDomain(a, base.domain(a));
+  }
+  const size_t m = base.num_attributes();
+  std::vector<Code> row(m);
+  size_t kept = 0;
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    if (!rng.NextBernoulli(fraction)) continue;
+    for (AttrId a = 0; a < m; ++a) row[a] = base.at(r, a);
+    builder.AppendEncodedRow(row);
+    ++kept;
+  }
+  ASSIGN_OR_RETURN(auto table, builder.Finish());
+  WeightedSample sample;
+  sample.rows = std::move(table);
+  sample.weights.assign(kept, 1.0 / fraction);
+  sample.fraction = fraction;
+  sample.name = "Uni";
+  return sample;
+}
+
+}  // namespace entropydb

@@ -1,0 +1,23 @@
+#ifndef ENTROPYDB_SAMPLING_UNIFORM_SAMPLER_H_
+#define ENTROPYDB_SAMPLING_UNIFORM_SAMPLER_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sampling/sample.h"
+
+namespace entropydb {
+
+/// \brief Uniform Bernoulli row sampling — the paper's "1% uniform sample"
+/// baseline (Sec 6.2).
+///
+/// Every base row enters the sample independently with probability
+/// `fraction`; every sampled row carries weight 1/fraction.
+class UniformSampler {
+ public:
+  static Result<WeightedSample> Create(const Table& base, double fraction,
+                                       uint64_t seed);
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_SAMPLING_UNIFORM_SAMPLER_H_

@@ -1,0 +1,71 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace entropydb {
+
+double ChiSquared(const Histogram2D& hist) {
+  const auto row = hist.RowMarginal();
+  const auto col = hist.ColMarginal();
+  const double n = static_cast<double>(hist.total());
+  if (n == 0.0) return 0.0;
+  double chi2 = 0.0;
+  for (uint32_t i = 0; i < hist.rows(); ++i) {
+    if (row[i] == 0) continue;
+    for (uint32_t j = 0; j < hist.cols(); ++j) {
+      if (col[j] == 0) continue;
+      double expected =
+          static_cast<double>(row[i]) * static_cast<double>(col[j]) / n;
+      double diff = static_cast<double>(hist.at(i, j)) - expected;
+      chi2 += diff * diff / expected;
+    }
+  }
+  return chi2;
+}
+
+namespace {
+/// Counts non-empty rows/columns — empty slices carry no signal.
+std::pair<uint32_t, uint32_t> EffectiveDims(const Histogram2D& hist) {
+  const auto row = hist.RowMarginal();
+  const auto col = hist.ColMarginal();
+  uint32_t r = 0, c = 0;
+  for (auto v : row) r += (v > 0) ? 1 : 0;
+  for (auto v : col) c += (v > 0) ? 1 : 0;
+  return {r, c};
+}
+}  // namespace
+
+double CramersVCorrected(const Histogram2D& hist) {
+  const double n = static_cast<double>(hist.total());
+  if (n <= 1.0) return 0.0;
+  auto [r, c] = EffectiveDims(hist);
+  if (r <= 1 || c <= 1) return 0.0;
+  const double phi2 = ChiSquared(hist) / n;
+  const double rd = r, cd = c;
+  const double phi2_corr =
+      std::max(0.0, phi2 - (rd - 1.0) * (cd - 1.0) / (n - 1.0));
+  const double r_corr = rd - (rd - 1.0) * (rd - 1.0) / (n - 1.0);
+  const double c_corr = cd - (cd - 1.0) * (cd - 1.0) / (n - 1.0);
+  const double k = std::min(r_corr, c_corr) - 1.0;
+  if (k <= 0.0) return 0.0;
+  return std::min(std::sqrt(phi2_corr / k), 1.0);
+}
+
+double CramersV(const Histogram2D& hist) {
+  const double n = static_cast<double>(hist.total());
+  if (n == 0.0) return 0.0;
+  // Effective dimensions: ignore empty rows/columns, which carry no signal.
+  const auto row = hist.RowMarginal();
+  const auto col = hist.ColMarginal();
+  uint32_t r = 0, c = 0;
+  for (auto v : row) r += (v > 0) ? 1 : 0;
+  for (auto v : col) c += (v > 0) ? 1 : 0;
+  uint32_t k = std::min(r, c);
+  if (k <= 1) return 0.0;
+  double v = std::sqrt(ChiSquared(hist) / (n * (k - 1)));
+  return std::min(v, 1.0);
+}
+
+}  // namespace entropydb

@@ -1,0 +1,46 @@
+#include "stats/histogram.h"
+
+#include <cassert>
+
+namespace entropydb {
+
+Histogram2D::Histogram2D(uint32_t na, uint32_t nb,
+                         std::vector<uint64_t> counts)
+    : na_(na), nb_(nb), counts_(std::move(counts)) {
+  assert(counts_.size() == static_cast<size_t>(na_) * nb_);
+  sat_.assign(static_cast<size_t>(na_ + 1) * (nb_ + 1), 0.0);
+  sat_sq_.assign(static_cast<size_t>(na_ + 1) * (nb_ + 1), 0.0);
+  for (uint32_t i = 0; i < na_; ++i) {
+    for (uint32_t j = 0; j < nb_; ++j) {
+      double c = static_cast<double>(counts_[i * nb_ + j]);
+      total_ += counts_[i * nb_ + j];
+      size_t idx = static_cast<size_t>(i + 1) * (nb_ + 1) + (j + 1);
+      sat_[idx] = c + S(i, j + 1) + S(i + 1, j) - S(i, j);
+      sat_sq_[idx] = c * c + S2(i, j + 1) + S2(i + 1, j) - S2(i, j);
+    }
+  }
+}
+
+std::vector<uint64_t> Histogram2D::RowMarginal() const {
+  std::vector<uint64_t> m(na_, 0);
+  for (uint32_t i = 0; i < na_; ++i) {
+    for (uint32_t j = 0; j < nb_; ++j) m[i] += counts_[i * nb_ + j];
+  }
+  return m;
+}
+
+std::vector<uint64_t> Histogram2D::ColMarginal() const {
+  std::vector<uint64_t> m(nb_, 0);
+  for (uint32_t i = 0; i < na_; ++i) {
+    for (uint32_t j = 0; j < nb_; ++j) m[j] += counts_[i * nb_ + j];
+  }
+  return m;
+}
+
+uint64_t Histogram2D::NumZeroCells() const {
+  uint64_t z = 0;
+  for (uint64_t c : counts_) z += (c == 0) ? 1 : 0;
+  return z;
+}
+
+}  // namespace entropydb

@@ -1,0 +1,67 @@
+#ifndef ENTROPYDB_STATS_HISTOGRAM_H_
+#define ENTROPYDB_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/domain.h"
+
+namespace entropydb {
+
+/// \brief Dense 2-D contingency table of two encoded attributes, with O(1)
+/// rectangle sum / sum-of-squares queries via summed-area tables.
+///
+/// Backs the chi-squared correlation test, all three statistic-selection
+/// heuristics, and the KD-tree's SSE split search.
+class Histogram2D {
+ public:
+  /// `counts` is row-major [ca * nb + cb].
+  Histogram2D(uint32_t na, uint32_t nb, std::vector<uint64_t> counts);
+
+  uint32_t rows() const { return na_; }
+  uint32_t cols() const { return nb_; }
+
+  uint64_t at(Code a, Code b) const { return counts_[a * nb_ + b]; }
+  uint64_t total() const { return total_; }
+
+  /// Count sum over the inclusive rectangle [a0,a1] x [b0,b1].
+  double RectSum(Code a0, Code a1, Code b0, Code b1) const {
+    return S(a1 + 1, b1 + 1) - S(a0, b1 + 1) - S(a1 + 1, b0) + S(a0, b0);
+  }
+
+  /// Sum of squared cell counts over the inclusive rectangle.
+  double RectSumSq(Code a0, Code a1, Code b0, Code b1) const {
+    return S2(a1 + 1, b1 + 1) - S2(a0, b1 + 1) - S2(a1 + 1, b0) + S2(a0, b0);
+  }
+
+  /// Sum of squared deviations from the rectangle mean:
+  ///   sum (x - mean)^2 = sum x^2 - (sum x)^2 / cells.
+  double RectSse(Code a0, Code a1, Code b0, Code b1) const {
+    double cells = static_cast<double>(a1 - a0 + 1) * (b1 - b0 + 1);
+    double s = RectSum(a0, a1, b0, b1);
+    return RectSumSq(a0, a1, b0, b1) - s * s / cells;
+  }
+
+  /// Row marginal (length na).
+  std::vector<uint64_t> RowMarginal() const;
+  /// Column marginal (length nb).
+  std::vector<uint64_t> ColMarginal() const;
+
+  /// Number of cells with zero count.
+  uint64_t NumZeroCells() const;
+
+ private:
+  double S(size_t i, size_t j) const { return sat_[i * (nb_ + 1) + j]; }
+  double S2(size_t i, size_t j) const { return sat_sq_[i * (nb_ + 1) + j]; }
+
+  uint32_t na_;
+  uint32_t nb_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  std::vector<double> sat_;     // summed-area table of counts
+  std::vector<double> sat_sq_;  // summed-area table of squared counts
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STATS_HISTOGRAM_H_

@@ -1,0 +1,172 @@
+#include "stats/kd_tree.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace entropydb {
+
+namespace {
+
+/// Heap entry: leaf with the largest SSE is refined first.
+struct HeapLess {
+  bool operator()(const std::pair<double, size_t>& x,
+                  const std::pair<double, size_t>& y) const {
+    return x.first < y.first;
+  }
+};
+
+}  // namespace
+
+bool KdTreePartitioner::BestSplit(const Histogram2D& hist, const Node& node,
+                                  int dim, Code* split_after,
+                                  double* cost) const {
+  const Interval range = (dim == 0) ? node.a : node.b;
+  if (range.width() <= 1) return false;
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  Code best_pos = range.lo;
+  bool found = false;
+
+  if (rule_ == KdSplitRule::kMinSse) {
+    // Minimize SSE(left half) + SSE(right half); O(1) per candidate thanks
+    // to the histogram's summed-area tables.
+    for (Code pos = range.lo; pos < range.hi; ++pos) {
+      double c;
+      if (dim == 0) {
+        c = hist.RectSse(node.a.lo, pos, node.b.lo, node.b.hi) +
+            hist.RectSse(pos + 1, node.a.hi, node.b.lo, node.b.hi);
+      } else {
+        c = hist.RectSse(node.a.lo, node.a.hi, node.b.lo, pos) +
+            hist.RectSse(node.a.lo, node.a.hi, pos + 1, node.b.hi);
+      }
+      if (c < best_cost) {
+        best_cost = c;
+        best_pos = pos;
+        found = true;
+      }
+    }
+  } else {
+    // Median rule: pick the position where the two halves' masses are most
+    // balanced.
+    for (Code pos = range.lo; pos < range.hi; ++pos) {
+      double left, right;
+      if (dim == 0) {
+        left = hist.RectSum(node.a.lo, pos, node.b.lo, node.b.hi);
+        right = hist.RectSum(pos + 1, node.a.hi, node.b.lo, node.b.hi);
+      } else {
+        left = hist.RectSum(node.a.lo, node.a.hi, node.b.lo, pos);
+        right = hist.RectSum(node.a.lo, node.a.hi, pos + 1, node.b.hi);
+      }
+      double c = std::abs(left - right);
+      if (c < best_cost) {
+        best_cost = c;
+        best_pos = pos;
+        found = true;
+      }
+    }
+  }
+
+  *split_after = best_pos;
+  *cost = best_cost;
+  return found;
+}
+
+std::vector<KdRect> KdTreePartitioner::Partition(const Histogram2D& hist,
+                                                 size_t budget) const {
+  std::vector<Node> nodes;
+  nodes.push_back(Node{{0, hist.rows() - 1},
+                       {0, hist.cols() - 1},
+                       0,
+                       hist.RectSse(0, hist.rows() - 1, 0, hist.cols() - 1)});
+
+  // Leaves ordered by SSE; refine the worst-represented rectangle first.
+  std::priority_queue<std::pair<double, size_t>,
+                      std::vector<std::pair<double, size_t>>, HeapLess>
+      heap;
+  heap.emplace(nodes[0].sse, 0);
+  size_t num_leaves = 1;
+
+  std::vector<bool> is_leaf{true};
+
+  while (num_leaves < budget && !heap.empty()) {
+    auto [sse, idx] = heap.top();
+    heap.pop();
+    Node node = nodes[idx];
+
+    // Pick the splitting dimension. The min-SSE rule considers the best
+    // split value across both domains (the paper's "lowest sum squared
+    // average value difference", Fig 2a) and keeps depth alternation only
+    // as the tie-break; the median rule alternates strictly like a
+    // traditional KD-tree.
+    int dim;
+    Code pos = 0;
+    double cost = 0.0;
+    if (rule_ == KdSplitRule::kMinSse) {
+      Code pos0 = 0, pos1 = 0;
+      double cost0 = 0.0, cost1 = 0.0;
+      bool ok0 = BestSplit(hist, node, 0, &pos0, &cost0);
+      bool ok1 = BestSplit(hist, node, 1, &pos1, &cost1);
+      if (!ok0 && !ok1) continue;  // single cell; cannot refine further
+      bool use0;
+      if (ok0 && ok1) {
+        if (cost0 < cost1) {
+          use0 = true;
+        } else if (cost1 < cost0) {
+          use0 = false;
+        } else {
+          use0 = (node.depth % 2 == 0);
+        }
+      } else {
+        use0 = ok0;
+      }
+      dim = use0 ? 0 : 1;
+      pos = use0 ? pos0 : pos1;
+      cost = use0 ? cost0 : cost1;
+    } else {
+      dim = node.depth % 2;
+      if (!BestSplit(hist, node, dim, &pos, &cost)) {
+        dim = 1 - dim;
+        if (!BestSplit(hist, node, dim, &pos, &cost)) {
+          continue;  // single cell; cannot refine further
+        }
+      }
+    }
+    (void)cost;
+
+    Node left = node, right = node;
+    if (dim == 0) {
+      left.a = {node.a.lo, pos};
+      right.a = {pos + 1, node.a.hi};
+    } else {
+      left.b = {node.b.lo, pos};
+      right.b = {pos + 1, node.b.hi};
+    }
+    left.depth = right.depth = node.depth + 1;
+    left.sse = hist.RectSse(left.a.lo, left.a.hi, left.b.lo, left.b.hi);
+    right.sse = hist.RectSse(right.a.lo, right.a.hi, right.b.lo, right.b.hi);
+
+    is_leaf[idx] = false;
+    size_t li = nodes.size();
+    nodes.push_back(left);
+    is_leaf.push_back(true);
+    size_t ri = nodes.size();
+    nodes.push_back(right);
+    is_leaf.push_back(true);
+    heap.emplace(left.sse, li);
+    heap.emplace(right.sse, ri);
+    ++num_leaves;
+  }
+
+  std::vector<KdRect> out;
+  out.reserve(num_leaves);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (!is_leaf[i]) continue;
+    const Node& n = nodes[i];
+    out.push_back(KdRect{
+        n.a, n.b, hist.RectSum(n.a.lo, n.a.hi, n.b.lo, n.b.hi)});
+  }
+  return out;
+}
+
+}  // namespace entropydb

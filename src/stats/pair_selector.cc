@@ -1,0 +1,78 @@
+#include "stats/pair_selector.h"
+
+#include <algorithm>
+#include <set>
+
+#include "query/exact_evaluator.h"
+#include "stats/correlation.h"
+#include "stats/histogram.h"
+
+namespace entropydb {
+
+std::vector<ScoredPair> PairSelector::RankPairs(
+    const Table& table, const std::vector<AttrId>& exclude) {
+  std::set<AttrId> excluded(exclude.begin(), exclude.end());
+  ExactEvaluator eval(table);
+  std::vector<ScoredPair> pairs;
+  const auto m = static_cast<AttrId>(table.num_attributes());
+  for (AttrId a = 0; a < m; ++a) {
+    if (excluded.count(a)) continue;
+    for (AttrId b = a + 1; b < m; ++b) {
+      if (excluded.count(b)) continue;
+      Histogram2D hist(table.domain(a).size(), table.domain(b).size(),
+                       eval.Histogram2D(a, b));
+      ScoredPair p;
+      p.a = a;
+      p.b = b;
+      p.chi_squared = ChiSquared(hist);
+      p.cramers_v = CramersVCorrected(hist);
+      pairs.push_back(p);
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const ScoredPair& x, const ScoredPair& y) {
+                     return x.cramers_v > y.cramers_v;
+                   });
+  return pairs;
+}
+
+std::vector<ScoredPair> PairSelector::Choose(
+    const std::vector<ScoredPair>& ranked, size_t ba, PairStrategy strategy) {
+  std::vector<ScoredPair> chosen;
+  std::set<AttrId> covered;
+
+  if (strategy == PairStrategy::kCorrelationOnly) {
+    // Greedy by correlation; require each new pair to contribute at least one
+    // new attribute so the budget is not spent twice on the same pair of
+    // dimensions (paper Sec 4.3).
+    for (const auto& p : ranked) {
+      if (chosen.size() >= ba) break;
+      if (covered.count(p.a) && covered.count(p.b)) continue;
+      chosen.push_back(p);
+      covered.insert(p.a);
+      covered.insert(p.b);
+    }
+    return chosen;
+  }
+
+  // kAttributeCover: first take pairs that cover two new attributes, then
+  // pairs covering one new attribute, then the rest — by correlation inside
+  // each class.
+  std::vector<bool> taken(ranked.size(), false);
+  for (int want_new = 2; want_new >= 0; --want_new) {
+    for (size_t i = 0; i < ranked.size() && chosen.size() < ba; ++i) {
+      if (taken[i]) continue;
+      const auto& p = ranked[i];
+      int new_attrs = (covered.count(p.a) ? 0 : 1) +
+                      (covered.count(p.b) ? 0 : 1);
+      if (new_attrs != want_new) continue;
+      chosen.push_back(p);
+      taken[i] = true;
+      covered.insert(p.a);
+      covered.insert(p.b);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace entropydb

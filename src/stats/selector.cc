@@ -1,0 +1,117 @@
+#include "stats/selector.h"
+
+#include <algorithm>
+
+namespace entropydb {
+
+const char* SelectionHeuristicName(SelectionHeuristic h) {
+  switch (h) {
+    case SelectionHeuristic::kLargeSingleCell:
+      return "LARGE";
+    case SelectionHeuristic::kZeroSingleCell:
+      return "ZERO";
+    case SelectionHeuristic::kComposite:
+      return "COMPOSITE";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One histogram cell with its coordinates, for sorting.
+struct Cell {
+  Code a;
+  Code b;
+  uint64_t count;
+};
+
+std::vector<Cell> AllCells(const Histogram2D& hist) {
+  std::vector<Cell> cells;
+  cells.reserve(static_cast<size_t>(hist.rows()) * hist.cols());
+  for (Code i = 0; i < hist.rows(); ++i) {
+    for (Code j = 0; j < hist.cols(); ++j) {
+      cells.push_back(Cell{i, j, hist.at(i, j)});
+    }
+  }
+  return cells;
+}
+
+MultiDimStatistic PointStat(AttrId a, AttrId b, const Cell& c) {
+  return Make2DStatistic(a, Interval{c.a, c.a}, b, Interval{c.b, c.b},
+                         static_cast<double>(c.count));
+}
+
+}  // namespace
+
+std::vector<MultiDimStatistic> StatisticSelector::Select(const Table& table,
+                                                         AttrId a, AttrId b,
+                                                         size_t budget) const {
+  ExactEvaluator eval(table);
+  Histogram2D hist(table.domain(a).size(), table.domain(b).size(),
+                   eval.Histogram2D(a, b));
+  return SelectFromHistogram(hist, a, b, budget);
+}
+
+std::vector<MultiDimStatistic> StatisticSelector::SelectFromHistogram(
+    const Histogram2D& hist, AttrId a, AttrId b, size_t budget) const {
+  std::vector<MultiDimStatistic> out;
+  if (budget == 0) return out;
+
+  switch (heuristic_) {
+    case SelectionHeuristic::kLargeSingleCell: {
+      auto cells = AllCells(hist);
+      // Bs most popular values; ties broken by grid order for determinism.
+      std::stable_sort(cells.begin(), cells.end(),
+                       [](const Cell& x, const Cell& y) {
+                         return x.count > y.count;
+                       });
+      for (size_t i = 0; i < cells.size() && out.size() < budget; ++i) {
+        out.push_back(PointStat(a, b, cells[i]));
+      }
+      break;
+    }
+    case SelectionHeuristic::kZeroSingleCell: {
+      auto cells = AllCells(hist);
+      // Empty cells first. A 1-D-only MaxEnt model hallucinates mass
+      // proportional to the product of the marginals, so we pin the empty
+      // cells with the largest expected phantom count first — they are the
+      // false positives the heuristic exists to kill (Sec 4.3).
+      auto rows = hist.RowMarginal();
+      auto cols = hist.ColMarginal();
+      std::vector<Cell> zeros;
+      for (const Cell& c : cells) {
+        if (c.count == 0) zeros.push_back(c);
+      }
+      std::stable_sort(zeros.begin(), zeros.end(),
+                       [&](const Cell& x, const Cell& y) {
+                         return static_cast<double>(rows[x.a]) * cols[x.b] >
+                                static_cast<double>(rows[y.a]) * cols[y.b];
+                       });
+      for (const Cell& c : zeros) {
+        if (out.size() >= budget) break;
+        out.push_back(PointStat(a, b, c));
+      }
+      if (out.size() < budget) {
+        std::stable_sort(cells.begin(), cells.end(),
+                         [](const Cell& x, const Cell& y) {
+                           return x.count > y.count;
+                         });
+        for (const Cell& c : cells) {
+          if (out.size() >= budget) break;
+          if (c.count > 0) out.push_back(PointStat(a, b, c));
+        }
+      }
+      break;
+    }
+    case SelectionHeuristic::kComposite: {
+      KdTreePartitioner kd(rule_);
+      for (const KdRect& r : kd.Partition(hist, budget)) {
+        out.push_back(Make2DStatistic(a, r.a, b, r.b, r.count));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace entropydb

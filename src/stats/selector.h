@@ -1,0 +1,56 @@
+#ifndef ENTROPYDB_STATS_SELECTOR_H_
+#define ENTROPYDB_STATS_SELECTOR_H_
+
+#include <vector>
+
+#include "query/exact_evaluator.h"
+#include "stats/histogram.h"
+#include "stats/kd_tree.h"
+#include "stats/statistic.h"
+#include "storage/table.h"
+
+namespace entropydb {
+
+/// The three 2-D statistic selection heuristics of Sec 4.3.
+enum class SelectionHeuristic {
+  /// Bs most populated single cells (point statistics).
+  kLargeSingleCell,
+  /// Bs empty cells first (zero statistics pin phantom mass to 0), topped up
+  /// with the most populated cells when fewer than Bs cells are empty.
+  kZeroSingleCell,
+  /// Modified KD-tree partition of the whole grid into Bs disjoint
+  /// rectangles — the paper's recommended default.
+  kComposite,
+};
+
+const char* SelectionHeuristicName(SelectionHeuristic h);
+
+/// \brief Selects 2-D statistics on one attribute pair under a per-pair
+/// budget Bs, per the chosen heuristic.
+///
+/// The returned statistics always satisfy the paper's compression
+/// assumptions: rectangular range predicates, pairwise disjoint for the same
+/// attribute pair.
+class StatisticSelector {
+ public:
+  StatisticSelector(SelectionHeuristic heuristic,
+                    KdSplitRule rule = KdSplitRule::kMinSse)
+      : heuristic_(heuristic), rule_(rule) {}
+
+  /// Chooses up to `budget` statistics over attributes (a, b) of `table`.
+  std::vector<MultiDimStatistic> Select(const Table& table, AttrId a,
+                                        AttrId b, size_t budget) const;
+
+  /// Same, from a precomputed contingency table.
+  std::vector<MultiDimStatistic> SelectFromHistogram(const Histogram2D& hist,
+                                                     AttrId a, AttrId b,
+                                                     size_t budget) const;
+
+ private:
+  SelectionHeuristic heuristic_;
+  KdSplitRule rule_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STATS_SELECTOR_H_

@@ -1,0 +1,83 @@
+#ifndef ENTROPYDB_STATS_STATISTIC_H_
+#define ENTROPYDB_STATS_STATISTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/domain.h"
+#include "storage/schema.h"
+
+namespace entropydb {
+
+/// \brief Inclusive code interval [lo, hi] on one attribute.
+struct Interval {
+  Code lo = 0;
+  Code hi = 0;
+
+  bool Contains(Code c) const { return lo <= c && c <= hi; }
+  uint32_t width() const { return hi - lo + 1; }
+
+  /// Intersection; empty result has hi < lo.
+  Interval Intersect(const Interval& o) const {
+    Interval r{std::max(lo, o.lo), std::min(hi, o.hi)};
+    return r;
+  }
+  bool empty() const { return hi < lo; }
+  bool operator==(const Interval& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+/// \brief A multi-dimensional statistic (c_j, s_j) from the paper (Sec 3.1):
+/// a rectangular range predicate over a set of attributes together with the
+/// observed count s_j = |sigma_pi(I)|.
+///
+/// Per the paper's assumptions (Sec 4.1): each predicate projects to a range
+/// per attribute, and statistics over the same attribute set are disjoint.
+/// 1-D statistics are not represented here — the MaxEnt summary always
+/// carries the complete set of per-value 1-D statistics internally.
+struct MultiDimStatistic {
+  /// Constrained attributes, strictly increasing.
+  std::vector<AttrId> attrs;
+  /// Parallel to `attrs`: the range on each constrained attribute.
+  std::vector<Interval> ranges;
+  /// Observed count s_j.
+  double target = 0.0;
+
+  /// True when the rectangle contains the (full) encoded tuple.
+  bool ContainsTuple(const std::vector<Code>& tuple) const {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (!ranges[i].Contains(tuple[attrs[i]])) return false;
+    }
+    return true;
+  }
+
+  std::string ToString(const Schema& schema) const {
+    std::string out = "(";
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += schema.attribute(attrs[i]).name + " in [" +
+             std::to_string(ranges[i].lo) + "," + std::to_string(ranges[i].hi) +
+             "]";
+    }
+    out += ", " + std::to_string(target) + ")";
+    return out;
+  }
+};
+
+/// Convenience constructor for the common 2-D case.
+inline MultiDimStatistic Make2DStatistic(AttrId a, Interval ra, AttrId b,
+                                         Interval rb, double target) {
+  MultiDimStatistic s;
+  if (a < b) {
+    s.attrs = {a, b};
+    s.ranges = {ra, rb};
+  } else {
+    s.attrs = {b, a};
+    s.ranges = {rb, ra};
+  }
+  s.target = target;
+  return s;
+}
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STATS_STATISTIC_H_

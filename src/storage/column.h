@@ -1,0 +1,36 @@
+#ifndef ENTROPYDB_STORAGE_COLUMN_H_
+#define ENTROPYDB_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/domain.h"
+
+namespace entropydb {
+
+/// \brief A dense, dictionary/bucket-encoded column of one attribute.
+///
+/// Storage is a flat vector of codes; all scans in the exact evaluator and
+/// the samplers stream over this representation.
+class Column {
+ public:
+  Column() = default;
+  explicit Column(std::vector<Code> codes) : codes_(std::move(codes)) {}
+
+  size_t size() const { return codes_.size(); }
+  Code operator[](size_t row) const { return codes_[row]; }
+  const std::vector<Code>& codes() const { return codes_; }
+
+  void Append(Code c) { codes_.push_back(c); }
+  void Reserve(size_t n) { codes_.reserve(n); }
+
+  /// Approximate memory footprint in bytes.
+  size_t MemoryBytes() const { return codes_.capacity() * sizeof(Code); }
+
+ private:
+  std::vector<Code> codes_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STORAGE_COLUMN_H_

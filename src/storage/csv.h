@@ -1,0 +1,24 @@
+#ifndef ENTROPYDB_STORAGE_CSV_H_
+#define ENTROPYDB_STORAGE_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace entropydb {
+
+/// Writes `table` to `path` as comma-separated bucket labels with a header
+/// row of attribute names.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Loads a CSV file into an encoded table. The header must match the schema's
+/// attribute names; fields are parsed according to each attribute's declared
+/// type (categorical fields taken verbatim, numeric parsed as double).
+Result<std::shared_ptr<Table>> ReadCsv(const Schema& schema,
+                                       const std::string& path);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STORAGE_CSV_H_

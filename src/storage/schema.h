@@ -1,0 +1,62 @@
+#ifndef ENTROPYDB_STORAGE_SCHEMA_H_
+#define ENTROPYDB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace entropydb {
+
+/// Index of an attribute within a schema.
+using AttrId = uint32_t;
+
+/// \brief Declared properties of one attribute.
+struct AttributeSpec {
+  std::string name;
+  AttributeType type = AttributeType::kCategorical;
+  /// Desired number of equi-width buckets for numeric/integer attributes;
+  /// ignored for categorical attributes. 0 means "one bucket per distinct
+  /// integer value" for kInteger and "default 64" for kNumeric.
+  uint32_t buckets = 0;
+};
+
+/// \brief Ordered collection of attribute specs for a single relation
+/// R(A1, ..., Am).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeSpec> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  size_t num_attributes() const { return attrs_.size(); }
+  const AttributeSpec& attribute(AttrId i) const { return attrs_[i]; }
+  const std::vector<AttributeSpec>& attributes() const { return attrs_; }
+
+  /// Looks up an attribute index by name.
+  Result<AttrId> IndexOf(const std::string& name) const {
+    for (AttrId i = 0; i < attrs_.size(); ++i) {
+      if (attrs_[i].name == name) return i;
+    }
+    return Status::NotFound("no attribute named '" + name + "'");
+  }
+
+  bool operator==(const Schema& other) const {
+    if (attrs_.size() != other.attrs_.size()) return false;
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      if (attrs_[i].name != other.attrs_[i].name ||
+          attrs_[i].type != other.attrs_[i].type) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<AttributeSpec> attrs_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STORAGE_SCHEMA_H_

@@ -1,0 +1,63 @@
+#ifndef ENTROPYDB_STORAGE_TABLE_H_
+#define ENTROPYDB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/domain.h"
+#include "storage/schema.h"
+
+namespace entropydb {
+
+/// \brief An immutable, fully encoded in-memory relation.
+///
+/// This is the "ordered bag of n tuples" of the paper (Sec 3.1) in columnar
+/// form: one code column per attribute plus the per-attribute active domain
+/// descriptors. The total tuple space Tup = D1 x ... x Dm is implicit.
+class Table {
+ public:
+  Table(Schema schema, std::vector<Domain> domains,
+        std::vector<Column> columns)
+      : schema_(std::move(schema)),
+        domains_(std::move(domains)),
+        columns_(std::move(columns)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_attributes() const { return schema_.num_attributes(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  const Domain& domain(AttrId a) const { return domains_[a]; }
+  const std::vector<Domain>& domains() const { return domains_; }
+  const Column& column(AttrId a) const { return columns_[a]; }
+
+  /// Code of attribute `a` in row `row`.
+  Code at(size_t row, AttrId a) const { return columns_[a][row]; }
+
+  /// |Tup|: product of active-domain sizes (as double; can exceed 2^64).
+  double NumPossibleTuples() const {
+    double d = 1.0;
+    for (const auto& dom : domains_) d *= dom.size();
+    return d;
+  }
+
+  /// Approximate memory footprint of the encoded data in bytes.
+  size_t MemoryBytes() const {
+    size_t total = 0;
+    for (const auto& c : columns_) total += c.MemoryBytes();
+    return total;
+  }
+
+ private:
+  Schema schema_;
+  std::vector<Domain> domains_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STORAGE_TABLE_H_

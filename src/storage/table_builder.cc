@@ -1,0 +1,125 @@
+#include "storage/table_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+namespace entropydb {
+
+namespace {
+constexpr uint32_t kDefaultNumericBuckets = 64;
+}  // namespace
+
+TableBuilder::TableBuilder(Schema schema)
+    : schema_(std::move(schema)), pinned_(schema_.num_attributes()) {}
+
+void TableBuilder::SetDomain(AttrId a, Domain domain) {
+  pinned_[a] = std::move(domain);
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_attributes()));
+  }
+  raw_rows_.push_back(row);
+  return Status::OK();
+}
+
+void TableBuilder::AppendEncodedRow(const std::vector<Code>& codes) {
+  encoded_rows_.push_back(codes);
+}
+
+size_t TableBuilder::num_buffered() const {
+  return raw_rows_.size() + encoded_rows_.size();
+}
+
+Result<std::shared_ptr<Table>> TableBuilder::Finish() {
+  const size_t m = schema_.num_attributes();
+  std::vector<Domain> domains(m);
+
+  // Derive or adopt the domain of every attribute.
+  for (AttrId a = 0; a < m; ++a) {
+    if (pinned_[a].has_value()) {
+      domains[a] = *pinned_[a];
+      continue;
+    }
+    const AttributeSpec& spec = schema_.attribute(a);
+    if (spec.type == AttributeType::kCategorical) {
+      std::set<std::string> labels;
+      for (const auto& row : raw_rows_) {
+        if (!row[a].is_string()) {
+          return Status::InvalidArgument("attribute '" + spec.name +
+                                         "' expects string values");
+        }
+        labels.insert(row[a].as_string());
+      }
+      domains[a] = Domain::Categorical(
+          std::vector<std::string>(labels.begin(), labels.end()));
+    } else {
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const auto& row : raw_rows_) {
+        double v = row[a].as_double();
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (raw_rows_.empty()) {
+        lo = 0.0;
+        hi = 1.0;
+      }
+      uint32_t buckets = spec.buckets;
+      if (buckets == 0) {
+        if (spec.type == AttributeType::kInteger) {
+          buckets = static_cast<uint32_t>(
+              std::max<double>(1.0, std::floor(hi) - std::ceil(lo) + 1.0));
+        } else {
+          buckets = kDefaultNumericBuckets;
+        }
+      }
+      // Nudge the upper edge so the max value falls inside the last bucket.
+      double span = hi - lo;
+      double edge = (span == 0.0) ? lo + 1.0 : hi + span * 1e-9;
+      domains[a] = Domain::Binned(lo, edge, buckets);
+    }
+  }
+
+  // Validate pre-encoded rows against the final domains.
+  for (const auto& row : encoded_rows_) {
+    if (row.size() != m) {
+      return Status::InvalidArgument("encoded row arity mismatch");
+    }
+    for (AttrId a = 0; a < m; ++a) {
+      if (row[a] >= domains[a].size()) {
+        return Status::OutOfRange("encoded code " + std::to_string(row[a]) +
+                                  " exceeds domain of attribute '" +
+                                  schema_.attribute(a).name + "'");
+      }
+    }
+  }
+
+  std::vector<Column> columns(m);
+  const size_t n = raw_rows_.size() + encoded_rows_.size();
+  for (auto& c : columns) c.Reserve(n);
+
+  for (const auto& row : raw_rows_) {
+    for (AttrId a = 0; a < m; ++a) {
+      ASSIGN_OR_RETURN(Code code, domains[a].Encode(row[a]));
+      columns[a].Append(code);
+    }
+  }
+  for (const auto& row : encoded_rows_) {
+    for (AttrId a = 0; a < m; ++a) {
+      columns[a].Append(row[a]);
+    }
+  }
+
+  raw_rows_.clear();
+  encoded_rows_.clear();
+  return std::make_shared<Table>(schema_, std::move(domains),
+                                 std::move(columns));
+}
+
+}  // namespace entropydb

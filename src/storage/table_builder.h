@@ -1,0 +1,48 @@
+#ifndef ENTROPYDB_STORAGE_TABLE_BUILDER_H_
+#define ENTROPYDB_STORAGE_TABLE_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace entropydb {
+
+/// \brief Two-phase builder: buffer raw rows, then derive domains and encode.
+///
+/// Categorical attributes get a dictionary over the observed labels (sorted
+/// for determinism). Numeric/integer attributes get equi-width buckets over
+/// the observed [min, max] range, matching the paper's preprocessing
+/// (Sec 6.1: "bin all real-valued attributes into equi-width buckets").
+/// Callers may also pin an explicit Domain per attribute, which the
+/// generators use to reproduce the exact Fig 3 domain sizes.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Pins an explicit domain for attribute `a` instead of deriving one.
+  void SetDomain(AttrId a, Domain domain);
+
+  /// Buffers one raw row; must have one Value per schema attribute.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Appends a row of pre-encoded codes (fast path for generators). Codes
+  /// are validated against pinned domains at Finish time.
+  void AppendEncodedRow(const std::vector<Code>& codes);
+
+  size_t num_buffered() const;
+
+  /// Derives domains, encodes all buffered rows, and produces the table.
+  Result<std::shared_ptr<Table>> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<std::optional<Domain>> pinned_;
+  std::vector<std::vector<Value>> raw_rows_;
+  std::vector<std::vector<Code>> encoded_rows_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STORAGE_TABLE_BUILDER_H_

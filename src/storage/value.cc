@@ -1,0 +1,27 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace entropydb {
+
+std::string AttributeTypeName(AttributeType type) {
+  switch (type) {
+    case AttributeType::kCategorical:
+      return "categorical";
+    case AttributeType::kNumeric:
+      return "numeric";
+    case AttributeType::kInteger:
+      return "integer";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  if (is_string()) return as_string();
+  if (is_int()) return std::to_string(as_int());
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", as_double());
+  return buf;
+}
+
+}  // namespace entropydb

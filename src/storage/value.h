@@ -1,0 +1,53 @@
+#ifndef ENTROPYDB_STORAGE_VALUE_H_
+#define ENTROPYDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace entropydb {
+
+/// Logical attribute types at the ingestion boundary. After ingestion every
+/// attribute is dictionary/bucket encoded to dense codes (see Domain), which
+/// is the representation the whole MaxEnt pipeline operates on — the paper
+/// assumes discrete, ordered active domains (Sec 3.1) and bucketizes
+/// continuous attributes (footnote 1).
+enum class AttributeType {
+  kCategorical,  ///< string-labelled values, dictionary encoded
+  kNumeric,      ///< real-valued, equi-width bucketized
+  kInteger,      ///< integer-valued, bucketized with unit or equi-width bins
+};
+
+std::string AttributeTypeName(AttributeType type);
+
+/// \brief A raw cell value before encoding.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(rep_));
+    return std::get<double>(rep_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  /// Renders the value for CSV output / debugging.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+
+ private:
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STORAGE_VALUE_H_

@@ -1,0 +1,43 @@
+#include "workload/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace entropydb {
+
+double SymmetricError(double truth, double estimate) {
+  if (truth <= 0.0 && estimate <= 0.0) return 0.0;
+  return std::abs(truth - estimate) / (truth + estimate);
+}
+
+double AverageError(const std::vector<double>& truths,
+                    const std::vector<double>& estimates) {
+  assert(truths.size() == estimates.size());
+  if (truths.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < truths.size(); ++i) {
+    total += SymmetricError(truths[i], estimates[i]);
+  }
+  return total / static_cast<double>(truths.size());
+}
+
+FMeasureResult ComputeFMeasure(const std::vector<double>& light,
+                               const std::vector<double>& null_values) {
+  FMeasureResult r;
+  for (double e : light) r.light_positive += (std::round(e) > 0.0) ? 1 : 0;
+  for (double e : null_values) r.null_positive += (std::round(e) > 0.0) ? 1 : 0;
+  const size_t predicted_positive = r.light_positive + r.null_positive;
+  r.precision = predicted_positive == 0
+                    ? 0.0
+                    : static_cast<double>(r.light_positive) /
+                          static_cast<double>(predicted_positive);
+  r.recall = light.empty() ? 0.0
+                           : static_cast<double>(r.light_positive) /
+                                 static_cast<double>(light.size());
+  r.f = (r.precision + r.recall) == 0.0
+            ? 0.0
+            : 2.0 * r.precision * r.recall / (r.precision + r.recall);
+  return r;
+}
+
+}  // namespace entropydb

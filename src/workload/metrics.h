@@ -1,0 +1,34 @@
+#ifndef ENTROPYDB_WORKLOAD_METRICS_H_
+#define ENTROPYDB_WORKLOAD_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace entropydb {
+
+/// The paper's symmetric relative error |true - est| / (true + est)
+/// (Sec 6.2). Defined as 0 when both are 0, 1 when exactly one is 0.
+double SymmetricError(double truth, double estimate);
+
+/// Mean of SymmetricError over paired (truth, estimate) vectors.
+double AverageError(const std::vector<double>& truths,
+                    const std::vector<double>& estimates);
+
+/// Precision / recall / F-measure for rare-vs-nonexistent discrimination
+/// (Sec 6.2): an estimate is "positive" when its rounded count exceeds 0.
+/// `light` are estimates at true light-hitter points (should be positive),
+/// `null` at true nonexistent points (should be zero).
+struct FMeasureResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f = 0.0;
+  size_t light_positive = 0;  ///< true positives
+  size_t null_positive = 0;   ///< false positives
+};
+
+FMeasureResult ComputeFMeasure(const std::vector<double>& light,
+                               const std::vector<double>& null_values);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_WORKLOAD_METRICS_H_

@@ -1,0 +1,124 @@
+#include "workload/particles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/table_builder.h"
+
+namespace entropydb {
+
+namespace {
+constexpr size_t kNumHalos = 40;
+
+struct Halo {
+  double x, y, z;      // center in [0, 1)
+  double sigma;        // spatial spread
+  double mass_scale;   // drives density
+  double vx, vy, vz;   // drift per snapshot
+};
+}  // namespace
+
+Result<std::shared_ptr<Table>> ParticlesGenerator::Generate(
+    const ParticlesConfig& config) {
+  if (config.num_snapshots < 1 || config.num_snapshots > kNumSnapshot) {
+    return Status::InvalidArgument("num_snapshots must be in [1, 3]");
+  }
+
+  Schema schema({
+      AttributeSpec{"density", AttributeType::kNumeric, kNumDensity},
+      AttributeSpec{"mass", AttributeType::kNumeric, kNumMass},
+      AttributeSpec{"x", AttributeType::kNumeric, kNumPos},
+      AttributeSpec{"y", AttributeType::kNumeric, kNumPos},
+      AttributeSpec{"z", AttributeType::kNumeric, kNumPos},
+      AttributeSpec{"grp", AttributeType::kInteger, kNumGrp},
+      AttributeSpec{"type", AttributeType::kInteger, kNumType},
+      AttributeSpec{"snapshot", AttributeType::kInteger, kNumSnapshot},
+  });
+
+  TableBuilder builder(schema);
+  Domain density_dom = Domain::Binned(0.0, 11.6, kNumDensity);  // log scale
+  Domain mass_dom = Domain::Binned(0.0, 10.4, kNumMass);        // log scale
+  Domain pos_dom = Domain::Binned(0.0, 1.0, kNumPos);
+  builder.SetDomain(0, density_dom);
+  builder.SetDomain(1, mass_dom);
+  builder.SetDomain(2, pos_dom);
+  builder.SetDomain(3, pos_dom);
+  builder.SetDomain(4, pos_dom);
+  builder.SetDomain(5, Domain::Binned(0, kNumGrp, kNumGrp));
+  builder.SetDomain(6, Domain::Binned(0, kNumType, kNumType));
+  builder.SetDomain(7, Domain::Binned(0, kNumSnapshot, kNumSnapshot));
+
+  Rng rng(config.seed);
+
+  // Fixed halo catalog shared by all snapshots (they drift between them).
+  std::vector<Halo> halos(kNumHalos);
+  for (auto& h : halos) {
+    h.x = rng.NextDouble();
+    h.y = rng.NextDouble();
+    h.z = rng.NextDouble();
+    h.sigma = 0.01 + 0.04 * rng.NextDouble();
+    h.mass_scale = 1.0 + 4.0 * rng.NextDouble();
+    h.vx = (rng.NextDouble() - 0.5) * 0.08;
+    h.vy = (rng.NextDouble() - 0.5) * 0.08;
+    h.vz = (rng.NextDouble() - 0.5) * 0.08;
+  }
+  ZipfSampler halo_pick(kNumHalos, 1.2);
+
+  auto wrap = [](double v) { return v - std::floor(v); };
+
+  std::vector<Code> row(8);
+  for (uint32_t snap = 0; snap < config.num_snapshots; ++snap) {
+    // Structure grows over time: more clustered mass in later snapshots.
+    const double cluster_frac = 0.30 + 0.08 * snap;
+    for (size_t r = 0; r < config.rows_per_snapshot; ++r) {
+      bool clustered = rng.NextBernoulli(cluster_frac);
+      double x, y, z, log_density;
+      // type: 0 = gas, 1 = dark matter, 2 = star. Stars form in clusters.
+      uint32_t type;
+      if (clustered) {
+        const Halo& h = halos[halo_pick.Sample(rng)];
+        x = wrap(h.x + h.vx * snap + rng.NextGaussian() * h.sigma);
+        y = wrap(h.y + h.vy * snap + rng.NextGaussian() * h.sigma);
+        z = wrap(h.z + h.vz * snap + rng.NextGaussian() * h.sigma);
+        log_density = 5.5 + h.mass_scale + 0.25 * snap +
+                      rng.NextGaussian() * 0.8;
+        double u = rng.NextDouble();
+        type = (u < 0.35) ? 0u : (u < 0.75 ? 1u : 2u);
+      } else {
+        x = rng.NextDouble();
+        y = rng.NextDouble();
+        z = rng.NextDouble();
+        log_density = 1.5 + rng.NextGaussian() * 0.9;
+        double u = rng.NextDouble();
+        type = (u < 0.45) ? 0u : (u < 0.98 ? 1u : 2u);
+      }
+      // Mass depends on type; dark matter heaviest, gas lightest.
+      double log_mass;
+      switch (type) {
+        case 0:
+          log_mass = 2.0 + rng.NextGaussian() * 0.7;
+          break;
+        case 1:
+          log_mass = 6.0 + rng.NextGaussian() * 1.0;
+          break;
+        default:
+          log_mass = 4.0 + rng.NextGaussian() * 0.8;
+          break;
+      }
+      row[0] = density_dom.BucketOf(std::clamp(log_density, 0.0, 11.59));
+      row[1] = mass_dom.BucketOf(std::clamp(log_mass, 0.0, 10.39));
+      row[2] = pos_dom.BucketOf(x);
+      row[3] = pos_dom.BucketOf(y);
+      row[4] = pos_dom.BucketOf(z);
+      row[5] = clustered ? 1 : 0;
+      row[6] = type;
+      row[7] = snap;
+      builder.AppendEncodedRow(row);
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace entropydb

@@ -1,0 +1,49 @@
+#ifndef ENTROPYDB_WORKLOAD_PARTICLES_H_
+#define ENTROPYDB_WORKLOAD_PARTICLES_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace entropydb {
+
+/// Configuration of the synthetic N-body particles workload.
+struct ParticlesConfig {
+  /// Rows generated per snapshot (each paper snapshot is ~70 GB; we scale).
+  size_t rows_per_snapshot = 300'000;
+  /// 1, 2, or 3 snapshots (Fig 7 sweeps this).
+  uint32_t num_snapshots = 3;
+  uint64_t seed = 7;
+};
+
+/// \brief Generator for the paper's astronomy (ChaNGa N-body simulation)
+/// dataset substitute.
+///
+/// Schema and active-domain sizes follow Fig 3:
+///   density(58) mass(52) x(21) y(21) z(21) grp(2) type(3) snapshot(3)
+///
+/// Structural properties preserved from the real data:
+///  - particles are either clustered (grp = 1, positions concentrated in a
+///    few dozen halos, high density) or background (grp = 0, uniform
+///    positions, low density) — so (density, grp) is the most correlated
+///    pair and the paper's stratification choice;
+///  - mass depends on particle type (gas/dark/star);
+///  - halos drift and densities grow across snapshots, so later snapshots
+///    are shifted, not i.i.d. copies.
+class ParticlesGenerator {
+ public:
+  static Result<std::shared_ptr<Table>> Generate(
+      const ParticlesConfig& config);
+
+  static constexpr uint32_t kNumDensity = 58;
+  static constexpr uint32_t kNumMass = 52;
+  static constexpr uint32_t kNumPos = 21;
+  static constexpr uint32_t kNumGrp = 2;
+  static constexpr uint32_t kNumType = 3;
+  static constexpr uint32_t kNumSnapshot = 3;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_WORKLOAD_PARTICLES_H_

@@ -1,0 +1,79 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "query/exact_evaluator.h"
+
+namespace entropydb {
+
+CountingQuery PointQuery(size_t num_attributes,
+                         const std::vector<AttrId>& attrs,
+                         const std::vector<Code>& key) {
+  CountingQuery q(num_attributes);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    q.Where(attrs[i], AttrPredicate::Point(key[i]));
+  }
+  return q;
+}
+
+Result<WorkloadSets> SelectWorkload(const Table& table,
+                                    const std::vector<AttrId>& attrs,
+                                    const WorkloadConfig& config) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("workload requires >= 1 attribute");
+  }
+  for (AttrId a : attrs) {
+    if (a >= table.num_attributes()) {
+      return Status::OutOfRange("workload attribute out of range");
+    }
+  }
+
+  ExactEvaluator eval(table);
+  auto groups = eval.GroupByCount(attrs);
+
+  // Existing combinations sorted by count (descending), deterministic.
+  std::vector<QueryPoint> existing;
+  existing.reserve(groups.size());
+  for (const auto& [key, count] : groups) {
+    existing.push_back(QueryPoint{key, static_cast<double>(count)});
+  }
+  std::stable_sort(existing.begin(), existing.end(),
+                   [](const QueryPoint& x, const QueryPoint& y) {
+                     return x.true_count > y.true_count;
+                   });
+
+  WorkloadSets out;
+  out.attrs = attrs;
+  const size_t nh = std::min(config.num_heavy, existing.size());
+  out.heavy.assign(existing.begin(), existing.begin() + nh);
+  const size_t nl = std::min(config.num_light, existing.size() - nh);
+  out.light.assign(existing.end() - nl, existing.end());
+
+  // Nonexistent combinations: rejection-sample random keys not in `groups`.
+  Rng rng(config.seed);
+  std::set<std::vector<Code>> seen;
+  double space = 1.0;
+  for (AttrId a : attrs) space *= table.domain(a).size();
+  const size_t want =
+      std::min<size_t>(config.num_nonexistent,
+                       space > static_cast<double>(groups.size())
+                           ? static_cast<size_t>(space) - groups.size()
+                           : 0);
+  size_t attempts = 0;
+  const size_t max_attempts = 1000 * (want + 1);
+  while (out.nonexistent.size() < want && attempts < max_attempts) {
+    ++attempts;
+    std::vector<Code> key(attrs.size());
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      key[i] = static_cast<Code>(rng.Uniform(table.domain(attrs[i]).size()));
+    }
+    if (groups.count(key) || seen.count(key)) continue;
+    seen.insert(key);
+    out.nonexistent.push_back(QueryPoint{key, 0.0});
+  }
+  return out;
+}
+
+}  // namespace entropydb

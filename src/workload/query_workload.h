@@ -1,0 +1,52 @@
+#ifndef ENTROPYDB_WORKLOAD_QUERY_WORKLOAD_H_
+#define ENTROPYDB_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "query/counting_query.h"
+#include "storage/table.h"
+
+namespace entropydb {
+
+/// One evaluation point: a code combination over the template attributes
+/// plus its exact count in the base table.
+struct QueryPoint {
+  std::vector<Code> key;
+  double true_count = 0.0;
+};
+
+/// The three query populations of Sec 6.2: the most frequent combinations
+/// (heavy hitters), the least frequent existing ones (light hitters), and
+/// combinations absent from the data (nonexistent / null values).
+struct WorkloadSets {
+  std::vector<AttrId> attrs;
+  std::vector<QueryPoint> heavy;
+  std::vector<QueryPoint> light;
+  std::vector<QueryPoint> nonexistent;
+};
+
+/// Workload selection parameters (paper defaults: 100 heavy, 100 light,
+/// 200 nonexistent).
+struct WorkloadConfig {
+  size_t num_heavy = 100;
+  size_t num_light = 100;
+  size_t num_nonexistent = 200;
+  uint64_t seed = 1234;
+};
+
+/// Builds the evaluation workload for a point group-by template over
+/// `attrs`: SELECT attrs, COUNT(*) GROUP BY attrs, evaluated at heavy,
+/// light, and nonexistent value combinations.
+Result<WorkloadSets> SelectWorkload(const Table& table,
+                                    const std::vector<AttrId>& attrs,
+                                    const WorkloadConfig& config = {});
+
+/// Lifts a workload point to the conjunctive counting query it denotes.
+CountingQuery PointQuery(size_t num_attributes,
+                         const std::vector<AttrId>& attrs,
+                         const std::vector<Code>& key);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_WORKLOAD_QUERY_WORKLOAD_H_

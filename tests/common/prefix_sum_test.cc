@@ -1,0 +1,84 @@
+#include "common/prefix_sum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace entropydb {
+namespace {
+
+TEST(PrefixSumTest, SimpleRangeSums) {
+  PrefixSum ps({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ps.Total(), 10.0);
+  EXPECT_DOUBLE_EQ(ps.RangeSum(0, 3), 10.0);
+  EXPECT_DOUBLE_EQ(ps.RangeSum(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(ps.RangeSum(3, 3), 4.0);
+  EXPECT_EQ(ps.size(), 4u);
+}
+
+TEST(PrefixSumTest, EmptyArray) {
+  PrefixSum ps;
+  EXPECT_DOUBLE_EQ(ps.Total(), 0.0);
+  EXPECT_EQ(ps.size(), 0u);
+}
+
+TEST(PrefixSumTest, RebuildReplacesContents) {
+  PrefixSum ps({1.0, 1.0});
+  ps.Build({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(ps.Total(), 15.0);
+  EXPECT_EQ(ps.size(), 3u);
+}
+
+/// Property: RangeSum agrees with the naive loop on random data and ranges.
+TEST(PrefixSumTest, MatchesNaiveOnRandomRanges) {
+  Rng rng(31);
+  std::vector<double> values(200);
+  for (auto& v : values) v = rng.NextDouble() * 10.0 - 5.0;
+  PrefixSum ps(values);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t lo = rng.Uniform(values.size());
+    size_t hi = lo + rng.Uniform(values.size() - lo);
+    double naive = 0.0;
+    for (size_t i = lo; i <= hi; ++i) naive += values[i];
+    EXPECT_NEAR(ps.RangeSum(lo, hi), naive, 1e-9);
+  }
+}
+
+TEST(DiffArrayTest, SingleRangeAdd) {
+  DiffArray da(5);
+  da.RangeAdd(1, 3, 2.5);
+  auto out = da.Finalize();
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.5);
+  EXPECT_DOUBLE_EQ(out[2], 2.5);
+  EXPECT_DOUBLE_EQ(out[3], 2.5);
+  EXPECT_DOUBLE_EQ(out[4], 0.0);
+}
+
+TEST(DiffArrayTest, ClearResets) {
+  DiffArray da(3);
+  da.RangeAdd(0, 2, 1.0);
+  da.Clear();
+  auto out = da.Finalize();
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+/// Property: accumulated range-adds equal the naive per-slot accumulation.
+TEST(DiffArrayTest, MatchesNaiveOnRandomUpdates) {
+  Rng rng(37);
+  const size_t n = 150;
+  DiffArray da(n);
+  std::vector<double> naive(n, 0.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t lo = rng.Uniform(n);
+    size_t hi = lo + rng.Uniform(n - lo);
+    double delta = rng.NextDouble() * 4.0 - 2.0;
+    da.RangeAdd(lo, hi, delta);
+    for (size_t i = lo; i <= hi; ++i) naive[i] += delta;
+  }
+  auto out = da.Finalize();
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(out[i], naive[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace entropydb

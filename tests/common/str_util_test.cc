@@ -1,0 +1,81 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace entropydb {
+namespace {
+
+TEST(StrUtilTest, SplitBasic) {
+  auto parts = SplitString("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrUtilTest, SplitPreservesEmptyFields) {
+  auto parts = SplitString(",x,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrUtilTest, SplitSingleField) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StrUtilTest, JoinRoundTrips) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(JoinStrings(parts, ","), "x,y,z");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\nhi"), "hi");
+  EXPECT_EQ(StripWhitespace("hi"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StrUtilTest, ParseInt64Valid) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("  13  "), 13);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+}
+
+TEST(StrUtilTest, ParseInt64Invalid) {
+  EXPECT_TRUE(ParseInt64("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("12x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("x12").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("1.5").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseInt64("99999999999999999999999").status().IsOutOfRange());
+}
+
+TEST(StrUtilTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" 0.5 "), 0.5);
+}
+
+TEST(StrUtilTest, ParseDoubleInvalid) {
+  EXPECT_TRUE(ParseDouble("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDouble("1.2.3").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDouble("abc").status().IsInvalidArgument());
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("entropy", "ent"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("ent", "entropy"));
+  EXPECT_FALSE(StartsWith("entropy", "ENT"));
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,182 @@
+// Tests for the linear-aggregate extensions: batched whole-attribute
+// group-by, SUM, and AVG (Sec 3.1 linear queries beyond pure counting).
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "maxent/answerer.h"
+#include "maxent/solver.h"
+
+namespace entropydb {
+namespace {
+
+using testutil::MakeRegistry;
+using testutil::RandomDisjointStats;
+using testutil::RandomTable;
+
+struct Solved {
+  VariableRegistry reg;
+  CompressedPolynomial poly;
+  ModelState state;
+};
+
+Solved SolveFor(const Table& table, std::vector<MultiDimStatistic> stats) {
+  auto reg = MakeRegistry(table, std::move(stats));
+  auto poly = CompressedPolynomial::Build(reg);
+  EXPECT_TRUE(poly.ok());
+  ModelState st = ModelState::InitialState(reg);
+  SolverOptions opts;
+  opts.max_iterations = 200;
+  opts.tolerance = 1e-10;
+  EXPECT_TRUE(MaxEntSolver(reg, *poly, opts).Solve(&st).ok());
+  return Solved{std::move(reg), std::move(*poly), std::move(st)};
+}
+
+TEST(GroupByAttributeTest, MatchesPointQueries) {
+  auto table = RandomTable({5, 6, 4}, 700, 131);
+  auto s = SolveFor(*table, RandomDisjointStats(*table, 0, 1, 5, 132));
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+
+  CountingQuery base(3);
+  base.Where(2, AttrPredicate::Range(1, 2));
+  auto batched = answerer.AnswerGroupByAttribute(1, base);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_EQ(batched->size(), 6u);
+  for (Code v = 0; v < 6; ++v) {
+    CountingQuery q = base;
+    q.Where(1, AttrPredicate::Point(v));
+    auto single = answerer.Answer(q);
+    ASSERT_TRUE(single.ok());
+    EXPECT_NEAR((*batched)[v].expectation, single->expectation, 1e-8)
+        << "value " << v;
+    EXPECT_NEAR((*batched)[v].variance, single->variance, 1e-6);
+  }
+}
+
+TEST(GroupByAttributeTest, RespectsPredicateOnGroupedAttribute) {
+  auto table = RandomTable({5, 4}, 300, 133);
+  auto s = SolveFor(*table, {});
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  CountingQuery base(2);
+  base.Where(0, AttrPredicate::Range(1, 2));  // restrict the grouped attr
+  auto batched = answerer.AnswerGroupByAttribute(0, base);
+  ASSERT_TRUE(batched.ok());
+  EXPECT_DOUBLE_EQ((*batched)[0].expectation, 0.0);
+  EXPECT_GT((*batched)[1].expectation, 0.0);
+  EXPECT_GT((*batched)[2].expectation, 0.0);
+  EXPECT_DOUBLE_EQ((*batched)[3].expectation, 0.0);
+  EXPECT_DOUBLE_EQ((*batched)[4].expectation, 0.0);
+}
+
+TEST(GroupByAttributeTest, SumsToFilteredCount) {
+  auto table = RandomTable({4, 6}, 500, 134);
+  auto s = SolveFor(*table, RandomDisjointStats(*table, 0, 1, 4, 135));
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  CountingQuery base(2);
+  base.Where(0, AttrPredicate::Point(2));
+  auto batched = answerer.AnswerGroupByAttribute(1, base);
+  ASSERT_TRUE(batched.ok());
+  double total = 0.0;
+  for (const auto& e : *batched) total += e.expectation;
+  auto count = answerer.Answer(base);
+  ASSERT_TRUE(count.ok());
+  EXPECT_NEAR(total, count->expectation, 1e-6);
+}
+
+TEST(GroupByAttributeTest, ValidatesArguments) {
+  auto table = RandomTable({4, 4}, 100, 136);
+  auto s = SolveFor(*table, {});
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  EXPECT_TRUE(answerer.AnswerGroupByAttribute(9, CountingQuery(2))
+                  .status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(answerer.AnswerGroupByAttribute(0, CountingQuery(5))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SumTest, MatchesWeightedPointQueries) {
+  auto table = RandomTable({5, 5}, 600, 137);
+  auto s = SolveFor(*table, RandomDisjointStats(*table, 0, 1, 4, 138));
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  std::vector<double> weights{1.5, 2.5, 3.5, 4.5, 5.5};  // bucket midpoints
+  CountingQuery q(2);
+  q.Where(1, AttrPredicate::Range(0, 2));
+  auto sum = answerer.AnswerSum(0, weights, q);
+  ASSERT_TRUE(sum.ok());
+  double expected = 0.0;
+  for (Code v = 0; v < 5; ++v) {
+    CountingQuery pq = q;
+    pq.Where(0, AttrPredicate::Point(v));
+    expected += weights[v] * answerer.Answer(pq)->expectation;
+  }
+  EXPECT_NEAR(sum->expectation, expected, 1e-6);
+  EXPECT_GT(sum->variance, 0.0);
+}
+
+TEST(SumTest, ExactWhenModelIsExact) {
+  // With full single-cell statistics the model matches the data, so SUM
+  // over the summary equals SUM over the table.
+  auto table = RandomTable({4, 3}, 400, 139);
+  ExactEvaluator eval(*table);
+  auto hist = eval.Histogram2D(0, 1);
+  std::vector<MultiDimStatistic> stats;
+  for (Code a = 0; a < 4; ++a) {
+    for (Code b = 0; b < 3; ++b) {
+      stats.push_back(Make2DStatistic(
+          0, {a, a}, 1, {b, b}, static_cast<double>(hist[a * 3 + b])));
+    }
+  }
+  auto s = SolveFor(*table, stats);
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  std::vector<double> weights{10, 20, 30, 40};
+  CountingQuery q(2);
+  q.Where(1, AttrPredicate::Point(1));
+  auto sum = answerer.AnswerSum(0, weights, q);
+  ASSERT_TRUE(sum.ok());
+  double truth = 0.0;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (table->at(r, 1) == 1) truth += weights[table->at(r, 0)];
+  }
+  EXPECT_NEAR(sum->expectation, truth, 0.02 * truth + 1.0);
+}
+
+TEST(SumTest, ValidatesWeightArity) {
+  auto table = RandomTable({4, 4}, 100, 140);
+  auto s = SolveFor(*table, {});
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  EXPECT_TRUE(answerer.AnswerSum(0, {1.0, 2.0}, CountingQuery(2))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AvgTest, IsSumOverCount) {
+  auto table = RandomTable({5, 4}, 500, 141);
+  auto s = SolveFor(*table, {});
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  std::vector<double> weights{0, 1, 2, 3, 4};
+  CountingQuery q(2);
+  q.Where(1, AttrPredicate::Range(1, 2));
+  auto avg = answerer.AnswerAvg(0, weights, q);
+  auto sum = answerer.AnswerSum(0, weights, q);
+  auto cnt = answerer.Answer(q);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->expectation, sum->expectation / cnt->expectation, 1e-9);
+  // AVG lies within the weight range.
+  EXPECT_GE(avg->expectation, 0.0);
+  EXPECT_LE(avg->expectation, 4.0);
+}
+
+TEST(AvgTest, ZeroCountGivesZero) {
+  auto table = RandomTable({4, 4}, 100, 142);
+  auto s = SolveFor(*table, {});
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  CountingQuery q(2);
+  q.Where(1, AttrPredicate::InSet({}));  // impossible
+  auto avg = answerer.AnswerAvg(0, {1, 2, 3, 4}, q);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->expectation, 0.0);
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,93 @@
+#include "maxent/budget_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace entropydb {
+namespace {
+
+TEST(BudgetAdvisorTest, ValidatesArguments) {
+  auto table = testutil::RandomTable({5, 5, 5}, 300, 401);
+  EXPECT_TRUE(
+      BudgetAdvisor::Advise(*table, 0).status().IsInvalidArgument());
+}
+
+TEST(BudgetAdvisorTest, SingleAttributeTableFails) {
+  auto table = testutil::RandomTable({5}, 100, 402);
+  EXPECT_TRUE(
+      BudgetAdvisor::Advise(*table, 10).status().IsFailedPrecondition());
+}
+
+TEST(BudgetAdvisorTest, EvaluatesAllCandidates) {
+  auto table = testutil::RandomTable({6, 6, 5, 5}, 1500, 403);
+  AdvisorOptions opts;
+  opts.candidate_ba = {1, 2};
+  opts.num_heavy = 15;
+  opts.num_light = 15;
+  opts.num_nonexistent = 30;
+  auto result = BudgetAdvisor::Advise(*table, 24, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  // Sorted best-first.
+  EXPECT_GE((*result)[0].score, (*result)[1].score);
+  for (const auto& c : *result) {
+    EXPECT_GT(c.ba, 0u);
+    EXPECT_EQ(c.bs, 24 / c.ba);
+    EXPECT_EQ(c.pairs.size(), c.ba);
+    EXPECT_GE(c.heavy_error, 0.0);
+    EXPECT_LE(c.heavy_error, 1.0);
+    EXPECT_GE(c.f_measure, 0.0);
+    EXPECT_LE(c.f_measure, 1.0);
+  }
+}
+
+TEST(BudgetAdvisorTest, ScoreCombinesBothMetrics) {
+  auto table = testutil::RandomTable({6, 6, 5}, 800, 404);
+  AdvisorOptions opts;
+  opts.candidate_ba = {1};
+  opts.num_heavy = 10;
+  opts.num_light = 10;
+  opts.num_nonexistent = 20;
+  auto result = BudgetAdvisor::Advise(*table, 12, opts);
+  ASSERT_TRUE(result.ok());
+  const auto& c = (*result)[0];
+  EXPECT_NEAR(c.score, (1.0 - c.heavy_error) + c.f_measure, 1e-12);
+}
+
+TEST(BudgetAdvisorTest, ExcludeRemovesAttributes) {
+  auto table = testutil::RandomTable({6, 6, 5}, 600, 405);
+  AdvisorOptions opts;
+  opts.candidate_ba = {1};
+  opts.exclude = {0};
+  opts.num_heavy = 10;
+  opts.num_light = 10;
+  opts.num_nonexistent = 10;
+  auto result = BudgetAdvisor::Advise(*table, 10, opts);
+  ASSERT_TRUE(result.ok());
+  for (const auto& p : (*result)[0].pairs) {
+    EXPECT_NE(p.a, 0u);
+    EXPECT_NE(p.b, 0u);
+  }
+}
+
+TEST(BudgetAdvisorTest, DeterministicForSeed) {
+  auto table = testutil::RandomTable({5, 5, 4}, 500, 406);
+  AdvisorOptions opts;
+  opts.candidate_ba = {1, 2};
+  opts.num_heavy = 10;
+  opts.num_light = 10;
+  opts.num_nonexistent = 10;
+  auto r1 = BudgetAdvisor::Advise(*table, 16, opts);
+  auto r2 = BudgetAdvisor::Advise(*table, 16, opts);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->size(), r2->size());
+  for (size_t i = 0; i < r1->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*r1)[i].score, (*r2)[i].score);
+    EXPECT_EQ((*r1)[i].ba, (*r2)[i].ba);
+  }
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,59 @@
+#include "maxent/mask.h"
+
+#include <gtest/gtest.h>
+
+namespace entropydb {
+namespace {
+
+TEST(QueryMaskTest, DefaultAllowsEverything) {
+  QueryMask mask(3);
+  EXPECT_EQ(mask.num_attributes(), 3u);
+  for (AttrId a = 0; a < 3; ++a) {
+    EXPECT_TRUE(mask.IsAny(a));
+    EXPECT_TRUE(mask.Allows(a, 0));
+    EXPECT_TRUE(mask.Allows(a, 1000));
+  }
+}
+
+TEST(QueryMaskTest, FromQueryMirrorsPredicates) {
+  CountingQuery q(3);
+  q.Where(0, AttrPredicate::Point(2));
+  q.Where(2, AttrPredicate::Range(1, 3));
+  QueryMask mask = QueryMask::FromQuery(q, {5, 4, 6});
+  EXPECT_FALSE(mask.IsAny(0));
+  EXPECT_TRUE(mask.IsAny(1));
+  EXPECT_FALSE(mask.IsAny(2));
+  EXPECT_TRUE(mask.Allows(0, 2));
+  EXPECT_FALSE(mask.Allows(0, 1));
+  EXPECT_FALSE(mask.Allows(2, 0));
+  EXPECT_TRUE(mask.Allows(2, 3));
+  EXPECT_FALSE(mask.Allows(2, 4));
+}
+
+TEST(QueryMaskTest, SetPredicateMask) {
+  CountingQuery q(1);
+  q.Where(0, AttrPredicate::InSet({0, 3}));
+  QueryMask mask = QueryMask::FromQuery(q, {5});
+  EXPECT_TRUE(mask.Allows(0, 0));
+  EXPECT_FALSE(mask.Allows(0, 1));
+  EXPECT_TRUE(mask.Allows(0, 3));
+}
+
+TEST(QueryMaskTest, RestrictOverridesAny) {
+  QueryMask mask(2);
+  mask.Restrict(1, {1, 0, 1});
+  EXPECT_TRUE(mask.IsAny(0));
+  EXPECT_FALSE(mask.IsAny(1));
+  EXPECT_TRUE(mask.Allows(1, 0));
+  EXPECT_FALSE(mask.Allows(1, 1));
+  EXPECT_TRUE(mask.Allows(1, 2));
+}
+
+TEST(QueryMaskTest, EmptyRestrictionBlocksAll) {
+  QueryMask mask(1);
+  mask.Restrict(0, std::vector<uint8_t>(4, 0));
+  for (Code v = 0; v < 4; ++v) EXPECT_FALSE(mask.Allows(0, v));
+}
+
+}  // namespace
+}  // namespace entropydb

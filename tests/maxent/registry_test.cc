@@ -1,0 +1,127 @@
+#include "maxent/variable_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace entropydb {
+namespace {
+
+TEST(RegistryTest, CreateValidatesShapes) {
+  EXPECT_TRUE(VariableRegistry::Create({2, 2}, {{1, 1}}, {}, 2)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(VariableRegistry::Create({2}, {{1, 1, 1}}, {}, 3)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(VariableRegistry::Create({0}, {{}}, {}, 0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(VariableRegistry::Create({2}, {{-1, 3}}, {}, 2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RegistryTest, CreateValidatesStatistics) {
+  MultiDimStatistic bad_attr;
+  bad_attr.attrs = {5};
+  bad_attr.ranges = {{0, 0}};
+  EXPECT_TRUE(VariableRegistry::Create({2, 2}, {{1, 1}, {1, 1}}, {bad_attr}, 2)
+                  .status()
+                  .IsOutOfRange());
+
+  MultiDimStatistic bad_range;
+  bad_range.attrs = {0};
+  bad_range.ranges = {{0, 7}};
+  EXPECT_TRUE(
+      VariableRegistry::Create({2, 2}, {{1, 1}, {1, 1}}, {bad_range}, 2)
+          .status()
+          .IsOutOfRange());
+
+  MultiDimStatistic unsorted = Make2DStatistic(1, {0, 0}, 0, {0, 0}, 1.0);
+  // Make2DStatistic sorts, so build a raw bad one instead.
+  unsorted.attrs = {1, 0};
+  EXPECT_TRUE(
+      VariableRegistry::Create({2, 2}, {{1, 1}, {1, 1}}, {unsorted}, 2)
+          .status()
+          .IsInvalidArgument());
+
+  MultiDimStatistic dup;
+  dup.attrs = {0, 0};
+  dup.ranges = {{0, 0}, {0, 0}};
+  EXPECT_TRUE(VariableRegistry::Create({2, 2}, {{1, 1}, {1, 1}}, {dup}, 2)
+                  .status()
+                  .IsInvalidArgument());
+
+  MultiDimStatistic neg = Make2DStatistic(0, {0, 0}, 1, {0, 0}, -1.0);
+  EXPECT_TRUE(VariableRegistry::Create({2, 2}, {{1, 1}, {1, 1}}, {neg}, 2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RegistryTest, AccessorsAndCounts) {
+  auto stat = Make2DStatistic(0, {0, 1}, 1, {1, 1}, 2.0);
+  auto reg =
+      VariableRegistry::Create({3, 2}, {{1, 1, 1}, {2, 1}}, {stat}, 3);
+  ASSERT_TRUE(reg.ok());
+  EXPECT_EQ(reg->num_attributes(), 2u);
+  EXPECT_EQ(reg->domain_size(0), 3u);
+  EXPECT_DOUBLE_EQ(reg->OneDTarget(1, 0), 2.0);
+  EXPECT_EQ(reg->num_multi_dim(), 1u);
+  EXPECT_DOUBLE_EQ(reg->multi_dim(0).target, 2.0);
+  EXPECT_EQ(reg->TotalVariables(), 6u);  // 3 + 2 + 1
+  EXPECT_DOUBLE_EQ(reg->n(), 3.0);
+}
+
+TEST(RegistryTest, InitialStateMatchesClosedForm) {
+  auto table = testutil::RandomTable({4, 3}, 120, 81);
+  auto reg = testutil::MakeRegistry(*table, {});
+  ModelState st = ModelState::InitialState(reg);
+  for (AttrId a = 0; a < 2; ++a) {
+    double sum = 0.0;
+    for (Code v = 0; v < reg.domain_size(a); ++v) {
+      EXPECT_DOUBLE_EQ(st.alpha[a][v], reg.OneDTarget(a, v) / 120.0);
+      sum += st.alpha[a][v];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);  // overcompleteness: family sums to 1
+  }
+}
+
+TEST(RegistryTest, InitialStateZeroStatisticsPinned) {
+  auto table = testutil::MakeTable({2, 2}, {{0, 0}, {1, 1}});
+  auto zero_stat = Make2DStatistic(0, {0, 0}, 1, {1, 1}, 0.0);
+  auto live_stat = Make2DStatistic(0, {0, 0}, 1, {0, 0}, 1.0);
+  auto reg = testutil::MakeRegistry(*table, {zero_stat, live_stat});
+  ModelState st = ModelState::InitialState(reg);
+  EXPECT_DOUBLE_EQ(st.delta[0], 0.0);
+  EXPECT_DOUBLE_EQ(st.delta[1], 1.0);
+}
+
+TEST(StatisticTest, ContainsTuple) {
+  auto s = Make2DStatistic(0, {1, 2}, 2, {0, 0}, 5.0);
+  EXPECT_TRUE(s.ContainsTuple({1, 99, 0}));
+  EXPECT_TRUE(s.ContainsTuple({2, 0, 0}));
+  EXPECT_FALSE(s.ContainsTuple({0, 0, 0}));
+  EXPECT_FALSE(s.ContainsTuple({1, 0, 1}));
+}
+
+TEST(StatisticTest, Make2DSortsAttributes) {
+  auto s = Make2DStatistic(3, {1, 2}, 1, {4, 5}, 7.0);
+  EXPECT_EQ(s.attrs[0], 1u);
+  EXPECT_EQ(s.attrs[1], 3u);
+  EXPECT_EQ(s.ranges[0].lo, 4u);
+  EXPECT_EQ(s.ranges[1].lo, 1u);
+}
+
+TEST(StatisticTest, IntervalOps) {
+  Interval a{2, 6}, b{4, 9}, c{7, 8};
+  EXPECT_EQ(a.Intersect(b), (Interval{4, 6}));
+  EXPECT_TRUE(a.Intersect(c).empty());
+  EXPECT_EQ(a.width(), 5u);
+  EXPECT_TRUE(a.Contains(2));
+  EXPECT_TRUE(a.Contains(6));
+  EXPECT_FALSE(a.Contains(7));
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,85 @@
+#include "query/counting_query.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace entropydb {
+namespace {
+
+TEST(CountingQueryTest, DefaultIsAllAny) {
+  CountingQuery q(3);
+  EXPECT_EQ(q.num_attributes(), 3u);
+  EXPECT_EQ(q.NumConstrained(), 0u);
+  EXPECT_TRUE(q.Matches({0, 1, 2}));
+}
+
+TEST(CountingQueryTest, MatchesConjunction) {
+  CountingQuery q(3);
+  q.Where(0, AttrPredicate::Point(1)).Where(2, AttrPredicate::Range(2, 4));
+  EXPECT_EQ(q.NumConstrained(), 2u);
+  EXPECT_TRUE(q.Matches({1, 9, 3}));
+  EXPECT_FALSE(q.Matches({0, 9, 3}));
+  EXPECT_FALSE(q.Matches({1, 9, 5}));
+}
+
+TEST(CountingQueryTest, ToStringListsPredicates) {
+  Schema s({AttributeSpec{"x", AttributeType::kInteger, 2},
+            AttributeSpec{"y", AttributeType::kInteger, 2}});
+  CountingQuery q(2);
+  EXPECT_EQ(q.ToString(s), "COUNT(*) WHERE TRUE");
+  q.Where(1, AttrPredicate::Point(0));
+  EXPECT_EQ(q.ToString(s), "COUNT(*) WHERE y =[0]");
+}
+
+TEST(QueryBuilderTest, ResolvesNamesAndValues) {
+  auto table = testutil::MakeTable({4, 6}, {{1, 2}, {3, 5}});
+  ASSERT_NE(table, nullptr);
+  auto q = QueryBuilder(*table).WhereCode("A0", 1).Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Matches({1, 0}));
+  EXPECT_FALSE(q->Matches({2, 0}));
+}
+
+TEST(QueryBuilderTest, WhereBetweenMapsToBuckets) {
+  auto table = testutil::MakeTable({4, 10}, {{0, 0}});
+  // Domain of A1 is Binned(0, 10, 10): unit buckets.
+  auto q = QueryBuilder(*table).WhereBetween("A1", 2.0, 4.5).Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->predicate(1).Matches(2));
+  EXPECT_TRUE(q->predicate(1).Matches(4));
+  EXPECT_FALSE(q->predicate(1).Matches(5));
+}
+
+TEST(QueryBuilderTest, WhereBetweenOutsideDomainIsEmpty) {
+  auto table = testutil::MakeTable({4, 10}, {{0, 0}});
+  auto q = QueryBuilder(*table).WhereBetween("A1", 50.0, 60.0).Build();
+  ASSERT_TRUE(q.ok());
+  for (Code v = 0; v < 10; ++v) EXPECT_FALSE(q->predicate(1).Matches(v));
+}
+
+TEST(QueryBuilderTest, UnknownAttributeFails) {
+  auto table = testutil::MakeTable({4}, {{0}});
+  EXPECT_TRUE(
+      QueryBuilder(*table).WhereCode("nope", 0).Build().status().IsNotFound());
+}
+
+TEST(QueryBuilderTest, CodeRange) {
+  auto table = testutil::MakeTable({8}, {{0}});
+  auto q = QueryBuilder(*table).WhereCodeRange("A0", 2, 5).Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->predicate(0), AttrPredicate::Range(2, 5));
+}
+
+TEST(QueryBuilderTest, FirstErrorWins) {
+  auto table = testutil::MakeTable({4}, {{0}});
+  auto q = QueryBuilder(*table)
+               .WhereCode("missing1", 0)
+               .WhereCode("missing2", 0)
+               .Build();
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("missing1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,110 @@
+#include "query/exact_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/rng.h"
+
+namespace entropydb {
+namespace {
+
+TEST(ExactEvaluatorTest, CountWithNoPredicateIsCardinality) {
+  auto table = testutil::MakeTable({3, 3}, {{0, 0}, {1, 1}, {2, 2}, {0, 1}});
+  ExactEvaluator eval(*table);
+  EXPECT_EQ(eval.Count(CountingQuery(2)), 4u);
+}
+
+TEST(ExactEvaluatorTest, PointCount) {
+  auto table = testutil::MakeTable({3, 3}, {{0, 0}, {0, 1}, {0, 1}, {1, 1}});
+  ExactEvaluator eval(*table);
+  CountingQuery q(2);
+  q.Where(0, AttrPredicate::Point(0)).Where(1, AttrPredicate::Point(1));
+  EXPECT_EQ(eval.Count(q), 2u);
+}
+
+TEST(ExactEvaluatorTest, RangeCount) {
+  auto table =
+      testutil::MakeTable({5}, {{0}, {1}, {2}, {3}, {4}, {2}, {3}});
+  ExactEvaluator eval(*table);
+  CountingQuery q(1);
+  q.Where(0, AttrPredicate::Range(2, 3));
+  EXPECT_EQ(eval.Count(q), 4u);
+}
+
+TEST(ExactEvaluatorTest, GroupByCounts) {
+  auto table = testutil::MakeTable({2, 2}, {{0, 0}, {0, 0}, {0, 1}, {1, 1}});
+  ExactEvaluator eval(*table);
+  auto groups = eval.GroupByCount({0, 1});
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ((groups[{0, 0}]), 2u);
+  EXPECT_EQ((groups[{0, 1}]), 1u);
+  EXPECT_EQ((groups[{1, 1}]), 1u);
+}
+
+TEST(ExactEvaluatorTest, GroupByWithFilter) {
+  auto table = testutil::MakeTable({2, 2}, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  ExactEvaluator eval(*table);
+  CountingQuery filter(2);
+  filter.Where(1, AttrPredicate::Point(0));
+  auto groups = eval.GroupByCount({0}, filter);
+  EXPECT_EQ(groups.size(), 2u);
+  EXPECT_EQ((groups[{0}]), 1u);
+  EXPECT_EQ((groups[{1}]), 1u);
+}
+
+TEST(ExactEvaluatorTest, Histogram1D) {
+  auto table = testutil::MakeTable({4}, {{0}, {1}, {1}, {3}});
+  ExactEvaluator eval(*table);
+  auto h = eval.Histogram1D(0);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[2], 0u);
+  EXPECT_EQ(h[3], 1u);
+}
+
+TEST(ExactEvaluatorTest, Histogram2DRowMajor) {
+  auto table = testutil::MakeTable({2, 3}, {{0, 2}, {1, 0}, {0, 2}});
+  ExactEvaluator eval(*table);
+  auto h = eval.Histogram2D(0, 1);
+  ASSERT_EQ(h.size(), 6u);
+  EXPECT_EQ(h[0 * 3 + 2], 2u);
+  EXPECT_EQ(h[1 * 3 + 0], 1u);
+  EXPECT_EQ(h[0 * 3 + 0], 0u);
+}
+
+/// Property: Count agrees with a row-by-row reference on random queries.
+TEST(ExactEvaluatorTest, CountMatchesNaiveOnRandomQueries) {
+  auto table = testutil::RandomTable({6, 5, 4}, 400, 99);
+  ExactEvaluator eval(*table);
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    CountingQuery q(3);
+    for (AttrId a = 0; a < 3; ++a) {
+      switch (rng.Uniform(3)) {
+        case 0:
+          break;  // ANY
+        case 1:
+          q.Where(a, AttrPredicate::Point(static_cast<Code>(
+                         rng.Uniform(table->domain(a).size()))));
+          break;
+        default: {
+          Code lo = static_cast<Code>(rng.Uniform(table->domain(a).size()));
+          Code hi = lo + static_cast<Code>(
+                             rng.Uniform(table->domain(a).size() - lo));
+          q.Where(a, AttrPredicate::Range(lo, hi));
+        }
+      }
+    }
+    uint64_t naive = 0;
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      std::vector<Code> row(3);
+      for (AttrId a = 0; a < 3; ++a) row[a] = table->at(r, a);
+      naive += q.Matches(row) ? 1 : 0;
+    }
+    EXPECT_EQ(eval.Count(q), naive);
+  }
+}
+
+}  // namespace
+}  // namespace entropydb

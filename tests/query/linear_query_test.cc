@@ -1,0 +1,60 @@
+#include "query/linear_query.h"
+
+#include <gtest/gtest.h>
+
+namespace entropydb {
+namespace {
+
+TEST(TupleSpaceTest, SizeIsProductOfDomains) {
+  TupleSpace space({2, 3, 4});
+  EXPECT_EQ(space.size(), 24u);
+  EXPECT_EQ(space.num_attributes(), 3u);
+  EXPECT_EQ(space.domain_size(1), 3u);
+}
+
+TEST(TupleSpaceTest, IndexRoundTrips) {
+  TupleSpace space({3, 4, 5});
+  for (uint64_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(space.IndexOf(space.TupleAt(i)), i);
+  }
+}
+
+TEST(TupleSpaceTest, LexicographicOrder) {
+  TupleSpace space({2, 2});
+  EXPECT_EQ(space.TupleAt(0), (std::vector<Code>{0, 0}));
+  EXPECT_EQ(space.TupleAt(1), (std::vector<Code>{0, 1}));
+  EXPECT_EQ(space.TupleAt(2), (std::vector<Code>{1, 0}));
+  EXPECT_EQ(space.TupleAt(3), (std::vector<Code>{1, 1}));
+}
+
+TEST(LinearQueryTest, FromCountingSetsIndicator) {
+  TupleSpace space({2, 2});
+  CountingQuery q(2);
+  q.Where(0, AttrPredicate::Point(1));
+  LinearQuery lq = LinearQuery::FromCounting(space, q);
+  EXPECT_DOUBLE_EQ(lq[0], 0.0);
+  EXPECT_DOUBLE_EQ(lq[1], 0.0);
+  EXPECT_DOUBLE_EQ(lq[2], 1.0);
+  EXPECT_DOUBLE_EQ(lq[3], 1.0);
+}
+
+TEST(LinearQueryTest, DotWithFrequencyVectorIsTheAnswer) {
+  // Fig 1 of the paper: n^I = (2, 1, 0, 2), q = (1, 1, 0, 0), <q, n> = 3.
+  TupleSpace space({2, 2});
+  CountingQuery q(2);
+  q.Where(0, AttrPredicate::Point(0));
+  LinearQuery lq = LinearQuery::FromCounting(space, q);
+  std::vector<double> freq{2, 1, 0, 2};
+  EXPECT_DOUBLE_EQ(lq.Dot(freq), 3.0);
+}
+
+TEST(LinearQueryTest, ArbitraryCoefficients) {
+  LinearQuery lq(3);
+  lq[0] = 0.5;
+  lq[2] = 2.0;
+  EXPECT_DOUBLE_EQ(lq.Dot({2, 100, 3}), 7.0);
+  EXPECT_EQ(lq.dimension(), 3u);
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,136 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace entropydb {
+namespace {
+
+/// Schema: origin (categorical CA/NY/WA), distance (binned [0,100) x 10),
+/// fl_time (binned [0,60) x 6).
+std::vector<std::string> Names() { return {"origin", "distance", "fl_time"}; }
+std::vector<Domain> Domains() {
+  return {Domain::Categorical({"CA", "NY", "WA"}),
+          Domain::Binned(0, 100, 10), Domain::Binned(0, 60, 6)};
+}
+
+TEST(ParserTest, BareCount) {
+  auto q = ParseQuery("COUNT(*)", Names(), Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->aggregate, ParsedQuery::Aggregate::kCount);
+  EXPECT_EQ(q->where.NumConstrained(), 0u);
+  EXPECT_EQ(q->AggregateName(), "COUNT");
+}
+
+TEST(ParserTest, CategoricalEquality) {
+  auto q = ParseQuery("COUNT(*) WHERE origin = NY", Names(), Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.predicate(0), AttrPredicate::Point(1));
+}
+
+TEST(ParserTest, QuotedLabels) {
+  auto q = ParseQuery("COUNT(*) WHERE origin = 'WA'", Names(), Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.predicate(0), AttrPredicate::Point(2));
+}
+
+TEST(ParserTest, NumericEqualityBucketizes) {
+  auto q = ParseQuery("COUNT(*) WHERE distance = 35", Names(), Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.predicate(1), AttrPredicate::Point(3));
+}
+
+TEST(ParserTest, BetweenMapsToBucketRange) {
+  auto q = ParseQuery("COUNT(*) WHERE distance BETWEEN 15 AND 44", Names(),
+                      Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.predicate(1), AttrPredicate::Range(1, 4));
+}
+
+TEST(ParserTest, BetweenOutsideDomainIsEmpty) {
+  auto q = ParseQuery("COUNT(*) WHERE distance BETWEEN 500 AND 900", Names(),
+                      Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.predicate(1).Selectivity(10), 0u);
+}
+
+TEST(ParserTest, InList) {
+  auto q = ParseQuery("COUNT(*) WHERE origin IN (CA, WA)", Names(),
+                      Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.predicate(0), AttrPredicate::InSet({0, 2}));
+}
+
+TEST(ParserTest, ConjunctionOfConditions) {
+  auto q = ParseQuery(
+      "COUNT(*) WHERE origin = CA AND distance BETWEEN 0 AND 50 AND "
+      "fl_time = 10",
+      Names(), Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.NumConstrained(), 3u);
+}
+
+TEST(ParserTest, SumAndAvg) {
+  auto s = ParseQuery("SUM(distance) WHERE origin = CA", Names(), Domains());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->aggregate, ParsedQuery::Aggregate::kSum);
+  EXPECT_EQ(s->agg_attr, 1u);
+
+  auto a = ParseQuery("avg(fl_time)", Names(), Domains());
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->aggregate, ParsedQuery::Aggregate::kAvg);
+  EXPECT_EQ(a->agg_attr, 2u);
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  auto q = ParseQuery("count(*) where origin = CA and distance between 0 "
+                      "and 30",
+                      Names(), Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.NumConstrained(), 2u);
+}
+
+TEST(ParserTest, ErrorsAreInformative) {
+  EXPECT_TRUE(ParseQuery("", Names(), Domains()).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseQuery("SELECT *", Names(), Domains()).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseQuery("COUNT(*) WHERE nope = 1", Names(), Domains())
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ParseQuery("COUNT(*) WHERE origin = XX", Names(), Domains())
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(ParseQuery("COUNT(*) WHERE origin", Names(), Domains())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseQuery("COUNT(*) WHERE distance BETWEEN 1", Names(), Domains())
+          .status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseQuery("COUNT(*) WHERE origin IN (CA", Names(), Domains())
+          .status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(ParseQuery("COUNT(*) trailing", Names(), Domains())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseQuery("COUNT(*) WHERE origin = 'unterminated", Names(),
+                         Domains())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParserTest, CategoricalBetweenUsesLabelOrder) {
+  auto q = ParseQuery("COUNT(*) WHERE origin BETWEEN CA AND NY", Names(),
+                      Domains());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->where.predicate(0), AttrPredicate::Range(0, 1));
+}
+
+TEST(ParserTest, ArityMismatchRejected) {
+  EXPECT_TRUE(
+      ParseQuery("COUNT(*)", {"a"}, {}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace entropydb

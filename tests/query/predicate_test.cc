@@ -1,0 +1,68 @@
+#include "query/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace entropydb {
+namespace {
+
+TEST(AttrPredicateTest, AnyMatchesEverything) {
+  AttrPredicate p = AttrPredicate::Any();
+  EXPECT_TRUE(p.is_any());
+  EXPECT_TRUE(p.Matches(0));
+  EXPECT_TRUE(p.Matches(12345));
+  EXPECT_EQ(p.Selectivity(10), 10u);
+}
+
+TEST(AttrPredicateTest, PointMatchesExactly) {
+  AttrPredicate p = AttrPredicate::Point(3);
+  EXPECT_FALSE(p.is_any());
+  EXPECT_TRUE(p.Matches(3));
+  EXPECT_FALSE(p.Matches(2));
+  EXPECT_FALSE(p.Matches(4));
+  EXPECT_EQ(p.Selectivity(10), 1u);
+  EXPECT_EQ(p.Selectivity(3), 0u);  // point outside the domain
+}
+
+TEST(AttrPredicateTest, RangeInclusive) {
+  AttrPredicate p = AttrPredicate::Range(2, 5);
+  EXPECT_TRUE(p.Matches(2));
+  EXPECT_TRUE(p.Matches(5));
+  EXPECT_FALSE(p.Matches(1));
+  EXPECT_FALSE(p.Matches(6));
+  EXPECT_EQ(p.Selectivity(10), 4u);
+  EXPECT_EQ(p.Selectivity(4), 2u);  // clipped at the domain edge
+}
+
+TEST(AttrPredicateTest, SetSortsAndDeduplicates) {
+  AttrPredicate p = AttrPredicate::InSet({5, 1, 3, 1});
+  EXPECT_TRUE(p.Matches(1));
+  EXPECT_TRUE(p.Matches(3));
+  EXPECT_TRUE(p.Matches(5));
+  EXPECT_FALSE(p.Matches(2));
+  EXPECT_EQ(p.set().size(), 3u);
+  EXPECT_EQ(p.Selectivity(10), 3u);
+  EXPECT_EQ(p.Selectivity(4), 2u);  // 5 excluded by a smaller domain
+}
+
+TEST(AttrPredicateTest, EmptySetMatchesNothing) {
+  AttrPredicate p = AttrPredicate::InSet({});
+  EXPECT_FALSE(p.Matches(0));
+  EXPECT_EQ(p.Selectivity(10), 0u);
+}
+
+TEST(AttrPredicateTest, ToStringForms) {
+  EXPECT_EQ(AttrPredicate::Any().ToString(), "ANY");
+  EXPECT_EQ(AttrPredicate::Point(4).ToString(), "=[4]");
+  EXPECT_EQ(AttrPredicate::Range(1, 9).ToString(), "in [1,9]");
+  EXPECT_EQ(AttrPredicate::InSet({2, 1}).ToString(), "in {1,2}");
+}
+
+TEST(AttrPredicateTest, Equality) {
+  EXPECT_EQ(AttrPredicate::Point(1), AttrPredicate::Point(1));
+  EXPECT_FALSE(AttrPredicate::Point(1) == AttrPredicate::Point(2));
+  EXPECT_FALSE(AttrPredicate::Point(1) == AttrPredicate::Range(1, 1));
+  EXPECT_EQ(AttrPredicate::InSet({1, 2}), AttrPredicate::InSet({2, 1}));
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,112 @@
+#include "sampling/stratified_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.h"
+#include "sampling/sample_estimator.h"
+#include "sampling/uniform_sampler.h"
+
+namespace entropydb {
+namespace {
+
+TEST(StratifiedSamplerTest, RejectsBadArguments) {
+  auto table = testutil::RandomTable({4, 4}, 100, 211);
+  EXPECT_TRUE(StratifiedSampler::Create(*table, 0, 1, 0.0, 1).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StratifiedSampler::Create(*table, 0, 0, 0.1, 1).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(StratifiedSampler::Create(*table, 0, 9, 0.1, 1).status()
+                  .IsInvalidArgument());
+}
+
+TEST(StratifiedSamplerTest, EveryStratumRepresented) {
+  auto table = testutil::RandomTable({6, 6}, 3000, 212);
+  auto sample = StratifiedSampler::Create(*table, 0, 1, 0.01, 2);
+  ASSERT_TRUE(sample.ok());
+  ExactEvaluator exact(*table);
+  auto strata = exact.GroupByCount({0, 1});
+  // Collect the (A0, A1) combinations present in the sample.
+  std::set<std::pair<Code, Code>> in_sample;
+  for (size_t r = 0; r < sample->size(); ++r) {
+    in_sample.insert({sample->rows->at(r, 0), sample->rows->at(r, 1)});
+  }
+  // The whole point of stratification: every existing stratum, however
+  // rare, has at least one sample row.
+  EXPECT_EQ(in_sample.size(), strata.size());
+}
+
+TEST(StratifiedSamplerTest, WeightsExpandToStratumSizes) {
+  auto table = testutil::RandomTable({5, 4}, 2000, 213);
+  auto sample = StratifiedSampler::Create(*table, 0, 1, 0.02, 3);
+  ASSERT_TRUE(sample.ok());
+  ExactEvaluator exact(*table);
+  auto strata = exact.GroupByCount({0, 1});
+  // Sum of weights within each stratum equals the stratum size exactly.
+  std::map<std::pair<Code, Code>, double> weight_sums;
+  for (size_t r = 0; r < sample->size(); ++r) {
+    weight_sums[{sample->rows->at(r, 0), sample->rows->at(r, 1)}] +=
+        sample->weights[r];
+  }
+  for (const auto& [key, count] : strata) {
+    const double weight_sum = weight_sums[{key[0], key[1]}];
+    EXPECT_NEAR(weight_sum, static_cast<double>(count), 1e-9);
+  }
+}
+
+TEST(StratifiedSamplerTest, ExactForStratificationAlignedQueries) {
+  // A query that is a union of whole strata is answered exactly.
+  auto table = testutil::RandomTable({5, 4}, 2000, 214);
+  auto sample = StratifiedSampler::Create(*table, 0, 1, 0.02, 4);
+  ASSERT_TRUE(sample.ok());
+  ExactEvaluator exact(*table);
+  SampleEstimator est(*sample);
+  CountingQuery q(2);
+  q.Where(0, AttrPredicate::Point(2));
+  EXPECT_NEAR(est.Count(q).expectation,
+              static_cast<double>(exact.Count(q)), 1e-9);
+}
+
+TEST(StratifiedSamplerTest, ApproximatelyUnbiasedOffStrata) {
+  // Query on an attribute not used for stratification.
+  auto table = testutil::RandomTable({5, 4, 6}, 20000, 215);
+  ExactEvaluator exact(*table);
+  CountingQuery q(3);
+  q.Where(2, AttrPredicate::Range(0, 2));
+  const double truth = static_cast<double>(exact.Count(q));
+  double sum = 0.0;
+  const int draws = 15;
+  for (int i = 0; i < draws; ++i) {
+    auto sample = StratifiedSampler::Create(*table, 0, 1, 0.05, 500 + i);
+    ASSERT_TRUE(sample.ok());
+    sum += SampleEstimator(*sample).Count(q).expectation;
+  }
+  EXPECT_NEAR(sum / draws, truth, 0.05 * truth);
+}
+
+TEST(StratifiedSamplerTest, DeterministicForSeed) {
+  auto table = testutil::RandomTable({4, 4}, 800, 216);
+  auto s1 = StratifiedSampler::Create(*table, 0, 1, 0.05, 9);
+  auto s2 = StratifiedSampler::Create(*table, 0, 1, 0.05, 9);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s1->size(), s2->size());
+  for (size_t r = 0; r < s1->size(); ++r) {
+    EXPECT_EQ(s1->rows->at(r, 1), s2->rows->at(r, 1));
+    EXPECT_DOUBLE_EQ(s1->weights[r], s2->weights[r]);
+  }
+}
+
+TEST(SampleEstimatorTest, VarianceZeroForFullSample) {
+  auto table = testutil::RandomTable({4, 4}, 100, 217);
+  auto sample = UniformSampler::Create(*table, 1.0, 1);
+  ASSERT_TRUE(sample.ok());
+  CountingQuery q(2);
+  q.Where(0, AttrPredicate::Point(0));
+  auto est = SampleEstimator(*sample).Count(q);
+  EXPECT_DOUBLE_EQ(est.variance, 0.0);  // weights are 1
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,75 @@
+#include "sampling/uniform_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "sampling/sample_estimator.h"
+
+namespace entropydb {
+namespace {
+
+TEST(UniformSamplerTest, RejectsBadFraction) {
+  auto table = testutil::RandomTable({4, 4}, 100, 201);
+  EXPECT_TRUE(UniformSampler::Create(*table, 0.0, 1).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(UniformSampler::Create(*table, 1.5, 1).status()
+                  .IsInvalidArgument());
+}
+
+TEST(UniformSamplerTest, FullFractionKeepsEverything) {
+  auto table = testutil::RandomTable({4, 4}, 200, 202);
+  auto sample = UniformSampler::Create(*table, 1.0, 1);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->size(), 200u);
+  for (double w : sample->weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(UniformSamplerTest, SampleSizeNearExpectation) {
+  auto table = testutil::RandomTable({6, 6}, 20000, 203);
+  auto sample = UniformSampler::Create(*table, 0.1, 2);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_NEAR(static_cast<double>(sample->size()), 2000.0, 150.0);
+  EXPECT_DOUBLE_EQ(sample->weights[0], 10.0);
+  EXPECT_EQ(sample->name, "Uni");
+}
+
+TEST(UniformSamplerTest, DeterministicForSeed) {
+  auto table = testutil::RandomTable({4, 4}, 1000, 204);
+  auto s1 = UniformSampler::Create(*table, 0.2, 7);
+  auto s2 = UniformSampler::Create(*table, 0.2, 7);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  ASSERT_EQ(s1->size(), s2->size());
+  for (size_t r = 0; r < s1->size(); ++r) {
+    EXPECT_EQ(s1->rows->at(r, 0), s2->rows->at(r, 0));
+  }
+}
+
+TEST(UniformSamplerTest, EstimatorIsApproximatelyUnbiased) {
+  auto table = testutil::RandomTable({5, 5}, 20000, 205);
+  ExactEvaluator exact(*table);
+  CountingQuery q(2);
+  q.Where(0, AttrPredicate::Range(0, 1));
+  const double truth = static_cast<double>(exact.Count(q));
+  // Average over several sample draws: the HT estimator mean must approach
+  // the true count.
+  double sum = 0.0;
+  const int draws = 20;
+  for (int i = 0; i < draws; ++i) {
+    auto sample = UniformSampler::Create(*table, 0.05, 300 + i);
+    ASSERT_TRUE(sample.ok());
+    sum += SampleEstimator(*sample).Count(q).expectation;
+  }
+  EXPECT_NEAR(sum / draws, truth, 0.05 * truth);
+}
+
+TEST(UniformSamplerTest, SharesDomainsWithBase) {
+  auto table = testutil::RandomTable({4, 7}, 500, 206);
+  auto sample = UniformSampler::Create(*table, 0.2, 3);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_TRUE(sample->rows->domain(1) == table->domain(1));
+  EXPECT_GT(sample->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,65 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace entropydb {
+namespace {
+
+TEST(CorrelationTest, IndependentTableHasNearZeroChi2) {
+  // Outer product of marginals: exactly independent.
+  // rows (10, 20), cols (0.5, 0.5) -> cells 5 10 / 5 10... use exact values.
+  Histogram2D h(2, 2, {5, 5, 10, 10});
+  EXPECT_NEAR(ChiSquared(h), 0.0, 1e-9);
+  EXPECT_NEAR(CramersV(h), 0.0, 1e-9);
+}
+
+TEST(CorrelationTest, PerfectCorrelationHasVOne) {
+  // Diagonal table: knowing the row determines the column.
+  Histogram2D h(3, 3, {10, 0, 0, 0, 20, 0, 0, 0, 5});
+  EXPECT_NEAR(CramersV(h), 1.0, 1e-9);
+}
+
+TEST(CorrelationTest, PartialCorrelationIsBetween) {
+  Histogram2D h(2, 2, {30, 10, 10, 30});
+  double v = CramersV(h);
+  EXPECT_GT(v, 0.2);
+  EXPECT_LT(v, 0.9);
+}
+
+TEST(CorrelationTest, EmptyTableIsZero) {
+  Histogram2D h(2, 2, {0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(ChiSquared(h), 0.0);
+  EXPECT_DOUBLE_EQ(CramersV(h), 0.0);
+}
+
+TEST(CorrelationTest, EmptyRowsIgnored) {
+  // Second row entirely empty; effective table is 1 x 2 -> V = 0.
+  Histogram2D h(2, 2, {5, 5, 0, 0});
+  EXPECT_DOUBLE_EQ(CramersV(h), 0.0);
+}
+
+TEST(CorrelationTest, MoreCorrelatedPairScoresHigher) {
+  Rng rng(51);
+  const uint32_t n = 8;
+  std::vector<uint64_t> strong(n * n, 0), weak(n * n, 0);
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t a = static_cast<uint32_t>(rng.Uniform(n));
+    // Strong: b = a with 90% probability.
+    uint32_t b = rng.NextBernoulli(0.9)
+                     ? a
+                     : static_cast<uint32_t>(rng.Uniform(n));
+    ++strong[a * n + b];
+    // Weak: b = a with 30% probability.
+    uint32_t b2 = rng.NextBernoulli(0.3)
+                      ? a
+                      : static_cast<uint32_t>(rng.Uniform(n));
+    ++weak[a * n + b2];
+  }
+  EXPECT_GT(CramersV(Histogram2D(n, n, strong)),
+            CramersV(Histogram2D(n, n, weak)));
+}
+
+}  // namespace
+}  // namespace entropydb

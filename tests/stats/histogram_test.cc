@@ -1,0 +1,85 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace entropydb {
+namespace {
+
+Histogram2D SmallHist() {
+  // 2 x 3 grid:
+  //   1 2 3
+  //   4 0 6
+  return Histogram2D(2, 3, {1, 2, 3, 4, 0, 6});
+}
+
+TEST(Histogram2DTest, BasicAccessors) {
+  auto h = SmallHist();
+  EXPECT_EQ(h.rows(), 2u);
+  EXPECT_EQ(h.cols(), 3u);
+  EXPECT_EQ(h.at(0, 1), 2u);
+  EXPECT_EQ(h.at(1, 2), 6u);
+  EXPECT_EQ(h.total(), 16u);
+  EXPECT_EQ(h.NumZeroCells(), 1u);
+}
+
+TEST(Histogram2DTest, RectSums) {
+  auto h = SmallHist();
+  EXPECT_DOUBLE_EQ(h.RectSum(0, 1, 0, 2), 16.0);
+  EXPECT_DOUBLE_EQ(h.RectSum(0, 0, 0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(h.RectSum(1, 1, 1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(h.RectSum(1, 1, 1, 1), 0.0);
+}
+
+TEST(Histogram2DTest, RectSumSq) {
+  auto h = SmallHist();
+  EXPECT_DOUBLE_EQ(h.RectSumSq(0, 0, 0, 2), 1.0 + 4.0 + 9.0);
+  EXPECT_DOUBLE_EQ(h.RectSumSq(1, 1, 0, 2), 16.0 + 0.0 + 36.0);
+}
+
+TEST(Histogram2DTest, RectSseIsVarianceTimesCells) {
+  auto h = SmallHist();
+  // Row 0: values 1,2,3 -> mean 2, SSE = 1 + 0 + 1 = 2.
+  EXPECT_NEAR(h.RectSse(0, 0, 0, 2), 2.0, 1e-9);
+  // Single cell: SSE = 0.
+  EXPECT_NEAR(h.RectSse(1, 1, 0, 0), 0.0, 1e-9);
+}
+
+TEST(Histogram2DTest, Marginals) {
+  auto h = SmallHist();
+  auto rows = h.RowMarginal();
+  auto cols = h.ColMarginal();
+  EXPECT_EQ(rows, (std::vector<uint64_t>{6, 10}));
+  EXPECT_EQ(cols, (std::vector<uint64_t>{5, 2, 9}));
+}
+
+/// Property: summed-area rectangle queries match naive loops on random data.
+TEST(Histogram2DTest, MatchesNaiveOnRandomRects) {
+  Rng rng(41);
+  const uint32_t na = 17, nb = 13;
+  std::vector<uint64_t> counts(na * nb);
+  for (auto& c : counts) c = rng.Uniform(20);
+  Histogram2D h(na, nb, counts);
+  for (int trial = 0; trial < 200; ++trial) {
+    Code a0 = static_cast<Code>(rng.Uniform(na));
+    Code a1 = a0 + static_cast<Code>(rng.Uniform(na - a0));
+    Code b0 = static_cast<Code>(rng.Uniform(nb));
+    Code b1 = b0 + static_cast<Code>(rng.Uniform(nb - b0));
+    double sum = 0.0, sumsq = 0.0;
+    for (Code i = a0; i <= a1; ++i) {
+      for (Code j = b0; j <= b1; ++j) {
+        double c = static_cast<double>(counts[i * nb + j]);
+        sum += c;
+        sumsq += c * c;
+      }
+    }
+    EXPECT_NEAR(h.RectSum(a0, a1, b0, b1), sum, 1e-6);
+    EXPECT_NEAR(h.RectSumSq(a0, a1, b0, b1), sumsq, 1e-6);
+    double cells = static_cast<double>(a1 - a0 + 1) * (b1 - b0 + 1);
+    EXPECT_NEAR(h.RectSse(a0, a1, b0, b1), sumsq - sum * sum / cells, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,126 @@
+#include "stats/kd_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace entropydb {
+namespace {
+
+Histogram2D RandomHist(uint32_t na, uint32_t nb, uint64_t seed,
+                       double zero_frac = 0.3) {
+  Rng rng(seed);
+  std::vector<uint64_t> counts(static_cast<size_t>(na) * nb, 0);
+  for (auto& c : counts) {
+    if (!rng.NextBernoulli(zero_frac)) c = rng.Uniform(100);
+  }
+  return Histogram2D(na, nb, counts);
+}
+
+/// Checks the partition is an exact disjoint cover of the grid.
+void ExpectExactCover(const Histogram2D& hist,
+                      const std::vector<KdRect>& rects) {
+  std::vector<int> covered(static_cast<size_t>(hist.rows()) * hist.cols(), 0);
+  for (const auto& r : rects) {
+    for (Code i = r.a.lo; i <= r.a.hi; ++i) {
+      for (Code j = r.b.lo; j <= r.b.hi; ++j) {
+        ++covered[static_cast<size_t>(i) * hist.cols() + j];
+      }
+    }
+  }
+  for (int c : covered) EXPECT_EQ(c, 1);  // each cell in exactly one rect
+}
+
+TEST(KdTreeTest, BudgetOneIsWholeGrid) {
+  auto h = RandomHist(6, 7, 1);
+  KdTreePartitioner kd;
+  auto rects = kd.Partition(h, 1);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0].a.lo, 0u);
+  EXPECT_EQ(rects[0].a.hi, 5u);
+  EXPECT_EQ(rects[0].b.hi, 6u);
+  EXPECT_DOUBLE_EQ(rects[0].count, static_cast<double>(h.total()));
+}
+
+TEST(KdTreeTest, CountsSumToTotal) {
+  auto h = RandomHist(10, 12, 2);
+  KdTreePartitioner kd;
+  for (size_t budget : {2u, 5u, 17u, 50u}) {
+    auto rects = kd.Partition(h, budget);
+    double total = 0.0;
+    for (const auto& r : rects) total += r.count;
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(h.total()));
+  }
+}
+
+class KdTreeBudgetTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KdTreeBudgetTest, PartitionIsExactDisjointCover) {
+  auto h = RandomHist(9, 11, 3);
+  KdTreePartitioner kd;
+  auto rects = kd.Partition(h, GetParam());
+  EXPECT_LE(rects.size(), GetParam());
+  ExpectExactCover(h, rects);
+}
+
+TEST_P(KdTreeBudgetTest, MedianRuleAlsoCovers) {
+  auto h = RandomHist(8, 6, 4);
+  KdTreePartitioner kd(KdSplitRule::kMedian);
+  auto rects = kd.Partition(h, GetParam());
+  ExpectExactCover(h, rects);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, KdTreeBudgetTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 33, 48));
+
+TEST(KdTreeTest, BudgetBeyondCellsSaturates) {
+  auto h = RandomHist(3, 3, 5, 0.0);
+  KdTreePartitioner kd;
+  auto rects = kd.Partition(h, 100);
+  EXPECT_EQ(rects.size(), 9u);  // cannot split below single cells
+  ExpectExactCover(h, rects);
+}
+
+TEST(KdTreeTest, MinSsePrefersHomogeneousHalves) {
+  // Fig 2a of the paper: values change sharply between column 0 and the
+  // rest; min-SSE must split right after column 0, the median rule between
+  // columns 1 and 2 (it balances mass: 36 | left vs right).
+  //   2 10 10 10
+  //   1 10 10 10
+  //   1 12 10 10
+  Histogram2D h(3, 4, {2, 10, 10, 10, 1, 10, 10, 10, 1, 12, 10, 10});
+  KdTreePartitioner sse(KdSplitRule::kMinSse);
+  auto rects = sse.Partition(h, 2);
+  ASSERT_EQ(rects.size(), 2u);
+  // One rectangle must be exactly column 0.
+  bool found_col0 = false;
+  for (const auto& r : rects) {
+    if (r.b.lo == 0 && r.b.hi == 0 && r.a.lo == 0 && r.a.hi == 2) {
+      found_col0 = true;
+    }
+  }
+  EXPECT_TRUE(found_col0);
+}
+
+TEST(KdTreeTest, SingleRowGridSplitsAlongColumns) {
+  Histogram2D h(1, 6, {5, 5, 5, 50, 50, 50});
+  KdTreePartitioner kd;
+  auto rects = kd.Partition(h, 2);
+  ASSERT_EQ(rects.size(), 2u);
+  ExpectExactCover(h, rects);
+}
+
+TEST(KdTreeTest, DeterministicForSameInput) {
+  auto h = RandomHist(10, 10, 6);
+  KdTreePartitioner kd;
+  auto r1 = kd.Partition(h, 12);
+  auto r2 = kd.Partition(h, 12);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].a, r2[i].a);
+    EXPECT_EQ(r1[i].b, r2[i].b);
+  }
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,90 @@
+#include "stats/pair_selector.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/rng.h"
+
+namespace entropydb {
+namespace {
+
+/// Four attributes where (0,1) is strongly correlated, (2,3) moderately,
+/// and everything else independent.
+std::shared_ptr<Table> CorrelatedTable() {
+  Rng rng(91);
+  std::vector<std::vector<Code>> rows;
+  for (int i = 0; i < 3000; ++i) {
+    Code a = static_cast<Code>(rng.Uniform(6));
+    Code b = rng.NextBernoulli(0.95) ? a : static_cast<Code>(rng.Uniform(6));
+    Code c = static_cast<Code>(rng.Uniform(6));
+    Code d = rng.NextBernoulli(0.5) ? c : static_cast<Code>(rng.Uniform(6));
+    rows.push_back({a, b, c, d});
+  }
+  return testutil::MakeTable({6, 6, 6, 6}, rows);
+}
+
+TEST(PairSelectorTest, RanksStrongestPairFirst) {
+  auto table = CorrelatedTable();
+  auto ranked = PairSelector::RankPairs(*table);
+  ASSERT_EQ(ranked.size(), 6u);  // C(4,2)
+  EXPECT_EQ(ranked[0].a, 0u);
+  EXPECT_EQ(ranked[0].b, 1u);
+  EXPECT_GT(ranked[0].cramers_v, ranked[1].cramers_v);
+}
+
+TEST(PairSelectorTest, ExcludeRemovesAttribute) {
+  auto table = CorrelatedTable();
+  auto ranked = PairSelector::RankPairs(*table, {0});
+  EXPECT_EQ(ranked.size(), 3u);  // pairs among {1,2,3}
+  for (const auto& p : ranked) {
+    EXPECT_NE(p.a, 0u);
+    EXPECT_NE(p.b, 0u);
+  }
+}
+
+TEST(PairSelectorTest, AttributeCoverPrefersNewAttributes) {
+  // Ranked list: (0,1) strongest, then (1,2), then (2,3)...
+  std::vector<ScoredPair> ranked = {
+      {0, 1, 0.9, 0}, {1, 2, 0.8, 0}, {2, 3, 0.7, 0}, {0, 3, 0.6, 0}};
+  auto cover = PairSelector::Choose(ranked, 2, PairStrategy::kAttributeCover);
+  ASSERT_EQ(cover.size(), 2u);
+  // Cover strategy takes (0,1) then skips (1,2) (only one new attr) in favor
+  // of (2,3) (two new attrs).
+  EXPECT_EQ(cover[0].a, 0u);
+  EXPECT_EQ(cover[0].b, 1u);
+  EXPECT_EQ(cover[1].a, 2u);
+  EXPECT_EQ(cover[1].b, 3u);
+}
+
+TEST(PairSelectorTest, CorrelationOnlyTakesStrongest) {
+  std::vector<ScoredPair> ranked = {
+      {0, 1, 0.9, 0}, {1, 2, 0.8, 0}, {2, 3, 0.7, 0}, {0, 3, 0.6, 0}};
+  auto corr =
+      PairSelector::Choose(ranked, 2, PairStrategy::kCorrelationOnly);
+  ASSERT_EQ(corr.size(), 2u);
+  EXPECT_EQ(corr[0].a, 0u);
+  EXPECT_EQ(corr[0].b, 1u);
+  EXPECT_EQ(corr[1].a, 1u);  // next most correlated with >= 1 new attribute
+  EXPECT_EQ(corr[1].b, 2u);
+}
+
+TEST(PairSelectorTest, CorrelationOnlySkipsFullyCoveredPairs) {
+  std::vector<ScoredPair> ranked = {
+      {0, 1, 0.9, 0}, {1, 2, 0.8, 0}, {0, 2, 0.75, 0}, {2, 3, 0.7, 0}};
+  auto corr =
+      PairSelector::Choose(ranked, 3, PairStrategy::kCorrelationOnly);
+  ASSERT_EQ(corr.size(), 3u);
+  // (0,2) is skipped: both attributes already covered.
+  EXPECT_EQ(corr[2].a, 2u);
+  EXPECT_EQ(corr[2].b, 3u);
+}
+
+TEST(PairSelectorTest, BudgetLargerThanPairsReturnsAll) {
+  std::vector<ScoredPair> ranked = {{0, 1, 0.9, 0}, {2, 3, 0.7, 0}};
+  EXPECT_EQ(
+      PairSelector::Choose(ranked, 10, PairStrategy::kAttributeCover).size(),
+      2u);
+}
+
+}  // namespace
+}  // namespace entropydb

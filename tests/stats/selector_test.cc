@@ -1,0 +1,127 @@
+#include "stats/selector.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace entropydb {
+namespace {
+
+/// 3x3 grid with known counts:
+///   9 0 1
+///   0 5 0
+///   2 0 7
+std::shared_ptr<Table> GridTable() {
+  std::vector<std::vector<Code>> rows;
+  auto add = [&](Code a, Code b, int count) {
+    for (int i = 0; i < count; ++i) rows.push_back({a, b});
+  };
+  add(0, 0, 9);
+  add(0, 2, 1);
+  add(1, 1, 5);
+  add(2, 0, 2);
+  add(2, 2, 7);
+  return testutil::MakeTable({3, 3}, rows);
+}
+
+TEST(SelectorTest, LargePicksHeaviestCells) {
+  auto table = GridTable();
+  StatisticSelector sel(SelectionHeuristic::kLargeSingleCell);
+  auto stats = sel.Select(*table, 0, 1, 3);
+  ASSERT_EQ(stats.size(), 3u);
+  // Heaviest first: (0,0)=9, (2,2)=7, (1,1)=5.
+  EXPECT_DOUBLE_EQ(stats[0].target, 9.0);
+  EXPECT_DOUBLE_EQ(stats[1].target, 7.0);
+  EXPECT_DOUBLE_EQ(stats[2].target, 5.0);
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.ranges[0].width(), 1u);  // point statistics
+    EXPECT_EQ(s.ranges[1].width(), 1u);
+  }
+}
+
+TEST(SelectorTest, ZeroPicksEmptyCellsFirst) {
+  auto table = GridTable();
+  StatisticSelector sel(SelectionHeuristic::kZeroSingleCell);
+  auto stats = sel.Select(*table, 0, 1, 4);
+  ASSERT_EQ(stats.size(), 4u);
+  // 4 zero cells exist: (0,1), (1,0), (1,2), (2,1); all chosen, all zero.
+  for (const auto& s : stats) EXPECT_DOUBLE_EQ(s.target, 0.0);
+}
+
+TEST(SelectorTest, ZeroTopsUpWithHeavyCells) {
+  auto table = GridTable();
+  StatisticSelector sel(SelectionHeuristic::kZeroSingleCell);
+  auto stats = sel.Select(*table, 0, 1, 6);
+  ASSERT_EQ(stats.size(), 6u);
+  size_t zeros = 0;
+  double max_nonzero = 0;
+  for (const auto& s : stats) {
+    if (s.target == 0.0) {
+      ++zeros;
+    } else {
+      max_nonzero = std::max(max_nonzero, s.target);
+    }
+  }
+  EXPECT_EQ(zeros, 4u);       // all four zero cells
+  EXPECT_EQ(max_nonzero, 9);  // then the heaviest
+}
+
+TEST(SelectorTest, CompositePartitionsWholeGrid) {
+  auto table = GridTable();
+  StatisticSelector sel(SelectionHeuristic::kComposite);
+  auto stats = sel.Select(*table, 0, 1, 4);
+  ASSERT_LE(stats.size(), 4u);
+  double total = 0;
+  for (const auto& s : stats) total += s.target;
+  EXPECT_DOUBLE_EQ(total, 24.0);  // counts sum to n: disjoint exact cover
+}
+
+TEST(SelectorTest, SameAttrPairStatisticsAreDisjoint) {
+  auto table = testutil::RandomTable({8, 9}, 500, 77);
+  for (auto h :
+       {SelectionHeuristic::kLargeSingleCell,
+        SelectionHeuristic::kZeroSingleCell, SelectionHeuristic::kComposite}) {
+    StatisticSelector sel(h);
+    auto stats = sel.Select(*table, 0, 1, 12);
+    for (size_t i = 0; i < stats.size(); ++i) {
+      for (size_t j = i + 1; j < stats.size(); ++j) {
+        bool overlap_a =
+            !stats[i].ranges[0].Intersect(stats[j].ranges[0]).empty();
+        bool overlap_b =
+            !stats[i].ranges[1].Intersect(stats[j].ranges[1]).empty();
+        EXPECT_FALSE(overlap_a && overlap_b)
+            << SelectionHeuristicName(h) << " produced overlapping stats";
+      }
+    }
+  }
+}
+
+TEST(SelectorTest, TargetsMatchExactCounts) {
+  auto table = testutil::RandomTable({6, 7}, 300, 78);
+  ExactEvaluator eval(*table);
+  StatisticSelector sel(SelectionHeuristic::kComposite);
+  for (const auto& s : sel.Select(*table, 0, 1, 8)) {
+    CountingQuery q(table->num_attributes());
+    q.Where(0, AttrPredicate::Range(s.ranges[0].lo, s.ranges[0].hi));
+    q.Where(1, AttrPredicate::Range(s.ranges[1].lo, s.ranges[1].hi));
+    EXPECT_DOUBLE_EQ(s.target, static_cast<double>(eval.Count(q)));
+  }
+}
+
+TEST(SelectorTest, ZeroBudgetGivesNothing) {
+  auto table = GridTable();
+  StatisticSelector sel(SelectionHeuristic::kComposite);
+  EXPECT_TRUE(sel.Select(*table, 0, 1, 0).empty());
+}
+
+TEST(SelectorTest, HeuristicNames) {
+  EXPECT_STREQ(SelectionHeuristicName(SelectionHeuristic::kLargeSingleCell),
+               "LARGE");
+  EXPECT_STREQ(SelectionHeuristicName(SelectionHeuristic::kZeroSingleCell),
+               "ZERO");
+  EXPECT_STREQ(SelectionHeuristicName(SelectionHeuristic::kComposite),
+               "COMPOSITE");
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,86 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/table_builder.h"
+
+namespace entropydb {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "csv_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+Schema CsvSchema() {
+  return Schema({AttributeSpec{"city", AttributeType::kCategorical, 0},
+                 AttributeSpec{"pop", AttributeType::kNumeric, 4}});
+}
+
+TEST_F(CsvTest, WriteReadRoundTrip) {
+  TableBuilder b(CsvSchema());
+  b.SetDomain(0, Domain::Categorical({"ny", "sf"}));
+  b.SetDomain(1, Domain::Binned(0, 8, 4));
+  b.AppendEncodedRow({0, 1});
+  b.AppendEncodedRow({1, 3});
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(WriteCsv(**t, path_).ok());
+
+  auto loaded = ReadCsv(CsvSchema(), path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_rows(), 2u);
+  EXPECT_EQ((*loaded)->domain(0).LabelFor((*loaded)->at(0, 0)), "ny");
+  EXPECT_EQ((*loaded)->domain(0).LabelFor((*loaded)->at(1, 0)), "sf");
+}
+
+TEST_F(CsvTest, ReadMissingFileFails) {
+  EXPECT_TRUE(ReadCsv(CsvSchema(), "/nonexistent/x.csv").status().IsIOError());
+}
+
+TEST_F(CsvTest, HeaderMismatchFails) {
+  std::ofstream out(path_);
+  out << "wrong,pop\nx,1\n";
+  out.close();
+  EXPECT_TRUE(ReadCsv(CsvSchema(), path_).status().IsInvalidArgument());
+}
+
+TEST_F(CsvTest, RowArityMismatchFails) {
+  std::ofstream out(path_);
+  out << "city,pop\nx,1,extra\n";
+  out.close();
+  EXPECT_TRUE(ReadCsv(CsvSchema(), path_).status().IsCorruption());
+}
+
+TEST_F(CsvTest, MalformedNumberFails) {
+  std::ofstream out(path_);
+  out << "city,pop\nx,notanumber\n";
+  out.close();
+  EXPECT_FALSE(ReadCsv(CsvSchema(), path_).ok());
+}
+
+TEST_F(CsvTest, EmptyFileFails) {
+  std::ofstream out(path_);
+  out.close();
+  EXPECT_TRUE(ReadCsv(CsvSchema(), path_).status().IsCorruption());
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  std::ofstream out(path_);
+  out << "city,pop\nx,1\n\n\ny,2\n";
+  out.close();
+  auto loaded = ReadCsv(CsvSchema(), path_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,102 @@
+#include "storage/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace entropydb {
+namespace {
+
+TEST(DomainTest, CategoricalEncodeDecode) {
+  auto d = Domain::Categorical({"CA", "NY", "WA"});
+  EXPECT_TRUE(d.is_categorical());
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(*d.Encode(Value(std::string("NY"))), 1u);
+  EXPECT_EQ(d.LabelFor(2), "WA");
+  EXPECT_EQ(d.RepresentativeFor(0).as_string(), "CA");
+}
+
+TEST(DomainTest, CategoricalRejectsUnknownLabel) {
+  auto d = Domain::Categorical({"a"});
+  EXPECT_TRUE(d.Encode(Value(std::string("b"))).status().IsNotFound());
+}
+
+TEST(DomainTest, CategoricalRejectsNonString) {
+  auto d = Domain::Categorical({"a"});
+  EXPECT_TRUE(d.Encode(Value(int64_t{3})).status().IsInvalidArgument());
+}
+
+TEST(DomainTest, BinnedBucketAssignment) {
+  auto d = Domain::Binned(0.0, 100.0, 10);  // width 10
+  EXPECT_FALSE(d.is_categorical());
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.BucketOf(0.0), 0u);
+  EXPECT_EQ(d.BucketOf(9.999), 0u);
+  EXPECT_EQ(d.BucketOf(10.0), 1u);
+  EXPECT_EQ(d.BucketOf(95.0), 9u);
+}
+
+TEST(DomainTest, BinnedClampsOutOfRange) {
+  auto d = Domain::Binned(0.0, 100.0, 10);
+  EXPECT_EQ(d.BucketOf(-5.0), 0u);
+  EXPECT_EQ(d.BucketOf(1000.0), 9u);
+}
+
+TEST(DomainTest, BinnedEncodeViaValue) {
+  auto d = Domain::Binned(0.0, 10.0, 5);
+  EXPECT_EQ(*d.Encode(Value(3.0)), 1u);
+  EXPECT_EQ(*d.Encode(Value(int64_t{9})), 4u);
+}
+
+TEST(DomainTest, BucketRangeCoversQuery) {
+  auto d = Domain::Binned(0.0, 100.0, 10);
+  auto [lo, hi] = d.BucketRange(15.0, 34.0);
+  EXPECT_EQ(lo, 1u);
+  EXPECT_EQ(hi, 3u);
+}
+
+TEST(DomainTest, BucketRangeEmptyWhenDisjoint) {
+  auto d = Domain::Binned(0.0, 100.0, 10);
+  auto [lo, hi] = d.BucketRange(200.0, 300.0);
+  EXPECT_GT(lo, hi);  // empty marker
+  auto [lo2, hi2] = d.BucketRange(-50.0, -10.0);
+  EXPECT_GT(lo2, hi2);
+}
+
+TEST(DomainTest, BinnedLabelShowsInterval) {
+  auto d = Domain::Binned(0.0, 10.0, 2);
+  EXPECT_EQ(d.LabelFor(0), "[0, 5)");
+  EXPECT_EQ(d.LabelFor(1), "[5, 10)");
+}
+
+TEST(DomainTest, RepresentativeIsMidpoint) {
+  auto d = Domain::Binned(0.0, 10.0, 2);
+  EXPECT_DOUBLE_EQ(d.RepresentativeFor(0).as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(d.RepresentativeFor(1).as_double(), 7.5);
+}
+
+TEST(DomainTest, EqualityOperator) {
+  auto a = Domain::Binned(0.0, 10.0, 2);
+  auto b = Domain::Binned(0.0, 10.0, 2);
+  auto c = Domain::Binned(0.0, 10.0, 4);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == Domain::Categorical({"x"}));
+}
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_TRUE(Value(int64_t{1}).is_int());
+  EXPECT_TRUE(Value(1.5).is_double());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+}
+
+TEST(ValueTest, AsDoubleWidensInts) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{4}).as_double(), 4.0);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(std::string("abc")).ToString(), "abc");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+}  // namespace
+}  // namespace entropydb

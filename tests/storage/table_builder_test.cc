@@ -1,0 +1,109 @@
+#include "storage/table_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace entropydb {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({AttributeSpec{"state", AttributeType::kCategorical, 0},
+                 AttributeSpec{"miles", AttributeType::kNumeric, 4}});
+}
+
+TEST(TableBuilderTest, DerivesCategoricalDictionary) {
+  TableBuilder b(TwoColSchema());
+  ASSERT_TRUE(b.AppendRow({Value(std::string("WA")), Value(10.0)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(std::string("CA")), Value(20.0)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(std::string("WA")), Value(30.0)}).ok());
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 3u);
+  // Labels sorted for determinism: CA = 0, WA = 1.
+  EXPECT_EQ((*t)->domain(0).LabelFor(0), "CA");
+  EXPECT_EQ((*t)->at(0, 0), 1u);
+  EXPECT_EQ((*t)->at(1, 0), 0u);
+}
+
+TEST(TableBuilderTest, DerivesEquiWidthBuckets) {
+  TableBuilder b(TwoColSchema());
+  ASSERT_TRUE(b.AppendRow({Value(std::string("a")), Value(0.0)}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(std::string("a")), Value(100.0)}).ok());
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->domain(1).size(), 4u);
+  EXPECT_EQ((*t)->at(0, 1), 0u);
+  EXPECT_EQ((*t)->at(1, 1), 3u);  // max value lands in the last bucket
+}
+
+TEST(TableBuilderTest, RejectsArityMismatch) {
+  TableBuilder b(TwoColSchema());
+  EXPECT_TRUE(
+      b.AppendRow({Value(std::string("x"))}).IsInvalidArgument());
+}
+
+TEST(TableBuilderTest, PinnedDomainIsUsed) {
+  TableBuilder b(TwoColSchema());
+  b.SetDomain(0, Domain::Categorical({"AA", "BB", "CC"}));
+  b.SetDomain(1, Domain::Binned(0, 40, 4));
+  ASSERT_TRUE(b.AppendRow({Value(std::string("CC")), Value(35.0)}).ok());
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->domain(0).size(), 3u);
+  EXPECT_EQ((*t)->at(0, 0), 2u);
+  EXPECT_EQ((*t)->at(0, 1), 3u);
+}
+
+TEST(TableBuilderTest, EncodedRowsValidatedAgainstDomains) {
+  TableBuilder b(TwoColSchema());
+  b.SetDomain(0, Domain::Categorical({"A"}));
+  b.SetDomain(1, Domain::Binned(0, 4, 4));
+  b.AppendEncodedRow({0, 9});  // 9 out of range for 4 buckets
+  EXPECT_TRUE(b.Finish().status().IsOutOfRange());
+}
+
+TEST(TableBuilderTest, MixedRawAndEncodedRows) {
+  TableBuilder b(TwoColSchema());
+  b.SetDomain(0, Domain::Categorical({"A", "B"}));
+  b.SetDomain(1, Domain::Binned(0, 4, 4));
+  ASSERT_TRUE(b.AppendRow({Value(std::string("B")), Value(1.0)}).ok());
+  b.AppendEncodedRow({0, 2});
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 2u);
+  EXPECT_EQ((*t)->at(0, 0), 1u);
+  EXPECT_EQ((*t)->at(1, 1), 2u);
+}
+
+TEST(TableBuilderTest, IntegerTypeGetsUnitBuckets) {
+  Schema s({AttributeSpec{"k", AttributeType::kInteger, 0}});
+  TableBuilder b(s);
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{3})}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(int64_t{7})}).ok());
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->domain(0).size(), 5u);  // 3..7 -> 5 unit buckets
+}
+
+TEST(TableBuilderTest, EmptyTableFinishes) {
+  TableBuilder b(TwoColSchema());
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 0u);
+}
+
+TEST(TableTest, MetadataAccessors) {
+  TableBuilder b(TwoColSchema());
+  b.SetDomain(0, Domain::Categorical({"A", "B"}));
+  b.SetDomain(1, Domain::Binned(0, 4, 4));
+  b.AppendEncodedRow({1, 3});
+  auto t = b.Finish();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_attributes(), 2u);
+  EXPECT_DOUBLE_EQ((*t)->NumPossibleTuples(), 8.0);
+  EXPECT_GT((*t)->MemoryBytes(), 0u);
+  EXPECT_EQ(*(*t)->schema().IndexOf("miles"), 1u);
+  EXPECT_TRUE((*t)->schema().IndexOf("nope").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace entropydb

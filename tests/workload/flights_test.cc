@@ -1,0 +1,121 @@
+#include "workload/flights.h"
+
+#include <gtest/gtest.h>
+
+#include "query/exact_evaluator.h"
+#include "stats/correlation.h"
+#include "stats/histogram.h"
+
+namespace entropydb {
+namespace {
+
+FlightsConfig SmallConfig(bool fine = false) {
+  FlightsConfig c;
+  c.num_rows = 30000;
+  c.fine_grained = fine;
+  c.seed = 5;
+  return c;
+}
+
+TEST(FlightsTest, CoarseDomainSizesMatchFig3) {
+  auto table = FlightsGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(table.ok());
+  const Table& t = **table;
+  EXPECT_EQ(t.num_attributes(), 5u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("fl_date")).size(), 307u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("origin")).size(), 54u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("dest")).size(), 54u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("fl_time")).size(), 62u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("distance")).size(), 81u);
+  EXPECT_EQ(t.num_rows(), 30000u);
+  // |Tup| ~ 4.5e9 for the coarse relation (Fig 3).
+  EXPECT_NEAR(t.NumPossibleTuples(), 4.5e9, 0.3e9);
+}
+
+TEST(FlightsTest, FineDomainSizesMatchFig3) {
+  auto table = FlightsGenerator::Generate(SmallConfig(true));
+  ASSERT_TRUE(table.ok());
+  const Table& t = **table;
+  EXPECT_EQ(t.domain(1).size(), 147u);
+  EXPECT_EQ(t.domain(2).size(), 147u);
+  // |Tup| ~ 3.3e10 for the fine relation (Fig 3).
+  EXPECT_NEAR(t.NumPossibleTuples(), 3.3e10, 0.3e10);
+}
+
+TEST(FlightsTest, DeterministicForSeed) {
+  auto t1 = FlightsGenerator::Generate(SmallConfig());
+  auto t2 = FlightsGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  for (size_t r = 0; r < 100; ++r) {
+    for (AttrId a = 0; a < 5; ++a) {
+      ASSERT_EQ((*t1)->at(r, a), (*t2)->at(r, a));
+    }
+  }
+}
+
+TEST(FlightsTest, CorrelationStructureMatchesPaper) {
+  auto table = FlightsGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(table.ok());
+  const Table& t = **table;
+  ExactEvaluator eval(t);
+  auto v = [&](AttrId a, AttrId b) {
+    return CramersVCorrected(Histogram2D(t.domain(a).size(), t.domain(b).size(),
+                                eval.Histogram2D(a, b)));
+  };
+  // Attributes: 0 date, 1 origin, 2 dest, 3 time, 4 distance.
+  const double time_dist = v(3, 4);
+  const double origin_dist = v(1, 4);
+  const double dest_dist = v(2, 4);
+  const double origin_dest = v(1, 2);
+  const double date_dist = v(0, 4);
+  const double date_origin = v(0, 1);
+  // The paper's pair 1-4 must all be far more correlated than anything
+  // involving the date.
+  EXPECT_GT(time_dist, 3.0 * date_dist);
+  EXPECT_GT(origin_dist, 3.0 * date_dist);
+  EXPECT_GT(dest_dist, 3.0 * date_dist);
+  EXPECT_GT(origin_dest, 3.0 * date_origin);
+  // Time-distance is the strongest functional relationship.
+  EXPECT_GT(time_dist, 0.25);
+}
+
+TEST(FlightsTest, PopularityIsSkewed) {
+  auto table = FlightsGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(table.ok());
+  ExactEvaluator eval(**table);
+  auto hist = eval.Histogram1D(1);  // origin
+  uint64_t max_c = 0, min_c = UINT64_MAX;
+  for (uint64_t c : hist) {
+    max_c = std::max(max_c, c);
+    min_c = std::min(min_c, c);
+  }
+  EXPECT_GT(max_c, 10 * std::max<uint64_t>(min_c, 1));  // heavy skew
+}
+
+TEST(FlightsTest, DateIsRoughlyUniform) {
+  auto table = FlightsGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(table.ok());
+  ExactEvaluator eval(**table);
+  auto hist = eval.Histogram1D(0);
+  double expected = 30000.0 / 307.0;
+  size_t wild = 0;
+  for (uint64_t c : hist) {
+    if (c < expected * 0.3 || c > expected * 3.0) ++wild;
+  }
+  EXPECT_LT(wild, 10u);  // no big spikes or holes
+}
+
+TEST(FlightsTest, ZeroCellsExistForRareRoutes) {
+  // The evaluation needs nonexistent (origin, dest) combinations.
+  auto table = FlightsGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(table.ok());
+  ExactEvaluator eval(**table);
+  auto h = eval.Histogram2D(1, 2);
+  size_t zeros = 0;
+  for (uint64_t c : h) zeros += (c == 0) ? 1 : 0;
+  EXPECT_GT(zeros, h.size() / 10);
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,76 @@
+#include "workload/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace entropydb {
+namespace {
+
+TEST(MetricsTest, SymmetricErrorBasics) {
+  EXPECT_DOUBLE_EQ(SymmetricError(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(SymmetricError(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SymmetricError(100, 0), 1.0);
+  EXPECT_DOUBLE_EQ(SymmetricError(0, 100), 1.0);
+  EXPECT_NEAR(SymmetricError(100, 50), 50.0 / 150.0, 1e-12);
+}
+
+TEST(MetricsTest, SymmetricErrorIsSymmetric) {
+  EXPECT_DOUBLE_EQ(SymmetricError(30, 70), SymmetricError(70, 30));
+}
+
+TEST(MetricsTest, SymmetricErrorBounded) {
+  for (double t : {0.0, 1.0, 10.0, 1e6}) {
+    for (double e : {0.0, 1.0, 10.0, 1e6}) {
+      double err = SymmetricError(t, e);
+      EXPECT_GE(err, 0.0);
+      EXPECT_LE(err, 1.0);
+    }
+  }
+}
+
+TEST(MetricsTest, AverageError) {
+  EXPECT_DOUBLE_EQ(AverageError({100, 0}, {100, 100}), 0.5);
+  EXPECT_DOUBLE_EQ(AverageError({}, {}), 0.0);
+}
+
+TEST(MetricsTest, FMeasurePerfect) {
+  // All light hitters detected, no false positives.
+  auto r = ComputeFMeasure({1.0, 2.0, 5.0}, {0.0, 0.2, 0.4});
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.f, 1.0);
+  EXPECT_EQ(r.light_positive, 3u);
+  EXPECT_EQ(r.null_positive, 0u);
+}
+
+TEST(MetricsTest, FMeasureRoundsAtHalf) {
+  // 0.4 rounds to 0 (negative), 0.6 rounds to 1 (positive) — the paper's
+  // rounding rule for distinguishing rare from nonexistent (Sec 4.3).
+  auto r = ComputeFMeasure({0.4}, {0.6});
+  EXPECT_EQ(r.light_positive, 0u);
+  EXPECT_EQ(r.null_positive, 1u);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.f, 0.0);
+}
+
+TEST(MetricsTest, FMeasureMixed) {
+  // 2 of 4 light hitters found, 1 of 4 nulls falsely positive.
+  auto r = ComputeFMeasure({1.0, 0.0, 2.0, 0.1}, {0.0, 0.0, 3.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+  EXPECT_NEAR(r.f, 2 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-12);
+}
+
+TEST(MetricsTest, FMeasureAllNegative) {
+  auto r = ComputeFMeasure({0.0, 0.0}, {0.0});
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.f, 0.0);
+}
+
+TEST(MetricsTest, FMeasureEmptyInputs) {
+  auto r = ComputeFMeasure({}, {});
+  EXPECT_DOUBLE_EQ(r.f, 0.0);
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,118 @@
+#include "workload/particles.h"
+
+#include <gtest/gtest.h>
+
+#include "query/exact_evaluator.h"
+#include "stats/correlation.h"
+#include "stats/histogram.h"
+
+namespace entropydb {
+namespace {
+
+ParticlesConfig SmallConfig(uint32_t snapshots = 3) {
+  ParticlesConfig c;
+  c.rows_per_snapshot = 20000;
+  c.num_snapshots = snapshots;
+  c.seed = 6;
+  return c;
+}
+
+TEST(ParticlesTest, DomainSizesMatchFig3) {
+  auto table = ParticlesGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(table.ok());
+  const Table& t = **table;
+  EXPECT_EQ(t.num_attributes(), 8u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("density")).size(), 58u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("mass")).size(), 52u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("x")).size(), 21u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("y")).size(), 21u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("z")).size(), 21u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("grp")).size(), 2u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("type")).size(), 3u);
+  EXPECT_EQ(t.domain(*t.schema().IndexOf("snapshot")).size(), 3u);
+  // |Tup| ~ 5.0e8 (Fig 3).
+  EXPECT_NEAR(t.NumPossibleTuples(), 5.0e8, 0.6e8);
+}
+
+TEST(ParticlesTest, SnapshotSubsetsScale) {
+  for (uint32_t s : {1u, 2u, 3u}) {
+    auto table = ParticlesGenerator::Generate(SmallConfig(s));
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->num_rows(), 20000u * s);
+    ExactEvaluator eval(**table);
+    auto hist = eval.Histogram1D(7);  // snapshot attribute
+    for (uint32_t i = 0; i < s; ++i) EXPECT_EQ(hist[i], 20000u);
+    for (uint32_t i = s; i < 3; ++i) EXPECT_EQ(hist[i], 0u);
+  }
+}
+
+TEST(ParticlesTest, RejectsBadSnapshotCount) {
+  ParticlesConfig c = SmallConfig(0);
+  EXPECT_TRUE(
+      ParticlesGenerator::Generate(c).status().IsInvalidArgument());
+  c.num_snapshots = 4;
+  EXPECT_TRUE(
+      ParticlesGenerator::Generate(c).status().IsInvalidArgument());
+}
+
+TEST(ParticlesTest, DensityGrpIsTheDominantCorrelation) {
+  auto table = ParticlesGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(table.ok());
+  const Table& t = **table;
+  ExactEvaluator eval(t);
+  auto v = [&](AttrId a, AttrId b) {
+    return CramersV(Histogram2D(t.domain(a).size(), t.domain(b).size(),
+                                eval.Histogram2D(a, b)));
+  };
+  // density(0) x grp(5) is what the paper stratifies on.
+  const double den_grp = v(0, 5);
+  EXPECT_GT(den_grp, 0.6);
+  EXPECT_GT(den_grp, v(2, 3));  // positions nearly independent
+  // mass(1) x type(6) also correlated.
+  EXPECT_GT(v(1, 6), 0.5);
+}
+
+TEST(ParticlesTest, ClusteredParticlesAreDense) {
+  auto table = ParticlesGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(table.ok());
+  ExactEvaluator eval(**table);
+  // Mean density bucket of grp=1 far above grp=0.
+  auto h = eval.Histogram2D(5, 0);  // grp x density
+  const uint32_t nd = 58;
+  double mean0 = 0, mean1 = 0, n0 = 0, n1 = 0;
+  for (uint32_t d = 0; d < nd; ++d) {
+    n0 += h[0 * nd + d];
+    mean0 += static_cast<double>(h[0 * nd + d]) * d;
+    n1 += h[1 * nd + d];
+    mean1 += static_cast<double>(h[1 * nd + d]) * d;
+  }
+  mean0 /= n0;
+  mean1 /= n1;
+  EXPECT_GT(mean1, mean0 + 10.0);
+}
+
+TEST(ParticlesTest, DeterministicForSeed) {
+  auto t1 = ParticlesGenerator::Generate(SmallConfig());
+  auto t2 = ParticlesGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  for (size_t r = 0; r < 100; ++r) {
+    for (AttrId a = 0; a < 8; ++a) {
+      ASSERT_EQ((*t1)->at(r, a), (*t2)->at(r, a));
+    }
+  }
+}
+
+TEST(ParticlesTest, StructureGrowsAcrossSnapshots) {
+  auto table = ParticlesGenerator::Generate(SmallConfig());
+  ASSERT_TRUE(table.ok());
+  ExactEvaluator eval(**table);
+  auto h = eval.Histogram2D(7, 5);  // snapshot x grp
+  // Clustered fraction increases with snapshot index.
+  double f0 = static_cast<double>(h[0 * 2 + 1]) / 20000.0;
+  double f2 = static_cast<double>(h[2 * 2 + 1]) / 20000.0;
+  EXPECT_GT(f2, f0 + 0.05);
+}
+
+}  // namespace
+}  // namespace entropydb

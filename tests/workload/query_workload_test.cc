@@ -1,0 +1,104 @@
+#include "workload/query_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "query/exact_evaluator.h"
+
+namespace entropydb {
+namespace {
+
+TEST(QueryWorkloadTest, HeavyHittersSortedDescending) {
+  auto table = testutil::RandomTable({6, 6}, 4000, 301);
+  WorkloadConfig cfg;
+  cfg.num_heavy = 10;
+  cfg.num_light = 10;
+  cfg.num_nonexistent = 5;
+  auto w = SelectWorkload(*table, {0, 1}, cfg);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->heavy.size(), 10u);
+  for (size_t i = 1; i < w->heavy.size(); ++i) {
+    EXPECT_GE(w->heavy[i - 1].true_count, w->heavy[i].true_count);
+  }
+  // Heavy hitters outweigh light hitters.
+  EXPECT_GE(w->heavy.front().true_count, w->light.back().true_count);
+}
+
+TEST(QueryWorkloadTest, LightHittersExistButAreSmall) {
+  auto table = testutil::RandomTable({6, 6}, 4000, 302);
+  WorkloadConfig cfg;
+  cfg.num_heavy = 5;
+  cfg.num_light = 5;
+  cfg.num_nonexistent = 5;
+  auto w = SelectWorkload(*table, {0, 1}, cfg);
+  ASSERT_TRUE(w.ok());
+  for (const auto& p : w->light) {
+    EXPECT_GT(p.true_count, 0.0);
+    EXPECT_LE(p.true_count, w->heavy.front().true_count);
+  }
+}
+
+TEST(QueryWorkloadTest, NonexistentAreTrulyAbsent) {
+  auto table = testutil::RandomTable({8, 8, 8}, 300, 303);
+  WorkloadConfig cfg;
+  cfg.num_nonexistent = 20;
+  auto w = SelectWorkload(*table, {0, 1, 2}, cfg);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->nonexistent.size(), 20u);
+  ExactEvaluator exact(*table);
+  for (const auto& p : w->nonexistent) {
+    auto q = PointQuery(3, {0, 1, 2}, p.key);
+    EXPECT_EQ(exact.Count(q), 0u);
+    EXPECT_DOUBLE_EQ(p.true_count, 0.0);
+  }
+}
+
+TEST(QueryWorkloadTest, TrueCountsAreExact) {
+  auto table = testutil::RandomTable({4, 4}, 800, 304);
+  auto w = SelectWorkload(*table, {0, 1});
+  ASSERT_TRUE(w.ok());
+  ExactEvaluator exact(*table);
+  for (const auto& p : w->heavy) {
+    EXPECT_DOUBLE_EQ(p.true_count,
+                     static_cast<double>(exact.Count(
+                         PointQuery(2, {0, 1}, p.key))));
+  }
+}
+
+TEST(QueryWorkloadTest, SaturatesWhenFewCombinationsExist) {
+  // 2x2 grid with only 3 existing combinations: can't find 100 of each.
+  auto table = testutil::MakeTable({2, 2}, {{0, 0}, {0, 1}, {1, 0}});
+  auto w = SelectWorkload(*table, {0, 1});
+  ASSERT_TRUE(w.ok());
+  EXPECT_LE(w->heavy.size(), 3u);
+  EXPECT_EQ(w->nonexistent.size(), 1u);  // only (1,1) is absent
+}
+
+TEST(QueryWorkloadTest, ValidatesAttributes) {
+  auto table = testutil::RandomTable({3}, 50, 305);
+  EXPECT_TRUE(SelectWorkload(*table, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(SelectWorkload(*table, {7}).status().IsOutOfRange());
+}
+
+TEST(QueryWorkloadTest, PointQueryBuildsConjunction) {
+  auto q = PointQuery(4, {1, 3}, {5, 2});
+  EXPECT_TRUE(q.predicate(0).is_any());
+  EXPECT_EQ(q.predicate(1), AttrPredicate::Point(5));
+  EXPECT_TRUE(q.predicate(2).is_any());
+  EXPECT_EQ(q.predicate(3), AttrPredicate::Point(2));
+}
+
+TEST(QueryWorkloadTest, DeterministicForSeed) {
+  auto table = testutil::RandomTable({6, 6}, 1000, 306);
+  auto w1 = SelectWorkload(*table, {0, 1});
+  auto w2 = SelectWorkload(*table, {0, 1});
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  ASSERT_EQ(w1->nonexistent.size(), w2->nonexistent.size());
+  for (size_t i = 0; i < w1->nonexistent.size(); ++i) {
+    EXPECT_EQ(w1->nonexistent[i].key, w2->nonexistent[i].key);
+  }
+}
+
+}  // namespace
+}  // namespace entropydb

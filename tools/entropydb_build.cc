@@ -1,0 +1,164 @@
+// Command-line summary builder: CSV in, solved .edb summary out.
+//
+//   entropydb_build --csv data.csv
+//       --schema "origin:cat,dest:cat,distance:num:81,fl_time:num:62"
+//       --pairs auto --ba 2 --budget 500 --out flights.edb
+//
+// Schema entries are name:kind[:buckets] with kind one of cat|num|int.
+// --pairs is either "auto" (rank by bias-corrected Cramér's V, choose by
+// attribute cover, Sec 4.3) or an explicit "a:b,c:d" list of names.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "entropydb.h"
+
+using namespace entropydb;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: entropydb_build --csv FILE --schema SPEC --out FILE\n"
+      "                       [--pairs auto|a:b,c:d] [--ba N] [--budget N]\n"
+      "                       [--heuristic composite|large|zero]\n"
+      "                       [--iterations N]\n");
+}
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<AttributeSpec> attrs;
+  for (const auto& field : SplitString(spec, ',')) {
+    auto parts = SplitString(field, ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument("bad schema field: " + field);
+    }
+    AttributeSpec a;
+    a.name = std::string(StripWhitespace(parts[0]));
+    std::string kind(StripWhitespace(parts[1]));
+    if (kind == "cat") {
+      a.type = AttributeType::kCategorical;
+    } else if (kind == "num") {
+      a.type = AttributeType::kNumeric;
+    } else if (kind == "int") {
+      a.type = AttributeType::kInteger;
+    } else {
+      return Status::InvalidArgument("bad attribute kind: " + kind);
+    }
+    if (parts.size() == 3) {
+      ASSIGN_OR_RETURN(int64_t b, ParseInt64(parts[2]));
+      a.buckets = static_cast<uint32_t>(b);
+    }
+    attrs.push_back(std::move(a));
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      Usage();
+      return 2;
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  if (!args.count("csv") || !args.count("schema") || !args.count("out")) {
+    Usage();
+    return 2;
+  }
+
+  auto schema = ParseSchemaSpec(args["schema"]);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  auto table = ReadCsv(*schema, args["csv"]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "csv: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu rows, %zu attributes, |Tup| = %.3g\n",
+              (*table)->num_rows(), (*table)->num_attributes(),
+              (*table)->NumPossibleTuples());
+
+  // Resolve statistic pairs.
+  size_t ba = args.count("ba") ? std::stoul(args["ba"]) : 2;
+  size_t budget = args.count("budget") ? std::stoul(args["budget"]) : 500;
+  std::vector<std::pair<AttrId, AttrId>> pairs;
+  std::string pair_spec = args.count("pairs") ? args["pairs"] : "auto";
+  if (pair_spec == "auto") {
+    auto ranked = PairSelector::RankPairs(**table);
+    for (const auto& p :
+         PairSelector::Choose(ranked, ba, PairStrategy::kAttributeCover)) {
+      pairs.emplace_back(p.a, p.b);
+      std::printf("auto-selected pair (%s, %s), corrected V = %.3f\n",
+                  (*table)->schema().attribute(p.a).name.c_str(),
+                  (*table)->schema().attribute(p.b).name.c_str(),
+                  p.cramers_v);
+    }
+  } else if (!pair_spec.empty()) {
+    for (const auto& pr : SplitString(pair_spec, ',')) {
+      auto names = SplitString(pr, ':');
+      if (names.size() != 2) {
+        std::fprintf(stderr, "bad pair: %s\n", pr.c_str());
+        return 1;
+      }
+      auto a = (*table)->schema().IndexOf(names[0]);
+      auto b = (*table)->schema().IndexOf(names[1]);
+      if (!a.ok() || !b.ok()) {
+        std::fprintf(stderr, "unknown attribute in pair %s\n", pr.c_str());
+        return 1;
+      }
+      pairs.emplace_back(*a, *b);
+    }
+  }
+
+  SelectionHeuristic heuristic = SelectionHeuristic::kComposite;
+  if (args.count("heuristic")) {
+    if (args["heuristic"] == "large") {
+      heuristic = SelectionHeuristic::kLargeSingleCell;
+    } else if (args["heuristic"] == "zero") {
+      heuristic = SelectionHeuristic::kZeroSingleCell;
+    } else if (args["heuristic"] != "composite") {
+      std::fprintf(stderr, "unknown heuristic\n");
+      return 1;
+    }
+  }
+  StatisticSelector selector(heuristic);
+  std::vector<MultiDimStatistic> stats;
+  for (auto [a, b] : pairs) {
+    auto s = selector.Select(**table, a, b, budget);
+    stats.insert(stats.end(), s.begin(), s.end());
+  }
+  std::printf("gathered %zu 2-D statistics (%s, budget %zu per pair)\n",
+              stats.size(), SelectionHeuristicName(heuristic), budget);
+
+  SummaryOptions opts;
+  if (args.count("iterations")) {
+    opts.solver.max_iterations = std::stoul(args["iterations"]);
+  }
+  Timer timer;
+  auto summary = EntropySummary::Build(**table, stats, opts);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "build: %s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("solved in %.2fs: %zu iterations, final error %.2e, "
+              "converged=%s\n",
+              timer.ElapsedSeconds(), (*summary)->solver_report().iterations,
+              (*summary)->solver_report().final_error,
+              (*summary)->solver_report().converged ? "yes" : "no");
+
+  Status s = (*summary)->Save(args["out"]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("summary written to %s\n", args["out"].c_str());
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Command-line query shell over a persisted summary — no base data needed.
+//
+//   entropydb_query --summary flights.edb
+//       --query "COUNT(*) WHERE origin = S3 AND distance BETWEEN 100 AND 500"
+//
+// Without --query, reads one query per line from stdin (a tiny REPL).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "entropydb.h"
+
+using namespace entropydb;
+
+namespace {
+
+int RunOne(const EntropySummary& summary, const std::string& text) {
+  auto parsed =
+      ParseQuery(text, summary.attr_names(), summary.domains());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  Timer timer;
+  switch (parsed->aggregate) {
+    case ParsedQuery::Aggregate::kCount: {
+      auto est = summary.AnswerCount(parsed->where);
+      if (!est.ok()) {
+        std::fprintf(stderr, "answer: %s\n",
+                     est.status().ToString().c_str());
+        return 1;
+      }
+      auto [lo, hi] = est->ConfidenceInterval(1.96, summary.n());
+      std::printf("%.1f    (95%% CI [%.1f, %.1f], %.2f ms)\n",
+                  est->expectation, lo, hi, timer.ElapsedMillis());
+      return 0;
+    }
+    case ParsedQuery::Aggregate::kSum:
+    case ParsedQuery::Aggregate::kAvg: {
+      // Weights = bucket representatives (midpoints / label order index
+      // for categorical attributes).
+      const Domain& dom = summary.domains()[parsed->agg_attr];
+      std::vector<double> weights(dom.size());
+      for (Code v = 0; v < dom.size(); ++v) {
+        weights[v] = dom.is_categorical()
+                         ? static_cast<double>(v)
+                         : dom.RepresentativeFor(v).as_double();
+      }
+      auto est = parsed->aggregate == ParsedQuery::Aggregate::kSum
+                     ? summary.AnswerSum(parsed->agg_attr, weights,
+                                         parsed->where)
+                     : summary.AnswerAvg(parsed->agg_attr, weights,
+                                         parsed->where);
+      if (!est.ok()) {
+        std::fprintf(stderr, "answer: %s\n",
+                     est.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%.3f    (%.2f ms)\n", est->expectation,
+                  timer.ElapsedMillis());
+      return 0;
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) break;
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  if (!args.count("summary")) {
+    std::fprintf(stderr,
+                 "usage: entropydb_query --summary FILE [--query Q]\n");
+    return 2;
+  }
+  auto summary = EntropySummary::Load(args["summary"]);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "load: %s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  if (!(*summary)->has_domains()) {
+    std::fprintf(stderr,
+                 "summary has no domain metadata; rebuild it with "
+                 "entropydb_build\n");
+    return 1;
+  }
+  std::fprintf(stderr, "loaded summary: n = %.0f, attributes:",
+               (*summary)->n());
+  for (const auto& name : (*summary)->attr_names()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+
+  if (args.count("query")) {
+    return RunOne(**summary, args["query"]);
+  }
+  std::string line;
+  int rc = 0;
+  while (std::getline(std::cin, line)) {
+    if (std::string(StripWhitespace(line)).empty()) continue;
+    rc = RunOne(**summary, line);
+  }
+  return rc;
+}
