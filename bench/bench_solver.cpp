@@ -127,6 +127,43 @@ void BM_NaivePerVariableDerivatives(benchmark::State& state) {
 }
 BENCHMARK(BM_NaivePerVariableDerivatives);
 
+void BM_AllDerivativesSingleSweep(benchmark::State& state) {
+  // The new engine: ONE prefix/suffix-cofactor sweep over the groups
+  // yields every alpha derivative of every attribute plus every delta
+  // derivative.
+  auto& f = SolverFixture::Get();
+  auto ctx = f.poly->EvaluateUnmasked(f.initial);
+  for (auto _ : state) {
+    auto d = f.poly->AllDerivatives(f.initial, ctx);
+    benchmark::DoNotOptimize(d.delta.data());
+  }
+  state.counters["vars_per_pass"] =
+      static_cast<double>(f.reg->TotalVariables());
+}
+BENCHMARK(BM_AllDerivativesSingleSweep);
+
+void BM_AllDerivativesPerAttributeLoop(benchmark::State& state) {
+  // The old engine for the same output: one batched group walk per
+  // attribute family plus one per multi-dimensional statistic — the
+  // O(num_attrs * groups * width) inner loop the single sweep replaces.
+  auto& f = SolverFixture::Get();
+  auto ctx = f.poly->EvaluateUnmasked(f.initial);
+  for (auto _ : state) {
+    std::vector<std::vector<double>> alpha(f.reg->num_attributes());
+    for (AttrId a = 0; a < f.reg->num_attributes(); ++a) {
+      alpha[a] = f.poly->AlphaDerivatives(f.initial, ctx, a);
+    }
+    std::vector<double> delta(f.reg->num_multi_dim());
+    for (uint32_t j = 0; j < f.reg->num_multi_dim(); ++j) {
+      delta[j] = f.poly->DeltaDerivative(f.initial, ctx, j);
+    }
+    benchmark::DoNotOptimize(delta.data());
+  }
+  state.counters["vars_per_pass"] =
+      static_cast<double>(f.reg->TotalVariables());
+}
+BENCHMARK(BM_AllDerivativesPerAttributeLoop);
+
 void BM_SolverSweep(benchmark::State& state) {
   auto& f = SolverFixture::Get();
   SolverOptions opts;
@@ -157,6 +194,27 @@ void BM_SolveToConvergence(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveToConvergence)->Unit(benchmark::kMillisecond);
 
+void BM_SolverSweepNaiveEvalPerFamily(benchmark::State& state) {
+  // Ablation of the incremental-refresh sweep: the pre-optimization sweep
+  // paid one full polynomial evaluation per attribute family (plus one for
+  // the delta phase). Reproduced here so the speedup stays measurable.
+  auto& f = SolverFixture::Get();
+  for (auto _ : state) {
+    ModelState st = f.initial;
+    for (AttrId a = 0; a < f.reg->num_attributes(); ++a) {
+      auto ctx = f.poly->EvaluateUnmasked(st);
+      auto cof = f.poly->AlphaDerivatives(st, ctx, a);
+      benchmark::DoNotOptimize(cof.data());
+    }
+    auto ctx = f.poly->EvaluateUnmasked(st);
+    for (uint32_t j = 0; j < f.reg->num_multi_dim(); ++j) {
+      auto d = f.poly->DeltaDerivativeLocal(st, ctx, j);
+      benchmark::DoNotOptimize(d);
+    }
+  }
+}
+BENCHMARK(BM_SolverSweepNaiveEvalPerFamily);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+ENTROPYDB_BENCH_MAIN();

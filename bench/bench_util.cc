@@ -6,6 +6,23 @@
 namespace entropydb {
 namespace bench {
 
+void ApplyQuickFlag(int* argc, char** argv) {
+  int out = 1;
+  bool quick = false;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      quick = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (quick) {
+    // 0 = don't overwrite an explicit scale from the caller.
+    setenv("ENTROPYDB_BENCH_SCALE", "0.05", 0);
+  }
+}
+
 BenchScale ReadScale() {
   BenchScale s;
   const char* env = std::getenv("ENTROPYDB_BENCH_SCALE");

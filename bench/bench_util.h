@@ -31,6 +31,11 @@ struct BenchScale {
 /// Reads the scale factor from the environment.
 BenchScale ReadScale();
 
+/// Consumes a leading `--quick` flag (if present): removes it from argv and
+/// shrinks the workload scale via ENTROPYDB_BENCH_SCALE (unless the caller
+/// already set one) so CI smoke runs finish in seconds.
+void ApplyQuickFlag(int* argc, char** argv);
+
 /// The four attribute pairs of Fig 4 resolved against a flights table:
 /// 1 = (origin, distance), 2 = (dest, distance), 3 = (fl_time, distance),
 /// 4 = (origin, dest).
@@ -91,5 +96,17 @@ void PrintHeader(const std::string& title);
 
 }  // namespace bench
 }  // namespace entropydb
+
+/// BENCHMARK_MAIN() replacement that understands --quick (see
+/// ApplyQuickFlag). Used by the benches CI runs on every push.
+#define ENTROPYDB_BENCH_MAIN()                                          \
+  int main(int argc, char** argv) {                                     \
+    ::entropydb::bench::ApplyQuickFlag(&argc, argv);                    \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }
 
 #endif  // ENTROPYDB_BENCH_BENCH_UTIL_H_

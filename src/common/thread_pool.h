@@ -1,0 +1,145 @@
+#ifndef ENTROPYDB_COMMON_THREAD_POOL_H_
+#define ENTROPYDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace entropydb {
+
+/// \brief A small fixed-size worker pool for data-parallel loops.
+///
+/// The evaluation engine uses it to spread independent per-component work
+/// (polynomial evaluation, the derivative sweep) across cores. Submitted
+/// tasks must not block on each other; ParallelFor below is the intended
+/// entry point.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Process-wide pool sized to the hardware, created on first use. Returns
+  /// nullptr on single-core machines, which callers treat as "run inline".
+  static ThreadPool* Shared() {
+    static ThreadPool* pool = [] {
+      unsigned hw = std::thread::hardware_concurrency();
+      return hw >= 2 ? new ThreadPool(hw) : nullptr;
+    }();
+    return pool;
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// \brief Runs fn(i) for every i in [0, n), on the shared pool when one
+/// exists and `n` is worth fanning out, inline otherwise.
+///
+/// Iterations must be independent and write disjoint outputs; results are
+/// then identical to the serial loop regardless of thread count (the
+/// evaluation engine relies on this for reproducibility). The call blocks
+/// until every iteration has finished.
+template <typename Fn>
+void ParallelFor(size_t n, size_t min_parallel, const Fn& fn) {
+  ThreadPool* pool = ThreadPool::Shared();
+  if (pool == nullptr || n < 2 || n < min_parallel) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t next = 0;
+  size_t active = 0;
+  std::exception_ptr first_error;
+  const size_t fan = std::min(n, pool->num_threads());
+  // A throw from fn is captured (first one wins), remaining iterations are
+  // abandoned, and the exception rethrows on the calling thread — never
+  // before every worker has left the shared stack frame, and never out of
+  // a pool thread (which would std::terminate).
+  auto drain = [&]() noexcept {
+    for (;;) {
+      size_t i;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (next >= n) break;
+        i = next++;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        next = n;  // stop handing out work
+      }
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    active = fan - 1;
+  }
+  for (size_t t = 0; t + 1 < fan; ++t) {
+    pool->Submit([&] {
+      drain();
+      std::lock_guard<std::mutex> lock(mu);
+      if (--active == 0) done_cv.notify_one();
+    });
+  }
+  drain();  // the calling thread participates
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return active == 0; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_COMMON_THREAD_POOL_H_

@@ -19,7 +19,7 @@ QueryAnswerer::QueryAnswerer(const VariableRegistry& reg,
                              const CompressedPolynomial& poly,
                              const ModelState& state)
     : reg_(reg), poly_(poly), state_(state) {
-  full_value_ = poly_.EvaluateUnmasked(state_).value;
+  full_value_ = poly_.PrepareWorkspace(state_, &ws_).value;
 }
 
 Result<QueryEstimate> QueryAnswerer::Answer(const CountingQuery& q) const {
@@ -30,7 +30,11 @@ Result<QueryEstimate> QueryAnswerer::Answer(const CountingQuery& q) const {
     return Status::FailedPrecondition("summary is not solved (P <= 0)");
   }
   QueryMask mask = QueryMask::FromQuery(q, reg_.domain_sizes());
-  const double masked = poly_.Evaluate(state_, mask).value;
+  double masked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    masked = poly_.MaskedEvaluate(state_, mask, &ws_).value;
+  }
   const double p = std::clamp(masked / full_value_, 0.0, 1.0);
   QueryEstimate est;
   est.expectation = reg_.n() * p;
@@ -54,8 +58,12 @@ Result<std::vector<QueryEstimate>> QueryAnswerer::AnswerGroupByAttribute(
   CountingQuery relaxed = base;
   relaxed.Where(a, AttrPredicate::Any());
   QueryMask mask = QueryMask::FromQuery(relaxed, reg_.domain_sizes());
-  auto ctx = poly_.Evaluate(state_, mask);
-  auto cof = poly_.AlphaDerivatives(state_, ctx, a);
+  std::vector<double> cof;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto eval = poly_.MaskedEvaluate(state_, mask, &ws_);
+    cof = poly_.MaskedAlphaDerivatives(state_, eval, a, &ws_);
+  }
 
   const AttrPredicate& pred = base.predicate(a);
   const double n = reg_.n();
@@ -109,16 +117,46 @@ Result<std::map<std::vector<Code>, QueryEstimate>> QueryAnswerer::AnswerGroupBy(
     const std::vector<AttrId>& attrs,
     const std::vector<std::vector<Code>>& keys,
     const CountingQuery& base) const {
+  if (base.num_attributes() != reg_.num_attributes()) {
+    return Status::InvalidArgument("query arity does not match the summary");
+  }
+  for (AttrId a : attrs) {
+    if (a >= reg_.num_attributes()) {
+      return Status::OutOfRange("group-by attribute out of range");
+    }
+  }
+  if (!(full_value_ > 0.0)) {
+    return Status::FailedPrecondition("summary is not solved (P <= 0)");
+  }
+  // One masked evaluation with every group-by attribute relaxed serves all
+  // keys; each key only re-walks the components its attributes touch, with
+  // point lookups substituted for that attribute's range sums.
+  CountingQuery relaxed = base;
+  for (AttrId a : attrs) relaxed.Where(a, AttrPredicate::Any());
+  QueryMask mask = QueryMask::FromQuery(relaxed, reg_.domain_sizes());
+  // The per-key point overrides consume the masked evaluation's workspace
+  // residue, so the whole batch holds the lock.
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto eval = poly_.MaskedEvaluate(state_, mask, &ws_);
+
+  const double n = reg_.n();
   std::map<std::vector<Code>, QueryEstimate> out;
   for (const auto& key : keys) {
     if (key.size() != attrs.size()) {
       return Status::InvalidArgument("group-by key arity mismatch");
     }
-    CountingQuery q = base;
+    QueryEstimate est;
+    bool in_domain = true;
     for (size_t i = 0; i < attrs.size(); ++i) {
-      q.Where(attrs[i], AttrPredicate::Point(key[i]));
+      if (key[i] >= reg_.domain_size(attrs[i])) in_domain = false;
     }
-    ASSIGN_OR_RETURN(QueryEstimate est, Answer(q));
+    if (in_domain) {
+      const double masked =
+          poly_.PointOverrideValue(state_, eval, attrs, key, &ws_);
+      const double p = std::clamp(masked / full_value_, 0.0, 1.0);
+      est.expectation = n * p;
+      est.variance = n * p * (1.0 - p);
+    }
     out.emplace(key, est);
   }
   return out;

@@ -42,12 +42,15 @@ Result<SolverReport> GradientMaxEntSolver::Solve(ModelState* state) const {
 
   for (size_t it = 0; it < opts_.max_iterations; ++it) {
     // Gradient in theta-space: g_j = (s_j - E_j) / n (normalized so the
-    // step size is scale-free).
+    // step size is scale-free). One cofactor sweep produces every
+    // derivative — alpha and delta alike — instead of a group walk per
+    // attribute family plus one per statistic.
+    const auto derivs = poly_.AllDerivatives(*state, ctx);
     std::vector<std::vector<double>> alpha_grad(reg_.num_attributes());
     std::vector<double> delta_grad(reg_.num_multi_dim(), 0.0);
     double max_err = 0.0;
     for (AttrId a = 0; a < reg_.num_attributes(); ++a) {
-      auto cof = poly_.AlphaDerivatives(*state, ctx, a);
+      const std::vector<double>& cof = derivs.alpha[a];
       alpha_grad[a].resize(reg_.domain_size(a), 0.0);
       for (Code v = 0; v < reg_.domain_size(a); ++v) {
         const double s = reg_.OneDTarget(a, v);
@@ -66,9 +69,7 @@ Result<SolverReport> GradientMaxEntSolver::Solve(ModelState* state) const {
         state->delta[j] = 0.0;
         continue;
       }
-      const double e =
-          n * state->delta[j] * poly_.DeltaDerivative(*state, ctx, j) /
-          ctx.value;
+      const double e = n * state->delta[j] * derivs.delta[j] / ctx.value;
       delta_grad[j] = (s - e) / n;
       max_err = std::max(max_err, std::abs(s - e) / n);
     }

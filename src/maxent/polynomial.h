@@ -12,6 +12,8 @@
 
 namespace entropydb {
 
+class EvalWorkspace;
+
 /// Knobs for polynomial construction.
 struct PolynomialOptions {
   /// Hard cap on the number of compressed groups; Build fails with
@@ -19,6 +21,11 @@ struct PolynomialOptions {
   /// point where gathering "all possible multi-dimensional statistics" makes
   /// the compressed form larger than the SOP polynomial, Sec 4.1).
   size_t max_groups = 4'000'000;
+  /// Spread evaluation / derivative sweeps across connected components on
+  /// the shared thread pool once the group count reaches this threshold.
+  /// Components are independent factors, so the fan-out is deterministic.
+  /// SIZE_MAX disables parallelism.
+  size_t parallel_min_groups = 16'384;
 };
 
 /// \brief The compressed MaxEnt polynomial P of Theorem 4.1.
@@ -42,6 +49,14 @@ struct PolynomialOptions {
 ///
 /// The polynomial is multilinear: every variable (1-D alpha or
 /// multi-dimensional delta) has degree one, which the solver exploits.
+///
+/// Two evaluation tiers exist (see docs/PERFORMANCE.md):
+///  - the EvalContext tier: self-contained full evaluations, used by the
+///    solvers and tests, with RefreshAttr for incremental maintenance; and
+///  - the EvalWorkspace tier: cached unmasked factors for the query path,
+///    where a masked evaluation touches only what the mask constrains.
+class ComponentSweep;
+
 class CompressedPolynomial {
  public:
   /// Builds the compressed structure for the registry's statistics.
@@ -63,12 +78,42 @@ class CompressedPolynomial {
     double value = 0.0;
   };
 
+  /// \brief Every first-order derivative of P at once, produced by a single
+  /// prefix/suffix-cofactor sweep over the groups (AllDerivatives).
+  struct DerivativeSet {
+    /// alpha[a][v] = dP/dalpha_{a,v}.
+    std::vector<std::vector<double>> alpha;
+    /// delta[j] = dP/ddelta_j.
+    std::vector<double> delta;
+    /// delta_local[j] = dP_c/ddelta_j restricted to j's component.
+    std::vector<double> delta_local;
+  };
+
+  /// \brief Compact result of an incremental masked evaluation. Unlike
+  /// EvalContext it carries no per-attribute prefix sums — those stay cached
+  /// inside the EvalWorkspace, so producing one is O(constrained domains +
+  /// groups of the touched components) instead of O(sum_i N_i + all groups).
+  struct MaskedEval {
+    double value = 0.0;
+    /// Product of effective totals over free attributes.
+    double free_product = 1.0;
+    /// Per component: P_c under the mask (cached value when untouched).
+    std::vector<double> comp_value;
+  };
+
   /// Evaluates P with some 1-D variables zeroed (Sec 4.2 optimized query
   /// answering). O(sum_i N_i + total group factors).
   EvalContext Evaluate(const ModelState& state, const QueryMask& mask) const;
 
   /// Evaluates P with no mask.
   EvalContext EvaluateUnmasked(const ModelState& state) const;
+
+  /// Rebuilds the parts of `ctx` that depend on attribute `a`'s alphas —
+  /// prefix sums, attribute total, the component (or free-attribute) product
+  /// it feeds, and P — after the caller changed them. O(N_a + groups of
+  /// a's component) versus a full re-evaluation's O(sum_i N_i + all
+  /// groups); this is what makes a whole Gauss-Seidel sweep one evaluation.
+  void RefreshAttr(const ModelState& state, AttrId a, EvalContext* ctx) const;
 
   /// dP/dalpha_{a,v} for every v of attribute `a`, in one batched pass over
   /// the groups (difference-array trick). `ctx` must come from `state`.
@@ -79,6 +124,17 @@ class CompressedPolynomial {
                                        const EvalContext& ctx,
                                        AttrId a) const;
 
+  /// \brief All alpha and delta derivatives in ONE sweep over the groups.
+  ///
+  /// Each group's factor list (interval factors, then delta factors) is
+  /// walked once with running prefix products and a running suffix product;
+  /// the cofactor of factor i is prefix[i] * suffix[i+1], with no division,
+  /// so zero factors are exact. Total cost O(sum_g width_g + sum_i N_i) —
+  /// the per-attribute loop this replaces paid the group walk once per
+  /// attribute. Used by the gradient solver and the convergence metric.
+  DerivativeSet AllDerivatives(const ModelState& state,
+                               const EvalContext& ctx) const;
+
   /// dP/ddelta_j for one multi-dimensional statistic.
   double DeltaDerivative(const ModelState& state, const EvalContext& ctx,
                          uint32_t j) const;
@@ -87,8 +143,85 @@ class CompressedPolynomial {
   double DeltaDerivativeLocal(const ModelState& state, const EvalContext& ctx,
                               uint32_t j) const;
 
+  // ------------------------------------------------------------------
+  // Fused Gauss-Seidel support (the solver's inner loop).
+  // ------------------------------------------------------------------
+
+  /// Attribute order that groups families by connected component (free
+  /// attributes first). Sweeping in this order lets consecutive families
+  /// share the fused refresh below without cross-component fixups.
+  const std::vector<AttrId>& FamilyOrder() const { return family_order_; }
+
+  /// Per group of component `c`: product of the (delta_j - 1) factors.
+  /// Fixed for the whole alpha phase of a sweep; computed once per sweep.
+  std::vector<double> ComponentDeltaProducts(int c,
+                                             const ModelState& state) const;
+
+  /// Family walk for a FREE attribute `a`: refreshes ctx->free_product /
+  /// ctx->value from the current attribute totals and returns the (uniform)
+  /// cofactors dP/dalpha_{a,v}. Component attributes are driven by
+  /// ComponentSweep instead.
+  std::vector<double> FreeFamilyCofactorsAndRefresh(AttrId a,
+                                                    EvalContext* ctx) const;
+
+
+  /// Per component, per group: the product of the group's interval factors
+  /// only (no delta factors) under `ctx`. The solver derives these from
+  /// ComponentSweep's running prefix instead; this direct recomputation is
+  /// the reference implementation the equivalence tests validate that
+  /// prefix (and DeltaDerivativeLocalCached) against.
+  std::vector<std::vector<double>> GroupRangeSumProducts(
+      const EvalContext& ctx) const;
+
+  /// DeltaDerivativeLocal against cached interval products for j's
+  /// component (from GroupRangeSumProducts or ComponentSweep; delta factors
+  /// are read live from `state`).
+  double DeltaDerivativeLocalCached(const ModelState& state,
+                                    const std::vector<double>& rs_prod,
+                                    uint32_t j) const;
+
   /// Product of all factors of P except component `comp`'s value.
   double OuterProduct(const EvalContext& ctx, int comp) const;
+
+  // ------------------------------------------------------------------
+  // Workspace tier: cached factors for the interactive query path.
+  // ------------------------------------------------------------------
+
+  /// Fills (or revalidates) `ws` for `state`: the unmasked EvalContext plus
+  /// per-group interval-factor and delta-factor products. Subsequent masked
+  /// evaluations against the same state reuse all of it; the caller must
+  /// Invalidate() the workspace after mutating the state.
+  const EvalContext& PrepareWorkspace(const ModelState& state,
+                                      EvalWorkspace* ws) const;
+
+  /// \brief Incremental masked evaluation (the Sec 4.2 oracle, cached).
+  ///
+  /// Only the attributes the mask constrains get fresh prefix sums, and only
+  /// the components containing them get their groups re-walked — untouched
+  /// components reuse the cached unmasked value, and every delta-factor
+  /// product comes from the workspace cache. The common interactive query
+  /// constrains 1-3 attributes of many, making this far cheaper than
+  /// Evaluate. Leaves per-attribute masked state in `ws` for the
+  /// *AlphaDerivatives / PointOverrideValue follow-ups below.
+  MaskedEval MaskedEvaluate(const ModelState& state, const QueryMask& mask,
+                            EvalWorkspace* ws) const;
+
+  /// Per-value dP[mask]/dalpha_{a,v} via one cofactor pass over `a`'s
+  /// component. `eval` must come from a MaskedEvaluate of the same mask on
+  /// `ws`, with attribute `a` unconstrained (the group-by convention).
+  std::vector<double> MaskedAlphaDerivatives(const ModelState& state,
+                                             const MaskedEval& eval, AttrId a,
+                                             EvalWorkspace* ws) const;
+
+  /// P under `eval`'s mask with each attrs[i] pinned to the single code
+  /// codes[i] (overriding the mask on those attributes) — the group-by-keys
+  /// fast path: O(groups of the touched components) per key, no prefix
+  /// rebuilds. `eval` must come from a MaskedEvaluate of the same mask on
+  /// `ws`.
+  double PointOverrideValue(const ModelState& state, const MaskedEval& eval,
+                            const std::vector<AttrId>& attrs,
+                            const std::vector<Code>& codes,
+                            EvalWorkspace* ws) const;
 
   /// Component index of attribute `a`, or -1 when the attribute is free.
   int ComponentOfAttr(AttrId a) const { return attr_component_[a]; }
@@ -111,6 +244,9 @@ class CompressedPolynomial {
   size_t MaxSetSize() const;
 
  private:
+  friend class EvalWorkspace;
+  friend class ComponentSweep;
+
   struct Component {
     std::vector<AttrId> attrs;      ///< sorted attribute ids
     std::vector<uint32_t> stats;    ///< global multi-dim stat ids, sorted
@@ -126,23 +262,146 @@ class CompressedPolynomial {
   };
 
   /// Recursively extends a compatible set with higher-indexed statistics.
-  static Status EnumerateGroups(const VariableRegistry& reg, Component* comp,
-                                size_t max_groups);
+  Status EnumerateGroups(const VariableRegistry& reg, Component* comp,
+                         size_t max_groups);
 
-  /// Product over the group's interval factors, skipping attribute position
-  /// `skip_pos` (pass SIZE_MAX to include all), times the group's delta
-  /// factors (skipping global stat `skip_stat`, pass UINT32_MAX to keep all).
+  /// Product over the group's delta factors (skipping global stat
+  /// `skip_stat`, pass UINT32_MAX to keep all) times the group's interval
+  /// factors, skipping attribute position `skip_pos` (pass SIZE_MAX to
+  /// include all). Delta factors are multiplied first: they are cheap and
+  /// frequently zero (pinned or neutral deltas), so the zero short-circuit
+  /// fires before any prefix-sum lookups.
   double GroupProduct(const Component& comp, size_t g,
                       const EvalContext& ctx, const ModelState& state,
                       size_t skip_pos, uint32_t skip_stat) const;
+
+  /// P_c for component `c` under `ctx`'s prefix sums / totals.
+  double ComponentValue(const Component& comp, const EvalContext& ctx,
+                        const ModelState& state) const;
+
+  /// True when component fan-out is worthwhile for this polynomial.
+  bool UseParallelComponents() const;
 
   std::vector<uint32_t> domain_sizes_;
   std::vector<AttrId> free_attrs_;
   std::vector<Component> components_;
   std::vector<int> attr_component_;    ///< per attribute; -1 = free
   std::vector<int> delta_component_;   ///< per multi-dim stat
-  /// Per component, per attr position: local position lookup by attribute.
-  std::vector<std::unordered_map<AttrId, size_t>> attr_pos_;
+  /// Per multi-dim stat: its local index within its component's `stats`
+  /// (precomputed at build time; replaces binary searches on hot paths).
+  std::vector<uint32_t> delta_local_;
+  /// Per attribute: local position within its component's `attrs`
+  /// (meaningless for free attributes).
+  std::vector<size_t> attr_local_;
+  /// Free attributes first, then each component's attributes (FamilyOrder).
+  std::vector<AttrId> family_order_;
+  size_t parallel_min_groups_ = SIZE_MAX;
+  size_t num_groups_ = 0;
+};
+
+/// \brief Drives one component's alpha phase of a Gauss-Seidel sweep with
+/// a single prefix/suffix-cofactor pass.
+///
+/// The solver updates families in increasing local position order, so a
+/// group's cofactor at position p factorizes as
+///
+///   (updated columns < p, accumulated as a running prefix product) *
+///   (untouched columns > p, from ONE backward suffix pass per sweep) *
+///   (the group's delta product, frozen for the whole alpha phase)
+///
+/// making every family walk one multiply per group instead of a fresh
+/// O(width) product — the sweep's total group work is O(groups * width)
+/// for ALL families together. The interval-factor matrix persists across
+/// sweeps (only updated columns are rewritten), and after the last family
+/// the running prefix IS the per-group interval product the delta phase
+/// needs, for free.
+class ComponentSweep {
+ public:
+  ComponentSweep(const CompressedPolynomial& poly, int c)
+      : poly_(&poly), c_(c) {}
+
+  /// Starts a sweep: refreshes the delta products and the suffix products
+  /// (factors carry over from the previous sweep; built on first use).
+  void BeginSweep(const ModelState& state,
+                  const CompressedPolynomial::EvalContext& ctx);
+
+  /// Full cofactors dP/dalpha_{a,v} of the next family (families must be
+  /// visited in increasing local position order). Also refreshes the
+  /// component's value and P in `ctx`.
+  std::vector<double> FamilyCofactors(AttrId a,
+                                      CompressedPolynomial::EvalContext* ctx);
+
+  /// Folds family `a` into the running prefix after its update completed.
+  /// `alphas_changed` says whether ctx->prefix[a] was rebuilt (otherwise
+  /// the cached column is reused).
+  void Advance(AttrId a, bool alphas_changed,
+               const CompressedPolynomial::EvalContext& ctx);
+
+  /// Per-group interval products — valid once every family has advanced;
+  /// feeds DeltaDerivativeLocalCached in the delta phase.
+  const std::vector<double>& RangeSumProducts() const { return prefix_run_; }
+
+  /// P_c from the finished products (base term from ctx's totals).
+  double ComponentValue(
+      const CompressedPolynomial::EvalContext& ctx) const;
+
+ private:
+  const CompressedPolynomial* poly_;
+  int c_;
+  bool factors_built_ = false;
+  /// Flat [g * nattrs + i]: interval factors; persists across sweeps.
+  std::vector<double> factors_;
+  /// Per group: product of (delta_j - 1); refreshed each BeginSweep.
+  std::vector<double> delta_prod_;
+  /// Flat [g * (nattrs + 1) + i]: product of factors at positions >= i.
+  std::vector<double> suffix_;
+  /// Per group: product of already-advanced columns.
+  std::vector<double> prefix_run_;
+};
+
+/// \brief Reusable scratch + cache for the workspace evaluation tier.
+///
+/// Owns the cached unmasked EvalContext, per-group factor products, and the
+/// per-attribute masked prefix sums of the most recent masked evaluation.
+/// Bound to one (polynomial, state) pair at a time: PrepareWorkspace fills
+/// it, Invalidate() drops it (call after mutating the model state). A
+/// workspace is NOT safe for concurrent use; give each query thread its own.
+class EvalWorkspace {
+ public:
+  EvalWorkspace() = default;
+
+  /// Drops every cached product; the next use rebuilds from scratch.
+  void Invalidate() { valid_ = false; }
+  bool valid() const { return valid_; }
+
+  /// The cached unmasked context (PrepareWorkspace must have run).
+  const CompressedPolynomial::EvalContext& unmasked() const {
+    return unmasked_;
+  }
+
+ private:
+  friend class CompressedPolynomial;
+
+  bool valid_ = false;
+  CompressedPolynomial::EvalContext unmasked_;
+  /// Per component, flat [g * nattrs + i]: group g's unmasked interval
+  /// factor at attribute position i.
+  std::vector<std::vector<double>> rs_factor_;
+  /// Per component, flat [g * nattrs + i]: delta product * product of the
+  /// OTHER positions' unmasked interval factors — the skip-position
+  /// cofactor. A component with exactly one constrained attribute is then
+  /// one fused multiply-add per group.
+  std::vector<std::vector<double>> skip_cof_;
+  /// Per component, per group: product of the (delta_j - 1) factors.
+  std::vector<std::vector<double>> delta_prod_;
+
+  // --- state of the most recent MaskedEvaluate ---
+  std::vector<uint8_t> attr_masked_;     ///< per attribute: constrained?
+  std::vector<AttrId> constrained_;      ///< the constrained attributes
+  std::vector<PrefixSum> masked_prefix_; ///< built only for constrained ones
+  std::vector<double> eff_total_;        ///< per attribute: T_i under mask
+  std::vector<double> buf_;              ///< masked-alpha scratch
+  std::vector<uint8_t> comp_scratch_;    ///< per component: touched flags
 };
 
 }  // namespace entropydb

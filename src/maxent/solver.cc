@@ -14,29 +14,78 @@ namespace {
 constexpr double kTinyCofactor = 1e-300;
 }  // namespace
 
-Result<double> MaxEntSolver::Sweep(ModelState* state) const {
+Result<double> MaxEntSolver::Sweep(
+    ModelState* state, CompressedPolynomial::EvalContext* ctx_ptr,
+    std::vector<ComponentSweep>* sweeps) const {
+  auto& ctx = *ctx_ptr;
   const double n = reg_.n();
   double max_err = 0.0;
 
   // ---- 1-D families, one attribute at a time (exact Gauss-Seidel). ----
-  for (AttrId a = 0; a < reg_.num_attributes(); ++a) {
-    auto ctx = poly_.EvaluateUnmasked(*state);
+  // Families are visited grouped by connected component, in increasing
+  // local position order, so each ComponentSweep serves every family of
+  // its component from one suffix pass plus a running prefix product (one
+  // multiply per group per family). Deltas are frozen during the alpha
+  // phase; their per-group products are computed once per sweep.
+  bool has_dirty = false;
+  AttrId dirty = 0;
+  int prev_comp = -1;
+  // Brings ctx current after the update of `dirty` (or just advances the
+  // component's running prefix when nothing changed).
+  auto sync_dirty = [&](int next_comp) {
+    ctx.prefix[dirty].Build(state->alpha[dirty]);
+    ctx.attr_total[dirty] = ctx.prefix[dirty].Total();
+    const int cd = poly_.ComponentOfAttr(dirty);
+    if (cd >= 0) {
+      sweeps->at(cd).Advance(dirty, /*alphas_changed=*/true, ctx);
+      if (cd != next_comp) {
+        // Leaving the component: fold its refreshed value into ctx (the
+        // in-component case is folded by the next family walk itself).
+        ctx.comp_value[cd] = sweeps->at(cd).ComponentValue(ctx);
+      }
+    } else if (next_comp != -1) {
+      // A free family changed and the next walk is not another free family
+      // (whose own pass would rebuild this anyway): refresh free_product.
+      ctx.free_product = 1.0;
+      for (AttrId f : poly_.FamilyOrder()) {
+        if (poly_.ComponentOfAttr(f) < 0) {
+          ctx.free_product *= ctx.attr_total[f];
+        }
+      }
+    }
+    has_dirty = false;
+  };
+  constexpr int kSweepEnd = -2;
+  for (AttrId a : poly_.FamilyOrder()) {
+    const int ca = poly_.ComponentOfAttr(a);
+    if (has_dirty) sync_dirty(ca);
+    std::vector<double> cof;
+    if (ca >= 0) {
+      if (ca != prev_comp) sweeps->at(ca).BeginSweep(*state, ctx);
+      // Cofactors A_v = dP/dalpha_{a,v}: independent of the whole family's
+      // current values, so one batch serves the entire sequential sweep.
+      cof = sweeps->at(ca).FamilyCofactors(a, &ctx);
+    } else {
+      cof = poly_.FreeFamilyCofactorsAndRefresh(a, &ctx);
+    }
+    prev_comp = ca;
     if (!(ctx.value > 0.0) || !std::isfinite(ctx.value)) {
       return Status::FailedPrecondition(
           "polynomial evaluated to a non-positive value during solving; "
           "statistics are inconsistent or numerically degenerate");
     }
-    // Cofactors A_v = dP/dalpha_{a,v}: independent of the whole family's
-    // current values, so one batch serves the entire sequential sweep.
-    std::vector<double> cof = poly_.AlphaDerivatives(*state, ctx, a);
     double p = ctx.value;
+    bool changed = false;
     for (Code v = 0; v < reg_.domain_size(a); ++v) {
       const double s = reg_.OneDTarget(a, v);
       const double av = cof[v];
       double& alpha = state->alpha[a][v];
       if (s <= 0.0) {
         // Zero statistic: pinned; P already reflects alpha = 0.
-        alpha = 0.0;
+        if (alpha != 0.0) {
+          alpha = 0.0;
+          changed = true;
+        }
         continue;
       }
       if (av <= kTinyCofactor || s >= n) continue;  // no mass / saturated
@@ -46,12 +95,24 @@ Result<double> MaxEntSolver::Sweep(ModelState* state) const {
       const double next = s * b / ((n - s) * av);
       p = b + next * av;  // incremental P maintenance
       alpha = next;
+      changed = true;
+    }
+    if (changed) {
+      has_dirty = true;
+      dirty = a;
+    } else if (ca >= 0) {
+      sweeps->at(ca).Advance(a, /*alphas_changed=*/false, ctx);
     }
   }
+  if (has_dirty) sync_dirty(kSweepEnd);
+  ctx.value = ctx.free_product;
+  for (double v : ctx.comp_value) ctx.value *= v;
 
   // ---- Multi-dimensional statistics, one at a time. ----
   if (reg_.num_multi_dim() > 0) {
-    auto ctx = poly_.EvaluateUnmasked(*state);
+    // Each ComponentSweep's finished running prefix IS the per-group
+    // interval product — frozen for the whole delta phase — so every local
+    // cofactor below is O(set size) per group instead of O(group width).
     if (!(ctx.value > 0.0) || !std::isfinite(ctx.value)) {
       return Status::FailedPrecondition(
           "polynomial evaluated to a non-positive value during solving");
@@ -68,7 +129,8 @@ Result<double> MaxEntSolver::Sweep(ModelState* state) const {
       // Local cofactor within the component; the outer factors multiply both
       // numerator and denominator of the update and cancel, but are needed
       // for the error metric.
-      const double local = poly_.DeltaDerivativeLocal(*state, ctx, j);
+      const double local = poly_.DeltaDerivativeLocalCached(
+          *state, sweeps->at(c).RangeSumProducts(), j);
       if (local <= kTinyCofactor) continue;
       const double outer = poly_.OuterProduct(ctx, c);
       const double p = outer * ctx.comp_value[c];
@@ -86,6 +148,10 @@ Result<double> MaxEntSolver::Sweep(ModelState* state) const {
       ctx.comp_value[c] = std::max(comp_b, 0.0) + next * local;
       delta = next;
     }
+    // Leave ctx current for the next sweep (comp_value was maintained
+    // incrementally above; the product needs refolding).
+    ctx.value = ctx.free_product;
+    for (double v : ctx.comp_value) ctx.value *= v;
   }
   return max_err;
 }
@@ -93,8 +159,22 @@ Result<double> MaxEntSolver::Sweep(ModelState* state) const {
 Result<SolverReport> MaxEntSolver::Solve(ModelState* state) const {
   Timer timer;
   SolverReport report;
+  // The only full evaluation of the solve: every sweep hands the context
+  // back current (incremental prefix/component refreshes inside).
+  auto ctx = poly_.EvaluateUnmasked(*state);
+  if (!(ctx.value > 0.0) || !std::isfinite(ctx.value)) {
+    return Status::FailedPrecondition(
+        "polynomial non-positive at the start of solving; statistics are "
+        "inconsistent or numerically degenerate");
+  }
+  // One sweep driver per component; factor matrices persist across sweeps.
+  std::vector<ComponentSweep> sweeps;
+  sweeps.reserve(poly_.NumComponents());
+  for (size_t c = 0; c < poly_.NumComponents(); ++c) {
+    sweeps.emplace_back(poly_, static_cast<int>(c));
+  }
   for (size_t it = 0; it < opts_.max_iterations; ++it) {
-    ASSIGN_OR_RETURN(double err, Sweep(state));
+    ASSIGN_OR_RETURN(double err, Sweep(state, &ctx, &sweeps));
     report.iterations = it + 1;
     report.final_error = err;
     if (opts_.record_trace) report.error_trace.push_back(err);
@@ -115,9 +195,11 @@ double MaxEntSolver::MaxStatisticError(const ModelState& state) const {
   const double n = reg_.n();
   auto ctx = poly_.EvaluateUnmasked(state);
   if (!(ctx.value > 0.0)) return std::numeric_limits<double>::infinity();
+  // One cofactor sweep yields every derivative at once.
+  const auto derivs = poly_.AllDerivatives(state, ctx);
   double max_err = 0.0;
   for (AttrId a = 0; a < reg_.num_attributes(); ++a) {
-    std::vector<double> cof = poly_.AlphaDerivatives(state, ctx, a);
+    const std::vector<double>& cof = derivs.alpha[a];
     for (Code v = 0; v < reg_.domain_size(a); ++v) {
       const double expected = state.alpha[a][v] * cof[v] / ctx.value * n;
       max_err =
@@ -125,8 +207,7 @@ double MaxEntSolver::MaxStatisticError(const ModelState& state) const {
     }
   }
   for (uint32_t j = 0; j < reg_.num_multi_dim(); ++j) {
-    const double av = poly_.DeltaDerivative(state, ctx, j);
-    const double expected = state.delta[j] * av / ctx.value * n;
+    const double expected = state.delta[j] * derivs.delta[j] / ctx.value * n;
     max_err = std::max(
         max_err, std::abs(expected - reg_.multi_dim(j).target) / n);
   }

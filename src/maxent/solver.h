@@ -63,9 +63,14 @@ class MaxEntSolver {
 
  private:
   /// One full sweep over all 1-D families then all multi-dim statistics.
+  /// `ctx` must be current for `state` on entry and is maintained
+  /// incrementally (fused cofactor/refresh passes); it is current again on
+  /// exit, so Solve evaluates the polynomial exactly once up front.
   /// Returns the max normalized error *observed before each update* so the
   /// loop can stop when all statistics already match.
-  Result<double> Sweep(ModelState* state) const;
+  Result<double> Sweep(ModelState* state,
+                       CompressedPolynomial::EvalContext* ctx,
+                       std::vector<ComponentSweep>* sweeps) const;
 
   const VariableRegistry& reg_;
   const CompressedPolynomial& poly_;

@@ -215,10 +215,18 @@ Result<std::shared_ptr<EntropySummary>> EntropySummary::Load(
   state.alpha = std::move(alphas);
   state.delta = std::move(deltas);
   SolverReport report;  // solved offline; report intentionally empty
-  return std::shared_ptr<EntropySummary>(
+  auto summary = std::shared_ptr<EntropySummary>(
       new EntropySummary(std::move(reg), std::move(poly), std::move(state),
                          std::move(report), std::move(names),
                          std::move(domains)));
+  // The answerer warmed its workspace above, so the solved-state sanity
+  // check is free: corrupt or truncated parameters surface here rather
+  // than as FailedPrecondition on the first query.
+  if (!(summary->answerer_->FullPolynomialValue() > 0.0)) {
+    return Status::Corruption(
+        "summary parameters evaluate to a non-positive polynomial: " + path);
+  }
+  return summary;
 }
 
 }  // namespace entropydb

@@ -34,6 +34,15 @@ struct SummaryOptions {
 /// the polynomial (Theorem 4.1) and fits the model (Algorithm 1). The
 /// summary afterwards never touches the base data — its size is governed by
 /// the statistic budget, not the relation (Sec 4.1).
+///
+/// Construction (including Load) eagerly warms the query answerer's
+/// evaluation workspace — the unmasked polynomial value plus per-group
+/// factor caches — so the first query is as fast as every later one; see
+/// docs/PERFORMANCE.md for the evaluation engine's cost model. Queries
+/// share that workspace and serialize on the answerer's internal mutex, so
+/// concurrent calls are safe but not parallel; for parallel throughput
+/// construct one QueryAnswerer per thread over registry()/polynomial()/
+/// state() (each pays its own workspace warm-up).
 class EntropySummary {
  public:
   /// Builds a summary of `table` given the chosen multi-dimensional
@@ -83,6 +92,9 @@ class EntropySummary {
 
   double n() const { return reg_.n(); }
   size_t num_attributes() const { return reg_.num_attributes(); }
+  /// The warmed query answerer (e.g. to read FullPolynomialValue, or to
+  /// construct additional per-thread answerers against state()).
+  const QueryAnswerer& answerer() const { return *answerer_; }
   const VariableRegistry& registry() const { return reg_; }
   const CompressedPolynomial& polynomial() const { return poly_; }
   const ModelState& state() const { return state_; }
