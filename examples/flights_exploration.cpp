@@ -48,6 +48,8 @@ int main() {
   }
   Timer build_timer;
   auto summary = Unwrap(EntropySummary::Build(table, stats));
+  // Serve it through the engine facade, as a deployment would.
+  auto engine = EntropyEngine::FromSummary(summary);
   std::printf("summary built in %.2fs (%zu iterations, %zu groups)\n",
               build_timer.ElapsedSeconds(),
               summary->solver_report().iterations,
@@ -63,7 +65,7 @@ int main() {
   for (Code o = 0; o < table.domain(origin).size(); ++o) {
     origin_keys.push_back({o});
   }
-  auto groups = Unwrap(summary->AnswerGroupBy(
+  auto groups = Unwrap(engine->AnswerGroupBy(
       {origin}, origin_keys, CountingQuery(table.num_attributes())));
   std::vector<std::pair<double, Code>> ranked;
   for (const auto& [key, est] : groups) {
@@ -99,7 +101,7 @@ int main() {
                         .WhereCode("origin", top_origin)
                         .WhereBetween("distance", band.lo, band.hi)
                         .Build());
-    auto est = Unwrap(summary->AnswerCount(q));
+    auto est = Unwrap(engine->AnswerCount(q));
     std::printf("  %-22s est %9.0f   true %9llu\n", band.label,
                 est.expectation,
                 static_cast<unsigned long long>(exact.Count(q)));
@@ -122,7 +124,7 @@ int main() {
                            .WhereCode("origin", small_origin)
                            .WhereBetween("distance", 1500, 2915)
                            .Build());
-  auto rare_est = Unwrap(summary->AnswerCount(rare_q));
+  auto rare_est = Unwrap(engine->AnswerCount(rare_q));
   auto uni = Unwrap(UniformSampler::Create(table, 0.01, 9));
   double sample_est = SampleEstimator(uni).Count(rare_q).expectation;
   auto [ci_lo, ci_hi] = rare_est.ConfidenceInterval(1.96, n);

@@ -1,5 +1,6 @@
-// Quickstart: build a MaxEnt summary of a synthetic flights table and answer
-// a few exploratory queries, comparing against the exact answers.
+// Quickstart: build a multi-summary store over a synthetic flights table
+// and answer exploratory queries through the routed engine facade,
+// comparing against the exact answers.
 //
 // Run:  ./build/examples/quickstart
 
@@ -25,37 +26,34 @@ int main() {
               table.num_rows(), table.num_attributes(),
               table.NumPossibleTuples());
 
-  // 2. Pick correlated attribute pairs and gather COMPOSITE 2-D statistics.
+  // 2. Build the store: one summary per top-ranked correlated pair
+  // (excluding the near-uniform flight date), solved in parallel.
   auto date_attr = table.schema().IndexOf("fl_date");
-  auto ranked = PairSelector::RankPairs(table, {*date_attr});
-  auto chosen =
-      PairSelector::Choose(ranked, /*ba=*/2, PairStrategy::kAttributeCover);
-  StatisticSelector selector(SelectionHeuristic::kComposite);
-  std::vector<MultiDimStatistic> stats;
-  for (const auto& pair : chosen) {
-    std::printf("2-D statistics on (%s, %s), Cramer's V = %.3f\n",
-                table.schema().attribute(pair.a).name.c_str(),
-                table.schema().attribute(pair.b).name.c_str(),
-                pair.cramers_v);
-    auto s = selector.Select(table, pair.a, pair.b, /*budget=*/300);
-    stats.insert(stats.end(), s.begin(), s.end());
-  }
-
-  // 3. Build the summary (compress the polynomial + solve the model).
-  auto summary_r = EntropySummary::Build(table, stats);
-  if (!summary_r.ok()) {
-    std::fprintf(stderr, "build: %s\n", summary_r.status().ToString().c_str());
+  StoreOptions opts;
+  opts.num_summaries = 2;
+  opts.total_budget = 600;  // 300 2-D statistics per pair
+  opts.exclude = {*date_attr};
+  auto store_r = SummaryStore::Build(table, opts);
+  if (!store_r.ok()) {
+    std::fprintf(stderr, "build: %s\n", store_r.status().ToString().c_str());
     return 1;
   }
-  auto summary = *summary_r;
-  const auto& report = summary->solver_report();
-  std::printf(
-      "summary: %zu variables, %zu compressed groups vs %.3g uncompressed "
-      "terms,\n  solved in %zu iterations (err %.2e, %.2fs, converged=%s)\n",
-      summary->registry().TotalVariables(), summary->polynomial().NumGroups(),
-      summary->polynomial().UncompressedTermCount(), report.iterations,
-      report.final_error, report.wall_seconds,
-      report.converged ? "yes" : "no");
+  auto store = *store_r;
+  for (size_t k = 0; k < store->size(); ++k) {
+    const ScoredPair& pair = store->entry(k).pairs.front();
+    const auto& report = store->summary(k).solver_report();
+    std::printf(
+        "summary %zu: (%s, %s) V = %.3f — %zu groups, solved in %zu "
+        "iterations (err %.2e)\n",
+        k, table.schema().attribute(pair.a).name.c_str(),
+        table.schema().attribute(pair.b).name.c_str(), pair.cramers_v,
+        store->summary(k).polynomial().NumGroups(), report.iterations,
+        report.final_error);
+  }
+
+  // 3. Serve it: the engine routes each query to the summary whose modeled
+  // correlations cover it.
+  auto engine = EntropyEngine::FromStore(store);
 
   // 4. Ask exploratory questions; compare with the exact scan.
   ExactEvaluator exact(table);
@@ -79,23 +77,25 @@ int main() {
            .Build()},
   };
 
-  std::printf("\n%-42s %12s %12s %10s\n", "query", "true", "estimate",
-              "stddev");
+  std::printf("\n%-42s %12s %12s %10s %8s\n", "query", "true", "estimate",
+              "stddev", "routed");
   for (auto& ex : examples) {
     if (!ex.query.ok()) {
       std::fprintf(stderr, "query build: %s\n",
                    ex.query.status().ToString().c_str());
       return 1;
     }
-    auto est = summary->AnswerCount(*ex.query);
+    RouteDecision dec;
+    auto est = engine->AnswerCount(*ex.query, &dec);
     if (!est.ok()) {
       std::fprintf(stderr, "answer: %s\n", est.status().ToString().c_str());
       return 1;
     }
     uint64_t truth = exact.Count(*ex.query);
-    std::printf("%-42s %12llu %12.1f %10.1f\n", ex.label,
+    std::printf("%-42s %12llu %12.1f %10.1f %5zu%s\n", ex.label,
                 static_cast<unsigned long long>(truth), est->expectation,
-                est->StdDev());
+                est->StdDev(), dec.index, dec.fallback ? "*" : "");
   }
+  std::printf("(* = fallback: no summary models the queried pair)\n");
   return 0;
 }

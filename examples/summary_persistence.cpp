@@ -1,9 +1,12 @@
-// Offline/online split (Sec 5): build and persist a summary, then answer
-// queries from the file alone — no base data needed at query time.
+// Offline/online split (Sec 5): build and persist a summary AND a
+// multi-summary store, then answer queries from the files alone — no base
+// data needed at query time. EntropyEngine::Open dispatches on the path:
+// a file loads the single summary, a directory loads the routed store.
 //
 // Run:  ./build/examples/summary_persistence
 
 #include <cstdio>
+#include <filesystem>
 
 #include "entropydb.h"
 
@@ -24,6 +27,7 @@ T Unwrap(Result<T> r) {
 
 int main() {
   const std::string path = "/tmp/entropydb_flights.edb";
+  const std::string store_dir = "/tmp/entropydb_flights.store";
 
   // ---- offline phase: data -> statistics -> solved summary -> file ----
   {
@@ -39,6 +43,16 @@ int main() {
     Status s = summary->Save(path);
     if (!s.ok()) {
       std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    // A whole store persists the same way, as a directory.
+    StoreOptions sopts;
+    sopts.num_summaries = 2;
+    sopts.total_budget = 600;
+    auto store = Unwrap(SummaryStore::Build(*table, sopts));
+    s = store->Save(store_dir);
+    if (!s.ok()) {
+      std::fprintf(stderr, "store save: %s\n", s.ToString().c_str());
       return 1;
     }
     FILE* f = std::fopen(path.c_str(), "rb");
@@ -81,7 +95,20 @@ int main() {
     std::printf("COUNT(short time AND long distance) = %.2f (a "
                 "near-impossible slice; rounds to %.0f)\n",
                 est2.expectation, est2.RoundedCount());
+
+    // The store restores the same way — without re-solving — and routes.
+    Timer store_timer;
+    auto engine = Unwrap(EntropyEngine::Open(store_dir));
+    std::printf("\nstore: loaded %zu summaries in %.1f ms\n",
+                engine->num_summaries(), store_timer.ElapsedMillis());
+    RouteDecision dec;
+    auto est3 = Unwrap(engine->AnswerCount(q2, &dec));
+    std::printf("COUNT(short time AND long distance) = %.2f via summary %zu"
+                "%s\n",
+                est3.expectation, dec.index,
+                dec.fallback ? " (fallback)" : " (covering)");
   }
   std::remove(path.c_str());
+  std::filesystem::remove_all(store_dir);
   return 0;
 }

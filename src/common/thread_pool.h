@@ -58,8 +58,18 @@ class ThreadPool {
     return pool;
   }
 
+  /// True on threads owned by a pool (set by WorkerLoop). ParallelFor uses
+  /// it to run nested fan-outs inline: a worker that re-submitted to the
+  /// pool and then blocked waiting for its sub-iterations could deadlock
+  /// once every worker does the same (all waiting, none draining).
+  static bool& OnWorkerThread() {
+    thread_local bool on_worker = false;
+    return on_worker;
+  }
+
  private:
   void WorkerLoop() {
+    OnWorkerThread() = true;
     for (;;) {
       std::function<void()> task;
       {
@@ -86,11 +96,15 @@ class ThreadPool {
 /// Iterations must be independent and write disjoint outputs; results are
 /// then identical to the serial loop regardless of thread count (the
 /// evaluation engine relies on this for reproducibility). The call blocks
-/// until every iteration has finished.
+/// until every iteration has finished. Nested calls (an iteration that
+/// itself calls ParallelFor, e.g. a parallel summary build whose solver
+/// fans out per component) degrade to the inline loop on worker threads —
+/// the outer fan-out already owns the cores.
 template <typename Fn>
 void ParallelFor(size_t n, size_t min_parallel, const Fn& fn) {
   ThreadPool* pool = ThreadPool::Shared();
-  if (pool == nullptr || n < 2 || n < min_parallel) {
+  if (pool == nullptr || n < 2 || n < min_parallel ||
+      ThreadPool::OnWorkerThread()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -1,0 +1,153 @@
+#include "engine/engine.h"
+
+#include <filesystem>
+
+#include "common/thread_pool.h"
+
+namespace entropydb {
+
+EntropyEngine::EntropyEngine(std::shared_ptr<EntropySummary> summary,
+                             std::shared_ptr<SummaryStore> store)
+    : primary_(std::move(summary)), store_(std::move(store)) {
+  if (store_ != nullptr) {
+    primary_ = store_->summary_ptr(store_->widest());
+    router_ = std::make_unique<QueryRouter>(store_);
+  }
+}
+
+std::shared_ptr<EntropyEngine> EntropyEngine::FromSummary(
+    std::shared_ptr<EntropySummary> summary) {
+  return std::shared_ptr<EntropyEngine>(
+      new EntropyEngine(std::move(summary), nullptr));
+}
+
+std::shared_ptr<EntropyEngine> EntropyEngine::FromStore(
+    std::shared_ptr<SummaryStore> store) {
+  return std::shared_ptr<EntropyEngine>(
+      new EntropyEngine(nullptr, std::move(store)));
+}
+
+Result<std::shared_ptr<EntropyEngine>> EntropyEngine::Open(
+    const std::string& path, SummaryOptions opts) {
+  if (std::filesystem::is_directory(path)) {
+    ASSIGN_OR_RETURN(std::shared_ptr<SummaryStore> store,
+                     SummaryStore::Load(path, opts));
+    return FromStore(std::move(store));
+  }
+  ASSIGN_OR_RETURN(std::shared_ptr<EntropySummary> summary,
+                   EntropySummary::Load(path, opts));
+  return FromSummary(std::move(summary));
+}
+
+Result<QueryEstimate> EntropyEngine::AnswerCount(
+    const CountingQuery& q, RouteDecision* decision) const {
+  if (router_ != nullptr) return router_->Answer(q, decision);
+  if (decision != nullptr) *decision = RouteDecision{};
+  auto est = primary_->AnswerCount(q);
+  if (est.ok() && decision != nullptr) {
+    decision->expected_variance = est->variance;
+  }
+  return est;
+}
+
+Result<std::vector<QueryEstimate>> EntropyEngine::AnswerAll(
+    const std::vector<CountingQuery>& qs,
+    std::vector<RouteDecision>* decisions) const {
+  if (router_ != nullptr) return router_->AnswerAll(qs, decisions);
+  if (decisions != nullptr) decisions->assign(qs.size(), RouteDecision{});
+  std::vector<QueryEstimate> out(qs.size());
+  std::vector<Status> statuses(qs.size(), Status::OK());
+  ParallelFor(qs.size(), 2, [&](size_t i) {
+    auto est = primary_->AnswerCount(qs[i]);
+    if (!est.ok()) {
+      statuses[i] = est.status();
+      return;
+    }
+    out[i] = *est;
+    if (decisions != nullptr) (*decisions)[i].expected_variance = est->variance;
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+const EntropySummary& EntropyEngine::RouteFor(
+    const CountingQuery& q, const std::vector<AttrId>& extra_attrs,
+    RouteDecision* decision) const {
+  if (decision != nullptr) *decision = RouteDecision{};
+  if (router_ == nullptr || q.num_attributes() != store_->num_attributes()) {
+    // Arity errors surface from the summary's own validation.
+    return *primary_;
+  }
+  std::vector<uint8_t> constrained(q.num_attributes(), 0);
+  for (AttrId a = 0; a < q.num_attributes(); ++a) {
+    constrained[a] = q.predicate(a).is_any() ? 0 : 1;
+  }
+  for (AttrId a : extra_attrs) {
+    if (a < constrained.size()) constrained[a] = 1;
+  }
+  size_t covered = 0;
+  std::vector<size_t> candidates =
+      router_->CoveringEntries(constrained, &covered);
+  size_t index = candidates.front();
+  if (candidates.size() > 1) {
+    // Tie-break like QueryRouter::Answer does, using the filter count's
+    // variance as the routing objective (the aggregate itself would cost
+    // a batched derivative pass per candidate).
+    double best_var = 0.0;
+    bool have = false;
+    for (size_t k : candidates) {
+      auto est = store_->summary(k).AnswerCount(q);
+      if (!est.ok()) continue;
+      if (!have || est->variance < best_var) {
+        best_var = est->variance;
+        index = k;
+        have = true;
+      }
+    }
+  }
+  if (decision != nullptr) {
+    decision->index = index;
+    decision->covered_pairs = covered;
+    decision->candidates = candidates.size();
+    decision->fallback = covered == 0;
+  }
+  return store_->summary(index);
+}
+
+Result<QueryEstimate> EntropyEngine::AnswerSum(
+    AttrId a, const std::vector<double>& weights, const CountingQuery& q,
+    RouteDecision* decision) const {
+  const EntropySummary& s = RouteFor(q, {a}, decision);
+  auto est = s.AnswerSum(a, weights, q);
+  if (est.ok() && decision != nullptr) {
+    decision->expected_variance = est->variance;
+  }
+  return est;
+}
+
+Result<QueryEstimate> EntropyEngine::AnswerAvg(
+    AttrId a, const std::vector<double>& weights, const CountingQuery& q,
+    RouteDecision* decision) const {
+  const EntropySummary& s = RouteFor(q, {a}, decision);
+  auto est = s.AnswerAvg(a, weights, q);
+  if (est.ok() && decision != nullptr) {
+    decision->expected_variance = est->variance;
+  }
+  return est;
+}
+
+Result<std::vector<QueryEstimate>> EntropyEngine::AnswerGroupByAttribute(
+    AttrId a, const CountingQuery& base, RouteDecision* decision) const {
+  return RouteFor(base, {a}, decision).AnswerGroupByAttribute(a, base);
+}
+
+Result<std::map<std::vector<Code>, QueryEstimate>> EntropyEngine::AnswerGroupBy(
+    const std::vector<AttrId>& attrs,
+    const std::vector<std::vector<Code>>& keys, const CountingQuery& base,
+    RouteDecision* decision) const {
+  return RouteFor(base, attrs, decision).AnswerGroupBy(attrs, keys, base);
+}
+
+}  // namespace entropydb

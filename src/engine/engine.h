@@ -1,0 +1,105 @@
+#ifndef ENTROPYDB_ENGINE_ENGINE_H_
+#define ENTROPYDB_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/query_router.h"
+#include "engine/summary_store.h"
+#include "maxent/summary.h"
+
+namespace entropydb {
+
+/// \brief The serving facade: one query surface over either a single
+/// EntropySummary or a routed SummaryStore.
+///
+/// Tools, examples, and benchmarks talk to this instead of hand-wiring a
+/// summary, so switching a deployment from one summary file to a
+/// multi-summary store directory is a flag change:
+///
+///   auto engine = EntropyEngine::Open(path);   // file or store directory
+///   auto est = (*engine)->AnswerCount(query);  // routed when store-backed
+///
+/// Store-backed engines route each query per QueryRouter's rules and report
+/// the decision on request; single-summary engines answer directly (the
+/// decision then names entry 0). Aggregates (SUM / AVG / group-by) route on
+/// the filter's constrained attributes PLUS the aggregated attribute,
+/// since the per-value split exercises that attribute's correlations too;
+/// coverage ties break on the filter count's variance (running the
+/// aggregate itself per candidate would cost a derivative pass each).
+/// All entry points are safe to call concurrently; per-summary throughput
+/// scales on the answerer's workspace pool.
+class EntropyEngine {
+ public:
+  /// Wraps a single summary (no routing).
+  static std::shared_ptr<EntropyEngine> FromSummary(
+      std::shared_ptr<EntropySummary> summary);
+  /// Wraps a store behind a router.
+  static std::shared_ptr<EntropyEngine> FromStore(
+      std::shared_ptr<SummaryStore> store);
+  /// Opens a persisted engine: a directory loads as a SummaryStore, a file
+  /// as a single summary.
+  static Result<std::shared_ptr<EntropyEngine>> Open(const std::string& path,
+                                                     SummaryOptions opts = {});
+
+  bool is_store() const { return store_ != nullptr; }
+  size_t num_summaries() const { return store_ ? store_->size() : 1; }
+  /// Null for single-summary engines.
+  const SummaryStore* store() const { return store_.get(); }
+  /// The single summary, or the store's widest (fallback) entry.
+  const EntropySummary& primary() const { return *primary_; }
+
+  const std::vector<std::string>& attr_names() const {
+    return primary_->attr_names();
+  }
+  const std::vector<Domain>& domains() const { return primary_->domains(); }
+  bool has_domains() const { return primary_->has_domains(); }
+  double n() const { return primary_->n(); }
+  size_t num_attributes() const { return primary_->num_attributes(); }
+
+  /// COUNT(*) — routed when store-backed.
+  Result<QueryEstimate> AnswerCount(const CountingQuery& q,
+                                    RouteDecision* decision = nullptr) const;
+  /// Batched COUNT(*) workload, fanned across the thread pool.
+  Result<std::vector<QueryEstimate>> AnswerAll(
+      const std::vector<CountingQuery>& qs,
+      std::vector<RouteDecision>* decisions = nullptr) const;
+
+  /// SUM / AVG of a per-value weight over attribute `a`.
+  Result<QueryEstimate> AnswerSum(AttrId a, const std::vector<double>& weights,
+                                  const CountingQuery& q,
+                                  RouteDecision* decision = nullptr) const;
+  Result<QueryEstimate> AnswerAvg(AttrId a, const std::vector<double>& weights,
+                                  const CountingQuery& q,
+                                  RouteDecision* decision = nullptr) const;
+  /// Whole-attribute group-by (one batched derivative pass).
+  Result<std::vector<QueryEstimate>> AnswerGroupByAttribute(
+      AttrId a, const CountingQuery& base,
+      RouteDecision* decision = nullptr) const;
+  /// Point group-by over explicit keys.
+  Result<std::map<std::vector<Code>, QueryEstimate>> AnswerGroupBy(
+      const std::vector<AttrId>& attrs,
+      const std::vector<std::vector<Code>>& keys, const CountingQuery& base,
+      RouteDecision* decision = nullptr) const;
+
+ private:
+  EntropyEngine(std::shared_ptr<EntropySummary> summary,
+                std::shared_ptr<SummaryStore> store);
+
+  /// Picks the serving summary for a filter + extra constrained attributes
+  /// (aggregate / group-by attributes), filling `decision`.
+  const EntropySummary& RouteFor(const CountingQuery& q,
+                                 const std::vector<AttrId>& extra_attrs,
+                                 RouteDecision* decision) const;
+
+  std::shared_ptr<EntropySummary> primary_;
+  std::shared_ptr<SummaryStore> store_;
+  std::unique_ptr<QueryRouter> router_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_ENGINE_ENGINE_H_

@@ -1,0 +1,94 @@
+#include "engine/query_router.h"
+
+#include "common/thread_pool.h"
+
+namespace entropydb {
+
+std::vector<size_t> QueryRouter::CoveringEntries(
+    const std::vector<uint8_t>& constrained, size_t* covered) const {
+  size_t best = 0;
+  std::vector<size_t> out;
+  for (size_t k = 0; k < store_->size(); ++k) {
+    size_t cover = 0;
+    for (const ScoredPair& p : store_->entry(k).pairs) {
+      if (constrained[p.a] && constrained[p.b]) ++cover;
+    }
+    if (cover > best) {
+      best = cover;
+      out.clear();
+    }
+    if (cover == best && cover > 0) out.push_back(k);
+  }
+  *covered = best;
+  if (out.empty()) out.push_back(store_->widest());
+  return out;
+}
+
+Result<QueryEstimate> QueryRouter::Answer(const CountingQuery& q,
+                                          RouteDecision* decision) const {
+  if (q.num_attributes() != store_->num_attributes()) {
+    return Status::InvalidArgument("query arity does not match the store");
+  }
+  std::vector<uint8_t> constrained(q.num_attributes(), 0);
+  for (AttrId a = 0; a < q.num_attributes(); ++a) {
+    constrained[a] = q.predicate(a).is_any() ? 0 : 1;
+  }
+  size_t covered = 0;
+  std::vector<size_t> candidates = CoveringEntries(constrained, &covered);
+
+  // Among tied candidates, the lowest-variance estimate wins (first wins
+  // ties, keeping routing deterministic). The returned estimate is exactly
+  // the chosen summary's own answer.
+  QueryEstimate best_est;
+  size_t best_index = candidates.front();
+  bool have = false;
+  for (size_t k : candidates) {
+    ASSIGN_OR_RETURN(QueryEstimate est, store_->summary(k).AnswerCount(q));
+    if (!have || est.variance < best_est.variance) {
+      best_est = est;
+      best_index = k;
+      have = true;
+    }
+  }
+  if (decision != nullptr) {
+    decision->index = best_index;
+    decision->covered_pairs = covered;
+    decision->candidates = candidates.size();
+    decision->fallback = covered == 0;
+    decision->expected_variance = best_est.variance;
+  }
+  return best_est;
+}
+
+Result<std::vector<QueryEstimate>> QueryRouter::AnswerAll(
+    const CountingQuery* qs, size_t count,
+    std::vector<RouteDecision>* decisions) const {
+  std::vector<QueryEstimate> out(count);
+  if (decisions != nullptr) decisions->assign(count, RouteDecision{});
+  std::vector<Status> statuses(count, Status::OK());
+  // Disjoint output slots: the fan-out answers exactly what the serial
+  // loop would, and the pooled workspaces underneath keep per-summary
+  // evaluation concurrent rather than serialized.
+  ParallelFor(count, 2, [&](size_t i) {
+    RouteDecision dec;
+    auto est = Answer(qs[i], &dec);
+    if (!est.ok()) {
+      statuses[i] = est.status();
+      return;
+    }
+    out[i] = *est;
+    if (decisions != nullptr) (*decisions)[i] = dec;
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+Result<std::vector<QueryEstimate>> QueryRouter::AnswerAll(
+    const std::vector<CountingQuery>& qs,
+    std::vector<RouteDecision>* decisions) const {
+  return AnswerAll(qs.data(), qs.size(), decisions);
+}
+
+}  // namespace entropydb

@@ -1,0 +1,86 @@
+#ifndef ENTROPYDB_ENGINE_QUERY_ROUTER_H_
+#define ENTROPYDB_ENGINE_QUERY_ROUTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/summary_store.h"
+#include "maxent/answerer.h"
+#include "query/counting_query.h"
+
+namespace entropydb {
+
+/// Why a query landed on the summary it did — surfaced by the query tool's
+/// --store mode and asserted by the routing tests.
+struct RouteDecision {
+  /// Chosen store entry.
+  size_t index = 0;
+  /// Modeled pairs of the chosen entry fully inside the query's constrained
+  /// attribute set.
+  size_t covered_pairs = 0;
+  /// Entries that tied on maximal coverage (candidates the variance rule
+  /// then decided between).
+  size_t candidates = 1;
+  /// True when NO entry covered a pair: routed to the widest summary.
+  bool fallback = false;
+  /// The chosen estimate's variance (the routing objective).
+  double expected_variance = 0.0;
+};
+
+/// \brief Routes each query to the store summary expected to answer it
+/// best, and fans batched workloads across the pool.
+///
+/// Routing rule (see docs/ARCHITECTURE.md):
+///  1. Coverage: an entry covers a query through every modeled attribute
+///     pair whose BOTH attributes the query constrains — those are the
+///     correlations the estimate actually exercises. Keep the entries with
+///     maximal (non-zero) coverage.
+///  2. Variance: among tied candidates, answer from each and keep the
+///     estimate with the lowest Binomial variance n p (1 - p). A summary
+///     that models the queried correlation concentrates the mass estimate
+///     (small p for rare combinations), so lower variance tracks the
+///     better-informed model.
+///  3. Fallback: when no entry covers any pair (1-D-only territory, where
+///     every summary shares the same exact marginals), use the widest
+///     summary.
+///
+/// The routed answer IS the chosen summary's own answer — bit-for-bit what
+/// QueryAnswerer on that summary returns — so routing never perturbs
+/// estimates. Stateless over an immutable store: all entry points are
+/// safe to call concurrently.
+class QueryRouter {
+ public:
+  explicit QueryRouter(std::shared_ptr<const SummaryStore> store)
+      : store_(std::move(store)) {}
+
+  const SummaryStore& store() const { return *store_; }
+
+  /// Max-coverage candidate entries for a constrained-attribute set
+  /// (`constrained[a]` != 0 when attribute `a` carries a predicate).
+  /// `covered` gets the pair count each returned candidate achieves; 0
+  /// means nothing covers and the result is just the widest entry.
+  std::vector<size_t> CoveringEntries(const std::vector<uint8_t>& constrained,
+                                      size_t* covered) const;
+
+  /// Routes and answers one counting query.
+  Result<QueryEstimate> Answer(const CountingQuery& q,
+                               RouteDecision* decision = nullptr) const;
+
+  /// Routes and answers a whole workload, fanned across the shared thread
+  /// pool; slot i of the result (and of `decisions`) corresponds to qs[i].
+  /// Answers are identical to calling Answer per query serially.
+  Result<std::vector<QueryEstimate>> AnswerAll(
+      const CountingQuery* qs, size_t count,
+      std::vector<RouteDecision>* decisions = nullptr) const;
+  Result<std::vector<QueryEstimate>> AnswerAll(
+      const std::vector<CountingQuery>& qs,
+      std::vector<RouteDecision>* decisions = nullptr) const;
+
+ private:
+  std::shared_ptr<const SummaryStore> store_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_ENGINE_QUERY_ROUTER_H_

@@ -1,0 +1,180 @@
+#include "engine/summary_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "common/thread_pool.h"
+
+namespace entropydb {
+
+namespace fs = std::filesystem;
+
+SummaryStore::SummaryStore(std::vector<StoreEntry> entries)
+    : entries_(std::move(entries)) {
+  size_t best_span = 0;
+  for (size_t k = 0; k < entries_.size(); ++k) {
+    std::set<AttrId> span;
+    for (const ScoredPair& p : entries_[k].pairs) {
+      span.insert(p.a);
+      span.insert(p.b);
+    }
+    if (span.size() > best_span) {
+      best_span = span.size();
+      widest_ = k;
+    }
+  }
+}
+
+Result<std::shared_ptr<SummaryStore>> SummaryStore::FromEntries(
+    std::vector<StoreEntry> entries) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("a summary store needs at least one entry");
+  }
+  for (const StoreEntry& e : entries) {
+    if (e.summary == nullptr) {
+      return Status::InvalidArgument("store entry without a summary");
+    }
+    if (e.summary->num_attributes() != entries.front().summary->num_attributes() ||
+        e.summary->n() != entries.front().summary->n()) {
+      return Status::InvalidArgument(
+          "store entries disagree on the relation schema");
+    }
+  }
+  return std::shared_ptr<SummaryStore>(new SummaryStore(std::move(entries)));
+}
+
+Result<std::shared_ptr<SummaryStore>> SummaryStore::Build(const Table& table,
+                                                          StoreOptions opts) {
+  std::vector<ScoredPair> chosen;
+  size_t budget = opts.total_budget;
+  if (opts.use_budget_advisor) {
+    AdvisorOptions aopts;
+    aopts.exclude = opts.exclude;
+    ASSIGN_OR_RETURN(std::vector<BudgetCandidate> candidates,
+                     BudgetAdvisor::Advise(table, budget, aopts));
+    chosen = candidates.front().pairs;  // best split first
+  } else {
+    auto ranked = PairSelector::RankPairs(table, opts.exclude);
+    chosen = PairSelector::Choose(ranked, opts.num_summaries,
+                                  PairStrategy::kAttributeCover);
+  }
+  if (chosen.empty()) {
+    return Status::InvalidArgument(
+        "no attribute pairs available for a summary store");
+  }
+  const size_t k = chosen.size();
+  const size_t bs = std::max<size_t>(1, budget / k);
+
+  // Independent builds: select each pair's statistics and solve its model
+  // in parallel. Outputs are disjoint slots, so results are deterministic.
+  std::vector<StoreEntry> entries(k);
+  std::vector<Status> statuses(k, Status::OK());
+  StatisticSelector selector(opts.heuristic);
+  ParallelFor(k, 2, [&](size_t i) {
+    const ScoredPair& pair = chosen[i];
+    auto stats = selector.Select(table, pair.a, pair.b, bs);
+    auto built = EntropySummary::Build(table, std::move(stats), opts.summary);
+    if (!built.ok()) {
+      statuses[i] = built.status();
+      return;
+    }
+    entries[i].summary = *built;
+    entries[i].pairs = {pair};
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return FromEntries(std::move(entries));
+}
+
+Status SummaryStore::Save(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory " + dir + ": " +
+                           ec.message());
+  }
+  std::ofstream out(fs::path(dir) / "MANIFEST");
+  if (!out) return Status::IOError("cannot write manifest in " + dir);
+  out << "ENTROPYDB_STORE_V1\n";
+  out << "summaries " << entries_.size() << "\n";
+  char buf[32];
+  for (size_t k = 0; k < entries_.size(); ++k) {
+    const std::string file = "summary_" + std::to_string(k) + ".edb";
+    out << "entry " << file << " pairs " << entries_[k].pairs.size();
+    for (const ScoredPair& p : entries_[k].pairs) {
+      std::snprintf(buf, sizeof(buf), "%.17g", p.cramers_v);
+      out << ' ' << p.a << ' ' << p.b << ' ' << buf;
+    }
+    out << '\n';
+    Status s = entries_[k].summary->Save((fs::path(dir) / file).string());
+    if (!s.ok()) return s;
+  }
+  if (!out.good()) return Status::IOError("manifest write failure in " + dir);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<SummaryStore>> SummaryStore::Load(
+    const std::string& dir, SummaryOptions opts) {
+  std::ifstream in(fs::path(dir) / "MANIFEST");
+  if (!in) return Status::IOError("cannot open store manifest in " + dir);
+  std::string token;
+  if (!(in >> token) || token != "ENTROPYDB_STORE_V1") {
+    return Status::Corruption("bad store manifest header in " + dir);
+  }
+  size_t k = 0;
+  if (!(in >> token >> k) || token != "summaries" || k == 0) {
+    return Status::Corruption("bad summaries record in " + dir);
+  }
+  std::vector<std::string> files(k);
+  std::vector<StoreEntry> entries(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t npairs = 0;
+    if (!(in >> token >> files[i]) || token != "entry" ||
+        !(in >> token >> npairs) || token != "pairs") {
+      return Status::Corruption("bad store entry record in " + dir);
+    }
+    entries[i].pairs.resize(npairs);
+    for (ScoredPair& p : entries[i].pairs) {
+      if (!(in >> p.a >> p.b >> p.cramers_v)) {
+        return Status::Corruption("bad pair record in " + dir);
+      }
+    }
+  }
+
+  // Summary loads are independent (each rebuilds its own compressed
+  // polynomial and warms its own pool), so fan them out too.
+  std::vector<Status> statuses(k, Status::OK());
+  ParallelFor(k, 2, [&](size_t i) {
+    auto loaded =
+        EntropySummary::Load((fs::path(dir) / files[i]).string(), opts);
+    if (!loaded.ok()) {
+      statuses[i] = loaded.status();
+      return;
+    }
+    entries[i].summary = *loaded;
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  auto store = FromEntries(std::move(entries));
+  if (!store.ok()) {
+    return Status::Corruption("inconsistent store in " + dir + ": " +
+                              store.status().message());
+  }
+  // Pair metadata must reference real attributes.
+  for (size_t i = 0; i < (*store)->size(); ++i) {
+    for (const ScoredPair& p : (*store)->entry(i).pairs) {
+      if (p.a >= (*store)->num_attributes() ||
+          p.b >= (*store)->num_attributes()) {
+        return Status::Corruption("pair attribute out of range in " + dir);
+      }
+    }
+  }
+  return store;
+}
+
+}  // namespace entropydb

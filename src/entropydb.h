@@ -6,26 +6,35 @@
 /// summarization for interactive data exploration (Orr, Balazinska, Suciu;
 /// VLDB 2017).
 ///
-/// Typical use:
+/// Typical use — the engine facade serves one summary or a routed
+/// multi-summary store behind the same query surface:
 /// \code
 ///   using namespace entropydb;
 ///   auto table = FlightsGenerator::Generate({.num_rows = 500000});
-///   auto pairs = PairSelector::RankPairs(**table);
-///   StatisticSelector sel(SelectionHeuristic::kComposite);
-///   auto stats = sel.Select(**table, pairs[0].a, pairs[0].b, 1000);
-///   auto summary = EntropySummary::Build(**table, stats);
+///   StoreOptions opts;
+///   opts.num_summaries = 3;    // top-3 correlated pairs, built in parallel
+///   opts.total_budget = 1500;  // 2-D statistics split across them
+///   auto store = SummaryStore::Build(**table, opts);
+///   auto engine = EntropyEngine::FromStore(*store);
 ///   auto q = QueryBuilder(**table)
 ///                .WhereEquals("origin", Value(std::string("S3")))
 ///                .WhereBetween("distance", 500, 1000)
 ///                .Build();
-///   auto estimate = (*summary)->AnswerCount(*q);
+///   auto estimate = engine->AnswerCount(*q);  // routed per-query
 /// \endcode
+///
+/// Single-summary path (the original seed API) is unchanged:
+/// EntropySummary::Build + AnswerCount, or EntropyEngine::FromSummary to
+/// keep the facade.
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "engine/engine.h"
+#include "engine/query_router.h"
+#include "engine/summary_store.h"
 #include "maxent/answerer.h"
 #include "maxent/budget_advisor.h"
 #include "maxent/dense_model.h"
@@ -34,6 +43,7 @@
 #include "maxent/solver.h"
 #include "maxent/summary.h"
 #include "maxent/variable_registry.h"
+#include "maxent/workspace_pool.h"
 #include "query/counting_query.h"
 #include "query/exact_evaluator.h"
 #include "query/linear_query.h"

@@ -18,8 +18,8 @@ double QueryEstimate::RoundedCount() const { return std::round(expectation); }
 QueryAnswerer::QueryAnswerer(const VariableRegistry& reg,
                              const CompressedPolynomial& poly,
                              const ModelState& state)
-    : reg_(reg), poly_(poly), state_(state) {
-  full_value_ = poly_.PrepareWorkspace(state_, &ws_).value;
+    : reg_(reg), poly_(poly), state_(state), pool_(poly, state) {
+  full_value_ = pool_.full_value();
 }
 
 Result<QueryEstimate> QueryAnswerer::Answer(const CountingQuery& q) const {
@@ -30,11 +30,8 @@ Result<QueryEstimate> QueryAnswerer::Answer(const CountingQuery& q) const {
     return Status::FailedPrecondition("summary is not solved (P <= 0)");
   }
   QueryMask mask = QueryMask::FromQuery(q, reg_.domain_sizes());
-  double masked;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    masked = poly_.MaskedEvaluate(state_, mask, &ws_).value;
-  }
+  WorkspacePool::Lease lease = pool_.Acquire();
+  const double masked = poly_.MaskedEvaluate(state_, mask, lease.get()).value;
   const double p = std::clamp(masked / full_value_, 0.0, 1.0);
   QueryEstimate est;
   est.expectation = reg_.n() * p;
@@ -60,9 +57,11 @@ Result<std::vector<QueryEstimate>> QueryAnswerer::AnswerGroupByAttribute(
   QueryMask mask = QueryMask::FromQuery(relaxed, reg_.domain_sizes());
   std::vector<double> cof;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto eval = poly_.MaskedEvaluate(state_, mask, &ws_);
-    cof = poly_.MaskedAlphaDerivatives(state_, eval, a, &ws_);
+    // The derivative pass consumes the masked evaluation's workspace
+    // residue, so both run under one lease.
+    WorkspacePool::Lease lease = pool_.Acquire();
+    const auto eval = poly_.MaskedEvaluate(state_, mask, lease.get());
+    cof = poly_.MaskedAlphaDerivatives(state_, eval, a, lease.get());
   }
 
   const AttrPredicate& pred = base.predicate(a);
@@ -94,22 +93,64 @@ Result<QueryEstimate> QueryAnswerer::AnswerSum(
   ASSIGN_OR_RETURN(std::vector<QueryEstimate> counts,
                    AnswerGroupByAttribute(a, q));
   QueryEstimate est;
+  // Var S = n (sum w^2 p - (sum w p)^2) under the multinomial law over
+  // the matching cells — the same moments AnswerAvg's delta method uses,
+  // so SUM and AVG report one consistent dispersion model.
+  const double n = reg_.n();
+  double swp = 0.0, sw2p = 0.0;
   for (Code v = 0; v < weights.size(); ++v) {
+    const double pv = counts[v].expectation / n;
     est.expectation += weights[v] * counts[v].expectation;
-    est.variance += weights[v] * weights[v] * counts[v].variance;
+    swp += weights[v] * pv;
+    sw2p += weights[v] * weights[v] * pv;
   }
+  est.variance = std::max(0.0, n * (sw2p - swp * swp));
   return est;
 }
 
 Result<QueryEstimate> QueryAnswerer::AnswerAvg(
     AttrId a, const std::vector<double>& weights,
     const CountingQuery& q) const {
-  ASSIGN_OR_RETURN(QueryEstimate sum, AnswerSum(a, weights, q));
+  if (a >= reg_.num_attributes()) {
+    return Status::OutOfRange("aggregate attribute out of range");
+  }
+  if (weights.size() != reg_.domain_size(a)) {
+    return Status::InvalidArgument(
+        "weight vector must have one entry per value of the attribute");
+  }
+  // One batched pass for the per-value counts; the matching total C comes
+  // from Answer(q) so the ratio's denominator is the same estimate
+  // AnswerCount reports.
+  ASSIGN_OR_RETURN(std::vector<QueryEstimate> counts,
+                   AnswerGroupByAttribute(a, q));
   ASSIGN_OR_RETURN(QueryEstimate count, Answer(q));
   QueryEstimate est;
-  if (count.expectation > 0.0) {
-    est.expectation = sum.expectation / count.expectation;
+  if (!(count.expectation > 0.0)) return est;
+
+  const double n = reg_.n();
+  double s = 0.0;       // E[S] = sum_v w_v E[X_v]
+  double sw2p = 0.0;    // sum_v w_v^2 p_v
+  for (Code v = 0; v < weights.size(); ++v) {
+    const double pv = counts[v].expectation / n;
+    s += weights[v] * counts[v].expectation;
+    sw2p += weights[v] * weights[v] * pv;
   }
+  const double c = count.expectation;
+  const double r = s / c;
+  est.expectation = r;
+
+  // Delta method on R = S/C with multinomial cell moments:
+  //   Var S  = n (sum w^2 p - (sum w p)^2)
+  //   Var C  = n P (1 - P)
+  //   Cov    = n (sum w p) (1 - P)
+  //   Var R ~= (Var S - 2 R Cov + R^2 Var C) / C^2
+  const double mean_wp = s / n;  // sum_v w_v p_v
+  const double big_p = std::clamp(c / n, 0.0, 1.0);
+  const double var_s = n * (sw2p - mean_wp * mean_wp);
+  const double var_c = n * big_p * (1.0 - big_p);
+  const double cov = n * mean_wp * (1.0 - big_p);
+  est.variance =
+      std::max(0.0, (var_s - 2.0 * r * cov + r * r * var_c) / (c * c));
   return est;
 }
 
@@ -135,9 +176,9 @@ Result<std::map<std::vector<Code>, QueryEstimate>> QueryAnswerer::AnswerGroupBy(
   for (AttrId a : attrs) relaxed.Where(a, AttrPredicate::Any());
   QueryMask mask = QueryMask::FromQuery(relaxed, reg_.domain_sizes());
   // The per-key point overrides consume the masked evaluation's workspace
-  // residue, so the whole batch holds the lock.
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto eval = poly_.MaskedEvaluate(state_, mask, &ws_);
+  // residue, so the whole batch runs under one lease.
+  WorkspacePool::Lease lease = pool_.Acquire();
+  const auto eval = poly_.MaskedEvaluate(state_, mask, lease.get());
 
   const double n = reg_.n();
   std::map<std::vector<Code>, QueryEstimate> out;
@@ -152,7 +193,7 @@ Result<std::map<std::vector<Code>, QueryEstimate>> QueryAnswerer::AnswerGroupBy(
     }
     if (in_domain) {
       const double masked =
-          poly_.PointOverrideValue(state_, eval, attrs, key, &ws_);
+          poly_.PointOverrideValue(state_, eval, attrs, key, lease.get());
       const double p = std::clamp(masked / full_value_, 0.0, 1.0);
       est.expectation = n * p;
       est.variance = n * p * (1.0 - p);

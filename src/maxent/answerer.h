@@ -2,12 +2,12 @@
 #define ENTROPYDB_MAXENT_ANSWERER_H_
 
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/result.h"
 #include "maxent/polynomial.h"
 #include "maxent/variable_registry.h"
+#include "maxent/workspace_pool.h"
 #include "query/counting_query.h"
 
 namespace entropydb {
@@ -35,14 +35,15 @@ struct QueryEstimate {
 /// optimized evaluation of Sec 4.2: zero the excluded 1-D variables,
 /// evaluate P once, scale by n / P.
 ///
-/// Construction warms an EvalWorkspace with the unmasked evaluation and
-/// per-group factor products; each query then rebuilds prefix sums only for
-/// the attributes it actually constrains and re-walks only the touched
-/// connected components. The workspace is mutable shared scratch, so query
-/// entry points serialize on an internal mutex (uncontended locking is
-/// noise next to a microsecond-scale evaluation); for parallel query
-/// throughput give each thread its own QueryAnswerer — the polynomial and
-/// state can be shared freely.
+/// Construction warms a WorkspacePool: the unmasked evaluation and
+/// per-group factor products are computed once and shared (immutably) by
+/// every pooled workspace; each query then claims a free workspace with one
+/// atomic exchange, rebuilds prefix sums only for the attributes it
+/// actually constrains, and re-walks only the touched connected components.
+/// Query entry points are safe to call concurrently and scale with cores —
+/// no internal mutex; see maxent/workspace_pool.h. Because all pool members
+/// share one factor cache, estimates are bitwise-stable regardless of
+/// thread interleaving.
 class QueryAnswerer {
  public:
   /// `state` must already be solved; the unmasked P and the per-group
@@ -77,16 +78,20 @@ class QueryAnswerer {
   /// SUM aggregate of a per-value weight over one attribute:
   /// E[sum over matching rows of weight(A_a)] — a general linear query
   /// (Sec 3.1). `weights` has one entry per value of `a` (e.g. bucket
-  /// midpoints for a bucketized numeric attribute). The variance field is
-  /// the weighted Binomial bound sum_v w_v^2 Var[count_v] (an upper-bound
-  /// style approximation: per-value counts are treated independently).
+  /// midpoints for a bucketized numeric attribute). The variance is
+  /// Var S = n (sum_v w_v^2 p_v - (sum_v w_v p_v)^2) under the model's
+  /// multinomial law over the matching cells (cell anticorrelation
+  /// included — the same moments AnswerAvg's delta method uses).
   Result<QueryEstimate> AnswerSum(AttrId a,
                                   const std::vector<double>& weights,
                                   const CountingQuery& q) const;
 
   /// AVG aggregate: AnswerSum / AnswerCount (returns 0 when the matching
-  /// count is 0). Variance via the delta method on the ratio is omitted;
-  /// the variance field holds 0.
+  /// count is 0). The variance is the delta-method ratio variance
+  /// Var(S/C) ~= (Var S - 2 R Cov(S,C) + R^2 Var C) / C^2 with the moments
+  /// taken under the model's multinomial law over the matching values
+  /// (X_v ~ Multinomial(n, p_v) cell counts), so the anticorrelation
+  /// between cells is accounted for rather than assumed away.
   Result<QueryEstimate> AnswerAvg(AttrId a,
                                   const std::vector<double>& weights,
                                   const CountingQuery& q) const;
@@ -94,15 +99,16 @@ class QueryAnswerer {
   /// Unmasked P (the normalization constant's base).
   double FullPolynomialValue() const { return full_value_; }
 
+  /// The underlying workspace pool (e.g. for capacity introspection).
+  const WorkspacePool& workspace_pool() const { return pool_; }
+
  private:
   const VariableRegistry& reg_;
   const CompressedPolynomial& poly_;
   const ModelState& state_;
-  /// Serializes access to the shared workspace below.
-  mutable std::mutex mu_;
-  /// Cached unmasked evaluation + per-group factor products, reused by
-  /// every query (hence mutable: queries are logically const).
-  mutable EvalWorkspace ws_;
+  /// Per-thread evaluation workspaces sharing one warmed factor cache
+  /// (mutable: queries are logically const).
+  mutable WorkspacePool pool_;
   double full_value_;
 };
 

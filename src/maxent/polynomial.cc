@@ -682,62 +682,70 @@ double CompressedPolynomial::OuterProduct(const EvalContext& ctx,
 
 const CompressedPolynomial::EvalContext& CompressedPolynomial::PrepareWorkspace(
     const ModelState& state, EvalWorkspace* ws) const {
-  if (ws->valid_) return ws->unmasked_;
-  ws->unmasked_ = EvaluateUnmasked(state);
   const size_t m = domain_sizes_.size();
+  if (ws->cache_ == nullptr) {
+    // Build the shared immutable half. This is the only O(all groups)
+    // warm-up; workspaces that ShareCacheWith a warmed one skip it.
+    auto cache = std::make_shared<EvalWorkspace::FactorCache>();
+    cache->unmasked = EvaluateUnmasked(state);
 
-  ws->rs_factor_.resize(components_.size());
-  ws->skip_cof_.resize(components_.size());
-  ws->delta_prod_.resize(components_.size());
-  std::vector<double> pre;
-  for (size_t c = 0; c < components_.size(); ++c) {
-    const Component& comp = components_[c];
-    const size_t nattrs = comp.attrs.size();
-    ws->rs_factor_[c].resize(comp.num_groups() * nattrs);
-    ws->skip_cof_[c].resize(comp.num_groups() * nattrs);
-    ws->delta_prod_[c] = ComponentDeltaProducts(static_cast<int>(c), state);
-    pre.resize(nattrs + 1);
-    for (size_t g = 0; g < comp.num_groups(); ++g) {
-      const Interval* rect = &comp.rects[g * nattrs];
-      double* factors = &ws->rs_factor_[c][g * nattrs];
-      for (size_t i = 0; i < nattrs; ++i) {
-        factors[i] = ws->unmasked_.prefix[comp.attrs[i]].RangeSum(rect[i].lo,
-                                                                  rect[i].hi);
-      }
-      // Skip-position cofactors (delta product folded in) via a
-      // prefix/suffix pass — division-free, so zero factors are exact.
-      double* cof = &ws->skip_cof_[c][g * nattrs];
-      pre[0] = ws->delta_prod_[c][g];
-      for (size_t i = 0; i < nattrs; ++i) pre[i + 1] = pre[i] * factors[i];
-      double suffix = 1.0;
-      for (size_t i = nattrs; i-- > 0;) {
-        cof[i] = pre[i] * suffix;
-        suffix *= factors[i];
+    cache->rs_factor.resize(components_.size());
+    cache->skip_cof.resize(components_.size());
+    cache->delta_prod.resize(components_.size());
+    std::vector<double> pre;
+    for (size_t c = 0; c < components_.size(); ++c) {
+      const Component& comp = components_[c];
+      const size_t nattrs = comp.attrs.size();
+      cache->rs_factor[c].resize(comp.num_groups() * nattrs);
+      cache->skip_cof[c].resize(comp.num_groups() * nattrs);
+      cache->delta_prod[c] = ComponentDeltaProducts(static_cast<int>(c), state);
+      pre.resize(nattrs + 1);
+      for (size_t g = 0; g < comp.num_groups(); ++g) {
+        const Interval* rect = &comp.rects[g * nattrs];
+        double* factors = &cache->rs_factor[c][g * nattrs];
+        for (size_t i = 0; i < nattrs; ++i) {
+          factors[i] = cache->unmasked.prefix[comp.attrs[i]].RangeSum(
+              rect[i].lo, rect[i].hi);
+        }
+        // Skip-position cofactors (delta product folded in) via a
+        // prefix/suffix pass — division-free, so zero factors are exact.
+        double* cof = &cache->skip_cof[c][g * nattrs];
+        pre[0] = cache->delta_prod[c][g];
+        for (size_t i = 0; i < nattrs; ++i) pre[i + 1] = pre[i] * factors[i];
+        double suffix = 1.0;
+        for (size_t i = nattrs; i-- > 0;) {
+          cof[i] = pre[i] * suffix;
+          suffix *= factors[i];
+        }
       }
     }
+    ws->cache_ = std::move(cache);
   }
 
-  ws->attr_masked_.assign(m, 0);
-  ws->constrained_.clear();
-  ws->masked_prefix_.resize(m);
-  ws->eff_total_ = ws->unmasked_.attr_total;
-  ws->valid_ = true;
-  return ws->unmasked_;
+  if (!ws->scratch_ready_) {
+    ws->attr_masked_.assign(m, 0);
+    ws->constrained_.clear();
+    ws->masked_prefix_.resize(m);
+    ws->eff_total_ = ws->cache_->unmasked.attr_total;
+    ws->scratch_ready_ = true;
+  }
+  return ws->cache_->unmasked;
 }
 
 CompressedPolynomial::MaskedEval CompressedPolynomial::MaskedEvaluate(
     const ModelState& state, const QueryMask& mask, EvalWorkspace* ws) const {
   PrepareWorkspace(state, ws);
+  const EvalWorkspace::FactorCache& fc = *ws->cache_;
 
   // Reset the previous mask's per-attribute residue.
   for (AttrId a : ws->constrained_) {
     ws->attr_masked_[a] = 0;
-    ws->eff_total_[a] = ws->unmasked_.attr_total[a];
+    ws->eff_total_[a] = fc.unmasked.attr_total[a];
   }
   ws->constrained_.clear();
 
   MaskedEval out;
-  out.comp_value = ws->unmasked_.comp_value;
+  out.comp_value = fc.unmasked.comp_value;
 
   const size_t m = domain_sizes_.size();
   for (AttrId a = 0; a < m; ++a) {
@@ -754,8 +762,8 @@ CompressedPolynomial::MaskedEval CompressedPolynomial::MaskedEvaluate(
   }
 
   if (ws->constrained_.empty()) {
-    out.value = ws->unmasked_.value;
-    out.free_product = ws->unmasked_.free_product;
+    out.value = fc.unmasked.value;
+    out.free_product = fc.unmasked.free_product;
     return out;
   }
 
@@ -788,7 +796,7 @@ CompressedPolynomial::MaskedEval CompressedPolynomial::MaskedEvaluate(
       // pre-multiplied into the cached skip-position cofactor, so each
       // group is one multiply-add.
       const PrefixSum& ps = ws->masked_prefix_[comp.attrs[masked_pos]];
-      const double* cof = ws->skip_cof_[c].data();
+      const double* cof = fc.skip_cof[c].data();
       for (size_t g = 0; g < comp.num_groups(); ++g) {
         const double sc = cof[g * nattrs + masked_pos];
         if (sc == 0.0) continue;
@@ -796,8 +804,8 @@ CompressedPolynomial::MaskedEval CompressedPolynomial::MaskedEvaluate(
         total += sc * ps.RangeSum(iv.lo, iv.hi);
       }
     } else {
-      const std::vector<double>& dps = ws->delta_prod_[c];
-      const double* factors = ws->rs_factor_[c].data();
+      const std::vector<double>& dps = fc.delta_prod[c];
+      const double* factors = fc.rs_factor[c].data();
       for (size_t g = 0; g < comp.num_groups(); ++g) {
         double prod = dps[g];
         if (prod == 0.0) continue;
@@ -824,6 +832,7 @@ std::vector<double> CompressedPolynomial::MaskedAlphaDerivatives(
     const ModelState& state, const MaskedEval& eval, AttrId a,
     EvalWorkspace* ws) const {
   (void)state;
+  const EvalWorkspace::FactorCache& fc = *ws->cache_;
   const uint32_t na = domain_sizes_[a];
   const int c = attr_component_[a];
 
@@ -856,7 +865,7 @@ std::vector<double> CompressedPolynomial::MaskedAlphaDerivatives(
   if (!others_masked) {
     // No other attribute of this component is constrained: the cached
     // skip-position cofactors ARE the group cofactors.
-    const double* cof = ws->skip_cof_[c].data();
+    const double* cof = fc.skip_cof[c].data();
     for (size_t g = 0; g < comp.num_groups(); ++g) {
       const double sc = cof[g * nattrs + pos];
       if (sc == 0.0) continue;
@@ -864,8 +873,8 @@ std::vector<double> CompressedPolynomial::MaskedAlphaDerivatives(
       diff.RangeAdd(iv.lo, iv.hi, sc);
     }
   } else {
-    const std::vector<double>& dps = ws->delta_prod_[c];
-    const double* factors = ws->rs_factor_[c].data();
+    const std::vector<double>& dps = fc.delta_prod[c];
+    const double* factors = fc.rs_factor[c].data();
     for (size_t g = 0; g < comp.num_groups(); ++g) {
       double cof = dps[g];
       if (cof == 0.0) continue;
@@ -890,6 +899,7 @@ double CompressedPolynomial::PointOverrideValue(
     const ModelState& state, const MaskedEval& eval,
     const std::vector<AttrId>& attrs, const std::vector<Code>& codes,
     EvalWorkspace* ws) const {
+  const EvalWorkspace::FactorCache& fc = *ws->cache_;
   // Keys are 1-3 attributes; linear scans beat any map here.
   auto key_code = [&](AttrId a, Code* v) {
     for (size_t i = 0; i < attrs.size(); ++i) {
@@ -951,7 +961,7 @@ double CompressedPolynomial::PointOverrideValue(
       // cached skip-position cofactor times a point lookup.
       const AttrId a = comp.attrs[special_pos];
       const double alpha_v = state.alpha[a][special_code];
-      const double* cof = ws->skip_cof_[c].data();
+      const double* cof = fc.skip_cof[c].data();
       for (size_t g = 0; g < comp.num_groups(); ++g) {
         const double sc = cof[g * nattrs + special_pos];
         if (sc == 0.0) continue;
@@ -959,8 +969,8 @@ double CompressedPolynomial::PointOverrideValue(
         if (iv.Contains(special_code)) total += sc * alpha_v;
       }
     } else {
-      const std::vector<double>& dps = ws->delta_prod_[c];
-      const double* factors = ws->rs_factor_[c].data();
+      const std::vector<double>& dps = fc.delta_prod[c];
+      const double* factors = fc.rs_factor[c].data();
       for (size_t g = 0; g < comp.num_groups(); ++g) {
         double prod = dps[g];
         if (prod == 0.0) continue;

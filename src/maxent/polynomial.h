@@ -2,6 +2,7 @@
 #define ENTROPYDB_MAXENT_POLYNOMIAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -361,41 +362,70 @@ class ComponentSweep {
 
 /// \brief Reusable scratch + cache for the workspace evaluation tier.
 ///
-/// Owns the cached unmasked EvalContext, per-group factor products, and the
-/// per-attribute masked prefix sums of the most recent masked evaluation.
+/// A workspace is two halves with very different sharing rules:
+///
+///  - an immutable FactorCache — the unmasked EvalContext plus per-group
+///    interval-factor, skip-cofactor, and delta-factor products. Building it
+///    is the O(all groups) warm-up cost; once built it is never written
+///    again, so any number of workspaces may share ONE cache by shared_ptr
+///    (ShareCacheWith). This is what makes a pool of per-thread workspaces
+///    cheap: only the first one pays the warm-up.
+///  - private masked scratch — the per-attribute masked prefix sums and
+///    touched-component flags of the most recent MaskedEvaluate. This half
+///    is mutated by every query, which is why a single workspace is NOT safe
+///    for concurrent use; give each query thread its own (see
+///    maxent/workspace_pool.h).
+///
 /// Bound to one (polynomial, state) pair at a time: PrepareWorkspace fills
-/// it, Invalidate() drops it (call after mutating the model state). A
-/// workspace is NOT safe for concurrent use; give each query thread its own.
+/// it, Invalidate() drops it (call after mutating the model state).
 class EvalWorkspace {
  public:
   EvalWorkspace() = default;
 
   /// Drops every cached product; the next use rebuilds from scratch.
-  void Invalidate() { valid_ = false; }
-  bool valid() const { return valid_; }
+  void Invalidate() {
+    cache_.reset();
+    scratch_ready_ = false;
+  }
+  bool valid() const { return cache_ != nullptr; }
 
   /// The cached unmasked context (PrepareWorkspace must have run).
   const CompressedPolynomial::EvalContext& unmasked() const {
-    return unmasked_;
+    return cache_->unmasked;
+  }
+
+  /// Adopts `other`'s warmed immutable factor cache (a shared_ptr copy, so
+  /// O(1)); this workspace then only pays for its private scratch on first
+  /// use. Both workspaces must serve the same (polynomial, state) pair —
+  /// identical caches are also what keeps results bitwise-stable across
+  /// whichever pool member answers a query.
+  void ShareCacheWith(const EvalWorkspace& other) {
+    cache_ = other.cache_;
+    scratch_ready_ = false;
   }
 
  private:
   friend class CompressedPolynomial;
 
-  bool valid_ = false;
-  CompressedPolynomial::EvalContext unmasked_;
-  /// Per component, flat [g * nattrs + i]: group g's unmasked interval
-  /// factor at attribute position i.
-  std::vector<std::vector<double>> rs_factor_;
-  /// Per component, flat [g * nattrs + i]: delta product * product of the
-  /// OTHER positions' unmasked interval factors — the skip-position
-  /// cofactor. A component with exactly one constrained attribute is then
-  /// one fused multiply-add per group.
-  std::vector<std::vector<double>> skip_cof_;
-  /// Per component, per group: product of the (delta_j - 1) factors.
-  std::vector<std::vector<double>> delta_prod_;
+  /// The shared immutable half; write-once inside PrepareWorkspace.
+  struct FactorCache {
+    CompressedPolynomial::EvalContext unmasked;
+    /// Per component, flat [g * nattrs + i]: group g's unmasked interval
+    /// factor at attribute position i.
+    std::vector<std::vector<double>> rs_factor;
+    /// Per component, flat [g * nattrs + i]: delta product * product of the
+    /// OTHER positions' unmasked interval factors — the skip-position
+    /// cofactor. A component with exactly one constrained attribute is then
+    /// one fused multiply-add per group.
+    std::vector<std::vector<double>> skip_cof;
+    /// Per component, per group: product of the (delta_j - 1) factors.
+    std::vector<std::vector<double>> delta_prod;
+  };
 
-  // --- state of the most recent MaskedEvaluate ---
+  std::shared_ptr<const FactorCache> cache_;
+  bool scratch_ready_ = false;
+
+  // --- private scratch: state of the most recent MaskedEvaluate ---
   std::vector<uint8_t> attr_masked_;     ///< per attribute: constrained?
   std::vector<AttrId> constrained_;      ///< the constrained attributes
   std::vector<PrefixSum> masked_prefix_; ///< built only for constrained ones

@@ -219,9 +219,10 @@ Result<std::shared_ptr<EntropySummary>> EntropySummary::Load(
       new EntropySummary(std::move(reg), std::move(poly), std::move(state),
                          std::move(report), std::move(names),
                          std::move(domains)));
-  // The answerer warmed its workspace above, so the solved-state sanity
-  // check is free: corrupt or truncated parameters surface here rather
-  // than as FailedPrecondition on the first query.
+  // The answerer warmed its workspace pool above (the shared factor cache
+  // is built eagerly), so the solved-state sanity check is free: corrupt
+  // or truncated parameters surface here rather than as
+  // FailedPrecondition on the first query.
   if (!(summary->answerer_->FullPolynomialValue() > 0.0)) {
     return Status::Corruption(
         "summary parameters evaluate to a non-positive polynomial: " + path);

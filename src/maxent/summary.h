@@ -36,13 +36,15 @@ struct SummaryOptions {
 /// the statistic budget, not the relation (Sec 4.1).
 ///
 /// Construction (including Load) eagerly warms the query answerer's
-/// evaluation workspace — the unmasked polynomial value plus per-group
-/// factor caches — so the first query is as fast as every later one; see
-/// docs/PERFORMANCE.md for the evaluation engine's cost model. Queries
-/// share that workspace and serialize on the answerer's internal mutex, so
-/// concurrent calls are safe but not parallel; for parallel throughput
-/// construct one QueryAnswerer per thread over registry()/polynomial()/
-/// state() (each pays its own workspace warm-up).
+/// workspace pool — the unmasked polynomial value plus per-group factor
+/// caches, computed once and shared immutably by every pooled workspace —
+/// so the first query is as fast as every later one; see
+/// docs/PERFORMANCE.md for the evaluation engine's cost model. Queries are
+/// safe to issue concurrently from any number of threads and scale with
+/// cores: each claims a pooled workspace lock-free (see
+/// maxent/workspace_pool.h), and estimates are bitwise-stable regardless
+/// of interleaving. For serving several summaries behind one endpoint, see
+/// the engine layer (engine/summary_store.h, engine/query_router.h).
 class EntropySummary {
  public:
   /// Builds a summary of `table` given the chosen multi-dimensional

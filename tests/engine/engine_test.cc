@@ -1,0 +1,165 @@
+// EntropyEngine facade: one query surface over a single summary or a
+// routed store, with Open() dispatching on file vs. directory.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "engine/engine.h"
+
+namespace entropydb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<Table> TwoPairTable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Code>> rows(n, std::vector<Code>(5));
+  for (auto& row : rows) {
+    row[0] = static_cast<Code>(rng.Uniform(6));
+    row[1] = rng.NextBernoulli(0.85) ? row[0]
+                                     : static_cast<Code>(rng.Uniform(6));
+    row[2] = static_cast<Code>(rng.Uniform(5));
+    row[3] = rng.NextBernoulli(0.85) ? row[2]
+                                     : static_cast<Code>(rng.Uniform(5));
+    row[4] = static_cast<Code>(rng.Uniform(4));
+  }
+  return testutil::MakeTable({6, 6, 5, 5, 4}, rows);
+}
+
+StoreOptions SmallStoreOptions() {
+  StoreOptions opts;
+  opts.num_summaries = 2;
+  opts.total_budget = 40;
+  opts.summary.solver.max_iterations = 120;
+  return opts;
+}
+
+TEST(EntropyEngineTest, SingleSummaryFacadeAnswersLikeTheSummary) {
+  auto table = TwoPairTable(800, 71);
+  auto summary = EntropySummary::Build(*table, {});
+  ASSERT_TRUE(summary.ok());
+  auto engine = EntropyEngine::FromSummary(*summary);
+  EXPECT_FALSE(engine->is_store());
+  EXPECT_EQ(engine->num_summaries(), 1u);
+
+  CountingQuery q(5);
+  q.Where(0, AttrPredicate::Point(2));
+  RouteDecision dec;
+  auto via_engine = engine->AnswerCount(q, &dec);
+  auto direct = (*summary)->AnswerCount(q);
+  ASSERT_TRUE(via_engine.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_engine->expectation, direct->expectation);
+  EXPECT_EQ(dec.index, 0u);
+}
+
+TEST(EntropyEngineTest, StoreBackedEngineRoutes) {
+  auto table = TwoPairTable(1200, 73);
+  auto store = SummaryStore::Build(*table, SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  auto engine = EntropyEngine::FromStore(*store);
+  EXPECT_TRUE(engine->is_store());
+  EXPECT_EQ(engine->num_summaries(), 2u);
+
+  CountingQuery q(5);
+  q.Where(0, AttrPredicate::Point(1)).Where(1, AttrPredicate::Point(1));
+  RouteDecision dec;
+  auto est = engine->AnswerCount(q, &dec);
+  ASSERT_TRUE(est.ok());
+  EXPECT_FALSE(dec.fallback);
+  auto direct = engine->store()->summary(dec.index).AnswerCount(q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(est->expectation, direct->expectation);
+}
+
+TEST(EntropyEngineTest, BatchedAnswersMatchSerial) {
+  auto table = TwoPairTable(900, 79);
+  auto store = SummaryStore::Build(*table, SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  auto engine = EntropyEngine::FromStore(*store);
+  std::vector<CountingQuery> qs;
+  for (Code v = 0; v < 5; ++v) {
+    CountingQuery q(5);
+    q.Where(2, AttrPredicate::Point(v)).Where(3, AttrPredicate::Point(v));
+    qs.push_back(q);
+  }
+  auto batch = engine->AnswerAll(qs);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    auto serial = engine->AnswerCount(qs[i]);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_EQ((*batch)[i].expectation, serial->expectation);
+  }
+}
+
+TEST(EntropyEngineTest, AggregatesRouteOnTheAggregatedAttribute) {
+  auto table = TwoPairTable(1200, 83);
+  auto store = SummaryStore::Build(*table, SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  auto engine = EntropyEngine::FromStore(*store);
+
+  // SUM(A0) WHERE A1 = 2: only attr 1 is filtered, but the aggregate runs
+  // over attr 0, so the (0, 1)-modeling entry covers it.
+  size_t pair01 = 0;
+  for (size_t k = 0; k < (*store)->size(); ++k) {
+    const ScoredPair& p = (*store)->entry(k).pairs.front();
+    if (p.a + p.b == 1) pair01 = k;  // {0, 1}
+  }
+  std::vector<double> weights(6);
+  for (size_t i = 0; i < weights.size(); ++i) weights[i] = 1.0 + i;
+  CountingQuery q(5);
+  q.Where(1, AttrPredicate::Point(2));
+  RouteDecision dec;
+  auto est = engine->AnswerSum(0, weights, q, &dec);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(dec.index, pair01);
+  EXPECT_FALSE(dec.fallback);
+  auto direct = engine->store()->summary(pair01).AnswerSum(0, weights, q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(est->expectation, direct->expectation);
+
+  auto avg = engine->AnswerAvg(0, weights, q, &dec);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ(dec.index, pair01);
+  EXPECT_GT(avg->expectation, 0.0);
+}
+
+TEST(EntropyEngineTest, OpenDispatchesOnFileVsDirectory) {
+  auto table = TwoPairTable(800, 89);
+  const auto tmp = fs::temp_directory_path();
+  const std::string file = (tmp / "entropydb_engine_test.edb").string();
+  const std::string dir = (tmp / "entropydb_engine_test_store").string();
+  fs::remove_all(dir);
+  fs::remove(file);
+
+  auto summary = EntropySummary::Build(*table, {});
+  ASSERT_TRUE(summary.ok());
+  ASSERT_TRUE((*summary)->Save(file).ok());
+  auto store = SummaryStore::Build(*table, SmallStoreOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Save(dir).ok());
+
+  auto from_file = EntropyEngine::Open(file);
+  ASSERT_TRUE(from_file.ok());
+  EXPECT_FALSE((*from_file)->is_store());
+
+  auto from_dir = EntropyEngine::Open(dir);
+  ASSERT_TRUE(from_dir.ok());
+  EXPECT_TRUE((*from_dir)->is_store());
+  EXPECT_EQ((*from_dir)->num_summaries(), 2u);
+
+  CountingQuery q(5);
+  q.Where(0, AttrPredicate::Point(1)).Where(1, AttrPredicate::Point(1));
+  auto est = (*from_dir)->AnswerCount(q);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->expectation, 0.0);
+
+  EXPECT_FALSE(EntropyEngine::Open((tmp / "entropydb_missing").string()).ok());
+  fs::remove_all(dir);
+  fs::remove(file);
+}
+
+}  // namespace
+}  // namespace entropydb

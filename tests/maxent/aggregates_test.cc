@@ -141,6 +141,25 @@ TEST(SumTest, ExactWhenModelIsExact) {
   EXPECT_NEAR(sum->expectation, truth, 0.02 * truth + 1.0);
 }
 
+TEST(SumTest, UnitWeightsReproduceTheCountVariance) {
+  // With w_v = 1 everywhere, S IS the filtered count, so the multinomial
+  // moments must collapse to the Binomial n P (1 - P) that Answer reports
+  // (the old independent-cells bound overstated this).
+  auto table = RandomTable({5, 6}, 600, 148);
+  auto s = SolveFor(*table, RandomDisjointStats(*table, 0, 1, 4, 149));
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  CountingQuery q(2);
+  q.Where(1, AttrPredicate::Range(1, 3));
+  auto sum = answerer.AnswerSum(0, std::vector<double>(5, 1.0), q);
+  auto count = answerer.Answer(q);
+  ASSERT_TRUE(sum.ok());
+  ASSERT_TRUE(count.ok());
+  EXPECT_NEAR(sum->expectation, count->expectation,
+              1e-9 * (1.0 + count->expectation));
+  EXPECT_NEAR(sum->variance, count->variance,
+              1e-9 * (1.0 + count->variance));
+}
+
 TEST(SumTest, ValidatesWeightArity) {
   auto table = RandomTable({4, 4}, 100, 140);
   auto s = SolveFor(*table, {});
@@ -165,6 +184,76 @@ TEST(AvgTest, IsSumOverCount) {
   // AVG lies within the weight range.
   EXPECT_GE(avg->expectation, 0.0);
   EXPECT_LE(avg->expectation, 4.0);
+}
+
+TEST(AvgTest, DeltaMethodVarianceMatchesMultinomialMoments) {
+  auto table = RandomTable({5, 4}, 500, 143);
+  auto s = SolveFor(*table, RandomDisjointStats(*table, 0, 1, 4, 144));
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  std::vector<double> weights{2.0, 3.5, 5.0, 7.0, 11.0};
+  CountingQuery q(2);
+  q.Where(1, AttrPredicate::Range(1, 2));
+  auto avg = answerer.AnswerAvg(0, weights, q);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_GT(avg->variance, 0.0);
+
+  // Recompute the delta-method formula from the same per-value counts:
+  // Var(S/C) = (Var S - 2 R Cov + R^2 Var C) / C^2 with multinomial cell
+  // moments.
+  auto counts = answerer.AnswerGroupByAttribute(0, q);
+  auto total = answerer.Answer(q);
+  ASSERT_TRUE(counts.ok());
+  ASSERT_TRUE(total.ok());
+  const double n = s.reg.n();
+  double sum = 0.0, sw2p = 0.0;
+  for (Code v = 0; v < weights.size(); ++v) {
+    sum += weights[v] * (*counts)[v].expectation;
+    sw2p += weights[v] * weights[v] * (*counts)[v].expectation / n;
+  }
+  const double c = total->expectation;
+  const double r = sum / c;
+  const double mean_wp = sum / n;
+  const double big_p = c / n;
+  const double var_s = n * (sw2p - mean_wp * mean_wp);
+  const double var_c = n * big_p * (1.0 - big_p);
+  const double cov = n * mean_wp * (1.0 - big_p);
+  const double expected =
+      (var_s - 2.0 * r * cov + r * r * var_c) / (c * c);
+  EXPECT_NEAR(avg->variance, expected, 1e-12 * (1.0 + expected));
+  // The AVG of weights in [2, 11] cannot be more dispersed than the range.
+  EXPECT_LT(avg->StdDev(), 9.0);
+}
+
+TEST(AvgTest, ConstantWeightsHaveZeroVariance) {
+  // AVG of a constant is the constant: S = c C exactly, so the ratio has
+  // no dispersion and the delta method must collapse to 0.
+  auto table = RandomTable({4, 4}, 300, 145);
+  auto s = SolveFor(*table, {});
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  std::vector<double> weights(4, 6.25);
+  CountingQuery q(2);
+  q.Where(1, AttrPredicate::Range(0, 1));
+  auto avg = answerer.AnswerAvg(0, weights, q);
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(avg->expectation, 6.25, 1e-9);
+  EXPECT_NEAR(avg->variance, 0.0, 1e-9);
+}
+
+TEST(AvgTest, VarianceShrinksWithSelectivity) {
+  // A filter matching nearly everything pins the ratio down; a narrow
+  // filter leaves few effective samples and a wider interval.
+  auto table = RandomTable({5, 6}, 800, 146);
+  auto s = SolveFor(*table, RandomDisjointStats(*table, 0, 1, 5, 147));
+  QueryAnswerer answerer(s.reg, s.poly, s.state);
+  std::vector<double> weights{1, 2, 3, 4, 5};
+  CountingQuery wide(2);  // all values of attr 1
+  CountingQuery narrow(2);
+  narrow.Where(1, AttrPredicate::Point(3));
+  auto wide_avg = answerer.AnswerAvg(0, weights, wide);
+  auto narrow_avg = answerer.AnswerAvg(0, weights, narrow);
+  ASSERT_TRUE(wide_avg.ok());
+  ASSERT_TRUE(narrow_avg.ok());
+  EXPECT_LT(wide_avg->variance, narrow_avg->variance);
 }
 
 TEST(AvgTest, ZeroCountGivesZero) {

@@ -1,12 +1,21 @@
-// Command-line summary builder: CSV in, solved .edb summary out.
+// Command-line summary builder: CSV in, solved .edb summary (or a routed
+// multi-summary store directory) out.
 //
 //   entropydb_build --csv data.csv
 //       --schema "origin:cat,dest:cat,distance:num:81,fl_time:num:62"
 //       --pairs auto --ba 2 --budget 500 --out flights.edb
 //
+//   entropydb_build --csv data.csv --schema ... \
+//       --summaries 3 --budget 500 --store flights.store
+//
 // Schema entries are name:kind[:buckets] with kind one of cat|num|int.
 // --pairs is either "auto" (rank by bias-corrected Cramér's V, choose by
 // attribute cover, Sec 4.3) or an explicit "a:b,c:d" list of names.
+// --store builds one summary per top-ranked pair (K = --summaries, each
+// pair getting --budget statistics), solved in parallel, and persists the
+// whole store as a directory entropydb_query can route over; --advisor on
+// lets BudgetAdvisor pick the breadth-vs-depth split instead (--budget is
+// then the TOTAL statistic budget and --summaries is ignored).
 
 #include <cstdio>
 #include <cstring>
@@ -22,8 +31,10 @@ namespace {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: entropydb_build --csv FILE --schema SPEC --out FILE\n"
+      "usage: entropydb_build --csv FILE --schema SPEC\n"
+      "                       (--out FILE | --store DIR)\n"
       "                       [--pairs auto|a:b,c:d] [--ba N] [--budget N]\n"
+      "                       [--summaries K] [--advisor on]\n"
       "                       [--heuristic composite|large|zero]\n"
       "                       [--iterations N]\n");
 }
@@ -67,7 +78,8 @@ int main(int argc, char** argv) {
     }
     args[argv[i] + 2] = argv[i + 1];
   }
-  if (!args.count("csv") || !args.count("schema") || !args.count("out")) {
+  if (!args.count("csv") || !args.count("schema") ||
+      (!args.count("out") && !args.count("store"))) {
     Usage();
     return 2;
   }
@@ -91,7 +103,9 @@ int main(int argc, char** argv) {
   size_t budget = args.count("budget") ? std::stoul(args["budget"]) : 500;
   std::vector<std::pair<AttrId, AttrId>> pairs;
   std::string pair_spec = args.count("pairs") ? args["pairs"] : "auto";
-  if (pair_spec == "auto") {
+  if (args.count("store")) {
+    // The store ranks and picks its own pairs (one summary per pair).
+  } else if (pair_spec == "auto") {
     auto ranked = PairSelector::RankPairs(**table);
     for (const auto& p :
          PairSelector::Choose(ranked, ba, PairStrategy::kAttributeCover)) {
@@ -129,6 +143,50 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (args.count("store")) {
+    StoreOptions sopts;
+    sopts.num_summaries =
+        args.count("summaries") ? std::stoul(args["summaries"]) : 3;
+    sopts.heuristic = heuristic;
+    sopts.use_budget_advisor =
+        args.count("advisor") && args["advisor"] != "off";
+    // Without the advisor, --budget stays "statistics per pair" and the
+    // store splits the total back out evenly. The advisor instead takes
+    // the TOTAL budget and decides the breadth-vs-depth split itself, so
+    // there --budget is the total (K is the advisor's to choose).
+    sopts.total_budget = sopts.use_budget_advisor
+                             ? budget
+                             : budget * sopts.num_summaries;
+    if (args.count("iterations")) {
+      sopts.summary.solver.max_iterations = std::stoul(args["iterations"]);
+    }
+    Timer timer;
+    auto store = SummaryStore::Build(**table, sopts);
+    if (!store.ok()) {
+      std::fprintf(stderr, "store build: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("built %zu summaries in %.2fs (parallel):\n",
+                (*store)->size(), timer.ElapsedSeconds());
+    for (size_t k = 0; k < (*store)->size(); ++k) {
+      for (const ScoredPair& p : (*store)->entry(k).pairs) {
+        std::printf("  summary %zu: (%s, %s), corrected V = %.3f%s\n", k,
+                    (*table)->schema().attribute(p.a).name.c_str(),
+                    (*table)->schema().attribute(p.b).name.c_str(),
+                    p.cramers_v,
+                    k == (*store)->widest() ? "  [fallback]" : "");
+      }
+    }
+    Status s = (*store)->Save(args["store"]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("store written to %s\n", args["store"].c_str());
+    return 0;
+  }
+
   StatisticSelector selector(heuristic);
   std::vector<MultiDimStatistic> stats;
   for (auto [a, b] : pairs) {

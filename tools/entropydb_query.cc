@@ -1,8 +1,14 @@
-// Command-line query shell over a persisted summary — no base data needed.
+// Command-line query shell over a persisted summary or summary store — no
+// base data needed.
 //
 //   entropydb_query --summary flights.edb
 //       --query "COUNT(*) WHERE origin = S3 AND distance BETWEEN 100 AND 500"
 //
+//   entropydb_query --store flights.store
+//       --query "COUNT(*) WHERE origin = S3 AND dest = S7"
+//
+// --store loads a SummaryStore directory and routes every query through
+// the engine's QueryRouter, printing which summary answered and why.
 // Without --query, reads one query per line from stdin (a tiny REPL).
 
 #include <cstdio>
@@ -17,32 +23,57 @@ using namespace entropydb;
 
 namespace {
 
-int RunOne(const EntropySummary& summary, const std::string& text) {
-  auto parsed =
-      ParseQuery(text, summary.attr_names(), summary.domains());
+void PrintRoute(const EntropyEngine& engine, const RouteDecision& dec) {
+  if (!engine.is_store()) return;
+  const StoreEntry& entry = engine.store()->entry(dec.index);
+  std::string pairs;
+  for (const ScoredPair& p : entry.pairs) {
+    if (!pairs.empty()) pairs += ", ";
+    pairs += "(" + engine.attr_names()[p.a] + ", " +
+             engine.attr_names()[p.b] + ")";
+  }
+  if (dec.fallback) {
+    std::fprintf(stderr,
+                 "  routed: summary %zu %s — fallback (no summary models "
+                 "the constrained pairs)\n",
+                 dec.index, pairs.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "  routed: summary %zu %s — covers %zu pair%s"
+                 " (%zu candidate%s, variance %.3g)\n",
+                 dec.index, pairs.c_str(), dec.covered_pairs,
+                 dec.covered_pairs == 1 ? "" : "s", dec.candidates,
+                 dec.candidates == 1 ? "" : "s", dec.expected_variance);
+  }
+}
+
+int RunOne(const EntropyEngine& engine, const std::string& text) {
+  auto parsed = ParseQuery(text, engine.attr_names(), engine.domains());
   if (!parsed.ok()) {
     std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
     return 1;
   }
   Timer timer;
+  RouteDecision dec;
   switch (parsed->aggregate) {
     case ParsedQuery::Aggregate::kCount: {
-      auto est = summary.AnswerCount(parsed->where);
+      auto est = engine.AnswerCount(parsed->where, &dec);
       if (!est.ok()) {
         std::fprintf(stderr, "answer: %s\n",
                      est.status().ToString().c_str());
         return 1;
       }
-      auto [lo, hi] = est->ConfidenceInterval(1.96, summary.n());
+      auto [lo, hi] = est->ConfidenceInterval(1.96, engine.n());
       std::printf("%.1f    (95%% CI [%.1f, %.1f], %.2f ms)\n",
                   est->expectation, lo, hi, timer.ElapsedMillis());
+      PrintRoute(engine, dec);
       return 0;
     }
     case ParsedQuery::Aggregate::kSum:
     case ParsedQuery::Aggregate::kAvg: {
       // Weights = bucket representatives (midpoints / label order index
       // for categorical attributes).
-      const Domain& dom = summary.domains()[parsed->agg_attr];
+      const Domain& dom = engine.domains()[parsed->agg_attr];
       std::vector<double> weights(dom.size());
       for (Code v = 0; v < dom.size(); ++v) {
         weights[v] = dom.is_categorical()
@@ -50,17 +81,18 @@ int RunOne(const EntropySummary& summary, const std::string& text) {
                          : dom.RepresentativeFor(v).as_double();
       }
       auto est = parsed->aggregate == ParsedQuery::Aggregate::kSum
-                     ? summary.AnswerSum(parsed->agg_attr, weights,
-                                         parsed->where)
-                     : summary.AnswerAvg(parsed->agg_attr, weights,
-                                         parsed->where);
+                     ? engine.AnswerSum(parsed->agg_attr, weights,
+                                        parsed->where, &dec)
+                     : engine.AnswerAvg(parsed->agg_attr, weights,
+                                        parsed->where, &dec);
       if (!est.ok()) {
         std::fprintf(stderr, "answer: %s\n",
                      est.status().ToString().c_str());
         return 1;
       }
-      std::printf("%.3f    (%.2f ms)\n", est->expectation,
-                  timer.ElapsedMillis());
+      std::printf("%.3f    (+/- %.3f, %.2f ms)\n", est->expectation,
+                  1.96 * est->StdDev(), timer.ElapsedMillis());
+      PrintRoute(engine, dec);
       return 0;
     }
   }
@@ -75,37 +107,56 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--", 2) != 0) break;
     args[argv[i] + 2] = argv[i + 1];
   }
-  if (!args.count("summary")) {
-    std::fprintf(stderr,
-                 "usage: entropydb_query --summary FILE [--query Q]\n");
+  if (!args.count("summary") && !args.count("store")) {
+    std::fprintf(
+        stderr,
+        "usage: entropydb_query (--summary FILE | --store DIR) [--query Q]\n");
     return 2;
   }
-  auto summary = EntropySummary::Load(args["summary"]);
-  if (!summary.ok()) {
-    std::fprintf(stderr, "load: %s\n", summary.status().ToString().c_str());
+  const std::string path =
+      args.count("store") ? args["store"] : args["summary"];
+  auto engine = EntropyEngine::Open(path);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  if (!(*summary)->has_domains()) {
+  if (!(*engine)->has_domains()) {
     std::fprintf(stderr,
                  "summary has no domain metadata; rebuild it with "
                  "entropydb_build\n");
     return 1;
   }
-  std::fprintf(stderr, "loaded summary: n = %.0f, attributes:",
-               (*summary)->n());
-  for (const auto& name : (*summary)->attr_names()) {
-    std::fprintf(stderr, " %s", name.c_str());
+  if ((*engine)->is_store()) {
+    std::fprintf(stderr, "loaded store: %zu summaries, n = %.0f\n",
+                 (*engine)->num_summaries(), (*engine)->n());
+    for (size_t k = 0; k < (*engine)->num_summaries(); ++k) {
+      const StoreEntry& e = (*engine)->store()->entry(k);
+      std::fprintf(stderr, "  summary %zu:", k);
+      for (const ScoredPair& p : e.pairs) {
+        std::fprintf(stderr, " (%s, %s) V=%.3f",
+                     (*engine)->attr_names()[p.a].c_str(),
+                     (*engine)->attr_names()[p.b].c_str(), p.cramers_v);
+      }
+      std::fprintf(stderr, "%s\n",
+                   k == (*engine)->store()->widest() ? "  [fallback]" : "");
+    }
+  } else {
+    std::fprintf(stderr, "loaded summary: n = %.0f, attributes:",
+                 (*engine)->n());
+    for (const auto& name : (*engine)->attr_names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
   }
-  std::fprintf(stderr, "\n");
 
   if (args.count("query")) {
-    return RunOne(**summary, args["query"]);
+    return RunOne(**engine, args["query"]);
   }
   std::string line;
   int rc = 0;
   while (std::getline(std::cin, line)) {
     if (std::string(StripWhitespace(line)).empty()) continue;
-    rc = RunOne(**summary, line);
+    rc = RunOne(**engine, line);
   }
   return rc;
 }
