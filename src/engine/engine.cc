@@ -7,7 +7,7 @@
 namespace entropydb {
 
 EntropyEngine::EntropyEngine(std::shared_ptr<EntropySummary> summary,
-                             std::shared_ptr<SummaryStore> store)
+                             std::shared_ptr<SourceStore> store)
     : primary_(std::move(summary)), store_(std::move(store)) {
   if (store_ != nullptr) {
     primary_ = store_->summary_ptr(store_->widest());
@@ -22,7 +22,7 @@ std::shared_ptr<EntropyEngine> EntropyEngine::FromSummary(
 }
 
 std::shared_ptr<EntropyEngine> EntropyEngine::FromStore(
-    std::shared_ptr<SummaryStore> store) {
+    std::shared_ptr<SourceStore> store) {
   return std::shared_ptr<EntropyEngine>(
       new EntropyEngine(nullptr, std::move(store)));
 }
@@ -30,8 +30,8 @@ std::shared_ptr<EntropyEngine> EntropyEngine::FromStore(
 Result<std::shared_ptr<EntropyEngine>> EntropyEngine::Open(
     const std::string& path, SummaryOptions opts) {
   if (std::filesystem::is_directory(path)) {
-    ASSIGN_OR_RETURN(std::shared_ptr<SummaryStore> store,
-                     SummaryStore::Load(path, opts));
+    ASSIGN_OR_RETURN(std::shared_ptr<SourceStore> store,
+                     SourceStore::Load(path, opts));
     return FromStore(std::move(store));
   }
   ASSIGN_OR_RETURN(std::shared_ptr<EntropySummary> summary,
@@ -46,6 +46,7 @@ Result<QueryEstimate> EntropyEngine::AnswerCount(
   auto est = primary_->AnswerCount(q);
   if (est.ok() && decision != nullptr) {
     decision->expected_variance = est->variance;
+    decision->summary_variance = est->variance;
   }
   return est;
 }
@@ -74,16 +75,14 @@ Result<std::vector<QueryEstimate>> EntropyEngine::AnswerAll(
 
 const EntropySummary& EntropyEngine::RouteFor(
     const CountingQuery& q, const std::vector<AttrId>& extra_attrs,
-    RouteDecision* decision) const {
+    RouteDecision* decision,
+    std::optional<QueryEstimate>* filter_count) const {
   if (decision != nullptr) *decision = RouteDecision{};
   if (router_ == nullptr || q.num_attributes() != store_->num_attributes()) {
     // Arity errors surface from the summary's own validation.
     return *primary_;
   }
-  std::vector<uint8_t> constrained(q.num_attributes(), 0);
-  for (AttrId a = 0; a < q.num_attributes(); ++a) {
-    constrained[a] = q.predicate(a).is_any() ? 0 : 1;
-  }
+  std::vector<uint8_t> constrained = q.ConstrainedMask();
   for (AttrId a : extra_attrs) {
     if (a < constrained.size()) constrained[a] = 1;
   }
@@ -104,6 +103,7 @@ const EntropySummary& EntropyEngine::RouteFor(
         best_var = est->variance;
         index = k;
         have = true;
+        if (filter_count != nullptr) *filter_count = *est;
       }
     }
   }
@@ -119,7 +119,26 @@ const EntropySummary& EntropyEngine::RouteFor(
 Result<QueryEstimate> EntropyEngine::AnswerSum(
     AttrId a, const std::vector<double>& weights, const CountingQuery& q,
     RouteDecision* decision) const {
-  const EntropySummary& s = RouteFor(q, {a}, decision);
+  std::optional<QueryEstimate> routed_cnt;
+  const EntropySummary& s = RouteFor(q, {a}, decision, &routed_cnt);
+  // Hybrid stage for SUM: the router's stage-3 comparison on the filter
+  // count's variance (the shared routing objective), then answer the
+  // aggregate from the winner. The tie-break may have evaluated the
+  // winner's count already; reuse it.
+  if (router_ != nullptr && store_->num_samples() > 0 &&
+      q.num_attributes() == store_->num_attributes()) {
+    auto cnt = routed_cnt.has_value() ? Result<QueryEstimate>(*routed_cnt)
+                                      : s.AnswerCount(q);
+    size_t sample_index = 0;
+    if (cnt.ok() &&
+        router_->HybridChallenge(q, *cnt, decision, &sample_index, nullptr)) {
+      auto est = store_->sample_source(sample_index).AnswerSum(a, weights, q);
+      if (est.ok() && decision != nullptr) {
+        decision->expected_variance = est->variance;
+      }
+      return est;
+    }
+  }
   auto est = s.AnswerSum(a, weights, q);
   if (est.ok() && decision != nullptr) {
     decision->expected_variance = est->variance;

@@ -3,31 +3,35 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/query_router.h"
-#include "engine/summary_store.h"
+#include "engine/source_store.h"
 #include "maxent/summary.h"
 
 namespace entropydb {
 
 /// \brief The serving facade: one query surface over either a single
-/// EntropySummary or a routed SummaryStore.
+/// EntropySummary or a routed SourceStore (summaries + sample companions).
 ///
 /// Tools, examples, and benchmarks talk to this instead of hand-wiring a
 /// summary, so switching a deployment from one summary file to a
-/// multi-summary store directory is a flag change:
+/// multi-source store directory is a flag change:
 ///
 ///   auto engine = EntropyEngine::Open(path);   // file or store directory
 ///   auto est = (*engine)->AnswerCount(query);  // routed when store-backed
 ///
-/// Store-backed engines route each query per QueryRouter's rules and report
-/// the decision on request; single-summary engines answer directly (the
-/// decision then names entry 0). Aggregates (SUM / AVG / group-by) route on
-/// the filter's constrained attributes PLUS the aggregated attribute,
-/// since the per-value split exercises that attribute's correlations too;
+/// Store-backed engines route each query per QueryRouter's hybrid rules
+/// (coverage -> summary variance -> summary-vs-sample variance; see
+/// docs/ESTIMATORS.md) and report the decision on request; single-summary
+/// engines answer directly (the decision then names entry 0). COUNT and
+/// SUM route across summaries AND samples; AVG and the group-bys are
+/// summary-only (samples have no batched-derivative path), routing on the
+/// filter's constrained attributes PLUS the aggregated attribute, since
+/// the per-value split exercises that attribute's correlations too;
 /// coverage ties break on the filter count's variance (running the
 /// aggregate itself per candidate would cost a derivative pass each).
 /// All entry points are safe to call concurrently; per-summary throughput
@@ -37,49 +41,64 @@ class EntropyEngine {
   /// Wraps a single summary (no routing).
   static std::shared_ptr<EntropyEngine> FromSummary(
       std::shared_ptr<EntropySummary> summary);
-  /// Wraps a store behind a router.
+  /// Wraps a store behind a hybrid router.
   static std::shared_ptr<EntropyEngine> FromStore(
-      std::shared_ptr<SummaryStore> store);
-  /// Opens a persisted engine: a directory loads as a SummaryStore, a file
-  /// as a single summary.
+      std::shared_ptr<SourceStore> store);
+  /// Opens a persisted engine: a directory loads as a SourceStore
+  /// (MANIFEST v1 or v2), a file as a single summary.
   static Result<std::shared_ptr<EntropyEngine>> Open(const std::string& path,
                                                      SummaryOptions opts = {});
 
+  /// True when this engine routes over a store (vs. one summary).
   bool is_store() const { return store_ != nullptr; }
+  /// Number of summary sources (1 for single-summary engines).
   size_t num_summaries() const { return store_ ? store_->size() : 1; }
-  /// Null for single-summary engines.
-  const SummaryStore* store() const { return store_.get(); }
+  /// Number of sample sources (0 for single-summary engines).
+  size_t num_samples() const { return store_ ? store_->num_samples() : 0; }
+  /// The backing store; null for single-summary engines.
+  const SourceStore* store() const { return store_.get(); }
   /// The single summary, or the store's widest (fallback) entry.
   const EntropySummary& primary() const { return *primary_; }
 
+  /// Attribute names shared by every source.
   const std::vector<std::string>& attr_names() const {
     return primary_->attr_names();
   }
+  /// Active-domain descriptors shared by every source (may be empty for
+  /// summaries built from a bare registry).
   const std::vector<Domain>& domains() const { return primary_->domains(); }
   bool has_domains() const { return primary_->has_domains(); }
+  /// Relation cardinality n.
   double n() const { return primary_->n(); }
+  /// Relation arity m.
   size_t num_attributes() const { return primary_->num_attributes(); }
 
-  /// COUNT(*) — routed when store-backed.
+  /// COUNT(*) — routed across summaries and samples when store-backed.
   Result<QueryEstimate> AnswerCount(const CountingQuery& q,
                                     RouteDecision* decision = nullptr) const;
-  /// Batched COUNT(*) workload, fanned across the thread pool.
+  /// Batched COUNT(*) workload, fanned across the thread pool; slot i
+  /// matches qs[i] and equals the serial AnswerCount answer.
   Result<std::vector<QueryEstimate>> AnswerAll(
       const std::vector<CountingQuery>& qs,
       std::vector<RouteDecision>* decisions = nullptr) const;
 
-  /// SUM / AVG of a per-value weight over attribute `a`.
+  /// SUM of a per-value weight over attribute `a` — routed across
+  /// summaries and samples (the hybrid comparison uses the filter count's
+  /// variance as its objective).
   Result<QueryEstimate> AnswerSum(AttrId a, const std::vector<double>& weights,
                                   const CountingQuery& q,
                                   RouteDecision* decision = nullptr) const;
+  /// AVG of a per-value weight over attribute `a` (delta-method ratio
+  /// variance) — summary-routed.
   Result<QueryEstimate> AnswerAvg(AttrId a, const std::vector<double>& weights,
                                   const CountingQuery& q,
                                   RouteDecision* decision = nullptr) const;
-  /// Whole-attribute group-by (one batched derivative pass).
+  /// Whole-attribute group-by (one batched derivative pass) —
+  /// summary-routed.
   Result<std::vector<QueryEstimate>> AnswerGroupByAttribute(
       AttrId a, const CountingQuery& base,
       RouteDecision* decision = nullptr) const;
-  /// Point group-by over explicit keys.
+  /// Point group-by over explicit keys — summary-routed.
   Result<std::map<std::vector<Code>, QueryEstimate>> AnswerGroupBy(
       const std::vector<AttrId>& attrs,
       const std::vector<std::vector<Code>>& keys, const CountingQuery& base,
@@ -87,16 +106,20 @@ class EntropyEngine {
 
  private:
   EntropyEngine(std::shared_ptr<EntropySummary> summary,
-                std::shared_ptr<SummaryStore> store);
+                std::shared_ptr<SourceStore> store);
 
   /// Picks the serving summary for a filter + extra constrained attributes
-  /// (aggregate / group-by attributes), filling `decision`.
-  const EntropySummary& RouteFor(const CountingQuery& q,
-                                 const std::vector<AttrId>& extra_attrs,
-                                 RouteDecision* decision) const;
+  /// (aggregate / group-by attributes), filling `decision`. When the
+  /// tie-break already evaluated the winner's filter count, it is handed
+  /// back through `filter_count` (if non-null) so hybrid aggregate routing
+  /// does not pay the masked evaluation twice.
+  const EntropySummary& RouteFor(
+      const CountingQuery& q, const std::vector<AttrId>& extra_attrs,
+      RouteDecision* decision,
+      std::optional<QueryEstimate>* filter_count = nullptr) const;
 
   std::shared_ptr<EntropySummary> primary_;
-  std::shared_ptr<SummaryStore> store_;
+  std::shared_ptr<SourceStore> store_;
   std::unique_ptr<QueryRouter> router_;
 };
 

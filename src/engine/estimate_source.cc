@@ -1,0 +1,33 @@
+#include "engine/estimate_source.h"
+
+namespace entropydb {
+
+SummarySource::SummarySource(std::shared_ptr<const EntropySummary> summary,
+                             std::string name)
+    : summary_(std::move(summary)), name_(std::move(name)) {}
+
+SampleSource::SampleSource(std::shared_ptr<const WeightedSample> sample)
+    : sample_(std::move(sample)), estimator_(*sample_) {}
+
+Result<QueryEstimate> SampleSource::AnswerCount(
+    const CountingQuery& q) const {
+  if (q.num_attributes() != num_attributes()) {
+    return Status::InvalidArgument("query arity does not match the sample");
+  }
+  return estimator_.Count(q);
+}
+
+Result<QueryEstimate> SampleSource::AnswerSum(
+    AttrId a, const std::vector<double>& weights,
+    const CountingQuery& q) const {
+  if (q.num_attributes() != num_attributes()) {
+    return Status::InvalidArgument("query arity does not match the sample");
+  }
+  if (a >= num_attributes() ||
+      weights.size() != sample_->rows->domain(a).size()) {
+    return Status::InvalidArgument("bad aggregate attribute or weights");
+  }
+  return estimator_.Sum(a, weights, q);
+}
+
+}  // namespace entropydb

@@ -1,0 +1,111 @@
+#ifndef ENTROPYDB_ENGINE_ESTIMATE_SOURCE_H_
+#define ENTROPYDB_ENGINE_ESTIMATE_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "maxent/summary.h"
+#include "query/counting_query.h"
+#include "sampling/sample.h"
+#include "sampling/sample_estimator.h"
+
+namespace entropydb {
+
+/// \brief One answerable backend behind the hybrid router: anything that can
+/// turn a counting query into an estimate PLUS an expected variance.
+///
+/// The paper's central evaluation (Figs. 5-6) pits maxent summaries against
+/// stratified/uniform samples; this interface is what lets the serving
+/// engine hold BOTH kinds behind one surface and route each query to
+/// whichever source expects the lower variance (see engine/query_router.h
+/// and docs/ESTIMATORS.md for the per-source variance formulas).
+///
+/// Implementations are immutable after construction and safe to call
+/// concurrently; the routed answer is always the chosen source's own answer
+/// bit for bit.
+class EstimateSource {
+ public:
+  /// Which estimator family a source belongs to — surfaced in routing
+  /// decisions and by `entropydb_query --store`.
+  enum class Kind { kSummary, kSample };
+
+  virtual ~EstimateSource() = default;
+
+  /// The source's estimator family.
+  virtual Kind kind() const = 0;
+  /// Display name, e.g. "maxent(origin,dest)" or "Strat(origin,dest)".
+  virtual const std::string& name() const = 0;
+  /// Arity of the relation this source summarizes.
+  virtual size_t num_attributes() const = 0;
+  /// COUNT(*) estimate with expected variance for a conjunctive query.
+  virtual Result<QueryEstimate> AnswerCount(const CountingQuery& q) const = 0;
+  /// SUM of a per-value weight over attribute `a` under filter `q`.
+  virtual Result<QueryEstimate> AnswerSum(
+      AttrId a, const std::vector<double>& weights,
+      const CountingQuery& q) const = 0;
+};
+
+/// \brief EstimateSource over a solved EntropySummary: multinomial-moment
+/// variances (Binomial n p (1 - p) for counts, Sec 7 of the paper).
+class SummarySource : public EstimateSource {
+ public:
+  /// Wraps a solved summary; `name` defaults to "maxent".
+  explicit SummarySource(std::shared_ptr<const EntropySummary> summary,
+                         std::string name = "maxent");
+
+  Kind kind() const override { return Kind::kSummary; }
+  const std::string& name() const override { return name_; }
+  size_t num_attributes() const override {
+    return summary_->num_attributes();
+  }
+  Result<QueryEstimate> AnswerCount(const CountingQuery& q) const override {
+    return summary_->AnswerCount(q);
+  }
+  Result<QueryEstimate> AnswerSum(AttrId a,
+                                  const std::vector<double>& weights,
+                                  const CountingQuery& q) const override {
+    return summary_->AnswerSum(a, weights, q);
+  }
+
+  /// The wrapped summary.
+  const EntropySummary& summary() const { return *summary_; }
+
+ private:
+  std::shared_ptr<const EntropySummary> summary_;
+  std::string name_;
+};
+
+/// \brief EstimateSource over a weighted row sample: Horvitz-Thompson
+/// estimates with the sample-variance formulas of
+/// sampling/sample_estimator.h (finite even when no sampled row matches).
+class SampleSource : public EstimateSource {
+ public:
+  /// Wraps a sample; the display name is taken from the sample itself.
+  explicit SampleSource(std::shared_ptr<const WeightedSample> sample);
+
+  Kind kind() const override { return Kind::kSample; }
+  const std::string& name() const override { return sample_->name; }
+  size_t num_attributes() const override {
+    return sample_->rows ? sample_->rows->num_attributes() : 0;
+  }
+  Result<QueryEstimate> AnswerCount(const CountingQuery& q) const override;
+  Result<QueryEstimate> AnswerSum(AttrId a,
+                                  const std::vector<double>& weights,
+                                  const CountingQuery& q) const override;
+
+  /// The wrapped sample.
+  const WeightedSample& sample() const { return *sample_; }
+  std::shared_ptr<const WeightedSample> sample_ptr() const {
+    return sample_;
+  }
+
+ private:
+  std::shared_ptr<const WeightedSample> sample_;
+  SampleEstimator estimator_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_ENGINE_ESTIMATE_SOURCE_H_

@@ -24,21 +24,57 @@ std::vector<size_t> QueryRouter::CoveringEntries(
   return out;
 }
 
+bool QueryRouter::BestSample(const CountingQuery& q, size_t* index,
+                             QueryEstimate* est) const {
+  bool have = false;
+  for (size_t s = 0; s < store_->num_samples(); ++s) {
+    auto cand = store_->sample_source(s).AnswerCount(q);
+    if (!cand.ok()) continue;  // arity mismatch; caller validates anyway
+    if (!have || cand->variance < est->variance) {
+      *est = *cand;
+      *index = s;
+      have = true;
+    }
+  }
+  return have;
+}
+
+bool QueryRouter::HybridChallenge(const CountingQuery& q,
+                                  const QueryEstimate& summary_cnt,
+                                  RouteDecision* decision,
+                                  size_t* sample_index,
+                                  QueryEstimate* sample_est) const {
+  if (decision != nullptr) {
+    decision->summary_variance = summary_cnt.variance;
+    decision->sample_variance = std::numeric_limits<double>::infinity();
+    decision->from_sample = false;
+  }
+  size_t index = 0;
+  QueryEstimate est;
+  if (!BestSample(q, &index, &est)) return false;
+  const bool from_sample = est.variance < summary_cnt.variance;
+  if (decision != nullptr) {
+    decision->sample_variance = est.variance;
+    decision->from_sample = from_sample;
+    decision->sample_index = index;
+  }
+  if (sample_index != nullptr) *sample_index = index;
+  if (sample_est != nullptr) *sample_est = est;
+  return from_sample;
+}
+
 Result<QueryEstimate> QueryRouter::Answer(const CountingQuery& q,
                                           RouteDecision* decision) const {
   if (q.num_attributes() != store_->num_attributes()) {
     return Status::InvalidArgument("query arity does not match the store");
   }
-  std::vector<uint8_t> constrained(q.num_attributes(), 0);
-  for (AttrId a = 0; a < q.num_attributes(); ++a) {
-    constrained[a] = q.predicate(a).is_any() ? 0 : 1;
-  }
   size_t covered = 0;
-  std::vector<size_t> candidates = CoveringEntries(constrained, &covered);
+  std::vector<size_t> candidates =
+      CoveringEntries(q.ConstrainedMask(), &covered);
 
-  // Among tied candidates, the lowest-variance estimate wins (first wins
-  // ties, keeping routing deterministic). The returned estimate is exactly
-  // the chosen summary's own answer.
+  // Stage 2: among tied candidates, the lowest-variance estimate wins
+  // (first wins ties, keeping routing deterministic). The returned
+  // estimate is exactly the chosen summary's own answer.
   QueryEstimate best_est;
   size_t best_index = candidates.front();
   bool have = false;
@@ -50,14 +86,23 @@ Result<QueryEstimate> QueryRouter::Answer(const CountingQuery& q,
       have = true;
     }
   }
+
+  // Stage 3 (hybrid): the best sample companion challenges the summary
+  // winner; strictly lower expected variance takes the query.
+  QueryEstimate sample_est;
+  size_t sample_index = 0;
+  const bool from_sample =
+      HybridChallenge(q, best_est, decision, &sample_index, &sample_est);
+
   if (decision != nullptr) {
     decision->index = best_index;
     decision->covered_pairs = covered;
     decision->candidates = candidates.size();
     decision->fallback = covered == 0;
-    decision->expected_variance = best_est.variance;
+    decision->expected_variance =
+        from_sample ? sample_est.variance : best_est.variance;
   }
-  return best_est;
+  return from_sample ? sample_est : best_est;
 }
 
 Result<std::vector<QueryEstimate>> QueryRouter::AnswerAll(

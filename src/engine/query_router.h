@@ -1,20 +1,22 @@
 #ifndef ENTROPYDB_ENGINE_QUERY_ROUTER_H_
 #define ENTROPYDB_ENGINE_QUERY_ROUTER_H_
 
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "common/result.h"
-#include "engine/summary_store.h"
+#include "engine/source_store.h"
 #include "maxent/answerer.h"
 #include "query/counting_query.h"
 
 namespace entropydb {
 
-/// Why a query landed on the summary it did — surfaced by the query tool's
+/// Why a query landed on the source it did — surfaced by the query tool's
 /// --store mode and asserted by the routing tests.
 struct RouteDecision {
-  /// Chosen store entry.
+  /// Chosen summary entry; when `from_sample` is true this is the summary
+  /// RUNNER-UP the winning sample was compared against.
   size_t index = 0;
   /// Modeled pairs of the chosen entry fully inside the query's constrained
   /// attribute set.
@@ -22,39 +24,62 @@ struct RouteDecision {
   /// Entries that tied on maximal coverage (candidates the variance rule
   /// then decided between).
   size_t candidates = 1;
-  /// True when NO entry covered a pair: routed to the widest summary.
+  /// True when NO entry covered a pair: summary routing fell back to the
+  /// widest summary.
   bool fallback = false;
-  /// The chosen estimate's variance (the routing objective).
+  /// The chosen source's estimate variance (the routing objective).
   double expected_variance = 0.0;
+
+  // -- Hybrid stage (summary vs. sample), see docs/ESTIMATORS.md ---------
+  // COUNT routing always fills these; aggregate routing (AnswerSum) fills
+  // them with the FILTER COUNT's variances — the shared objective — and
+  // only when the store holds samples (they keep their defaults when the
+  // hybrid stage is skipped).
+  /// True when a sample source won the variance comparison: the answer
+  /// came from store sample `sample_index`.
+  bool from_sample = false;
+  /// Winning sample (valid only when `from_sample`).
+  size_t sample_index = 0;
+  /// The best summary candidate's expected variance (stage-2 winner).
+  double summary_variance = 0.0;
+  /// The best sample's expected variance; +infinity when the store holds
+  /// no samples (the comparison then never picks a sample).
+  double sample_variance = std::numeric_limits<double>::infinity();
 };
 
-/// \brief Routes each query to the store summary expected to answer it
-/// best, and fans batched workloads across the pool.
+/// \brief Routes each query to the store source — maxent summary or
+/// weighted sample — expected to answer it best, and fans batched
+/// workloads across the pool.
 ///
-/// Routing rule (see docs/ARCHITECTURE.md):
+/// Routing rule (see docs/ESTIMATORS.md and docs/ARCHITECTURE.md):
 ///  1. Coverage: an entry covers a query through every modeled attribute
 ///     pair whose BOTH attributes the query constrains — those are the
-///     correlations the estimate actually exercises. Keep the entries with
-///     maximal (non-zero) coverage.
-///  2. Variance: among tied candidates, answer from each and keep the
-///     estimate with the lowest Binomial variance n p (1 - p). A summary
-///     that models the queried correlation concentrates the mass estimate
-///     (small p for rare combinations), so lower variance tracks the
-///     better-informed model.
-///  3. Fallback: when no entry covers any pair (1-D-only territory, where
-///     every summary shares the same exact marginals), use the widest
-///     summary.
+///     correlations the estimate actually exercises. Keep the summaries
+///     with maximal (non-zero) coverage.
+///  2. Summary variance: among tied candidates, answer from each and keep
+///     the estimate with the lowest Binomial variance n p (1 - p). A
+///     summary that models the queried correlation concentrates the mass
+///     estimate (small p for rare combinations), so lower variance tracks
+///     the better-informed model. When no entry covers any pair (1-D-only
+///     territory, where every summary shares the same exact marginals),
+///     the widest summary is the candidate.
+///  3. Hybrid: answer from every sample companion as well and compare the
+///     best sample's Horvitz-Thompson variance against the stage-2
+///     winner's; the overall lowest variance serves the query. A sample
+///     that saw no matching row reports the finite miss floor
+///     w_max (w_max - 1) (never a confident zero), which routes rare
+///     slices the sample missed back to a summary.
 ///
-/// The routed answer IS the chosen summary's own answer — bit-for-bit what
-/// QueryAnswerer on that summary returns — so routing never perturbs
-/// estimates. Stateless over an immutable store: all entry points are
-/// safe to call concurrently.
+/// The routed answer IS the chosen source's own answer — bit-for-bit what
+/// that summary's QueryAnswerer or that sample's SampleEstimator returns —
+/// so routing never perturbs estimates. Stateless over an immutable store:
+/// all entry points are safe to call concurrently.
 class QueryRouter {
  public:
-  explicit QueryRouter(std::shared_ptr<const SummaryStore> store)
+  explicit QueryRouter(std::shared_ptr<const SourceStore> store)
       : store_(std::move(store)) {}
 
-  const SummaryStore& store() const { return *store_; }
+  const SourceStore& store() const { return *store_; }
 
   /// Max-coverage candidate entries for a constrained-attribute set
   /// (`constrained[a]` != 0 when attribute `a` carries a predicate).
@@ -63,7 +88,25 @@ class QueryRouter {
   std::vector<size_t> CoveringEntries(const std::vector<uint8_t>& constrained,
                                       size_t* covered) const;
 
-  /// Routes and answers one counting query.
+  /// Stage-3 helper: the sample companion with the lowest expected COUNT
+  /// variance for `q` (first wins ties, keeping routing deterministic).
+  /// Returns false — leaving the outputs untouched — when the store holds
+  /// no samples.
+  bool BestSample(const CountingQuery& q, size_t* index,
+                  QueryEstimate* est) const;
+
+  /// Runs stage 3 in full: the best sample challenges the stage-2 summary
+  /// winner's filter-count estimate `summary_cnt`. Fills the decision's
+  /// hybrid fields (when non-null) and the winner outputs, and returns
+  /// true when the sample takes the query (strictly lower variance). The
+  /// ONE comparison both COUNT and aggregate routing share — change the
+  /// rule here and both paths move together.
+  bool HybridChallenge(const CountingQuery& q,
+                       const QueryEstimate& summary_cnt,
+                       RouteDecision* decision, size_t* sample_index,
+                       QueryEstimate* sample_est) const;
+
+  /// Routes and answers one counting query across all sources.
   Result<QueryEstimate> Answer(const CountingQuery& q,
                                RouteDecision* decision = nullptr) const;
 
@@ -78,7 +121,7 @@ class QueryRouter {
       std::vector<RouteDecision>* decisions = nullptr) const;
 
  private:
-  std::shared_ptr<const SummaryStore> store_;
+  std::shared_ptr<const SourceStore> store_;
 };
 
 }  // namespace entropydb

@@ -1,117 +1,12 @@
 #ifndef ENTROPYDB_ENGINE_SUMMARY_STORE_H_
 #define ENTROPYDB_ENGINE_SUMMARY_STORE_H_
 
-#include <memory>
-#include <string>
-#include <vector>
+/// \file summary_store.h
+/// \brief Compatibility shim: the PR 2-era SummaryStore grew into
+/// SourceStore (summaries AND sample companions behind one store
+/// directory). `SummaryStore` remains an alias there; include
+/// engine/source_store.h in new code.
 
-#include "common/result.h"
-#include "maxent/budget_advisor.h"
-#include "maxent/summary.h"
-#include "stats/pair_selector.h"
-#include "stats/selector.h"
-#include "storage/table.h"
-
-namespace entropydb {
-
-/// Build-time knobs for a multi-summary store.
-struct StoreOptions {
-  /// Number of summaries K; each models one of the top-K ranked attribute
-  /// pairs (attribute-cover order, the paper's recommended strategy).
-  /// Capped at the number of available pairs.
-  size_t num_summaries = 3;
-  /// Total 2-D statistic budget B, split evenly: each summary's pair gets
-  /// B / K statistics.
-  size_t total_budget = 1200;
-  /// When true, BudgetAdvisor::Advise decides BOTH how many pairs to model
-  /// (K = best candidate's Ba) and which ones, overriding `num_summaries`.
-  /// Costs several trial summary builds (Sec 4.3 breadth-vs-depth search).
-  bool use_budget_advisor = false;
-  /// 2-D statistic selection heuristic per pair.
-  SelectionHeuristic heuristic = SelectionHeuristic::kComposite;
-  /// Attributes to exclude from pairing (e.g. near-uniform ones).
-  std::vector<AttrId> exclude;
-  /// Solver / polynomial knobs, shared by every summary build.
-  SummaryOptions summary;
-};
-
-/// One summary of the store plus the attribute pairs it models — the
-/// routing metadata QueryRouter keys on.
-struct StoreEntry {
-  std::shared_ptr<EntropySummary> summary;
-  std::vector<ScoredPair> pairs;
-};
-
-/// \brief Owns K EntropySummaries, each modeling the 2-D statistics of one
-/// highly-correlated attribute pair, so a router can answer every query
-/// from the summary that covers it best (the paper builds Ent1&2 / Ent3&4 /
-/// Ent1&2&3 exactly this way; the store productionizes the idea).
-///
-/// Build ranks pairs by bias-corrected Cramér's V, picks the top K by
-/// attribute cover (or lets BudgetAdvisor choose the breadth-vs-depth
-/// split), and solves the K summaries IN PARALLEL on the shared thread
-/// pool — summary builds are independent, and nested solver fan-outs
-/// degrade inline on worker threads (see common/thread_pool.h).
-///
-/// Save/Load persist the whole store as a directory (one MANIFEST plus one
-/// .edb file per summary), restoring without re-solving; loads are also
-/// parallel. All summaries share the relation's attribute schema; queries
-/// are position-compatible across the store.
-class SummaryStore {
- public:
-  static Result<std::shared_ptr<SummaryStore>> Build(const Table& table,
-                                                     StoreOptions opts = {});
-
-  size_t size() const { return entries_.size(); }
-  const StoreEntry& entry(size_t k) const { return entries_[k]; }
-  const EntropySummary& summary(size_t k) const {
-    return *entries_[k].summary;
-  }
-  std::shared_ptr<EntropySummary> summary_ptr(size_t k) const {
-    return entries_[k].summary;
-  }
-
-  /// Index of the fallback entry for queries no summary covers: the entry
-  /// whose pairs span the most attributes, ties broken toward the most
-  /// correlated (lowest index).
-  size_t widest() const { return widest_; }
-
-  // Schema accessors, identical across entries (validated on Build/Load).
-  const std::vector<std::string>& attr_names() const {
-    return entries_.front().summary->attr_names();
-  }
-  const std::vector<Domain>& domains() const {
-    return entries_.front().summary->domains();
-  }
-  bool has_domains() const {
-    return entries_.front().summary->has_domains();
-  }
-  double n() const { return entries_.front().summary->n(); }
-  size_t num_attributes() const {
-    return entries_.front().summary->num_attributes();
-  }
-
-  /// Persists the store into directory `dir` (created if missing):
-  /// `dir/MANIFEST` plus `dir/summary_<k>.edb` per entry.
-  Status Save(const std::string& dir) const;
-  /// Restores a saved store without re-solving (summaries load in
-  /// parallel).
-  static Result<std::shared_ptr<SummaryStore>> Load(const std::string& dir,
-                                                    SummaryOptions opts = {});
-
-  /// Assembles a store from already-built summaries (the path Load uses;
-  /// also handy for tests). Entries must be non-empty and agree on the
-  /// attribute schema.
-  static Result<std::shared_ptr<SummaryStore>> FromEntries(
-      std::vector<StoreEntry> entries);
-
- private:
-  explicit SummaryStore(std::vector<StoreEntry> entries);
-
-  std::vector<StoreEntry> entries_;
-  size_t widest_ = 0;
-};
-
-}  // namespace entropydb
+#include "engine/source_store.h"
 
 #endif  // ENTROPYDB_ENGINE_SUMMARY_STORE_H_

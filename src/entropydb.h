@@ -7,20 +7,25 @@
 /// VLDB 2017).
 ///
 /// Typical use — the engine facade serves one summary or a routed
-/// multi-summary store behind the same query surface:
+/// multi-source store (maxent summaries + sample companions) behind the
+/// same query surface:
 /// \code
 ///   using namespace entropydb;
 ///   auto table = FlightsGenerator::Generate({.num_rows = 500000});
 ///   StoreOptions opts;
 ///   opts.num_summaries = 3;    // top-3 correlated pairs, built in parallel
 ///   opts.total_budget = 1500;  // 2-D statistics split across them
-///   auto store = SummaryStore::Build(**table, opts);
+///   opts.num_stratified_samples = 2;  // hybrid: samples ride along
+///   auto store = SourceStore::Build(**table, opts);
 ///   auto engine = EntropyEngine::FromStore(*store);
 ///   auto q = QueryBuilder(**table)
 ///                .WhereEquals("origin", Value(std::string("S3")))
 ///                .WhereBetween("distance", 500, 1000)
 ///                .Build();
-///   auto estimate = engine->AnswerCount(*q);  // routed per-query
+///   RouteDecision why;
+///   auto estimate = engine->AnswerCount(*q, &why);  // routed per-query
+///   // why.from_sample tells you which estimator family won;
+///   // docs/ESTIMATORS.md derives the variance comparison.
 /// \endcode
 ///
 /// Single-summary path (the original seed API) is unchanged:
@@ -33,7 +38,9 @@
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "engine/engine.h"
+#include "engine/estimate_source.h"
 #include "engine/query_router.h"
+#include "engine/source_store.h"
 #include "engine/summary_store.h"
 #include "maxent/answerer.h"
 #include "maxent/budget_advisor.h"
@@ -49,7 +56,9 @@
 #include "query/linear_query.h"
 #include "query/parser.h"
 #include "query/predicate.h"
+#include "sampling/sample.h"
 #include "sampling/sample_estimator.h"
+#include "sampling/sample_io.h"
 #include "sampling/stratified_sampler.h"
 #include "sampling/uniform_sampler.h"
 #include "stats/correlation.h"

@@ -2,6 +2,14 @@
 
 namespace entropydb {
 
+std::vector<uint8_t> CountingQuery::ConstrainedMask() const {
+  std::vector<uint8_t> mask(preds_.size(), 0);
+  for (AttrId a = 0; a < preds_.size(); ++a) {
+    mask[a] = preds_[a].is_any() ? 0 : 1;
+  }
+  return mask;
+}
+
 std::string CountingQuery::ToString(const Schema& schema) const {
   std::string out = "COUNT(*) WHERE ";
   bool first = true;

@@ -48,12 +48,39 @@ class CountingQuery {
     return k;
   }
 
+  /// Per-attribute constrained flags (`mask[a]` != 0 when attribute `a`
+  /// carries a non-ANY predicate) — the shape coverage routing keys on.
+  std::vector<uint8_t> ConstrainedMask() const;
+
   std::string ToString(const Schema& schema) const;
 
   bool operator==(const CountingQuery& o) const { return preds_ == o.preds_; }
 
  private:
   std::vector<AttrPredicate> preds_;
+};
+
+/// \brief Row-scan helper: the non-ANY predicates of a query, bound once
+/// so per-row matching touches only the constrained columns. Shared by the
+/// exact evaluator and the sample estimator; the query must outlive it.
+class ActivePredicates {
+ public:
+  explicit ActivePredicates(const CountingQuery& q) {
+    for (AttrId a = 0; a < q.num_attributes(); ++a) {
+      if (!q.predicate(a).is_any()) active_.emplace_back(a, &q.predicate(a));
+    }
+  }
+
+  /// True when row `r` of `t` satisfies every bound predicate.
+  bool Matches(const Table& t, size_t r) const {
+    for (const auto& [a, p] : active_) {
+      if (!p->Matches(t.at(r, a))) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<AttrId, const AttrPredicate*>> active_;
 };
 
 /// \brief Convenience builder that resolves attribute names and raw values

@@ -3,45 +3,23 @@
 namespace entropydb {
 
 uint64_t ExactEvaluator::Count(const CountingQuery& q) const {
-  // Collect the non-ANY predicates once so the row loop touches only the
-  // constrained columns.
-  std::vector<std::pair<AttrId, const AttrPredicate*>> active;
-  for (AttrId a = 0; a < q.num_attributes(); ++a) {
-    if (!q.predicate(a).is_any()) active.emplace_back(a, &q.predicate(a));
-  }
+  const ActivePredicates active(q);
   uint64_t count = 0;
   const size_t n = table_.num_rows();
   for (size_t row = 0; row < n; ++row) {
-    bool match = true;
-    for (const auto& [a, p] : active) {
-      if (!p->Matches(table_.at(row, a))) {
-        match = false;
-        break;
-      }
-    }
-    count += match ? 1 : 0;
+    count += active.Matches(table_, row) ? 1 : 0;
   }
   return count;
 }
 
 std::map<std::vector<Code>, uint64_t> ExactEvaluator::GroupByCount(
     const std::vector<AttrId>& attrs, const CountingQuery& q) const {
-  std::vector<std::pair<AttrId, const AttrPredicate*>> active;
-  for (AttrId a = 0; a < q.num_attributes(); ++a) {
-    if (!q.predicate(a).is_any()) active.emplace_back(a, &q.predicate(a));
-  }
+  const ActivePredicates active(q);
   std::map<std::vector<Code>, uint64_t> groups;
   std::vector<Code> key(attrs.size());
   const size_t n = table_.num_rows();
   for (size_t row = 0; row < n; ++row) {
-    bool match = true;
-    for (const auto& [a, p] : active) {
-      if (!p->Matches(table_.at(row, a))) {
-        match = false;
-        break;
-      }
-    }
-    if (!match) continue;
+    if (!active.Matches(table_, row)) continue;
     for (size_t i = 0; i < attrs.size(); ++i) key[i] = table_.at(row, attrs[i]);
     ++groups[key];
   }

@@ -1,26 +1,55 @@
 #include "sampling/sample_estimator.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace entropydb {
+
+SampleEstimator::SampleEstimator(const WeightedSample& sample)
+    : sample_(sample) {
+  double w_max = 0.0;
+  for (double w : sample_.weights) w_max = std::max(w_max, w);
+  if (sample_.weights.empty() && sample_.fraction > 0.0) {
+    w_max = 1.0 / sample_.fraction;  // nominal weight of the missed row
+  }
+  miss_floor_ = std::max(0.0, w_max * (w_max - 1.0));
+}
 
 QueryEstimate SampleEstimator::Count(const CountingQuery& q) const {
   const Table& t = *sample_.rows;
-  std::vector<std::pair<AttrId, const AttrPredicate*>> active;
-  for (AttrId a = 0; a < q.num_attributes(); ++a) {
-    if (!q.predicate(a).is_any()) active.emplace_back(a, &q.predicate(a));
-  }
+  const ActivePredicates active(q);
   QueryEstimate est;
+  bool matched = false;
   for (size_t r = 0; r < t.num_rows(); ++r) {
-    bool match = true;
-    for (const auto& [a, p] : active) {
-      if (!p->Matches(t.at(r, a))) {
-        match = false;
-        break;
-      }
-    }
-    if (!match) continue;
+    if (!active.Matches(t, r)) continue;
     const double w = sample_.weights[r];
     est.expectation += w;
     est.variance += w * (w - 1.0);
+    matched = true;
+  }
+  if (!matched) est.variance = miss_floor_;
+  return est;
+}
+
+QueryEstimate SampleEstimator::Sum(AttrId a,
+                                   const std::vector<double>& values,
+                                   const CountingQuery& q) const {
+  const Table& t = *sample_.rows;
+  const ActivePredicates active(q);
+  QueryEstimate est;
+  bool matched = false;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (!active.Matches(t, r)) continue;
+    const double w = sample_.weights[r];
+    const double v = values[t.at(r, a)];
+    est.expectation += w * v;
+    est.variance += w * (w - 1.0) * v * v;
+    matched = true;
+  }
+  if (!matched) {
+    double v2_max = 0.0;
+    for (double v : values) v2_max = std::max(v2_max, v * v);
+    est.variance = miss_floor_ * v2_max;
   }
   return est;
 }

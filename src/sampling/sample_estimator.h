@@ -1,27 +1,55 @@
 #ifndef ENTROPYDB_SAMPLING_SAMPLE_ESTIMATOR_H_
 #define ENTROPYDB_SAMPLING_SAMPLE_ESTIMATOR_H_
 
+#include <vector>
+
 #include "maxent/answerer.h"
 #include "query/counting_query.h"
 #include "sampling/sample.h"
 
 namespace entropydb {
 
-/// \brief Horvitz-Thompson count estimation over a weighted sample.
+/// \brief Horvitz-Thompson estimation over a weighted sample.
 ///
 /// expectation = sum of weights of matching sample rows. The variance field
 /// uses the Bernoulli/Poisson-sampling approximation
 /// sum_i w_i (w_i - 1) over matching rows, which is exact for Bernoulli
 /// samples and a slight over-estimate for without-replacement strata.
+///
+/// When NO sampled row matches, the matching-row sum degenerates to
+/// variance 0 — which would read as "perfectly confident the count is 0"
+/// exactly where a sample is weakest (a rare slice the sample may simply
+/// have missed). Count/Sum instead report the finite floor
+/// w_max (w_max - 1): the estimator variance had one maximally-weighted row
+/// been missed. The hybrid router (engine/query_router.h) therefore routes
+/// such queries back to a summary rather than trusting a silent zero; see
+/// docs/ESTIMATORS.md.
 class SampleEstimator {
  public:
-  explicit SampleEstimator(const WeightedSample& sample) : sample_(sample) {}
+  explicit SampleEstimator(const WeightedSample& sample);
 
-  /// Estimated COUNT(*) for a conjunctive query.
+  /// Estimated COUNT(*) for a conjunctive query. Variance is
+  /// sum w_i (w_i - 1) over matching rows, floored at MissFloor() when no
+  /// row matches.
   QueryEstimate Count(const CountingQuery& q) const;
+
+  /// Estimated SUM of a per-value weight over attribute `a` under filter
+  /// `q` (one entry of `values` per bucket of `a`, e.g. bucket midpoints).
+  /// expectation = sum w_i values[code_i(a)] over matching rows; variance =
+  /// sum w_i (w_i - 1) values^2, floored at MissFloor() * max(values^2)
+  /// when no row matches.
+  QueryEstimate Sum(AttrId a, const std::vector<double>& values,
+                    const CountingQuery& q) const;
+
+  /// The zero-match variance floor w_max (w_max - 1), where w_max is the
+  /// largest expansion weight in the sample (for an EMPTY sample, the
+  /// nominal weight 1/fraction). 0 for a full (weight-1) sample, where a
+  /// zero count really is exact; always finite.
+  double MissFloor() const { return miss_floor_; }
 
  private:
   const WeightedSample& sample_;
+  double miss_floor_ = 0.0;
 };
 
 }  // namespace entropydb

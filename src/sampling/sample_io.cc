@@ -1,0 +1,147 @@
+#include "sampling/sample_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/table_builder.h"
+
+namespace entropydb {
+
+namespace {
+void WriteDouble(std::ostream& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+bool HasWhitespace(const std::string& s) {
+  return s.find_first_of(" \t\n\r") != std::string::npos;
+}
+}  // namespace
+
+Status SaveSample(const WeightedSample& sample, const std::string& path) {
+  if (sample.rows == nullptr) {
+    return Status::InvalidArgument("sample has no row table");
+  }
+  const Table& t = *sample.rows;
+  // The format is token-oriented (LoadSample reads names with >>): reject
+  // whitespace up front instead of writing a file Load can never reopen.
+  if (HasWhitespace(sample.name)) {
+    return Status::InvalidArgument("sample name contains whitespace: '" +
+                                   sample.name + "'");
+  }
+  for (AttrId a = 0; a < t.num_attributes(); ++a) {
+    if (HasWhitespace(t.schema().attribute(a).name)) {
+      return Status::InvalidArgument("attribute name contains whitespace: '" +
+                                     t.schema().attribute(a).name + "'");
+    }
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << "ENTROPYDB_SAMPLE_V1\n";
+  out << "name " << (sample.name.empty() ? "sample" : sample.name) << '\n';
+  out << "fraction ";
+  WriteDouble(out, sample.fraction);
+  out << '\n';
+  out << "attrs " << t.num_attributes() << '\n';
+  for (AttrId a = 0; a < t.num_attributes(); ++a) {
+    const Domain& d = t.domain(a);
+    out << t.schema().attribute(a).name;
+    if (d.is_categorical()) {
+      out << " cat " << d.size() << '\n';
+      for (Code v = 0; v < d.size(); ++v) out << d.LabelFor(v) << '\n';
+    } else {
+      out << " bin ";
+      WriteDouble(out, d.bin_lo());
+      out << ' ';
+      WriteDouble(out, d.bin_hi());
+      out << ' ' << d.size() << '\n';
+    }
+  }
+  out << "rows " << t.num_rows() << '\n';
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (AttrId a = 0; a < t.num_attributes(); ++a) {
+      out << t.at(r, a) << ' ';
+    }
+    WriteDouble(out, sample.weights[r]);
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("write failure: " + path);
+  return Status::OK();
+}
+
+Result<WeightedSample> LoadSample(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::string token;
+  if (!(in >> token) || token != "ENTROPYDB_SAMPLE_V1") {
+    return Status::Corruption("bad sample header in " + path);
+  }
+  WeightedSample sample;
+  if (!(in >> token >> sample.name) || token != "name") {
+    return Status::Corruption("bad sample name record in " + path);
+  }
+  if (!(in >> token >> sample.fraction) || token != "fraction") {
+    return Status::Corruption("bad sample fraction record in " + path);
+  }
+  size_t m = 0;
+  if (!(in >> token >> m) || token != "attrs" || m == 0) {
+    return Status::Corruption("bad sample attrs record in " + path);
+  }
+  std::vector<AttributeSpec> specs(m);
+  std::vector<Domain> domains(m);
+  for (size_t a = 0; a < m; ++a) {
+    std::string kind;
+    if (!(in >> specs[a].name >> kind)) {
+      return Status::Corruption("truncated sample attribute in " + path);
+    }
+    if (kind == "cat") {
+      size_t count = 0;
+      if (!(in >> count)) return Status::Corruption("bad sample domain");
+      std::string line;
+      std::getline(in, line);  // consume the rest of the header line
+      std::vector<std::string> labels(count);
+      for (auto& l : labels) {
+        if (!std::getline(in, l)) {
+          return Status::Corruption("truncated sample labels in " + path);
+        }
+      }
+      specs[a].type = AttributeType::kCategorical;
+      domains[a] = Domain::Categorical(std::move(labels));
+    } else if (kind == "bin") {
+      double lo = 0, hi = 0;
+      uint32_t buckets = 0;
+      if (!(in >> lo >> hi >> buckets)) {
+        return Status::Corruption("bad binned sample domain in " + path);
+      }
+      specs[a].type = AttributeType::kNumeric;
+      specs[a].buckets = buckets;
+      domains[a] = Domain::Binned(lo, hi, buckets);
+    } else {
+      return Status::Corruption("unknown sample domain kind: " + kind);
+    }
+  }
+  size_t rows = 0;
+  if (!(in >> token >> rows) || token != "rows") {
+    return Status::Corruption("bad sample rows record in " + path);
+  }
+  TableBuilder builder(Schema{std::move(specs)});
+  for (AttrId a = 0; a < m; ++a) builder.SetDomain(a, domains[a]);
+  std::vector<Code> row(m);
+  sample.weights.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < m; ++a) {
+      if (!(in >> row[a])) {
+        return Status::Corruption("truncated sample row in " + path);
+      }
+    }
+    if (!(in >> sample.weights[r])) {
+      return Status::Corruption("truncated sample weight in " + path);
+    }
+    builder.AppendEncodedRow(row);
+  }
+  ASSIGN_OR_RETURN(sample.rows, builder.Finish());
+  return sample;
+}
+
+}  // namespace entropydb

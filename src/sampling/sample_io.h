@@ -1,0 +1,26 @@
+#ifndef ENTROPYDB_SAMPLING_SAMPLE_IO_H_
+#define ENTROPYDB_SAMPLING_SAMPLE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sampling/sample.h"
+
+namespace entropydb {
+
+/// Serializes a weighted sample (schema, domains, encoded rows, expansion
+/// weights, name, fraction) to a line-oriented text file, the same style as
+/// EntropySummary::Save; LoadSample restores it without the base table.
+/// Attribute names and the sample name must be whitespace-free tokens (they
+/// already are everywhere in this codebase); Save rejects offenders with
+/// InvalidArgument rather than writing a file Load cannot reopen.
+Status SaveSample(const WeightedSample& sample, const std::string& path);
+
+/// Restores a sample written by SaveSample. The rebuilt table carries the
+/// original domains, so query codes are position-compatible with summaries
+/// of the same relation.
+Result<WeightedSample> LoadSample(const std::string& path);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_SAMPLING_SAMPLE_IO_H_

@@ -161,5 +161,41 @@ TEST(EntropyEngineTest, OpenDispatchesOnFileVsDirectory) {
   fs::remove(file);
 }
 
+TEST(EntropyEngineTest, OpenRestoresHybridStoresWithSamples) {
+  auto table = TwoPairTable(1000, 97);
+  StoreOptions opts = SmallStoreOptions();
+  opts.num_stratified_samples = 1;
+  opts.sample_fraction = 0.05;
+  auto store = SourceStore::Build(*table, opts);
+  ASSERT_TRUE(store.ok());
+
+  const std::string dir =
+      (fs::temp_directory_path() / "entropydb_engine_hybrid_store").string();
+  fs::remove_all(dir);
+  ASSERT_TRUE((*store)->Save(dir).ok());
+  auto engine = EntropyEngine::Open(dir);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE((*engine)->is_store());
+  EXPECT_EQ((*engine)->num_summaries(), 2u);
+  EXPECT_EQ((*engine)->num_samples(), 1u);
+
+  // Routed answers through the restored engine match the in-memory store's
+  // routing (same decision, same bits).
+  QueryRouter reference(*store);
+  for (Code v = 0; v < 5; ++v) {
+    CountingQuery q(5);
+    q.Where(2, AttrPredicate::Point(v)).Where(3, AttrPredicate::Point(v));
+    RouteDecision got, want;
+    auto est = (*engine)->AnswerCount(q, &got);
+    auto ref = reference.Answer(q, &want);
+    ASSERT_TRUE(est.ok());
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(got.from_sample, want.from_sample);
+    EXPECT_EQ(est->expectation, ref->expectation);
+    EXPECT_EQ(est->variance, ref->variance);
+  }
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace entropydb

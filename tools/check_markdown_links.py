@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Markdown link checker (stdlib only) — the CI docs job.
+
+Scans the given markdown files/directories for inline links and images,
+resolves relative targets against each file's location, and fails if any
+target file is missing. External (http/https/mailto) links are not
+fetched — CI must stay offline-friendly — and pure #anchor links are
+skipped.
+
+Usage: check_markdown_links.py FILE_OR_DIR...
+"""
+
+import os
+import re
+import sys
+
+# [text](target) / ![alt](target); target ends at the first ')' or space
+# (titles like [t](url "title") are split off).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def collect_markdown(paths):
+    out = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, files in os.walk(path):
+                out.extend(
+                    os.path.join(root, f) for f in files if f.endswith(".md")
+                )
+        else:
+            out.append(path)
+    return sorted(set(out))
+
+
+def check_file(md_path):
+    errors = []
+    base = os.path.dirname(md_path) or "."
+    with open(md_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, target))
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{md_path}:{lineno}: broken link -> {target}"
+                    )
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = collect_markdown(argv[1:])
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,7 +6,8 @@
 //       --pairs auto --ba 2 --budget 500 --out flights.edb
 //
 //   entropydb_build --csv data.csv --schema ... \
-//       --summaries 3 --budget 500 --store flights.store
+//       --summaries 3 --budget 500 --store flights.store \
+//       --samples 2 --sample-fraction 0.01 --uniform on
 //
 // Schema entries are name:kind[:buckets] with kind one of cat|num|int.
 // --pairs is either "auto" (rank by bias-corrected Cramér's V, choose by
@@ -16,6 +17,11 @@
 // whole store as a directory entropydb_query can route over; --advisor on
 // lets BudgetAdvisor pick the breadth-vs-depth split instead (--budget is
 // then the TOTAL statistic budget and --summaries is ignored).
+// --samples additionally draws stratified sample companions on the same
+// top-ranked pairs (and --uniform on a uniform Bernoulli sample) and
+// persists them alongside the summaries; the query router then answers
+// each query from whichever source — summary or sample — expects the
+// lower variance (docs/ESTIMATORS.md).
 
 #include <cstdio>
 #include <cstring>
@@ -35,6 +41,8 @@ void Usage() {
       "                       (--out FILE | --store DIR)\n"
       "                       [--pairs auto|a:b,c:d] [--ba N] [--budget N]\n"
       "                       [--summaries K] [--advisor on]\n"
+      "                       [--samples S] [--sample-fraction F]\n"
+      "                       [--uniform on]\n"
       "                       [--heuristic composite|large|zero]\n"
       "                       [--iterations N]\n");
 }
@@ -157,18 +165,26 @@ int main(int argc, char** argv) {
     sopts.total_budget = sopts.use_budget_advisor
                              ? budget
                              : budget * sopts.num_summaries;
+    if (args.count("samples")) {
+      sopts.num_stratified_samples = std::stoul(args["samples"]);
+    }
+    if (args.count("sample-fraction")) {
+      sopts.sample_fraction = std::stod(args["sample-fraction"]);
+    }
+    sopts.uniform_sample = args.count("uniform") && args["uniform"] != "off";
     if (args.count("iterations")) {
       sopts.summary.solver.max_iterations = std::stoul(args["iterations"]);
     }
     Timer timer;
-    auto store = SummaryStore::Build(**table, sopts);
+    auto store = SourceStore::Build(**table, sopts);
     if (!store.ok()) {
       std::fprintf(stderr, "store build: %s\n",
                    store.status().ToString().c_str());
       return 1;
     }
-    std::printf("built %zu summaries in %.2fs (parallel):\n",
-                (*store)->size(), timer.ElapsedSeconds());
+    std::printf("built %zu summaries + %zu samples in %.2fs (parallel):\n",
+                (*store)->size(), (*store)->num_samples(),
+                timer.ElapsedSeconds());
     for (size_t k = 0; k < (*store)->size(); ++k) {
       for (const ScoredPair& p : (*store)->entry(k).pairs) {
         std::printf("  summary %zu: (%s, %s), corrected V = %.3f%s\n", k,
@@ -177,6 +193,11 @@ int main(int argc, char** argv) {
                     p.cramers_v,
                     k == (*store)->widest() ? "  [fallback]" : "");
       }
+    }
+    for (size_t s = 0; s < (*store)->num_samples(); ++s) {
+      const WeightedSample& smp = *(*store)->sample_entry(s).sample;
+      std::printf("  sample %zu: %s, %zu rows (fraction %.3g)\n", s,
+                  smp.name.c_str(), smp.size(), smp.fraction);
     }
     Status s = (*store)->Save(args["store"]);
     if (!s.ok()) {

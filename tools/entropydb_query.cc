@@ -7,13 +7,16 @@
 //   entropydb_query --store flights.store
 //       --query "COUNT(*) WHERE origin = S3 AND dest = S7"
 //
-// --store loads a SummaryStore directory and routes every query through
-// the engine's QueryRouter, printing which summary answered and why.
+// --store loads a SourceStore directory (summaries + sample companions)
+// and routes every query through the engine's hybrid QueryRouter, printing
+// which source — summary or sample — answered and why (coverage, the
+// summary-vs-sample variance comparison, fallback).
 // Without --query, reads one query per line from stdin (a tiny REPL).
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -25,6 +28,15 @@ namespace {
 
 void PrintRoute(const EntropyEngine& engine, const RouteDecision& dec) {
   if (!engine.is_store()) return;
+  if (dec.from_sample) {
+    const SampleEntry& entry = engine.store()->sample_entry(dec.sample_index);
+    std::fprintf(stderr,
+                 "  routed: sample %zu %s — sample variance %.3g beats "
+                 "summary %zu's %.3g\n",
+                 dec.sample_index, entry.sample->name.c_str(),
+                 dec.sample_variance, dec.index, dec.summary_variance);
+    return;
+  }
   const StoreEntry& entry = engine.store()->entry(dec.index);
   std::string pairs;
   for (const ScoredPair& p : entry.pairs) {
@@ -44,6 +56,16 @@ void PrintRoute(const EntropyEngine& engine, const RouteDecision& dec) {
                  dec.index, pairs.c_str(), dec.covered_pairs,
                  dec.covered_pairs == 1 ? "" : "s", dec.candidates,
                  dec.candidates == 1 ? "" : "s", dec.expected_variance);
+  }
+  if (engine.num_samples() > 0 &&
+      dec.sample_variance < std::numeric_limits<double>::infinity()) {
+    // The comparison objective is the COUNT variance on both sides (for
+    // aggregates dec.expected_variance is the aggregate's own variance,
+    // which is not what the router compared).
+    std::fprintf(stderr,
+                 "          (summary kept it: count variance %.3g vs best "
+                 "sample %.3g)\n",
+                 dec.summary_variance, dec.sample_variance);
   }
 }
 
@@ -127,8 +149,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   if ((*engine)->is_store()) {
-    std::fprintf(stderr, "loaded store: %zu summaries, n = %.0f\n",
-                 (*engine)->num_summaries(), (*engine)->n());
+    std::fprintf(stderr, "loaded store: %zu summaries + %zu samples, "
+                 "n = %.0f\n",
+                 (*engine)->num_summaries(), (*engine)->num_samples(),
+                 (*engine)->n());
     for (size_t k = 0; k < (*engine)->num_summaries(); ++k) {
       const StoreEntry& e = (*engine)->store()->entry(k);
       std::fprintf(stderr, "  summary %zu:", k);
@@ -139,6 +163,19 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "%s\n",
                    k == (*engine)->store()->widest() ? "  [fallback]" : "");
+    }
+    for (size_t s = 0; s < (*engine)->num_samples(); ++s) {
+      const SampleEntry& e = (*engine)->store()->sample_entry(s);
+      std::fprintf(stderr, "  sample %zu: %s,", s, e.sample->name.c_str());
+      // Stratification pairs from the manifest metadata (uniform samples
+      // carry none).
+      for (const ScoredPair& p : e.pairs) {
+        std::fprintf(stderr, " stratified on (%s, %s) V=%.3f,",
+                     (*engine)->attr_names()[p.a].c_str(),
+                     (*engine)->attr_names()[p.b].c_str(), p.cramers_v);
+      }
+      std::fprintf(stderr, " %zu rows (fraction %.3g)\n", e.sample->size(),
+                   e.sample->fraction);
     }
   } else {
     std::fprintf(stderr, "loaded summary: n = %.0f, attributes:",
