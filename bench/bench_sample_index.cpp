@@ -1,0 +1,308 @@
+// Indexed sample evaluation: row-group index vs. full scan, across
+// selectivities — the latency half of the hybrid-routing story. The
+// paper's samples win SELECTIVE queries (Figs. 5-6), which is exactly
+// where a full O(sample rows) scan per consulted companion is pure
+// waste; the row-group index (sampling/sample_index.h) answers those from
+// the smallest matching groups instead.
+//
+// Before benchmarks run, a verification pass gates the PR's semantics
+// bar: over randomized predicate mixes AND the three fixed workloads,
+// indexed Count/Sum estimates and variances must be BITWISE equal to the
+// scan path's (the index may never change an answer or a routing
+// decision, only its latency). The pass also measures per-query wall
+// time indexed vs. scan per workload; --index_out FILE writes the
+// measurements as JSON, which CI's perf-regression gate
+// (tools/check_perf_gate.py) checks: indexed evaluation must actually be
+// FASTER than the scan on the selective workload. The bench exits
+// non-zero if the bitwise gate fails.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+using namespace entropydb;
+using namespace entropydb::bench;
+
+namespace {
+
+std::shared_ptr<Table> IndexBenchTable(size_t n, uint64_t seed) {
+  const std::vector<uint32_t> sizes = {32, 32, 16, 16};
+  std::vector<AttributeSpec> specs;
+  for (size_t a = 0; a < sizes.size(); ++a) {
+    specs.push_back(AttributeSpec{"A" + std::to_string(a),
+                                  AttributeType::kInteger, sizes[a]});
+  }
+  TableBuilder b(Schema{std::move(specs)});
+  for (size_t a = 0; a < sizes.size(); ++a) {
+    b.SetDomain(static_cast<AttrId>(a),
+                Domain::Binned(0, sizes[a], sizes[a]));
+  }
+  Rng rng(seed);
+  std::vector<Code> row(4);
+  for (size_t r = 0; r < n; ++r) {
+    row[0] = static_cast<Code>(rng.Uniform(32));
+    row[1] = rng.NextBernoulli(0.8) ? row[0]
+                                    : static_cast<Code>(rng.Uniform(32));
+    row[2] = static_cast<Code>(rng.Uniform(16));
+    row[3] = rng.NextBernoulli(0.6) ? (row[2] % 16)
+                                    : static_cast<Code>(rng.Uniform(16));
+    b.AppendEncodedRow(row);
+  }
+  return *b.Finish();
+}
+
+struct IndexFixture {
+  std::shared_ptr<Table> table;
+  WeightedSample indexed;  // carries the row-group index
+  WeightedSample scan;     // the SAME rows/weights, index stripped
+  std::unique_ptr<SampleEstimator> indexed_est;
+  std::unique_ptr<SampleEstimator> scan_est;
+  // Workloads by selectivity of the most selective predicate:
+  std::vector<CountingQuery> selective;  // two point predicates, ~0.2%
+  std::vector<CountingQuery> moderate;   // quarter-domain range, ~25%
+  std::vector<CountingQuery> broad;      // near-full range: scan cutover
+
+  static IndexFixture& Get() {
+    static IndexFixture* f = [] {
+      auto* fx = new IndexFixture();
+      fx->table = IndexBenchTable(120'000, 2203);
+      auto drawn = StratifiedSampler::Create(*fx->table, 0, 1, 0.1, 41);
+      fx->indexed = std::move(drawn).ValueOrDie();
+      fx->indexed.index = SampleIndex::Build(*fx->indexed.rows);
+      fx->scan = fx->indexed;
+      fx->scan.index = nullptr;
+      fx->indexed_est = std::make_unique<SampleEstimator>(fx->indexed);
+      fx->scan_est = std::make_unique<SampleEstimator>(fx->scan);
+
+      for (Code v = 0; v < 32; ++v) {
+        // Selective: one rare (0, 1) stratum — the paper's
+        // sample-wins territory and the index's sweet spot.
+        CountingQuery s(4);
+        s.Where(0, AttrPredicate::Point(v))
+            .Where(1, AttrPredicate::Point((v + 7) % 32));
+        fx->selective.push_back(s);
+        // Moderate: a quarter of attribute 0's domain.
+        CountingQuery m(4);
+        m.Where(0, AttrPredicate::Range(v % 24, v % 24 + 7))
+            .Where(2, AttrPredicate::Point(v % 16));
+        fx->moderate.push_back(m);
+        // Broad: nearly the whole domain — the estimator's cutover
+        // hands this back to the scan path, so indexed latency must
+        // match scan latency here, not regress it.
+        CountingQuery b(4);
+        b.Where(0, AttrPredicate::Range(0, 29));
+        fx->broad.push_back(b);
+      }
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+/// Mean per-query nanoseconds of `est` over `workload` (repeated until
+/// the loop runs at least ~50ms, so timings are stable in --quick CI).
+double MeasureNs(const SampleEstimator& est,
+                 const std::vector<CountingQuery>& workload) {
+  size_t reps = 1;
+  for (;;) {
+    Timer timer;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      for (const auto& q : workload) {
+        auto e = est.Count(q);
+        benchmark::DoNotOptimize(e);
+      }
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    if (elapsed >= 0.05 || reps >= 1u << 20) {
+      return elapsed * 1e9 / static_cast<double>(reps * workload.size());
+    }
+    reps *= 4;
+  }
+}
+
+/// Bitwise identity of indexed vs. scan Count AND Sum over a workload.
+bool BitwiseEqual(const std::vector<CountingQuery>& workload) {
+  auto& f = IndexFixture::Get();
+  std::vector<double> values(f.table->domain(2).size());
+  for (size_t i = 0; i < values.size(); ++i) values[i] = 1.0 + 0.25 * i;
+  for (const auto& q : workload) {
+    const QueryEstimate a = f.indexed_est->Count(q);
+    const QueryEstimate b = f.scan_est->Count(q);
+    if (a.expectation != b.expectation || a.variance != b.variance) {
+      return false;
+    }
+    const QueryEstimate sa = f.indexed_est->Sum(2, values, q);
+    const QueryEstimate sb = f.scan_est->Sum(2, values, q);
+    if (sa.expectation != sb.expectation || sa.variance != sb.variance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Randomized predicate mixes (point / range / set / ANY), the same shape
+/// the unit tests fuzz — run here too so the gate covers the exact
+/// binary CI measures.
+std::vector<CountingQuery> FuzzWorkload(size_t count, uint64_t seed) {
+  auto& f = IndexFixture::Get();
+  Rng rng(seed);
+  std::vector<CountingQuery> out;
+  for (size_t i = 0; i < count; ++i) {
+    CountingQuery q(4);
+    for (AttrId a = 0; a < 4; ++a) {
+      const uint32_t dom = f.table->domain(a).size();
+      switch (rng.Uniform(5)) {
+        case 0:
+          q.Where(a, AttrPredicate::Point(static_cast<Code>(rng.Uniform(dom))));
+          break;
+        case 1: {
+          Code lo = static_cast<Code>(rng.Uniform(dom));
+          Code hi = static_cast<Code>(rng.Uniform(dom));
+          if (hi < lo) std::swap(lo, hi);
+          q.Where(a, AttrPredicate::Range(lo, hi));
+          break;
+        }
+        case 2: {
+          std::vector<Code> codes;
+          for (size_t k = 0; k < 1 + rng.Uniform(3); ++k) {
+            codes.push_back(static_cast<Code>(rng.Uniform(dom)));
+          }
+          q.Where(a, AttrPredicate::InSet(std::move(codes)));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    out.push_back(q);
+  }
+  return out;
+}
+
+void RunWorkload(benchmark::State& state, const SampleEstimator& est,
+                 const std::vector<CountingQuery>& workload) {
+  size_t i = 0;
+  for (auto _ : state) {
+    auto e = est.Count(workload[i % workload.size()]);
+    benchmark::DoNotOptimize(e);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_IndexedCountSelective(benchmark::State& state) {
+  auto& f = IndexFixture::Get();
+  RunWorkload(state, *f.indexed_est, f.selective);
+}
+BENCHMARK(BM_IndexedCountSelective);
+
+void BM_ScanCountSelective(benchmark::State& state) {
+  auto& f = IndexFixture::Get();
+  RunWorkload(state, *f.scan_est, f.selective);
+}
+BENCHMARK(BM_ScanCountSelective);
+
+void BM_IndexedCountModerate(benchmark::State& state) {
+  auto& f = IndexFixture::Get();
+  RunWorkload(state, *f.indexed_est, f.moderate);
+}
+BENCHMARK(BM_IndexedCountModerate);
+
+void BM_ScanCountModerate(benchmark::State& state) {
+  auto& f = IndexFixture::Get();
+  RunWorkload(state, *f.scan_est, f.moderate);
+}
+BENCHMARK(BM_ScanCountModerate);
+
+void BM_IndexedCountBroad(benchmark::State& state) {
+  auto& f = IndexFixture::Get();
+  RunWorkload(state, *f.indexed_est, f.broad);
+}
+BENCHMARK(BM_IndexedCountBroad);
+
+void BM_ScanCountBroad(benchmark::State& state) {
+  auto& f = IndexFixture::Get();
+  RunWorkload(state, *f.scan_est, f.broad);
+}
+BENCHMARK(BM_ScanCountBroad);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::entropydb::bench::ApplyQuickFlag(&argc, argv);
+
+  // Consume --index_out FILE before google-benchmark sees argv.
+  std::string index_out;
+  int out_i = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--index_out") == 0 && i + 1 < argc) {
+      index_out = argv[++i];
+    } else {
+      argv[out_i++] = argv[i];
+    }
+  }
+  argc = out_i;
+
+  auto& f = IndexFixture::Get();
+  const bool bitwise = BitwiseEqual(f.selective) && BitwiseEqual(f.moderate) &&
+                       BitwiseEqual(f.broad) &&
+                       BitwiseEqual(FuzzWorkload(500, 4099));
+
+  struct Row {
+    const char* name;
+    const std::vector<CountingQuery>* workload;
+    double indexed_ns, scan_ns;
+  } rows[] = {
+      {"selective", &f.selective, 0, 0},
+      {"moderate", &f.moderate, 0, 0},
+      {"broad", &f.broad, 0, 0},
+  };
+  std::printf("indexed vs. scan sample evaluation (%zu sample rows):\n",
+              f.indexed.size());
+  for (Row& r : rows) {
+    r.indexed_ns = MeasureNs(*f.indexed_est, *r.workload);
+    r.scan_ns = MeasureNs(*f.scan_est, *r.workload);
+    std::printf("  %-9s indexed %9.0f ns/query  scan %9.0f ns/query  "
+                "(%.1fx)\n",
+                r.name, r.indexed_ns, r.scan_ns, r.scan_ns / r.indexed_ns);
+  }
+  std::printf("  bitwise identity (Count+Sum, fixed + fuzzed workloads): "
+              "%s\n",
+              bitwise ? "yes" : "NO — FAIL");
+
+  if (!index_out.empty()) {
+    FILE* out = std::fopen(index_out.c_str(), "w");
+    if (out == nullptr) {
+      // The gate step downstream needs this file; dying here with a clear
+      // message beats a FileNotFoundError pointing at the wrong component.
+      std::fprintf(stderr, "cannot write --index_out file: %s\n",
+                   index_out.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"sample_rows\": %zu,\n", f.indexed.size());
+    for (const Row& r : rows) {
+      std::fprintf(out,
+                   "  \"%s\": {\"queries\": %zu, \"indexed_ns\": %.1f, "
+                   "\"scan_ns\": %.1f, \"speedup\": %.3f},\n",
+                   r.name, r.workload->size(), r.indexed_ns, r.scan_ns,
+                   r.scan_ns / r.indexed_ns);
+    }
+    std::fprintf(out, "  \"bitwise_identical\": %s,\n  \"pass\": %s\n}\n",
+                 bitwise ? "true" : "false", bitwise ? "true" : "false");
+    std::fclose(out);
+  }
+  if (!bitwise) return 1;
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -129,14 +129,19 @@ Result<QueryEstimate> EntropyEngine::AnswerSum(
       q.num_attributes() == store_->num_attributes()) {
     auto cnt = routed_cnt.has_value() ? Result<QueryEstimate>(*routed_cnt)
                                       : s.AnswerCount(q);
-    size_t sample_index = 0;
-    if (cnt.ok() &&
-        router_->HybridChallenge(q, *cnt, decision, &sample_index, nullptr)) {
-      auto est = store_->sample_source(sample_index).AnswerSum(a, weights, q);
-      if (est.ok() && decision != nullptr) {
-        decision->expected_variance = est->variance;
+    if (cnt.ok()) {
+      size_t sample_index = 0;
+      ASSIGN_OR_RETURN(
+          const bool from_sample,
+          router_->HybridChallenge(q, *cnt, decision, &sample_index, nullptr));
+      if (from_sample) {
+        auto est =
+            store_->sample_source(sample_index).AnswerSum(a, weights, q);
+        if (est.ok() && decision != nullptr) {
+          decision->expected_variance = est->variance;
+        }
+        return est;
       }
-      return est;
     }
   }
   auto est = s.AnswerSum(a, weights, q);

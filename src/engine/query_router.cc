@@ -24,12 +24,19 @@ std::vector<size_t> QueryRouter::CoveringEntries(
   return out;
 }
 
-bool QueryRouter::BestSample(const CountingQuery& q, size_t* index,
-                             QueryEstimate* est) const {
+Result<bool> QueryRouter::BestSample(const CountingQuery& q, size_t* index,
+                                     QueryEstimate* est) const {
   bool have = false;
   for (size_t s = 0; s < store_->num_samples(); ++s) {
     auto cand = store_->sample_source(s).AnswerCount(q);
-    if (!cand.ok()) continue;  // arity mismatch; caller validates anyway
+    if (!cand.ok()) {
+      // An arity mismatch means this companion simply cannot serve the
+      // query — an expected probe miss, skip it. Anything else (a corrupt
+      // companion failing at answer time) must surface, not silently
+      // shrink the candidate set.
+      if (cand.status().IsInvalidArgument()) continue;
+      return cand.status();
+    }
     if (!have || cand->variance < est->variance) {
       *est = *cand;
       *index = s;
@@ -39,11 +46,11 @@ bool QueryRouter::BestSample(const CountingQuery& q, size_t* index,
   return have;
 }
 
-bool QueryRouter::HybridChallenge(const CountingQuery& q,
-                                  const QueryEstimate& summary_cnt,
-                                  RouteDecision* decision,
-                                  size_t* sample_index,
-                                  QueryEstimate* sample_est) const {
+Result<bool> QueryRouter::HybridChallenge(const CountingQuery& q,
+                                          const QueryEstimate& summary_cnt,
+                                          RouteDecision* decision,
+                                          size_t* sample_index,
+                                          QueryEstimate* sample_est) const {
   if (decision != nullptr) {
     decision->summary_variance = summary_cnt.variance;
     decision->sample_variance = std::numeric_limits<double>::infinity();
@@ -51,7 +58,8 @@ bool QueryRouter::HybridChallenge(const CountingQuery& q,
   }
   size_t index = 0;
   QueryEstimate est;
-  if (!BestSample(q, &index, &est)) return false;
+  ASSIGN_OR_RETURN(const bool have, BestSample(q, &index, &est));
+  if (!have) return false;
   const bool from_sample = est.variance < summary_cnt.variance;
   if (decision != nullptr) {
     decision->sample_variance = est.variance;
@@ -91,8 +99,9 @@ Result<QueryEstimate> QueryRouter::Answer(const CountingQuery& q,
   // winner; strictly lower expected variance takes the query.
   QueryEstimate sample_est;
   size_t sample_index = 0;
-  const bool from_sample =
-      HybridChallenge(q, best_est, decision, &sample_index, &sample_est);
+  ASSIGN_OR_RETURN(
+      const bool from_sample,
+      HybridChallenge(q, best_est, decision, &sample_index, &sample_est));
 
   if (decision != nullptr) {
     decision->index = best_index;

@@ -91,20 +91,24 @@ class QueryRouter {
   /// Stage-3 helper: the sample companion with the lowest expected COUNT
   /// variance for `q` (first wins ties, keeping routing deterministic).
   /// Returns false — leaving the outputs untouched — when the store holds
-  /// no samples.
-  bool BestSample(const CountingQuery& q, size_t* index,
-                  QueryEstimate* est) const;
+  /// no samples or none matches the query's arity (an arity mismatch is
+  /// an expected probe miss, not a fault). Any OTHER per-sample error —
+  /// e.g. a corrupt companion surfacing at answer time — propagates as a
+  /// Status instead of silently dropping the sample from routing.
+  Result<bool> BestSample(const CountingQuery& q, size_t* index,
+                          QueryEstimate* est) const;
 
   /// Runs stage 3 in full: the best sample challenges the stage-2 summary
   /// winner's filter-count estimate `summary_cnt`. Fills the decision's
   /// hybrid fields (when non-null) and the winner outputs, and returns
-  /// true when the sample takes the query (strictly lower variance). The
-  /// ONE comparison both COUNT and aggregate routing share — change the
-  /// rule here and both paths move together.
-  bool HybridChallenge(const CountingQuery& q,
-                       const QueryEstimate& summary_cnt,
-                       RouteDecision* decision, size_t* sample_index,
-                       QueryEstimate* sample_est) const;
+  /// true when the sample takes the query (strictly lower variance);
+  /// non-arity sample errors propagate (see BestSample). The ONE
+  /// comparison both COUNT and aggregate routing share — change the rule
+  /// here and both paths move together.
+  Result<bool> HybridChallenge(const CountingQuery& q,
+                               const QueryEstimate& summary_cnt,
+                               RouteDecision* decision, size_t* sample_index,
+                               QueryEstimate* sample_est) const;
 
   /// Routes and answers one counting query across all sources.
   Result<QueryEstimate> Answer(const CountingQuery& q,

@@ -157,7 +157,8 @@ Result<std::shared_ptr<SourceStore>> SourceStore::Build(const Table& table,
   // Sample companions: stratified on the same top-ranked pairs (the
   // paper's Sec 6.2 baselines), plus an optional uniform sample. Draws are
   // cheap relative to solver runs; keep them serial and deterministic.
-  std::vector<SampleEntry> samples;
+  std::vector<std::shared_ptr<WeightedSample>> drawn_samples;
+  std::vector<std::vector<ScoredPair>> sample_pairs;
   const size_t ns = std::min(opts.num_stratified_samples, chosen.size());
   for (size_t i = 0; i < ns; ++i) {
     const ScoredPair& pair = chosen[i];
@@ -168,18 +169,29 @@ Result<std::shared_ptr<SourceStore>> SourceStore::Build(const Table& table,
                                   opts.sample_seed + i));
     drawn.name = "Strat(" + table.schema().attribute(pair.a).name + "," +
                  table.schema().attribute(pair.b).name + ")";
-    SampleEntry entry;
-    entry.sample = std::make_shared<WeightedSample>(std::move(drawn));
-    entry.pairs = {pair};
-    samples.push_back(std::move(entry));
+    drawn_samples.push_back(std::make_shared<WeightedSample>(std::move(drawn)));
+    sample_pairs.push_back({pair});
   }
   if (opts.uniform_sample) {
     ASSIGN_OR_RETURN(WeightedSample drawn,
                      UniformSampler::Create(table, opts.sample_fraction,
                                             opts.sample_seed + ns));
-    SampleEntry entry;
-    entry.sample = std::make_shared<WeightedSample>(std::move(drawn));
-    samples.push_back(std::move(entry));
+    drawn_samples.push_back(std::make_shared<WeightedSample>(std::move(drawn)));
+    sample_pairs.push_back({});
+  }
+  // Row-group indexes: per-sample counting sorts are independent, so they
+  // fan out on the shared pool. Indexed evaluation is bitwise identical
+  // to the scan path; skipping this (sample_index = false) only changes
+  // route-time latency, never an answer.
+  if (opts.sample_index) {
+    ParallelFor(drawn_samples.size(), 2, [&](size_t i) {
+      drawn_samples[i]->index = SampleIndex::Build(*drawn_samples[i]->rows);
+    });
+  }
+  std::vector<SampleEntry> samples(drawn_samples.size());
+  for (size_t i = 0; i < drawn_samples.size(); ++i) {
+    samples[i].sample = std::move(drawn_samples[i]);
+    samples[i].pairs = std::move(sample_pairs[i]);
   }
   return FromParts(std::move(entries), std::move(samples));
 }

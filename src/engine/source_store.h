@@ -47,6 +47,13 @@ struct StoreOptions {
   double sample_fraction = 0.01;
   /// RNG seed for the sample draws (deterministic builds).
   uint64_t sample_seed = 1031;
+  /// Build a row-group index (sampling/sample_index.h) for every sample
+  /// companion, so selective queries touch matching row groups instead of
+  /// scanning the whole sample. Indexed and unindexed evaluation are
+  /// bitwise identical — this knob trades index memory/build time for
+  /// route-time latency only. Indexes are built in parallel and persisted
+  /// in the .eds v2 files Save writes.
+  bool sample_index = true;
 };
 
 /// One summary of the store plus the attribute pairs it models — the
@@ -77,6 +84,11 @@ struct SampleEntry {
 /// degrade inline on worker threads (see common/thread_pool.h). Sample
 /// companions are drawn after the pair ranking, stratified on the same
 /// top-ranked pairs.
+///
+/// Sample companions carry a row-group index (sampling/sample_index.h,
+/// StoreOptions::sample_index) built in parallel at Build time; Save
+/// persists it in the .eds v2 files, Load restores it (or rebuilds it for
+/// PR 3-era v1 .eds files) inside the parallel load fan-out.
 ///
 /// Save/Load persist the whole store as a directory (one MANIFEST plus one
 /// .edb file per summary and one .eds file per sample), restoring without

@@ -41,7 +41,6 @@
 #include "engine/estimate_source.h"
 #include "engine/query_router.h"
 #include "engine/source_store.h"
-#include "engine/summary_store.h"
 #include "maxent/answerer.h"
 #include "maxent/budget_advisor.h"
 #include "maxent/dense_model.h"
@@ -58,6 +57,7 @@
 #include "query/predicate.h"
 #include "sampling/sample.h"
 #include "sampling/sample_estimator.h"
+#include "sampling/sample_index.h"
 #include "sampling/sample_io.h"
 #include "sampling/stratified_sampler.h"
 #include "sampling/uniform_sampler.h"

@@ -44,7 +44,7 @@ struct SummaryOptions {
 /// cores: each claims a pooled workspace lock-free (see
 /// maxent/workspace_pool.h), and estimates are bitwise-stable regardless
 /// of interleaving. For serving several summaries behind one endpoint, see
-/// the engine layer (engine/summary_store.h, engine/query_router.h).
+/// the engine layer (engine/source_store.h, engine/query_router.h).
 class EntropySummary {
  public:
   /// Builds a summary of `table` given the chosen multi-dimensional

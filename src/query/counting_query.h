@@ -71,6 +71,16 @@ class ActivePredicates {
     }
   }
 
+  /// Binds every non-ANY predicate EXCEPT attribute `skip` — the residual
+  /// filter of indexed sample evaluation, where `skip`'s predicate is
+  /// already satisfied by row-group membership (sampling/sample_index.h).
+  ActivePredicates(const CountingQuery& q, AttrId skip) {
+    for (AttrId a = 0; a < q.num_attributes(); ++a) {
+      if (a == skip || q.predicate(a).is_any()) continue;
+      active_.emplace_back(a, &q.predicate(a));
+    }
+  }
+
   /// True when row `r` of `t` satisfies every bound predicate.
   bool Matches(const Table& t, size_t r) const {
     for (const auto& [a, p] : active_) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "sampling/sample_index.h"
 #include "storage/table.h"
 
 namespace entropydb {
@@ -22,11 +23,19 @@ struct WeightedSample {
   double fraction = 0.0;
   /// Display name, e.g. "Uni" or "Strat(origin,dest)".
   std::string name;
+  /// Optional row-group index (sampling/sample_index.h). When present,
+  /// SampleEstimator evaluates selective queries over the matching row
+  /// groups instead of scanning every row — bitwise-identically, so
+  /// carrying (or dropping) the index never changes an estimate, only its
+  /// latency. Built by SourceStore (StoreOptions::sample_index), persisted
+  /// in .eds v2 files, rebuilt on load for v1 files.
+  std::shared_ptr<const SampleIndex> index;
 
   size_t size() const { return rows ? rows->num_rows() : 0; }
   size_t MemoryBytes() const {
     return (rows ? rows->MemoryBytes() : 0) +
-           weights.capacity() * sizeof(double);
+           weights.capacity() * sizeof(double) +
+           (index ? index->MemoryBytes() : 0);
   }
 };
 

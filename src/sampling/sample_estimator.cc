@@ -5,6 +5,18 @@
 
 namespace entropydb {
 
+namespace {
+
+/// Candidate-row scratch for indexed evaluation. Estimators are shared
+/// const across the lock-free query path, so the buffer is per thread;
+/// it amortizes to zero allocations per query.
+std::vector<uint32_t>& RowScratch() {
+  thread_local std::vector<uint32_t> buf;
+  return buf;
+}
+
+}  // namespace
+
 SampleEstimator::SampleEstimator(const WeightedSample& sample)
     : sample_(sample) {
   double w_max = 0.0;
@@ -15,18 +27,38 @@ SampleEstimator::SampleEstimator(const WeightedSample& sample)
   miss_floor_ = std::max(0.0, w_max * (w_max - 1.0));
 }
 
+const std::vector<uint32_t>* SampleEstimator::IndexedCandidates(
+    const CountingQuery& q, AttrId* chosen) const {
+  if (sample_.index == nullptr ||
+      sample_.index->num_rows() != sample_.rows->num_rows()) {
+    return nullptr;
+  }
+  const SampleIndex& index = *sample_.index;
+  size_t candidates = 0;
+  if (!index.BestAttribute(q, chosen, &candidates)) return nullptr;
+  // Near-full candidate sets make the gather (plus possible re-sort) cost
+  // more than the plain scan it replaces; both paths are bitwise
+  // identical, so the cutover is purely a latency choice.
+  if (2 * candidates >= index.num_rows()) return nullptr;
+  std::vector<uint32_t>& rows = RowScratch();
+  rows.clear();
+  const size_t groups = index.CollectRows(*chosen, q.predicate(*chosen), &rows);
+  // Groups are each ascending; merging several requires a re-sort to
+  // restore the global ascending original-row order the scan path
+  // accumulates in — THE invariant keeping indexed sums bitwise equal.
+  if (groups > 1) std::sort(rows.begin(), rows.end());
+  return &rows;
+}
+
 QueryEstimate SampleEstimator::Count(const CountingQuery& q) const {
-  const Table& t = *sample_.rows;
-  const ActivePredicates active(q);
   QueryEstimate est;
   bool matched = false;
-  for (size_t r = 0; r < t.num_rows(); ++r) {
-    if (!active.Matches(t, r)) continue;
+  ForEachMatchingRow(q, [&](size_t r) {
     const double w = sample_.weights[r];
     est.expectation += w;
     est.variance += w * (w - 1.0);
     matched = true;
-  }
+  });
   if (!matched) est.variance = miss_floor_;
   return est;
 }
@@ -35,17 +67,15 @@ QueryEstimate SampleEstimator::Sum(AttrId a,
                                    const std::vector<double>& values,
                                    const CountingQuery& q) const {
   const Table& t = *sample_.rows;
-  const ActivePredicates active(q);
   QueryEstimate est;
   bool matched = false;
-  for (size_t r = 0; r < t.num_rows(); ++r) {
-    if (!active.Matches(t, r)) continue;
+  ForEachMatchingRow(q, [&](size_t r) {
     const double w = sample_.weights[r];
     const double v = values[t.at(r, a)];
     est.expectation += w * v;
     est.variance += w * (w - 1.0) * v * v;
     matched = true;
-  }
+  });
   if (!matched) {
     double v2_max = 0.0;
     for (double v : values) v2_max = std::max(v2_max, v * v);

@@ -16,6 +16,14 @@ namespace entropydb {
 /// sum_i w_i (w_i - 1) over matching rows, which is exact for Bernoulli
 /// samples and a slight over-estimate for without-replacement strata.
 ///
+/// When the sample carries a row-group index (WeightedSample::index),
+/// selective queries are answered from the smallest matching row groups
+/// instead of a full scan. Candidate rows are accumulated in ascending
+/// original-row order — exactly the scan's order — so indexed estimates,
+/// variances, and every routing decision built on them are bitwise
+/// identical to the unindexed path (docs/PERFORMANCE.md has the cost
+/// model and measured speedups).
+///
 /// When NO sampled row matches, the matching-row sum degenerates to
 /// variance 0 — which would read as "perfectly confident the count is 0"
 /// exactly where a sample is weakest (a rare slice the sample may simply
@@ -48,6 +56,39 @@ class SampleEstimator {
   double MissFloor() const { return miss_floor_; }
 
  private:
+  /// Indexed-plan front half shared by Count and Sum: picks the
+  /// constrained attribute with the smallest matching row groups and
+  /// gathers its candidate rows in ascending original-row order (into
+  /// thread-local scratch). Returns nullptr when the sample has no index,
+  /// the query constrains nothing, or the candidate set is so large that
+  /// scanning is cheaper — the caller then takes the scan path, which is
+  /// bitwise equivalent either way.
+  const std::vector<uint32_t>* IndexedCandidates(const CountingQuery& q,
+                                                 AttrId* chosen) const;
+
+  /// Runs `fn(row)` for every sample row matching `q`, in ascending
+  /// original-row order, via the indexed plan when profitable and the
+  /// full scan otherwise. Count and Sum both accumulate through this one
+  /// iterator, so the two paths cannot desynchronize: per matching row
+  /// they execute the identical statements in the identical order — the
+  /// bitwise-identity contract routing depends on.
+  template <typename PerRow>
+  void ForEachMatchingRow(const CountingQuery& q, const PerRow& fn) const {
+    const Table& t = *sample_.rows;
+    AttrId chosen = 0;
+    if (const std::vector<uint32_t>* rows = IndexedCandidates(q, &chosen)) {
+      const ActivePredicates residual(q, chosen);
+      for (uint32_t r : *rows) {
+        if (residual.Matches(t, r)) fn(r);
+      }
+    } else {
+      const ActivePredicates active(q);
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        if (active.Matches(t, r)) fn(r);
+      }
+    }
+  }
+
   const WeightedSample& sample_;
   double miss_floor_ = 0.0;
 };

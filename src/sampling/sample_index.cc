@@ -1,0 +1,164 @@
+#include "sampling/sample_index.h"
+
+#include <algorithm>
+
+#include "common/prefix_sum.h"
+
+namespace entropydb {
+
+namespace {
+
+/// Inclusive code interval [lo, hi] covered by `pred` against a domain of
+/// `dom` codes; empty (second < first) for predicates matching nothing.
+/// Set predicates are handled separately (they are not an interval).
+std::pair<Code, Code> PredInterval(const AttrPredicate& pred, size_t dom) {
+  if (dom == 0) return {1, 0};
+  switch (pred.kind()) {
+    case AttrPredicate::Kind::kAny:
+      return {0, static_cast<Code>(dom - 1)};
+    case AttrPredicate::Kind::kPoint:
+      if (pred.lo() >= dom) return {1, 0};
+      return {pred.lo(), pred.lo()};
+    case AttrPredicate::Kind::kRange: {
+      const Code hi = std::min<Code>(pred.hi(), static_cast<Code>(dom - 1));
+      if (pred.lo() > hi) return {1, 0};
+      return {pred.lo(), hi};
+    }
+    case AttrPredicate::Kind::kSet:
+      break;
+  }
+  return {1, 0};
+}
+
+}  // namespace
+
+std::shared_ptr<const SampleIndex> SampleIndex::Build(const Table& rows) {
+  const size_t n = rows.num_rows();
+  std::vector<AttrIndex> attrs(rows.num_attributes());
+  for (AttrId a = 0; a < rows.num_attributes(); ++a) {
+    const size_t dom = rows.domain(a).size();
+    // Per-code group sizes, then prefix-sum offsets (group c occupies
+    // [offsets[c], offsets[c+1]) of the permutation).
+    std::vector<double> counts(dom, 0.0);
+    for (size_t r = 0; r < n; ++r) counts[rows.at(r, a)] += 1.0;
+    const PrefixSum sums(counts);
+    AttrIndex& idx = attrs[a];
+    idx.offsets.resize(dom + 1);
+    idx.offsets[0] = 0;
+    for (size_t c = 0; c < dom; ++c) {
+      idx.offsets[c + 1] = static_cast<uint32_t>(sums.RangeSum(0, c));
+    }
+    // Stable counting-sort fill: visiting rows in ascending order keeps
+    // each group's rows ascending — the invariant indexed evaluation
+    // needs for bitwise-identical accumulation.
+    idx.perm.resize(n);
+    std::vector<uint32_t> cursor(idx.offsets.begin(), idx.offsets.end() - 1);
+    for (size_t r = 0; r < n; ++r) {
+      idx.perm[cursor[rows.at(r, a)]++] = static_cast<uint32_t>(r);
+    }
+  }
+  return std::shared_ptr<const SampleIndex>(
+      new SampleIndex(std::move(attrs), n));
+}
+
+Result<std::shared_ptr<const SampleIndex>> SampleIndex::FromParts(
+    const Table& rows, std::vector<AttrIndex> attrs) {
+  const size_t n = rows.num_rows();
+  if (attrs.size() != rows.num_attributes()) {
+    return Status::Corruption("sample index arity mismatch");
+  }
+  for (AttrId a = 0; a < attrs.size(); ++a) {
+    const AttrIndex& idx = attrs[a];
+    const size_t dom = rows.domain(a).size();
+    if (idx.offsets.size() != dom + 1 || idx.offsets.front() != 0 ||
+        idx.offsets.back() != n || idx.perm.size() != n) {
+      return Status::Corruption("sample index shape mismatch on attribute " +
+                                std::to_string(a));
+    }
+    for (size_t c = 0; c < dom; ++c) {
+      if (idx.offsets[c] > idx.offsets[c + 1]) {
+        return Status::Corruption(
+            "sample index offsets not monotone on attribute " +
+            std::to_string(a));
+      }
+      for (uint32_t i = idx.offsets[c]; i < idx.offsets[c + 1]; ++i) {
+        const uint32_t r = idx.perm[i];
+        if (r >= n || rows.at(r, a) != c ||
+            (i > idx.offsets[c] && idx.perm[i - 1] >= r)) {
+          return Status::Corruption(
+              "sample index group inconsistent on attribute " +
+              std::to_string(a));
+        }
+      }
+    }
+  }
+  return std::shared_ptr<const SampleIndex>(
+      new SampleIndex(std::move(attrs), n));
+}
+
+size_t SampleIndex::CandidateCount(AttrId a,
+                                   const AttrPredicate& pred) const {
+  const AttrIndex& idx = attrs_[a];
+  const size_t dom = idx.offsets.size() - 1;
+  if (pred.kind() == AttrPredicate::Kind::kSet) {
+    size_t total = 0;
+    for (Code c : pred.set()) {
+      if (c < dom) total += idx.offsets[c + 1] - idx.offsets[c];
+    }
+    return total;
+  }
+  const auto [lo, hi] = PredInterval(pred, dom);
+  if (hi < lo) return 0;
+  return idx.offsets[hi + 1] - idx.offsets[lo];
+}
+
+bool SampleIndex::BestAttribute(const CountingQuery& q, AttrId* best,
+                                size_t* candidates) const {
+  bool have = false;
+  for (AttrId a = 0; a < q.num_attributes() && a < attrs_.size(); ++a) {
+    const AttrPredicate& pred = q.predicate(a);
+    if (pred.is_any()) continue;
+    const size_t count = CandidateCount(a, pred);
+    if (!have || count < *candidates) {
+      *best = a;
+      *candidates = count;
+      have = true;
+    }
+  }
+  return have;
+}
+
+size_t SampleIndex::CollectRows(AttrId a, const AttrPredicate& pred,
+                                std::vector<uint32_t>* out) const {
+  const AttrIndex& idx = attrs_[a];
+  const size_t dom = idx.offsets.size() - 1;
+  size_t groups = 0;
+  auto append = [&](Code c) {
+    const uint32_t b = idx.offsets[c], e = idx.offsets[c + 1];
+    if (b == e) return;
+    out->insert(out->end(), idx.perm.begin() + b, idx.perm.begin() + e);
+    ++groups;
+  };
+  if (pred.kind() == AttrPredicate::Kind::kSet) {
+    for (Code c : pred.set()) {
+      if (c < dom) append(c);
+    }
+    return groups;
+  }
+  const auto [lo, hi] = PredInterval(pred, dom);
+  if (lo <= hi) {
+    for (Code c = lo; c <= hi; ++c) append(c);
+  }
+  return groups;
+}
+
+size_t SampleIndex::MemoryBytes() const {
+  size_t total = sizeof(*this);
+  for (const AttrIndex& idx : attrs_) {
+    total += idx.offsets.capacity() * sizeof(uint32_t) +
+             idx.perm.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+}  // namespace entropydb

@@ -14,11 +14,20 @@ namespace entropydb {
 /// Attribute names and the sample name must be whitespace-free tokens (they
 /// already are everywhere in this codebase); Save rejects offenders with
 /// InvalidArgument rather than writing a file Load cannot reopen.
+///
+/// Format v2 appends the sample's row-group index (sample_index.h) after
+/// the row block — per attribute, the prefix-sum group offsets and the row
+/// permutation — so loads skip the rebuild. A sample without an index
+/// writes an empty index section (index 0) and loads without one.
 Status SaveSample(const WeightedSample& sample, const std::string& path);
 
 /// Restores a sample written by SaveSample. The rebuilt table carries the
 /// original domains, so query codes are position-compatible with summaries
-/// of the same relation.
+/// of the same relation. v2 files restore their persisted index (validated
+/// against the rows; Corruption on mismatch); v1 (PR 3-era, index-less)
+/// files load unchanged and REBUILD the index on open — mirroring the
+/// store MANIFEST's v1/v2 compat rule — so old companions speed up without
+/// a rewrite.
 Result<WeightedSample> LoadSample(const std::string& path);
 
 }  // namespace entropydb

@@ -9,7 +9,7 @@
 
 #include "../test_util.h"
 #include "engine/query_router.h"
-#include "engine/summary_store.h"
+#include "engine/source_store.h"
 
 namespace entropydb {
 namespace {

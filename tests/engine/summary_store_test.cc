@@ -8,7 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
-#include "engine/summary_store.h"
+#include "engine/source_store.h"
 
 namespace entropydb {
 namespace {

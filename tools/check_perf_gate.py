@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over bench_sample_index's measurements.
+
+Reads the JSON bench_sample_index writes via --index_out and fails the
+build unless
+
+  * indexed and scan evaluation stayed bitwise identical (the bench
+    already exits non-zero on this, but the artifact must agree), and
+  * indexed evaluation is actually FASTER than the scan on the selective
+    workload — the whole point of the row-group index. A regression here
+    means selective routing latency quietly fell back to O(sample rows).
+
+The broad workload intentionally has no faster-than bar: its candidate
+sets exceed the estimator's cutover, so indexed evaluation IS the scan
+there (within `tolerance`, default 1.25x, guarding against gather-path
+overhead leaking into scan territory).
+
+Usage:
+    check_perf_gate.py build/sample_index_gate.json [--tolerance 1.25]
+
+Stdlib only (CI runs it on a bare runner).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("gate_json",
+                        help="file written by bench_sample_index --index_out")
+    parser.add_argument("--tolerance", type=float, default=1.25,
+                        help="max indexed/scan ratio on the broad workload")
+    args = parser.parse_args()
+
+    with open(args.gate_json) as f:
+        gate = json.load(f)
+
+    failures = []
+    if not gate.get("bitwise_identical", False):
+        failures.append("indexed evaluation is not bitwise identical to scan")
+
+    # A gate whose job is to fail on drift must treat missing data as a
+    # failure: a renamed/dropped workload section means the bench stopped
+    # measuring what this script checks.
+    for section in ("selective", "broad"):
+        for key in ("indexed_ns", "scan_ns"):
+            if not isinstance(gate.get(section, {}).get(key), (int, float)):
+                failures.append(f"gate JSON is missing {section}.{key}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    selective = gate["selective"]
+    indexed_ns = selective["indexed_ns"]
+    scan_ns = selective["scan_ns"]
+    if not indexed_ns < scan_ns:
+        failures.append(
+            f"selective workload: indexed ({indexed_ns:.0f} ns/query) is not "
+            f"faster than scan ({scan_ns:.0f} ns/query)")
+
+    broad = gate["broad"]
+    broad_ratio = broad["indexed_ns"] / max(broad["scan_ns"], 1.0)
+    if broad_ratio > args.tolerance:
+        failures.append(
+            f"broad workload: indexed is {broad_ratio:.2f}x scan "
+            f"(tolerance {args.tolerance:.2f}x) — cutover overhead regressed")
+
+    print(f"sample-index perf gate over {args.gate_json}:")
+    print(f"  selective: indexed {indexed_ns:.0f} ns/query vs scan "
+          f"{scan_ns:.0f} ns/query "
+          f"({selective.get('speedup', 0.0):.2f}x)")
+    print(f"  broad:     indexed/scan ratio {broad_ratio:.2f} "
+          f"(tolerance {args.tolerance:.2f})")
+    for failure in failures:
+        print(f"  FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("  OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

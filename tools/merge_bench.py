@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Merges per-benchmark JSON outputs into one CI artifact.
+
+Replaces the inline heredoc the CI workflow used to carry: one artifact
+per PR generation keeps a perf trajectory across the stacked PRs, and the
+artifact name is an argument so each PR's workflow line only changes in
+one place.
+
+Usage:
+    merge_bench.py --out BENCH_pr4.json \
+        --bench bench_solver.json [--bench ...] \
+        --extra routed_vs_single_accuracy=routed_accuracy.json [--extra ...]
+
+Each --bench file lands under its filename stem; each --extra lands under
+the given key. Stdlib only (CI runs it on a bare runner).
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", required=True,
+                        help="merged artifact path, e.g. BENCH_pr4.json")
+    parser.add_argument("--bench", action="append", default=[],
+                        metavar="FILE",
+                        help="google-benchmark JSON; keyed by filename stem")
+    parser.add_argument("--extra", action="append", default=[],
+                        metavar="KEY=FILE",
+                        help="auxiliary JSON (accuracy/crossover/gate files)")
+    args = parser.parse_args()
+
+    merged = {}
+    for path in args.bench:
+        with open(path) as f:
+            merged[pathlib.Path(path).stem] = json.load(f)
+    for spec in args.extra:
+        key, _, path = spec.partition("=")
+        if not path:
+            print(f"--extra needs KEY=FILE, got: {spec}", file=sys.stderr)
+            return 2
+        with open(path) as f:
+            merged[key] = json.load(f)
+
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+    print(f"wrote {args.out} ({len(merged)} sections)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
