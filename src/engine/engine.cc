@@ -3,33 +3,53 @@
 #include <filesystem>
 
 #include "common/thread_pool.h"
+#include "engine/sharded_store.h"
 
 namespace entropydb {
 
 EntropyEngine::EntropyEngine(std::shared_ptr<EntropySummary> summary,
-                             std::shared_ptr<SourceStore> store)
-    : primary_(std::move(summary)), store_(std::move(store)) {
+                             std::shared_ptr<SourceStore> store,
+                             std::shared_ptr<ShardedStore> sharded)
+    : primary_(std::move(summary)),
+      store_(std::move(store)),
+      sharded_(std::move(sharded)) {
   if (store_ != nullptr) {
     primary_ = store_->summary_ptr(store_->widest());
     router_ = std::make_unique<QueryRouter>(store_);
+  } else if (sharded_ != nullptr) {
+    // Schema accessors read the first shard's widest summary; answering
+    // never touches primary_ on the sharded paths.
+    const SourceStore& first = sharded_->shard(0);
+    primary_ = first.summary_ptr(first.widest());
   }
 }
 
 std::shared_ptr<EntropyEngine> EntropyEngine::FromSummary(
     std::shared_ptr<EntropySummary> summary) {
   return std::shared_ptr<EntropyEngine>(
-      new EntropyEngine(std::move(summary), nullptr));
+      new EntropyEngine(std::move(summary), nullptr, nullptr));
 }
 
 std::shared_ptr<EntropyEngine> EntropyEngine::FromStore(
     std::shared_ptr<SourceStore> store) {
   return std::shared_ptr<EntropyEngine>(
-      new EntropyEngine(nullptr, std::move(store)));
+      new EntropyEngine(nullptr, std::move(store), nullptr));
+}
+
+std::shared_ptr<EntropyEngine> EntropyEngine::FromSharded(
+    std::shared_ptr<ShardedStore> sharded) {
+  return std::shared_ptr<EntropyEngine>(
+      new EntropyEngine(nullptr, nullptr, std::move(sharded)));
 }
 
 Result<std::shared_ptr<EntropyEngine>> EntropyEngine::Open(
     const std::string& path, SummaryOptions opts) {
   if (std::filesystem::is_directory(path)) {
+    if (ShardedStore::IsShardedDir(path)) {
+      ASSIGN_OR_RETURN(std::shared_ptr<ShardedStore> sharded,
+                       ShardedStore::Load(path, opts));
+      return FromSharded(std::move(sharded));
+    }
     ASSIGN_OR_RETURN(std::shared_ptr<SourceStore> store,
                      SourceStore::Load(path, opts));
     return FromStore(std::move(store));
@@ -39,8 +59,46 @@ Result<std::shared_ptr<EntropyEngine>> EntropyEngine::Open(
   return FromSummary(std::move(summary));
 }
 
+size_t EntropyEngine::num_shards() const {
+  return sharded_ != nullptr ? sharded_->num_shards() : 1;
+}
+
+size_t EntropyEngine::num_summaries() const {
+  if (sharded_ != nullptr) {
+    size_t total = 0;
+    for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+      total += sharded_->shard(s).size();
+    }
+    return total;
+  }
+  return store_ ? store_->size() : 1;
+}
+
+size_t EntropyEngine::num_samples() const {
+  if (sharded_ != nullptr) {
+    size_t total = 0;
+    for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+      total += sharded_->shard(s).num_samples();
+    }
+    return total;
+  }
+  return store_ ? store_->num_samples() : 0;
+}
+
+double EntropyEngine::n() const {
+  return sharded_ != nullptr ? sharded_->n() : primary_->n();
+}
+
 Result<QueryEstimate> EntropyEngine::AnswerCount(
     const CountingQuery& q, RouteDecision* decision) const {
+  if (sharded_ != nullptr) {
+    // Per-shard routing decisions live on ShardedStore::AnswerCount; the
+    // facade-level decision carries the merged variance.
+    if (decision != nullptr) *decision = RouteDecision{};
+    ASSIGN_OR_RETURN(QueryEstimate est, sharded_->AnswerCount(q));
+    if (decision != nullptr) decision->expected_variance = est.variance;
+    return est;
+  }
   if (router_ != nullptr) return router_->Answer(q, decision);
   if (decision != nullptr) *decision = RouteDecision{};
   auto est = primary_->AnswerCount(q);
@@ -54,6 +112,16 @@ Result<QueryEstimate> EntropyEngine::AnswerCount(
 Result<std::vector<QueryEstimate>> EntropyEngine::AnswerAll(
     const std::vector<CountingQuery>& qs,
     std::vector<RouteDecision>* decisions) const {
+  if (sharded_ != nullptr) {
+    ASSIGN_OR_RETURN(std::vector<QueryEstimate> out, sharded_->AnswerAll(qs));
+    if (decisions != nullptr) {
+      decisions->assign(qs.size(), RouteDecision{});
+      for (size_t i = 0; i < out.size(); ++i) {
+        (*decisions)[i].expected_variance = out[i].variance;
+      }
+    }
+    return out;
+  }
   if (router_ != nullptr) return router_->AnswerAll(qs, decisions);
   if (decisions != nullptr) decisions->assign(qs.size(), RouteDecision{});
   std::vector<QueryEstimate> out(qs.size());
@@ -119,6 +187,12 @@ const EntropySummary& EntropyEngine::RouteFor(
 Result<QueryEstimate> EntropyEngine::AnswerSum(
     AttrId a, const std::vector<double>& weights, const CountingQuery& q,
     RouteDecision* decision) const {
+  if (sharded_ != nullptr) {
+    if (decision != nullptr) *decision = RouteDecision{};
+    ASSIGN_OR_RETURN(QueryEstimate est, sharded_->AnswerSum(a, weights, q));
+    if (decision != nullptr) decision->expected_variance = est.variance;
+    return est;
+  }
   std::optional<QueryEstimate> routed_cnt;
   const EntropySummary& s = RouteFor(q, {a}, decision, &routed_cnt);
   // Hybrid stage for SUM: the router's stage-3 comparison on the filter
@@ -154,6 +228,12 @@ Result<QueryEstimate> EntropyEngine::AnswerSum(
 Result<QueryEstimate> EntropyEngine::AnswerAvg(
     AttrId a, const std::vector<double>& weights, const CountingQuery& q,
     RouteDecision* decision) const {
+  if (sharded_ != nullptr) {
+    if (decision != nullptr) *decision = RouteDecision{};
+    ASSIGN_OR_RETURN(QueryEstimate est, sharded_->AnswerAvg(a, weights, q));
+    if (decision != nullptr) decision->expected_variance = est.variance;
+    return est;
+  }
   const EntropySummary& s = RouteFor(q, {a}, decision);
   auto est = s.AnswerAvg(a, weights, q);
   if (est.ok() && decision != nullptr) {
@@ -164,6 +244,10 @@ Result<QueryEstimate> EntropyEngine::AnswerAvg(
 
 Result<std::vector<QueryEstimate>> EntropyEngine::AnswerGroupByAttribute(
     AttrId a, const CountingQuery& base, RouteDecision* decision) const {
+  if (sharded_ != nullptr) {
+    if (decision != nullptr) *decision = RouteDecision{};
+    return sharded_->AnswerGroupByAttribute(a, base);
+  }
   return RouteFor(base, {a}, decision).AnswerGroupByAttribute(a, base);
 }
 
@@ -171,6 +255,10 @@ Result<std::map<std::vector<Code>, QueryEstimate>> EntropyEngine::AnswerGroupBy(
     const std::vector<AttrId>& attrs,
     const std::vector<std::vector<Code>>& keys, const CountingQuery& base,
     RouteDecision* decision) const {
+  if (sharded_ != nullptr) {
+    if (decision != nullptr) *decision = RouteDecision{};
+    return sharded_->AnswerGroupBy(attrs, keys, base);
+  }
   return RouteFor(base, attrs, decision).AnswerGroupBy(attrs, keys, base);
 }
 

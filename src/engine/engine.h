@@ -14,8 +14,12 @@
 
 namespace entropydb {
 
-/// \brief The serving facade: one query surface over either a single
-/// EntropySummary or a routed SourceStore (summaries + sample companions).
+class ShardedStore;
+
+/// \brief The serving facade: one query surface over a single
+/// EntropySummary, a routed SourceStore (summaries + sample companions),
+/// or a ShardedStore (S row-shards, each a full SourceStore, answered by
+/// fan-out + additive merge — see engine/sharded_store.h).
 ///
 /// Tools, examples, and benchmarks talk to this instead of hand-wiring a
 /// summary, so switching a deployment from one summary file to a
@@ -23,6 +27,13 @@ namespace entropydb {
 ///
 ///   auto engine = EntropyEngine::Open(path);   // file or store directory
 ///   auto est = (*engine)->AnswerCount(query);  // routed when store-backed
+///
+/// Open sniffs a directory's MANIFEST header and dispatches transparently:
+/// a v1/v2 manifest loads as a monolithic SourceStore, a v3 manifest as a
+/// ShardedStore — callers never branch on the layout. Sharded engines fan
+/// each COUNT/SUM out to every shard (the best source is picked PER SHARD
+/// by that shard's router) and merge the per-shard estimates; point
+/// estimates and variances are additive across disjoint row partitions.
 ///
 /// Store-backed engines route each query per QueryRouter's hybrid rules
 /// (coverage -> summary variance -> summary-vs-sample variance; see
@@ -44,20 +55,31 @@ class EntropyEngine {
   /// Wraps a store behind a hybrid router.
   static std::shared_ptr<EntropyEngine> FromStore(
       std::shared_ptr<SourceStore> store);
+  /// Wraps a sharded store behind per-shard routers + additive merging.
+  static std::shared_ptr<EntropyEngine> FromSharded(
+      std::shared_ptr<ShardedStore> sharded);
   /// Opens a persisted engine: a directory loads as a SourceStore
-  /// (MANIFEST v1 or v2), a file as a single summary.
+  /// (MANIFEST v1/v2) or a ShardedStore (MANIFEST v3), a file as a single
+  /// summary.
   static Result<std::shared_ptr<EntropyEngine>> Open(const std::string& path,
                                                      SummaryOptions opts = {});
 
   /// True when this engine routes over a store (vs. one summary).
-  bool is_store() const { return store_ != nullptr; }
-  /// Number of summary sources (1 for single-summary engines).
-  size_t num_summaries() const { return store_ ? store_->size() : 1; }
-  /// Number of sample sources (0 for single-summary engines).
-  size_t num_samples() const { return store_ ? store_->num_samples() : 0; }
-  /// The backing store; null for single-summary engines.
+  bool is_store() const { return store_ != nullptr || sharded_ != nullptr; }
+  /// True when this engine fans out over a sharded store.
+  bool is_sharded() const { return sharded_ != nullptr; }
+  /// Number of row-shards (1 for monolithic engines).
+  size_t num_shards() const;
+  /// Number of summary sources (summed across shards when sharded).
+  size_t num_summaries() const;
+  /// Number of sample sources (summed across shards when sharded).
+  size_t num_samples() const;
+  /// The backing monolithic store; null for single-summary AND sharded
+  /// engines (use sharded() for the latter).
   const SourceStore* store() const { return store_.get(); }
-  /// The single summary, or the store's widest (fallback) entry.
+  /// The backing sharded store; null unless is_sharded().
+  const ShardedStore* sharded() const { return sharded_.get(); }
+  /// The single summary, or the (first shard's) widest fallback entry.
   const EntropySummary& primary() const { return *primary_; }
 
   /// Attribute names shared by every source.
@@ -68,8 +90,8 @@ class EntropyEngine {
   /// summaries built from a bare registry).
   const std::vector<Domain>& domains() const { return primary_->domains(); }
   bool has_domains() const { return primary_->has_domains(); }
-  /// Relation cardinality n.
-  double n() const { return primary_->n(); }
+  /// Relation cardinality n (the TOTAL across shards when sharded).
+  double n() const;
   /// Relation arity m.
   size_t num_attributes() const { return primary_->num_attributes(); }
 
@@ -106,7 +128,8 @@ class EntropyEngine {
 
  private:
   EntropyEngine(std::shared_ptr<EntropySummary> summary,
-                std::shared_ptr<SourceStore> store);
+                std::shared_ptr<SourceStore> store,
+                std::shared_ptr<ShardedStore> sharded);
 
   /// Picks the serving summary for a filter + extra constrained attributes
   /// (aggregate / group-by attributes), filling `decision`. When the
@@ -120,6 +143,7 @@ class EntropyEngine {
 
   std::shared_ptr<EntropySummary> primary_;
   std::shared_ptr<SourceStore> store_;
+  std::shared_ptr<ShardedStore> sharded_;
   std::unique_ptr<QueryRouter> router_;
 };
 

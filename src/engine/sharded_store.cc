@@ -1,0 +1,327 @@
+#include "engine/sharded_store.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/thread_pool.h"
+
+namespace entropydb {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestV3[] = "ENTROPYDB_STORE_V3";
+
+/// Accumulates one shard's estimate into the merged answer. Disjoint row
+/// partitions with independently fit models: expectations and variances
+/// are both additive.
+void MergeInto(QueryEstimate* merged, const QueryEstimate& shard) {
+  merged->expectation += shard.expectation;
+  merged->variance += shard.variance;
+}
+
+}  // namespace
+
+ShardedStore::ShardedStore(std::vector<std::shared_ptr<SourceStore>> shards,
+                           PartitionScheme scheme)
+    : shards_(std::move(shards)), scheme_(scheme) {
+  engines_.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    engines_.push_back(EntropyEngine::FromStore(s));
+    total_n_ += s->n();
+  }
+}
+
+Result<std::shared_ptr<ShardedStore>> ShardedStore::FromShards(
+    std::vector<std::shared_ptr<SourceStore>> shards, PartitionScheme scheme) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("a sharded store needs at least one shard");
+  }
+  // Null checks must run before anything dereferences a shard (binding a
+  // reference through a null front() would already be UB).
+  for (const auto& s : shards) {
+    if (s == nullptr) {
+      return Status::InvalidArgument("sharded store with a null shard");
+    }
+  }
+  const SourceStore& ref = *shards.front();
+  for (const auto& s : shards) {
+    if (s->num_attributes() != ref.num_attributes()) {
+      return Status::InvalidArgument(
+          "shards disagree on the relation arity");
+    }
+    for (AttrId a = 0; a < ref.num_attributes(); ++a) {
+      // Shards of one relation share the base active domains verbatim; a
+      // same-arity store of a different relation must not merge in (its
+      // codes would be position-compatible but mean different values).
+      if (s->entry(0).summary->registry().domain_size(a) !=
+          ref.entry(0).summary->registry().domain_size(a)) {
+        return Status::InvalidArgument(
+            "shards disagree on the domain of attribute " +
+            std::to_string(a));
+      }
+    }
+  }
+  return std::shared_ptr<ShardedStore>(
+      new ShardedStore(std::move(shards), scheme));
+}
+
+Result<std::shared_ptr<ShardedStore>> ShardedStore::Build(const Table& table,
+                                                          ShardedOptions opts) {
+  PartitionOptions popts;
+  popts.num_shards = opts.num_shards;
+  popts.scheme = opts.scheme;
+  popts.hash_seed = opts.hash_seed;
+  ASSIGN_OR_RETURN(std::vector<std::shared_ptr<Table>> shards,
+                   TablePartitioner::Partition(table, popts));
+
+  // Resolve pairs ONCE on the full relation (the same step a monolithic
+  // Build runs), then force the choice into every shard: shards must
+  // agree on the modeled pairs (routing metadata) and repeating the
+  // O(rows x m^2) ranking per shard would waste exactly the scan the
+  // partitioning is trying to split.
+  StoreOptions shard_opts = opts.store;
+  ASSIGN_OR_RETURN(shard_opts.forced_pairs,
+                   SourceStore::ResolvePairs(table, shard_opts));
+  shard_opts.use_budget_advisor = false;
+
+  // Independent per-shard builds fan out across the pool; each build's own
+  // internal ParallelFor calls degrade inline on worker threads. Outputs
+  // land in disjoint slots, so the result is deterministic.
+  std::vector<std::shared_ptr<SourceStore>> built(shards.size());
+  std::vector<Status> statuses(shards.size(), Status::OK());
+  ParallelFor(shards.size(), 2, [&](size_t s) {
+    StoreOptions per_shard = shard_opts;
+    // Decorrelate companion draws across shards: a shared seed would make
+    // every shard pick the "same" pseudo-random rows of its partition.
+    per_shard.sample_seed += static_cast<uint64_t>(s) << 20;
+    auto store = SourceStore::Build(*shards[s], per_shard);
+    if (!store.ok()) {
+      statuses[s] = store.status();
+      return;
+    }
+    built[s] = *store;
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return FromShards(std::move(built), opts.scheme);
+}
+
+Result<QueryEstimate> ShardedStore::AnswerCount(
+    const CountingQuery& q, std::vector<RouteDecision>* per_shard) const {
+  if (per_shard != nullptr) {
+    per_shard->assign(shards_.size(), RouteDecision{});
+  }
+  QueryEstimate merged;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ASSIGN_OR_RETURN(
+        QueryEstimate est,
+        engines_[s]->AnswerCount(
+            q, per_shard != nullptr ? &(*per_shard)[s] : nullptr));
+    MergeInto(&merged, est);
+  }
+  return merged;
+}
+
+Result<QueryEstimate> ShardedStore::AnswerSum(
+    AttrId a, const std::vector<double>& weights, const CountingQuery& q,
+    std::vector<RouteDecision>* per_shard) const {
+  if (per_shard != nullptr) {
+    per_shard->assign(shards_.size(), RouteDecision{});
+  }
+  QueryEstimate merged;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ASSIGN_OR_RETURN(
+        QueryEstimate est,
+        engines_[s]->AnswerSum(
+            a, weights, q, per_shard != nullptr ? &(*per_shard)[s] : nullptr));
+    MergeInto(&merged, est);
+  }
+  return merged;
+}
+
+Result<QueryEstimate> ShardedStore::AnswerAvg(
+    AttrId a, const std::vector<double>& weights, const CountingQuery& q,
+    std::vector<RouteDecision>* per_shard) const {
+  // AVG is a ratio, not additive — merge the two additive legs and apply
+  // the delta method across shards. The per-shard estimators expose no
+  // SUM/COUNT covariance, so the cross term is dropped (the monolithic
+  // AnswerAvg keeps it; docs/ESTIMATORS.md discusses the gap).
+  ASSIGN_OR_RETURN(QueryEstimate sum, AnswerSum(a, weights, q, per_shard));
+  ASSIGN_OR_RETURN(QueryEstimate cnt, AnswerCount(q));
+  QueryEstimate out;
+  if (cnt.expectation <= 0.0) {
+    out.expectation = 0.0;
+    out.variance = 0.0;
+    return out;
+  }
+  const double r = sum.expectation / cnt.expectation;
+  out.expectation = r;
+  out.variance = (sum.variance + r * r * cnt.variance) /
+                 (cnt.expectation * cnt.expectation);
+  return out;
+}
+
+Result<std::vector<QueryEstimate>> ShardedStore::AnswerGroupByAttribute(
+    AttrId a, const CountingQuery& base) const {
+  std::vector<QueryEstimate> merged;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ASSIGN_OR_RETURN(std::vector<QueryEstimate> part,
+                     engines_[s]->AnswerGroupByAttribute(a, base));
+    if (merged.empty()) {
+      merged.resize(part.size());
+    } else if (merged.size() != part.size()) {
+      return Status::Internal("shards disagree on group-by width");
+    }
+    for (size_t v = 0; v < part.size(); ++v) MergeInto(&merged[v], part[v]);
+  }
+  return merged;
+}
+
+Result<std::map<std::vector<Code>, QueryEstimate>> ShardedStore::AnswerGroupBy(
+    const std::vector<AttrId>& attrs,
+    const std::vector<std::vector<Code>>& keys,
+    const CountingQuery& base) const {
+  std::map<std::vector<Code>, QueryEstimate> merged;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ASSIGN_OR_RETURN(auto part, engines_[s]->AnswerGroupBy(attrs, keys, base));
+    for (const auto& [key, est] : part) MergeInto(&merged[key], est);
+  }
+  return merged;
+}
+
+Result<std::vector<QueryEstimate>> ShardedStore::AnswerAll(
+    const std::vector<CountingQuery>& qs,
+    std::vector<std::vector<RouteDecision>>* per_shard) const {
+  const size_t nq = qs.size();
+  const size_t ns = shards_.size();
+  // The full shards x queries grid fans out flat: cell (i, s) is shard s
+  // answering query i into its own slot, so the fan-out saturates the pool
+  // even when one of the two dimensions is small.
+  std::vector<QueryEstimate> cells(nq * ns);
+  std::vector<RouteDecision> cell_decisions(
+      per_shard != nullptr ? nq * ns : 0);
+  std::vector<Status> statuses(nq * ns, Status::OK());
+  ParallelFor(nq * ns, 2, [&](size_t flat) {
+    const size_t i = flat / ns;
+    const size_t s = flat % ns;
+    auto est = engines_[s]->AnswerCount(
+        qs[i], per_shard != nullptr ? &cell_decisions[flat] : nullptr);
+    if (!est.ok()) {
+      statuses[flat] = est.status();
+      return;
+    }
+    cells[flat] = *est;
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  // Serial merge in shard order: bitwise the same sum the one-query path
+  // computes.
+  std::vector<QueryEstimate> out(nq);
+  for (size_t i = 0; i < nq; ++i) {
+    for (size_t s = 0; s < ns; ++s) MergeInto(&out[i], cells[i * ns + s]);
+  }
+  if (per_shard != nullptr) {
+    per_shard->assign(nq, std::vector<RouteDecision>(ns));
+    for (size_t i = 0; i < nq; ++i) {
+      for (size_t s = 0; s < ns; ++s) {
+        (*per_shard)[i][s] = cell_decisions[i * ns + s];
+      }
+    }
+  }
+  return out;
+}
+
+Status ShardedStore::Save(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory " + dir + ": " +
+                           ec.message());
+  }
+  // Shard subdirectories FIRST, manifest LAST: when re-saving over an
+  // existing store, a failed shard write must not leave a fresh manifest
+  // pointing at a mix of new and stale shard data that Load would accept.
+  // Each shard is a self-contained v2 store in its own subdirectory;
+  // writes touch disjoint paths, so they fan out.
+  std::vector<Status> statuses(shards_.size(), Status::OK());
+  ParallelFor(shards_.size(), 2, [&](size_t s) {
+    statuses[s] = shards_[s]->Save(
+        (fs::path(dir) / ("shard_" + std::to_string(s))).string());
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  std::ofstream out(fs::path(dir) / "MANIFEST");
+  if (!out) return Status::IOError("cannot write manifest in " + dir);
+  out << kManifestV3 << "\n";
+  out << "scheme " << PartitionSchemeName(scheme_) << "\n";
+  out << "shards " << shards_.size() << "\n";
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    out << "shard shard_" << s << "\n";
+  }
+  out.close();
+  if (!out.good()) return Status::IOError("manifest write failure in " + dir);
+  return Status::OK();
+}
+
+bool ShardedStore::IsShardedDir(const std::string& dir) {
+  std::ifstream in(fs::path(dir) / "MANIFEST");
+  if (!in) return false;
+  std::string token;
+  return (in >> token) && token == kManifestV3;
+}
+
+Result<std::shared_ptr<ShardedStore>> ShardedStore::Load(
+    const std::string& dir, SummaryOptions opts) {
+  std::ifstream in(fs::path(dir) / "MANIFEST");
+  if (!in) return Status::IOError("cannot open store manifest in " + dir);
+  std::string token;
+  if (!(in >> token) || token != kManifestV3) {
+    return Status::Corruption("not a sharded (v3) store manifest in " + dir);
+  }
+  std::string scheme_token;
+  if (!(in >> token >> scheme_token) || token != "scheme") {
+    return Status::Corruption("bad scheme record in " + dir);
+  }
+  ASSIGN_OR_RETURN(PartitionScheme scheme,
+                   ParsePartitionScheme(scheme_token));
+  size_t ns = 0;
+  if (!(in >> token >> ns) || token != "shards" || ns == 0) {
+    return Status::Corruption("bad shards record in " + dir);
+  }
+  std::vector<std::string> shard_dirs(ns);
+  for (size_t s = 0; s < ns; ++s) {
+    if (!(in >> token >> shard_dirs[s]) || token != "shard") {
+      return Status::Corruption("bad shard record in " + dir);
+    }
+  }
+  // Shard loads are independent (each is a full v2 store load, itself
+  // parallel inside), so fan out across shards too.
+  std::vector<std::shared_ptr<SourceStore>> shards(ns);
+  std::vector<Status> statuses(ns, Status::OK());
+  ParallelFor(ns, 2, [&](size_t s) {
+    auto loaded =
+        SourceStore::Load((fs::path(dir) / shard_dirs[s]).string(), opts);
+    if (!loaded.ok()) {
+      statuses[s] = loaded.status();
+      return;
+    }
+    shards[s] = *loaded;
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  auto store = FromShards(std::move(shards), scheme);
+  if (!store.ok()) {
+    return Status::Corruption("inconsistent sharded store in " + dir + ": " +
+                              store.status().message());
+  }
+  return store;
+}
+
+}  // namespace entropydb

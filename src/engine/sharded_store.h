@@ -1,0 +1,164 @@
+#ifndef ENTROPYDB_ENGINE_SHARDED_STORE_H_
+#define ENTROPYDB_ENGINE_SHARDED_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+#include "engine/query_router.h"
+#include "engine/source_store.h"
+#include "storage/partitioner.h"
+
+namespace entropydb {
+
+/// Build-time knobs for a sharded store.
+struct ShardedOptions {
+  /// Number of row-shards S (>= 1; 1 is the monolithic layout inside the
+  /// sharded format, handy as a scaling baseline).
+  size_t num_shards = 4;
+  /// How rows are assigned to shards (storage/partitioner.h).
+  PartitionScheme scheme = PartitionScheme::kRoundRobin;
+  /// Seed for PartitionScheme::kHash.
+  uint64_t hash_seed = 0x9e3779b97f4a7c15ull;
+  /// Per-shard build knobs, applied to every shard's SourceStore::Build:
+  /// each shard models its own row partition with the FULL budget/sample
+  /// settings (sharding scales data size, it does not dilute per-shard
+  /// fidelity). Pair ranking runs ONCE on the full relation and is forced
+  /// into every shard (StoreOptions::forced_pairs), so all shards model
+  /// the same attribute pairs; sample seeds are offset per shard so
+  /// companion draws decorrelate.
+  StoreOptions store;
+};
+
+/// \brief A horizontally partitioned SourceStore: S disjoint row-shards,
+/// each carrying its own maxent summaries and sample companions built with
+/// the existing single-store machinery, answered by fanning a query out to
+/// every shard and merging the per-shard estimates.
+///
+/// The layering is deliberately bolt-on (the OrpheusDB pattern): nothing
+/// below this class knows about shards. Build partitions the base table
+/// (storage/partitioner.h), ranks attribute pairs once globally, then
+/// builds the S SourceStores IN PARALLEL on the shared pool — per-shard
+/// builds are independent, and their own internal fan-outs degrade inline
+/// on worker threads. Every shard keeps the base schema and domains, so
+/// one CountingQuery is position-compatible with all of them.
+///
+/// Merge rule (docs/ARCHITECTURE.md): the shards partition the rows, so a
+/// COUNT/SUM decomposes as the sum of per-shard answers, and because each
+/// shard's model is fit independently the per-shard estimators are
+/// independent random variables — point estimates AND variances are both
+/// additive. Each shard routes its sub-query through its own QueryRouter
+/// (coverage -> variance -> hybrid summary-vs-sample), so the best source
+/// is chosen PER SHARD: a rare slice can be served by shard 2's stratified
+/// sample and shard 3's summary in the same merged answer.
+///
+/// Persistence is a MANIFEST v3 directory: the manifest records the scheme
+/// and shard list; each shard is a self-contained v2 store subdirectory
+/// (SourceStore::Save). v2/v1 directories keep loading as monolithic
+/// stores — EntropyEngine::Open sniffs the manifest header and dispatches.
+class ShardedStore {
+ public:
+  /// Partitions `table` and builds every shard's sources in parallel.
+  static Result<std::shared_ptr<ShardedStore>> Build(const Table& table,
+                                                     ShardedOptions opts = {});
+
+  /// Assembles a sharded store from already-built per-shard stores (the
+  /// path Load uses). Shards must be non-empty and agree on arity and
+  /// per-attribute domain sizes.
+  static Result<std::shared_ptr<ShardedStore>> FromShards(
+      std::vector<std::shared_ptr<SourceStore>> shards,
+      PartitionScheme scheme);
+
+  size_t num_shards() const { return shards_.size(); }
+  const SourceStore& shard(size_t s) const { return *shards_[s]; }
+  std::shared_ptr<SourceStore> shard_ptr(size_t s) const {
+    return shards_[s];
+  }
+  /// The per-shard serving facade (full hybrid routing per shard).
+  const EntropyEngine& shard_engine(size_t s) const { return *engines_[s]; }
+  PartitionScheme scheme() const { return scheme_; }
+
+  // Schema accessors, identical across shards (validated on FromShards).
+  const std::vector<std::string>& attr_names() const {
+    return shards_.front()->attr_names();
+  }
+  const std::vector<Domain>& domains() const {
+    return shards_.front()->domains();
+  }
+  bool has_domains() const { return shards_.front()->has_domains(); }
+  size_t num_attributes() const { return shards_.front()->num_attributes(); }
+  /// TOTAL relation cardinality: the sum of per-shard n.
+  double n() const { return total_n_; }
+
+  /// Merged COUNT(*): every shard routes and answers, estimates and
+  /// variances sum. `per_shard` (optional) receives shard s's own routing
+  /// decision in slot s — the "per-shard route printing" surface of
+  /// entropydb_query.
+  Result<QueryEstimate> AnswerCount(
+      const CountingQuery& q,
+      std::vector<RouteDecision>* per_shard = nullptr) const;
+
+  /// Merged SUM of a per-value weight over attribute `a` (additive, same
+  /// rule as COUNT; each shard routes hybrid).
+  Result<QueryEstimate> AnswerSum(
+      AttrId a, const std::vector<double>& weights, const CountingQuery& q,
+      std::vector<RouteDecision>* per_shard = nullptr) const;
+
+  /// Merged AVG: the ratio of the merged SUM and merged COUNT, with a
+  /// cross-shard delta-method variance (per-shard SUM/COUNT covariance is
+  /// not surfaced by the per-shard estimators, so the covariance term is
+  /// dropped — documented in docs/ESTIMATORS.md). `per_shard` receives the
+  /// SUM leg's routing decisions.
+  Result<QueryEstimate> AnswerAvg(
+      AttrId a, const std::vector<double>& weights, const CountingQuery& q,
+      std::vector<RouteDecision>* per_shard = nullptr) const;
+
+  /// Merged whole-attribute group-by: per-value counts are additive across
+  /// shards exactly like plain COUNTs.
+  Result<std::vector<QueryEstimate>> AnswerGroupByAttribute(
+      AttrId a, const CountingQuery& base) const;
+
+  /// Merged point group-by over explicit keys (additive per key).
+  Result<std::map<std::vector<Code>, QueryEstimate>> AnswerGroupBy(
+      const std::vector<AttrId>& attrs,
+      const std::vector<std::vector<Code>>& keys,
+      const CountingQuery& base) const;
+
+  /// Batched COUNT workload: the shards x queries grid fans out flat on
+  /// the ParallelFor pool (each cell is one shard answering one query into
+  /// a disjoint slot), then per-query merges run serially in shard order —
+  /// so slot i is bitwise AnswerCount(qs[i]). `per_shard` (optional) gets
+  /// decisions[i][s] = shard s's decision on qs[i].
+  Result<std::vector<QueryEstimate>> AnswerAll(
+      const std::vector<CountingQuery>& qs,
+      std::vector<std::vector<RouteDecision>>* per_shard = nullptr) const;
+
+  /// Persists the store: `dir/MANIFEST` (v3: scheme + shard list) plus one
+  /// self-contained v2 store subdirectory per shard, written in parallel.
+  Status Save(const std::string& dir) const;
+  /// Restores a v3 directory (shards load in parallel; `opts` is passed
+  /// through to every summary load). Rejects v1/v2 manifests — those are
+  /// monolithic stores, which SourceStore::Load owns.
+  static Result<std::shared_ptr<ShardedStore>> Load(const std::string& dir,
+                                                    SummaryOptions opts = {});
+
+  /// True when `dir` holds a v3 (sharded) manifest — the dispatch test
+  /// EntropyEngine::Open uses.
+  static bool IsShardedDir(const std::string& dir);
+
+ private:
+  ShardedStore(std::vector<std::shared_ptr<SourceStore>> shards,
+               PartitionScheme scheme);
+
+  std::vector<std::shared_ptr<SourceStore>> shards_;
+  std::vector<std::shared_ptr<EntropyEngine>> engines_;
+  PartitionScheme scheme_ = PartitionScheme::kRoundRobin;
+  double total_n_ = 0.0;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_ENGINE_SHARDED_STORE_H_

@@ -112,15 +112,16 @@ Result<std::shared_ptr<SourceStore>> SourceStore::FromParts(
       new SourceStore(std::move(entries), std::move(samples)));
 }
 
-Result<std::shared_ptr<SourceStore>> SourceStore::Build(const Table& table,
-                                                        StoreOptions opts) {
+Result<std::vector<ScoredPair>> SourceStore::ResolvePairs(
+    const Table& table, const StoreOptions& opts) {
   std::vector<ScoredPair> chosen;
-  size_t budget = opts.total_budget;
-  if (opts.use_budget_advisor) {
+  if (!opts.forced_pairs.empty()) {
+    chosen = opts.forced_pairs;
+  } else if (opts.use_budget_advisor) {
     AdvisorOptions aopts;
     aopts.exclude = opts.exclude;
     ASSIGN_OR_RETURN(std::vector<BudgetCandidate> candidates,
-                     BudgetAdvisor::Advise(table, budget, aopts));
+                     BudgetAdvisor::Advise(table, opts.total_budget, aopts));
     chosen = candidates.front().pairs;  // best split first
   } else {
     auto ranked = PairSelector::RankPairs(table, opts.exclude);
@@ -131,8 +132,21 @@ Result<std::shared_ptr<SourceStore>> SourceStore::Build(const Table& table,
     return Status::InvalidArgument(
         "no attribute pairs available for a source store");
   }
+  for (const ScoredPair& p : chosen) {
+    if (p.a >= table.num_attributes() || p.b >= table.num_attributes()) {
+      return Status::InvalidArgument(
+          "forced pair references an attribute outside the relation");
+    }
+  }
+  return chosen;
+}
+
+Result<std::shared_ptr<SourceStore>> SourceStore::Build(const Table& table,
+                                                        StoreOptions opts) {
+  ASSIGN_OR_RETURN(std::vector<ScoredPair> chosen,
+                   ResolvePairs(table, opts));
   const size_t k = chosen.size();
-  const size_t bs = std::max<size_t>(1, budget / k);
+  const size_t bs = std::max<size_t>(1, opts.total_budget / k);
 
   // Independent builds: select each pair's statistics and solve its model
   // in parallel. Outputs are disjoint slots, so results are deterministic.

@@ -33,6 +33,13 @@ struct StoreOptions {
   SelectionHeuristic heuristic = SelectionHeuristic::kComposite;
   /// Attributes to exclude from pairing (e.g. near-uniform ones).
   std::vector<AttrId> exclude;
+  /// When non-empty, model exactly these pairs (one summary each) and skip
+  /// pair ranking and the advisor entirely. This is how a sharded build
+  /// (engine/sharded_store.h) ranks pairs ONCE on the full relation and
+  /// then builds every shard on the same pairs — per-shard ranking would
+  /// both waste an O(rows x m^2) scan per shard and let shards disagree on
+  /// which correlations the store models.
+  std::vector<ScoredPair> forced_pairs;
   /// Solver / polynomial knobs, shared by every summary build.
   SummaryOptions summary;
 
@@ -100,6 +107,14 @@ class SourceStore {
  public:
   static Result<std::shared_ptr<SourceStore>> Build(const Table& table,
                                                     StoreOptions opts = {});
+
+  /// The pair-selection step of Build, exposed so a sharded build
+  /// (engine/sharded_store.h) can run it ONCE on the full relation and
+  /// force the result into every shard: forced pairs win, else the
+  /// advisor (when enabled), else rank-and-choose by attribute cover.
+  /// Validates every chosen pair against the table's arity.
+  static Result<std::vector<ScoredPair>> ResolvePairs(
+      const Table& table, const StoreOptions& opts);
 
   /// Number of summary entries.
   size_t size() const { return entries_.size(); }

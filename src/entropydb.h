@@ -40,6 +40,7 @@
 #include "engine/engine.h"
 #include "engine/estimate_source.h"
 #include "engine/query_router.h"
+#include "engine/sharded_store.h"
 #include "engine/source_store.h"
 #include "maxent/answerer.h"
 #include "maxent/budget_advisor.h"
@@ -68,6 +69,7 @@
 #include "stats/selector.h"
 #include "stats/statistic.h"
 #include "storage/csv.h"
+#include "storage/partitioner.h"
 #include "storage/table.h"
 #include "storage/table_builder.h"
 #include "workload/flights.h"

@@ -1,0 +1,70 @@
+#ifndef ENTROPYDB_STORAGE_PARTITIONER_H_
+#define ENTROPYDB_STORAGE_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace entropydb {
+
+/// How rows are assigned to shards.
+enum class PartitionScheme {
+  /// Row i lands in shard i % S: perfectly balanced, order-dependent, and
+  /// the right default for one-shot bulk partitioning.
+  kRoundRobin,
+  /// Row content is hashed (FNV-1a over the encoded codes, seeded) and the
+  /// hash picks the shard: order-independent, so re-ingesting the same rows
+  /// in any order reproduces the same partition — the scheme to use when
+  /// shards are built incrementally from unordered feeds.
+  kHash,
+};
+
+/// Scheme name as a manifest/CLI token ("roundrobin" / "hash").
+const char* PartitionSchemeName(PartitionScheme scheme);
+/// Parses a manifest/CLI token (accepts "roundrobin", "rr", "hash").
+Result<PartitionScheme> ParsePartitionScheme(const std::string& token);
+
+/// Knobs for TablePartitioner::Partition.
+struct PartitionOptions {
+  /// Number of row-shards S. Must satisfy 1 <= S <= base rows.
+  size_t num_shards = 4;
+  PartitionScheme scheme = PartitionScheme::kRoundRobin;
+  /// Seed folded into the row hash (kHash only), so distinct deployments
+  /// can decorrelate their shard layouts.
+  uint64_t hash_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// \brief Splits one encoded Table into S disjoint row-shards.
+///
+/// Every shard keeps the base table's schema AND active-domain descriptors
+/// verbatim — codes stay position-compatible across shards, which is what
+/// lets per-shard summaries/samples answer the same CountingQuery and lets
+/// their estimates merge additively (engine/sharded_store.h). A value that
+/// never occurs in some shard simply has a zero 1-D target there (the
+/// solver pins such variables at alpha = 0).
+class TablePartitioner {
+ public:
+  /// Seeded FNV-1a over the encoded codes of one row (the kHash key).
+  static uint64_t RowHash(const Table& table, size_t row, uint64_t seed);
+
+  /// Shard index of one row under `opts` (exposed for tests and for
+  /// incremental ingest paths that route rows without materializing
+  /// shards).
+  static size_t ShardOf(const Table& table, size_t row,
+                        const PartitionOptions& opts);
+
+  /// Materializes the S shards. Row order within a shard preserves base
+  /// order, so the split is deterministic for both schemes. Fails if
+  /// `opts.num_shards` is 0 or exceeds the row count, or if hashing left a
+  /// shard empty (a shard must have rows to fit a maxent model to — lower
+  /// S or use round-robin).
+  static Result<std::vector<std::shared_ptr<Table>>> Partition(
+      const Table& table, const PartitionOptions& opts);
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STORAGE_PARTITIONER_H_

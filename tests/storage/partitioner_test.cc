@@ -1,0 +1,140 @@
+// TablePartitioner: disjoint full-coverage row splits, scheme determinism,
+// domain preservation, and the degenerate-shard guards.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "storage/partitioner.h"
+
+namespace entropydb {
+namespace {
+
+TEST(PartitionerTest, RoundRobinBalancesAndPreservesOrder) {
+  auto table = testutil::RandomTable({5, 4, 3}, 103, 17);
+  PartitionOptions opts;
+  opts.num_shards = 4;
+  opts.scheme = PartitionScheme::kRoundRobin;
+  auto shards = TablePartitioner::Partition(*table, opts);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 4u);
+  // 103 = 4 * 25 + 3: shards 0-2 get 26 rows, shard 3 gets 25.
+  EXPECT_EQ((*shards)[0]->num_rows(), 26u);
+  EXPECT_EQ((*shards)[1]->num_rows(), 26u);
+  EXPECT_EQ((*shards)[2]->num_rows(), 26u);
+  EXPECT_EQ((*shards)[3]->num_rows(), 25u);
+  // Shard s row k is base row s + 4k (base order preserved within shards).
+  for (size_t s = 0; s < 4; ++s) {
+    for (size_t k = 0; k < (*shards)[s]->num_rows(); ++k) {
+      for (AttrId a = 0; a < 3; ++a) {
+        EXPECT_EQ((*shards)[s]->at(k, a), table->at(s + 4 * k, a));
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, ShardsKeepBaseSchemaAndDomains) {
+  auto table = testutil::RandomTable({6, 3}, 40, 19);
+  PartitionOptions opts;
+  opts.num_shards = 2;
+  auto shards = TablePartitioner::Partition(*table, opts);
+  ASSERT_TRUE(shards.ok());
+  for (const auto& shard : *shards) {
+    ASSERT_EQ(shard->num_attributes(), table->num_attributes());
+    for (AttrId a = 0; a < table->num_attributes(); ++a) {
+      // Full base domains even if a shard never saw some value — codes
+      // must stay position-compatible across shards.
+      EXPECT_EQ(shard->domain(a).size(), table->domain(a).size());
+      EXPECT_EQ(shard->schema().attribute(a).name,
+                table->schema().attribute(a).name);
+    }
+  }
+}
+
+TEST(PartitionerTest, HashCoversEveryRowExactlyOnceAndIsDeterministic) {
+  auto table = testutil::RandomTable({7, 5, 4}, 500, 23);
+  PartitionOptions opts;
+  opts.num_shards = 3;
+  opts.scheme = PartitionScheme::kHash;
+  auto first = TablePartitioner::Partition(*table, opts);
+  auto second = TablePartitioner::Partition(*table, opts);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  size_t total = 0;
+  std::multiset<std::vector<Code>> seen;
+  for (size_t s = 0; s < first->size(); ++s) {
+    const Table& shard = *(*first)[s];
+    total += shard.num_rows();
+    for (size_t r = 0; r < shard.num_rows(); ++r) {
+      std::vector<Code> row(3);
+      for (AttrId a = 0; a < 3; ++a) row[a] = shard.at(r, a);
+      seen.insert(row);
+    }
+    // Same options => bitwise the same split.
+    ASSERT_EQ(shard.num_rows(), (*second)[s]->num_rows());
+    for (size_t r = 0; r < shard.num_rows(); ++r) {
+      for (AttrId a = 0; a < 3; ++a) {
+        EXPECT_EQ(shard.at(r, a), (*second)[s]->at(r, a));
+      }
+    }
+  }
+  EXPECT_EQ(total, table->num_rows());
+  std::multiset<std::vector<Code>> base;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    std::vector<Code> row(3);
+    for (AttrId a = 0; a < 3; ++a) row[a] = table->at(r, a);
+    base.insert(row);
+  }
+  EXPECT_EQ(seen, base);
+}
+
+TEST(PartitionerTest, HashAssignmentMatchesShardOf) {
+  auto table = testutil::RandomTable({4, 4}, 120, 29);
+  PartitionOptions opts;
+  opts.num_shards = 4;
+  opts.scheme = PartitionScheme::kHash;
+  std::vector<size_t> expected_sizes(4, 0);
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    ++expected_sizes[TablePartitioner::ShardOf(*table, r, opts)];
+  }
+  auto shards = TablePartitioner::Partition(*table, opts);
+  ASSERT_TRUE(shards.ok());
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ((*shards)[s]->num_rows(), expected_sizes[s]);
+  }
+}
+
+TEST(PartitionerTest, SchemeTokensRoundTrip) {
+  EXPECT_STREQ(PartitionSchemeName(PartitionScheme::kRoundRobin),
+               "roundrobin");
+  EXPECT_STREQ(PartitionSchemeName(PartitionScheme::kHash), "hash");
+  auto rr = ParsePartitionScheme("roundrobin");
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(*rr, PartitionScheme::kRoundRobin);
+  auto rr2 = ParsePartitionScheme("rr");
+  ASSERT_TRUE(rr2.ok());
+  EXPECT_EQ(*rr2, PartitionScheme::kRoundRobin);
+  auto hash = ParsePartitionScheme("hash");
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(*hash, PartitionScheme::kHash);
+  EXPECT_TRUE(ParsePartitionScheme("modulo").status().IsInvalidArgument());
+}
+
+TEST(PartitionerTest, RejectsDegenerateShardCounts) {
+  auto table = testutil::RandomTable({3, 3}, 10, 31);
+  PartitionOptions opts;
+  opts.num_shards = 0;
+  EXPECT_TRUE(TablePartitioner::Partition(*table, opts)
+                  .status()
+                  .IsInvalidArgument());
+  opts.num_shards = 11;  // more shards than rows
+  EXPECT_TRUE(TablePartitioner::Partition(*table, opts)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace entropydb

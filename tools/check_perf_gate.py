@@ -1,42 +1,41 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate over bench_sample_index's measurements.
+"""CI perf-regression gate over the bench-emitted gate JSON files.
 
-Reads the JSON bench_sample_index writes via --index_out and fails the
-build unless
+Two gates, one script (both are claims the PRs that introduced them must
+keep true):
 
-  * indexed and scan evaluation stayed bitwise identical (the bench
-    already exits non-zero on this, but the artifact must agree), and
-  * indexed evaluation is actually FASTER than the scan on the selective
-    workload — the whole point of the row-group index. A regression here
-    means selective routing latency quietly fell back to O(sample rows).
-
-The broad workload intentionally has no faster-than bar: its candidate
-sets exceed the estimator's cutover, so indexed evaluation IS the scan
-there (within `tolerance`, default 1.25x, guarding against gather-path
-overhead leaking into scan territory).
+  * sample-index (bench_sample_index --index_out): indexed and scan
+    evaluation stayed bitwise identical, indexed evaluation is actually
+    FASTER than the scan on the selective workload, and the broad
+    workload's cutover overhead stays within --tolerance.
+  * shard-scaling (bench_shard_scaling --shard_out, via --shard FILE):
+    merged sharded COUNT/SUM estimates match the additive per-shard
+    reference to <= 1e-9 relative error, and — when the measuring machine
+    had more than one core — the parallel S-shard build beat the
+    single-shard build wall-clock. On a single core the shard fan-out
+    degrades inline (strictly more total work than one shard), so the
+    wall bar is reported but not enforced; the JSON's `cores` field says
+    which regime the measurement ran in.
 
 Usage:
-    check_perf_gate.py build/sample_index_gate.json [--tolerance 1.25]
+    check_perf_gate.py build/sample_index_gate.json \
+        [--shard build/shard_scaling_gate.json] [--tolerance 1.25]
 
-Stdlib only (CI runs it on a bare runner).
+Stdlib only (CI runs it on a bare runner). The check_* functions return
+failure-message lists so tools/test_check_perf_gate.py can unit-test the
+rules without files or subprocesses.
 """
 
 import argparse
 import json
 import sys
 
+#: Relative-error bar for merged-vs-additive sharded estimates.
+SHARD_MERGE_TOLERANCE = 1e-9
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("gate_json",
-                        help="file written by bench_sample_index --index_out")
-    parser.add_argument("--tolerance", type=float, default=1.25,
-                        help="max indexed/scan ratio on the broad workload")
-    args = parser.parse_args()
 
-    with open(args.gate_json) as f:
-        gate = json.load(f)
-
+def check_sample_index(gate, tolerance=1.25):
+    """Failure messages for a bench_sample_index gate dict (empty = pass)."""
     failures = []
     if not gate.get("bitwise_identical", False):
         failures.append("indexed evaluation is not bitwise identical to scan")
@@ -49,31 +48,98 @@ def main() -> int:
             if not isinstance(gate.get(section, {}).get(key), (int, float)):
                 failures.append(f"gate JSON is missing {section}.{key}")
     if failures:
-        for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
-        return 1
+        return failures
 
     selective = gate["selective"]
-    indexed_ns = selective["indexed_ns"]
-    scan_ns = selective["scan_ns"]
-    if not indexed_ns < scan_ns:
+    if not selective["indexed_ns"] < selective["scan_ns"]:
         failures.append(
-            f"selective workload: indexed ({indexed_ns:.0f} ns/query) is not "
-            f"faster than scan ({scan_ns:.0f} ns/query)")
+            f"selective workload: indexed ({selective['indexed_ns']:.0f} "
+            f"ns/query) is not faster than scan "
+            f"({selective['scan_ns']:.0f} ns/query)")
 
     broad = gate["broad"]
     broad_ratio = broad["indexed_ns"] / max(broad["scan_ns"], 1.0)
-    if broad_ratio > args.tolerance:
+    if broad_ratio > tolerance:
         failures.append(
             f"broad workload: indexed is {broad_ratio:.2f}x scan "
-            f"(tolerance {args.tolerance:.2f}x) — cutover overhead regressed")
+            f"(tolerance {tolerance:.2f}x) — cutover overhead regressed")
+    return failures
 
+
+def check_shard_scaling(gate):
+    """Failure messages for a bench_shard_scaling gate dict (empty = pass)."""
+    failures = []
+    for key in ("count_max_rel_err", "sum_max_rel_err"):
+        value = gate.get("merge", {}).get(key)
+        if not isinstance(value, (int, float)):
+            failures.append(f"gate JSON is missing merge.{key}")
+        elif value > SHARD_MERGE_TOLERANCE:
+            failures.append(
+                f"merged sharded estimates drifted from the additive "
+                f"per-shard reference: merge.{key} = {value:.3g} "
+                f"(bar {SHARD_MERGE_TOLERANCE:.0e})")
+    build = gate.get("build", {})
+    for key in ("s1_seconds", "sharded_seconds"):
+        if not isinstance(build.get(key), (int, float)):
+            failures.append(f"gate JSON is missing build.{key}")
+    if not isinstance(gate.get("cores"), (int, float)):
+        failures.append("gate JSON is missing cores")
+    if failures:
+        return failures
+
+    # The parallel-build bar only holds where parallelism exists; a
+    # single-core measurement records the ratio without enforcing it.
+    if gate["cores"] > 1 and not build["sharded_seconds"] < build["s1_seconds"]:
+        failures.append(
+            f"parallel sharded build ({build['sharded_seconds']:.3f}s) is "
+            f"not faster than the single-shard build "
+            f"({build['s1_seconds']:.3f}s) on {gate['cores']:.0f} cores")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("gate_json",
+                        help="file written by bench_sample_index --index_out")
+    parser.add_argument("--shard", metavar="FILE", default=None,
+                        help="file written by bench_shard_scaling --shard_out")
+    parser.add_argument("--tolerance", type=float, default=1.25,
+                        help="max indexed/scan ratio on the broad workload")
+    args = parser.parse_args(argv)
+
+    with open(args.gate_json) as f:
+        index_gate = json.load(f)
+    failures = check_sample_index(index_gate, args.tolerance)
+
+    # Summary lines guard EVERY key they print: a partially written gate
+    # file must fall through to the FAIL diagnostics, not die mid-print.
     print(f"sample-index perf gate over {args.gate_json}:")
-    print(f"  selective: indexed {indexed_ns:.0f} ns/query vs scan "
-          f"{scan_ns:.0f} ns/query "
-          f"({selective.get('speedup', 0.0):.2f}x)")
-    print(f"  broad:     indexed/scan ratio {broad_ratio:.2f} "
-          f"(tolerance {args.tolerance:.2f})")
+    selective = index_gate.get("selective", {})
+    if all(isinstance(selective.get(k), (int, float))
+           for k in ("indexed_ns", "scan_ns")):
+        print(f"  selective: indexed {selective['indexed_ns']:.0f} ns/query "
+              f"vs scan {selective['scan_ns']:.0f} ns/query "
+              f"({selective.get('speedup', 0.0):.2f}x)")
+
+    if args.shard is not None:
+        with open(args.shard) as f:
+            shard_gate = json.load(f)
+        failures += check_shard_scaling(shard_gate)
+        print(f"shard-scaling perf gate over {args.shard}:")
+        build = shard_gate.get("build", {})
+        if all(isinstance(build.get(k), (int, float))
+               for k in ("s1_seconds", "sharded_seconds")):
+            print(f"  build: S=1 {build['s1_seconds']:.3f}s vs sharded "
+                  f"{build['sharded_seconds']:.3f}s "
+                  f"({build.get('speedup', 0.0):.2f}x on "
+                  f"{shard_gate.get('cores', 0):.0f} cores)")
+        merge = shard_gate.get("merge", {})
+        if all(isinstance(merge.get(k), (int, float))
+               for k in ("count_max_rel_err", "sum_max_rel_err")):
+            print(f"  merge: count rel err {merge['count_max_rel_err']:.3g}, "
+                  f"sum rel err {merge['sum_max_rel_err']:.3g} "
+                  f"(bar {SHARD_MERGE_TOLERANCE:.0e})")
+
     for failure in failures:
         print(f"  FAIL: {failure}", file=sys.stderr)
     if not failures:

@@ -10,7 +10,10 @@
 // --store loads a SourceStore directory (summaries + sample companions)
 // and routes every query through the engine's hybrid QueryRouter, printing
 // which source — summary or sample — answered and why (coverage, the
-// summary-vs-sample variance comparison, fallback).
+// summary-vs-sample variance comparison, fallback). A sharded (MANIFEST
+// v3) directory loads the same way — EntropyEngine::Open dispatches — and
+// each query prints ONE route line PER SHARD: the fan-out picks the best
+// source independently inside every shard before the estimates merge.
 // Without --query, reads one query per line from stdin (a tiny REPL).
 
 #include <cstdio>
@@ -26,38 +29,41 @@ using namespace entropydb;
 
 namespace {
 
-void PrintRoute(const EntropyEngine& engine, const RouteDecision& dec) {
-  if (!engine.is_store()) return;
+/// One route line for a decision made against `store` (a monolithic store,
+/// or one shard of a sharded store). `label` prefixes the line — "routed"
+/// for the monolithic path, "shard K" for per-shard printing.
+void PrintStoreRoute(const std::vector<std::string>& names,
+                     const SourceStore& store, const RouteDecision& dec,
+                     const std::string& label) {
   if (dec.from_sample) {
-    const SampleEntry& entry = engine.store()->sample_entry(dec.sample_index);
+    const SampleEntry& entry = store.sample_entry(dec.sample_index);
     std::fprintf(stderr,
-                 "  routed: sample %zu %s — sample variance %.3g beats "
+                 "  %s: sample %zu %s — sample variance %.3g beats "
                  "summary %zu's %.3g\n",
-                 dec.sample_index, entry.sample->name.c_str(),
+                 label.c_str(), dec.sample_index, entry.sample->name.c_str(),
                  dec.sample_variance, dec.index, dec.summary_variance);
     return;
   }
-  const StoreEntry& entry = engine.store()->entry(dec.index);
+  const StoreEntry& entry = store.entry(dec.index);
   std::string pairs;
   for (const ScoredPair& p : entry.pairs) {
     if (!pairs.empty()) pairs += ", ";
-    pairs += "(" + engine.attr_names()[p.a] + ", " +
-             engine.attr_names()[p.b] + ")";
+    pairs += "(" + names[p.a] + ", " + names[p.b] + ")";
   }
   if (dec.fallback) {
     std::fprintf(stderr,
-                 "  routed: summary %zu %s — fallback (no summary models "
+                 "  %s: summary %zu %s — fallback (no summary models "
                  "the constrained pairs)\n",
-                 dec.index, pairs.c_str());
+                 label.c_str(), dec.index, pairs.c_str());
   } else {
     std::fprintf(stderr,
-                 "  routed: summary %zu %s — covers %zu pair%s"
+                 "  %s: summary %zu %s — covers %zu pair%s"
                  " (%zu candidate%s, variance %.3g)\n",
-                 dec.index, pairs.c_str(), dec.covered_pairs,
+                 label.c_str(), dec.index, pairs.c_str(), dec.covered_pairs,
                  dec.covered_pairs == 1 ? "" : "s", dec.candidates,
                  dec.candidates == 1 ? "" : "s", dec.expected_variance);
   }
-  if (engine.num_samples() > 0 &&
+  if (store.num_samples() > 0 &&
       dec.sample_variance < std::numeric_limits<double>::infinity()) {
     // The comparison objective is the COUNT variance on both sides (for
     // aggregates dec.expected_variance is the aggregate's own variance,
@@ -69,6 +75,21 @@ void PrintRoute(const EntropyEngine& engine, const RouteDecision& dec) {
   }
 }
 
+void PrintRoute(const EntropyEngine& engine, const RouteDecision& dec) {
+  if (!engine.is_store() || engine.is_sharded()) return;
+  PrintStoreRoute(engine.attr_names(), *engine.store(), dec, "routed");
+}
+
+/// Sharded stores print one route line per shard: the whole point of
+/// per-shard routing is that the best source can differ shard to shard.
+void PrintShardRoutes(const EntropyEngine& engine,
+                      const std::vector<RouteDecision>& decs) {
+  for (size_t s = 0; s < decs.size(); ++s) {
+    PrintStoreRoute(engine.attr_names(), engine.sharded()->shard(s), decs[s],
+                    "shard " + std::to_string(s));
+  }
+}
+
 int RunOne(const EntropyEngine& engine, const std::string& text) {
   auto parsed = ParseQuery(text, engine.attr_names(), engine.domains());
   if (!parsed.ok()) {
@@ -77,9 +98,15 @@ int RunOne(const EntropyEngine& engine, const std::string& text) {
   }
   Timer timer;
   RouteDecision dec;
+  // Sharded engines answer through the sharded store directly so the
+  // per-shard routing decisions are available for printing.
+  std::vector<RouteDecision> shard_decs;
   switch (parsed->aggregate) {
     case ParsedQuery::Aggregate::kCount: {
-      auto est = engine.AnswerCount(parsed->where, &dec);
+      auto est = engine.is_sharded()
+                     ? engine.sharded()->AnswerCount(parsed->where,
+                                                     &shard_decs)
+                     : engine.AnswerCount(parsed->where, &dec);
       if (!est.ok()) {
         std::fprintf(stderr, "answer: %s\n",
                      est.status().ToString().c_str());
@@ -88,7 +115,11 @@ int RunOne(const EntropyEngine& engine, const std::string& text) {
       auto [lo, hi] = est->ConfidenceInterval(1.96, engine.n());
       std::printf("%.1f    (95%% CI [%.1f, %.1f], %.2f ms)\n",
                   est->expectation, lo, hi, timer.ElapsedMillis());
-      PrintRoute(engine, dec);
+      if (engine.is_sharded()) {
+        PrintShardRoutes(engine, shard_decs);
+      } else {
+        PrintRoute(engine, dec);
+      }
       return 0;
     }
     case ParsedQuery::Aggregate::kSum:
@@ -102,11 +133,20 @@ int RunOne(const EntropyEngine& engine, const std::string& text) {
                          ? static_cast<double>(v)
                          : dom.RepresentativeFor(v).as_double();
       }
-      auto est = parsed->aggregate == ParsedQuery::Aggregate::kSum
-                     ? engine.AnswerSum(parsed->agg_attr, weights,
-                                        parsed->where, &dec)
-                     : engine.AnswerAvg(parsed->agg_attr, weights,
-                                        parsed->where, &dec);
+      const bool is_sum = parsed->aggregate == ParsedQuery::Aggregate::kSum;
+      auto est = [&]() -> Result<QueryEstimate> {
+        if (engine.is_sharded()) {
+          return is_sum
+                     ? engine.sharded()->AnswerSum(parsed->agg_attr, weights,
+                                                   parsed->where, &shard_decs)
+                     : engine.sharded()->AnswerAvg(parsed->agg_attr, weights,
+                                                   parsed->where, &shard_decs);
+        }
+        return is_sum ? engine.AnswerSum(parsed->agg_attr, weights,
+                                         parsed->where, &dec)
+                      : engine.AnswerAvg(parsed->agg_attr, weights,
+                                         parsed->where, &dec);
+      }();
       if (!est.ok()) {
         std::fprintf(stderr, "answer: %s\n",
                      est.status().ToString().c_str());
@@ -114,7 +154,11 @@ int RunOne(const EntropyEngine& engine, const std::string& text) {
       }
       std::printf("%.3f    (+/- %.3f, %.2f ms)\n", est->expectation,
                   1.96 * est->StdDev(), timer.ElapsedMillis());
-      PrintRoute(engine, dec);
+      if (engine.is_sharded()) {
+        PrintShardRoutes(engine, shard_decs);
+      } else {
+        PrintRoute(engine, dec);
+      }
       return 0;
     }
   }
@@ -148,7 +192,21 @@ int main(int argc, char** argv) {
                  "entropydb_build\n");
     return 1;
   }
-  if ((*engine)->is_store()) {
+  if ((*engine)->is_sharded()) {
+    const ShardedStore& sharded = *(*engine)->sharded();
+    std::fprintf(stderr,
+                 "loaded sharded store: %zu shards (%s partitioning), "
+                 "%zu summaries + %zu samples total, n = %.0f\n",
+                 sharded.num_shards(), PartitionSchemeName(sharded.scheme()),
+                 (*engine)->num_summaries(), (*engine)->num_samples(),
+                 (*engine)->n());
+    for (size_t s = 0; s < sharded.num_shards(); ++s) {
+      const SourceStore& shard = sharded.shard(s);
+      std::fprintf(stderr, "  shard %zu: %zu summaries + %zu samples, "
+                   "n = %.0f\n",
+                   s, shard.size(), shard.num_samples(), shard.n());
+    }
+  } else if ((*engine)->is_store()) {
     std::fprintf(stderr, "loaded store: %zu summaries + %zu samples, "
                  "n = %.0f\n",
                  (*engine)->num_summaries(), (*engine)->num_samples(),

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Unit tests for check_perf_gate.py (stdlib only; run via
+`python3 -m unittest discover -s tools`)."""
+
+import json
+import os
+import tempfile
+import unittest
+
+import check_perf_gate
+
+
+def index_gate(**overrides):
+    gate = {
+        "bitwise_identical": True,
+        "selective": {"indexed_ns": 1000.0, "scan_ns": 25000.0,
+                      "speedup": 25.0},
+        "broad": {"indexed_ns": 9000.0, "scan_ns": 9000.0, "speedup": 1.0},
+    }
+    gate.update(overrides)
+    return gate
+
+
+def shard_gate(**overrides):
+    gate = {
+        "cores": 4,
+        "rows": 160000,
+        "shards": 4,
+        "build": {"s1_seconds": 0.080, "sharded_seconds": 0.030,
+                  "speedup": 2.67},
+        "merge": {"queries": 64, "count_max_rel_err": 0.0,
+                  "sum_max_rel_err": 0.0},
+        "pass": True,
+    }
+    gate.update(overrides)
+    return gate
+
+
+class SampleIndexGateTest(unittest.TestCase):
+    def test_healthy_gate_passes(self):
+        self.assertEqual(check_perf_gate.check_sample_index(index_gate()), [])
+
+    def test_bitwise_mismatch_fails(self):
+        failures = check_perf_gate.check_sample_index(
+            index_gate(bitwise_identical=False))
+        self.assertTrue(any("bitwise" in f for f in failures))
+
+    def test_slow_selective_fails(self):
+        gate = index_gate()
+        gate["selective"]["indexed_ns"] = gate["selective"]["scan_ns"] + 1
+        failures = check_perf_gate.check_sample_index(gate)
+        self.assertTrue(any("selective" in f for f in failures))
+
+    def test_broad_overhead_beyond_tolerance_fails(self):
+        gate = index_gate()
+        gate["broad"]["indexed_ns"] = 2.0 * gate["broad"]["scan_ns"]
+        failures = check_perf_gate.check_sample_index(gate, tolerance=1.25)
+        self.assertTrue(any("broad" in f for f in failures))
+        self.assertEqual(
+            check_perf_gate.check_sample_index(gate, tolerance=2.5), [])
+
+    def test_missing_sections_fail_instead_of_passing_silently(self):
+        gate = index_gate()
+        del gate["selective"]
+        failures = check_perf_gate.check_sample_index(gate)
+        self.assertTrue(any("missing selective" in f for f in failures))
+
+
+class ShardScalingGateTest(unittest.TestCase):
+    def test_healthy_gate_passes(self):
+        self.assertEqual(check_perf_gate.check_shard_scaling(shard_gate()), [])
+
+    def test_merge_drift_fails(self):
+        gate = shard_gate()
+        gate["merge"]["count_max_rel_err"] = 1e-6
+        failures = check_perf_gate.check_shard_scaling(gate)
+        self.assertTrue(any("count_max_rel_err" in f for f in failures))
+
+    def test_sum_drift_fails(self):
+        gate = shard_gate()
+        gate["merge"]["sum_max_rel_err"] = 2e-9
+        failures = check_perf_gate.check_shard_scaling(gate)
+        self.assertTrue(any("sum_max_rel_err" in f for f in failures))
+
+    def test_slow_parallel_build_fails_on_multicore(self):
+        gate = shard_gate()
+        gate["build"]["sharded_seconds"] = gate["build"]["s1_seconds"] * 1.5
+        failures = check_perf_gate.check_shard_scaling(gate)
+        self.assertTrue(any("not faster" in f for f in failures))
+
+    def test_single_core_skips_the_wall_clock_bar(self):
+        # On one core the fan-out degrades inline and does strictly more
+        # total work; only the merge bar is enforceable there.
+        gate = shard_gate(cores=1)
+        gate["build"]["sharded_seconds"] = gate["build"]["s1_seconds"] * 1.5
+        self.assertEqual(check_perf_gate.check_shard_scaling(gate), [])
+
+    def test_missing_fields_fail_instead_of_passing_silently(self):
+        gate = shard_gate()
+        del gate["merge"]["sum_max_rel_err"]
+        failures = check_perf_gate.check_shard_scaling(gate)
+        self.assertTrue(any("missing merge.sum_max_rel_err" in f
+                            for f in failures))
+        gate = shard_gate()
+        del gate["cores"]
+        failures = check_perf_gate.check_shard_scaling(gate)
+        self.assertTrue(any("missing cores" in f for f in failures))
+
+
+class MainTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, payload):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w") as f:
+            json.dump(payload, f)
+        return p
+
+    def test_both_gates_pass(self):
+        idx = self.write("index.json", index_gate())
+        shard = self.write("shard.json", shard_gate())
+        self.assertEqual(check_perf_gate.main([idx, "--shard", shard]), 0)
+
+    def test_index_gate_alone_still_works(self):
+        idx = self.write("index.json", index_gate())
+        self.assertEqual(check_perf_gate.main([idx]), 0)
+
+    def test_partially_written_gate_files_fail_without_crashing(self):
+        # A bench killed mid-write leaves half a JSON section; main() must
+        # reach the FAIL diagnostics, not die printing the summary.
+        partial_idx = index_gate()
+        del partial_idx["selective"]["scan_ns"]
+        idx = self.write("index.json", partial_idx)
+        partial_shard = shard_gate()
+        del partial_shard["build"]["sharded_seconds"]
+        del partial_shard["merge"]["sum_max_rel_err"]
+        shard = self.write("shard.json", partial_shard)
+        self.assertEqual(check_perf_gate.main([idx, "--shard", shard]), 1)
+
+    def test_failing_shard_gate_fails_the_run(self):
+        idx = self.write("index.json", index_gate())
+        bad = shard_gate()
+        bad["merge"]["count_max_rel_err"] = 1.0
+        shard = self.write("shard.json", bad)
+        self.assertEqual(check_perf_gate.main([idx, "--shard", shard]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Unit tests for merge_bench.py (stdlib only; run via
+`python3 -m unittest discover -s tools`)."""
+
+import json
+import os
+import tempfile
+import unittest
+
+import merge_bench
+
+
+def bench_section(*names):
+    return {"context": {"host": "ci"},
+            "benchmarks": [{"name": n, "real_time": 1.0} for n in names]}
+
+
+class MergeTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name, payload):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w") as f:
+            json.dump(payload, f)
+        return p
+
+    def test_merge_keys_bench_by_stem_and_extra_by_key(self):
+        solver = self.path("bench_solver.json", bench_section("BM_Solve"))
+        gate = self.path("gate.json", {"pass": True})
+        merged = merge_bench.merge([solver], ["shard_scaling=" + gate])
+        self.assertEqual(sorted(merged), ["bench_solver", "shard_scaling"])
+        self.assertEqual(merged["shard_scaling"], {"pass": True})
+        self.assertEqual(merged["bench_solver"]["benchmarks"][0]["name"],
+                         "BM_Solve")
+
+    def test_merge_rejects_malformed_extra_spec(self):
+        with self.assertRaises(ValueError):
+            merge_bench.merge([], ["no-equals-sign"])
+
+    def test_main_writes_merged_artifact(self):
+        solver = self.path("bench_solver.json", bench_section("BM_Solve"))
+        out = os.path.join(self.dir.name, "BENCH_test.json")
+        rc = merge_bench.main(["--out", out, "--bench", solver])
+        self.assertEqual(rc, 0)
+        with open(out) as f:
+            self.assertIn("bench_solver", json.load(f))
+
+    def test_main_returns_2_on_bad_extra(self):
+        out = os.path.join(self.dir.name, "BENCH_test.json")
+        rc = merge_bench.main(["--out", out, "--extra", "missing-file-part"])
+        self.assertEqual(rc, 2)
+
+
+class StructuralDiffTest(unittest.TestCase):
+    def test_identical_artifacts_have_no_drift(self):
+        artifact = {"bench_solver": bench_section("BM_A", "BM_B"),
+                    "gate": {"pass": True}}
+        self.assertEqual(merge_bench.structural_diff(artifact, artifact), [])
+
+    def test_timing_changes_are_not_drift(self):
+        ours = {"bench_solver": bench_section("BM_A")}
+        theirs = {"bench_solver": bench_section("BM_A")}
+        theirs["bench_solver"]["benchmarks"][0]["real_time"] = 99.0
+        self.assertEqual(merge_bench.structural_diff(ours, theirs), [])
+
+    def test_missing_and_new_sections_are_reported(self):
+        ours = {"bench_new": bench_section("BM_A")}
+        theirs = {"bench_old": bench_section("BM_A")}
+        drift = merge_bench.structural_diff(ours, theirs)
+        self.assertEqual(len(drift), 2)
+        self.assertTrue(any("bench_old" in d for d in drift))
+        self.assertTrue(any("bench_new" in d for d in drift))
+
+    def test_benchmark_name_drift_is_reported(self):
+        ours = {"bench_solver": bench_section("BM_A", "BM_C")}
+        theirs = {"bench_solver": bench_section("BM_A", "BM_B")}
+        drift = merge_bench.structural_diff(ours, theirs)
+        self.assertTrue(any("BM_B" in d and "vanished" in d for d in drift))
+        self.assertTrue(any("BM_C" in d and "new" in d for d in drift))
+
+    def test_extra_sections_compare_by_key_only(self):
+        # Non-benchmark sections hold machine-dependent measurements; only
+        # their presence is structural.
+        ours = {"gate": {"pass": True, "speedup": 3.0}}
+        theirs = {"gate": {"pass": True, "speedup": 1.2}}
+        self.assertEqual(merge_bench.structural_diff(ours, theirs), [])
+
+
+class DiffCliTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, payload):
+        p = os.path.join(self.dir.name, name)
+        with open(p, "w") as f:
+            json.dump(payload, f)
+        return p
+
+    def test_diff_is_advisory_by_default_and_fatal_with_flag(self):
+        solver = self.write("bench_solver.json", bench_section("BM_A"))
+        baseline = self.write("baseline.json",
+                              {"bench_other": bench_section("BM_A")})
+        out = os.path.join(self.dir.name, "BENCH_test.json")
+        argv = ["--out", out, "--bench", solver, "--diff", baseline]
+        self.assertEqual(merge_bench.main(argv), 0)
+        self.assertEqual(merge_bench.main(argv + ["--diff-fail"]), 1)
+
+    def test_clean_diff_passes_with_diff_fail(self):
+        solver = self.write("bench_solver.json", bench_section("BM_A"))
+        baseline = self.write("baseline.json",
+                              {"bench_solver": bench_section("BM_A")})
+        out = os.path.join(self.dir.name, "BENCH_test.json")
+        rc = merge_bench.main(["--out", out, "--bench", solver,
+                               "--diff", baseline, "--diff-fail"])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
