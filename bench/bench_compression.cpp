@@ -63,6 +63,10 @@ int main() {
   const std::string path = "/tmp/entropydb_compression_summary.edb";
   if (!summaries->ent123->Save(path).ok()) return 1;
   FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot reopen %s\n", path.c_str());
+    return 1;
+  }
   std::fseek(f, 0, SEEK_END);
   long file_bytes = std::ftell(f);
   std::fclose(f);

@@ -203,13 +203,22 @@ int main(int argc, char** argv) {
               max_rel, checked, max_rel <= 1e-12 ? "OK" : "FAIL");
   if (!accuracy_out.empty()) {
     FILE* out = std::fopen(accuracy_out.c_str(), "w");
-    if (out != nullptr) {
-      std::fprintf(out,
-                   "{\n  \"max_relative_error\": %.6g,\n"
-                   "  \"queries_checked\": %zu,\n  \"bar\": 1e-12,\n"
-                   "  \"pass\": %s\n}\n",
-                   max_rel, checked, max_rel <= 1e-12 ? "true" : "false");
-      std::fclose(out);
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write --accuracy_out file: %s\n",
+                   accuracy_out.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"max_relative_error\": %.6g,\n"
+                 "  \"queries_checked\": %zu,\n  \"bar\": 1e-12,\n"
+                 "  \"pass\": %s\n}\n",
+                 max_rel, checked, max_rel <= 1e-12 ? "true" : "false");
+    // A truncated gate file (full disk surfaces at flush/close) must fail
+    // HERE, not as a JSON parse error in the gate step downstream.
+    if (std::ferror(out) != 0 || std::fclose(out) != 0) {
+      std::fprintf(stderr, "write failure on --accuracy_out file: %s\n",
+                   accuracy_out.c_str());
+      return 1;
     }
   }
   if (max_rel > 1e-12) return 1;

@@ -248,7 +248,12 @@ int main(int argc, char** argv) {
 
   if (!crossover_out.empty()) {
     FILE* out = std::fopen(crossover_out.c_str(), "w");
-    if (out != nullptr) {
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write --crossover_out file: %s\n",
+                   crossover_out.c_str());
+      return 1;
+    }
+    {
       std::fprintf(
           out,
           "{\n"
@@ -264,7 +269,13 @@ int main(int argc, char** argv) {
           sel.routed_to_sample, brd.queries, brd.summary, brd.sample,
           brd.routed, brd.routed_to_sample, bitwise ? "true" : "false",
           pass ? "true" : "false");
-      std::fclose(out);
+    }
+    // A truncated gate file (full disk surfaces at flush/close) must fail
+    // HERE, not as a JSON parse error in the gate step downstream.
+    if (std::ferror(out) != 0 || std::fclose(out) != 0) {
+      std::fprintf(stderr, "write failure on --crossover_out file: %s\n",
+                   crossover_out.c_str());
+      return 1;
     }
   }
   if (!pass) return 1;

@@ -296,7 +296,13 @@ int main(int argc, char** argv) {
     }
     std::fprintf(out, "  \"bitwise_identical\": %s,\n  \"pass\": %s\n}\n",
                  bitwise ? "true" : "false", bitwise ? "true" : "false");
-    std::fclose(out);
+    // A truncated gate file (full disk surfaces at flush/close) must fail
+    // HERE, not as a JSON parse error in the gate step downstream.
+    if (std::ferror(out) != 0 || std::fclose(out) != 0) {
+      std::fprintf(stderr, "write failure on --index_out file: %s\n",
+                   index_out.c_str());
+      return 1;
+    }
   }
   if (!bitwise) return 1;
 

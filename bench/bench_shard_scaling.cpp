@@ -279,7 +279,13 @@ int main(int argc, char** argv) {
                  cores, f.table->num_rows(), kShards, s1_seconds,
                  sharded_seconds, speedup, f.workload.size(), err.count,
                  err.sum, (merge_ok && build_ok) ? "true" : "false");
-    std::fclose(out);
+    // A truncated gate file (full disk surfaces at flush/close) must fail
+    // HERE, not as a JSON parse error in the gate step downstream.
+    if (std::ferror(out) != 0 || std::fclose(out) != 0) {
+      std::fprintf(stderr, "write failure on --shard_out file: %s\n",
+                   shard_out.c_str());
+      return 1;
+    }
   }
   if (!merge_ok || !build_ok) return 1;
 

@@ -1,0 +1,42 @@
+#ifndef ENTROPYDB_COMMON_CRC32C_H_
+#define ENTROPYDB_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace entropydb {
+namespace crc32c {
+
+/// Extends `crc` (a previous Value(), or 0) with `data`. CRC32C
+/// (Castagnoli polynomial), the checksum RocksDB and LevelDB frame their
+/// log records with. Uses the SSE4.2 CRC32 instruction when the CPU has
+/// it (runtime-dispatched) and a slicing-by-8 table walk otherwise —
+/// verification has to be cheap enough to leave on for every store open.
+uint32_t Extend(uint32_t crc, std::string_view data);
+
+namespace internal {
+/// The table-driven fallback, exposed so tests can pin it against the
+/// hardware path on machines where both exist.
+uint32_t ExtendPortable(uint32_t crc, std::string_view data);
+}  // namespace internal
+
+/// CRC32C of `data`.
+inline uint32_t Value(std::string_view data) { return Extend(0, data); }
+
+/// Masked CRC for embedding inside checksummed payloads (the LevelDB
+/// idiom): a CRC stored alongside the bytes it covers is rotated and
+/// offset so that computing the CRC of a string containing embedded CRCs
+/// does not degenerate.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_COMMON_CRC32C_H_

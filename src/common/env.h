@@ -1,0 +1,136 @@
+#ifndef ENTROPYDB_COMMON_ENV_H_
+#define ENTROPYDB_COMMON_ENV_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace entropydb {
+
+/// \brief An open file being written through an Env.
+///
+/// Durability contract: Append buffers arbitrarily; bytes are guaranteed on
+/// stable storage only after a successful Sync. Close flushes to the OS but
+/// does NOT sync — a crash after Close but before Sync may lose the tail.
+/// Persistence code that publishes atomically (store Save, the ingest WAL)
+/// must Sync before the publishing rename; FaultInjectionEnv exists to
+/// prove that it does.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  /// Flushes library + OS buffers to stable storage (fsync).
+  virtual Status Sync() = 0;
+  /// Flushes and closes. Returns the first error seen, including delayed
+  /// write errors the OS reports at close — a full disk must not look like
+  /// a successful save.
+  virtual Status Close() = 0;
+};
+
+/// \brief Thin filesystem interface every persistence path goes through.
+///
+/// Mirrors the (much larger) RocksDB Env idea, restricted to what
+/// EntropyDB's persistence needs: whole-file reads, append-style writes,
+/// renames, syncs, and directory listing. Production code uses
+/// Env::Default() (PosixEnv below); crash and corruption tests substitute
+/// FaultInjectionEnv (common/fault_injection_env.h) to fail the Nth write,
+/// tear a write in half, or drop un-synced data at a simulated crash
+/// point. Methods return Status — callers are expected to propagate, never
+/// to assume a write "just worked".
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for writing. `truncate` replaces any existing contents;
+  /// truncate = false appends (the WAL's mode).
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate = true) = 0;
+
+  /// Reads the entire file into `*out`.
+  virtual Status ReadFile(const std::string& path, std::string* out) = 0;
+
+  /// POSIX rename: atomic, replaces an existing FILE at `to`.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Atomically publishes directory `tmp` at `dest`: when `dest` does not
+  /// exist this is a plain rename; when it does, the two directories are
+  /// swapped (renameat2 RENAME_EXCHANGE) and the old contents removed, so
+  /// a reader never observes a partially-written `dest`. The parent
+  /// directory is synced afterwards to make the publication durable.
+  virtual Status PublishDir(const std::string& tmp,
+                            const std::string& dest) = 0;
+
+  /// fsyncs a directory so its entries (creations, renames) are durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  virtual Status CreateDirs(const std::string& path) = 0;
+  /// Names (not paths) of the entries of `dir`, sorted.
+  virtual Result<std::vector<std::string>> List(const std::string& dir) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  /// Recursive removal; missing paths are OK (idempotent cleanup).
+  virtual Status RemoveAll(const std::string& path) = 0;
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+  /// Truncates an existing file to `size` bytes (fault injection uses
+  /// this to drop un-synced tails; PosixEnv implements it for symmetry).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Convenience: create/truncate `path`, write `data`, optionally Sync,
+  /// then Close, propagating the first error.
+  Status WriteFile(const std::string& path, std::string_view data,
+                   bool sync = true);
+
+  /// The process-wide PosixEnv singleton.
+  static Env* Default();
+};
+
+// ---------------------------------------------------------------------
+// Checksummed text artifacts.
+//
+// Every EntropyDB text artifact (summary .edb, sample .eds, store
+// MANIFEST) is persisted with a CRC32C footer line "crc32c <8 hex>\n"
+// computed over every preceding byte. Readers verify the footer before
+// parsing and return kCorruption on mismatch — a bit-flip is rejected, not
+// loaded as silently-wrong estimates. Artifacts from the pre-checksum era
+// carry no footer; they load with a warning (stderr), keeping v1/v2/v3
+// stores readable.
+
+/// Appends the CRC32C footer to `payload` and writes it through `env`.
+Status WriteChecksummedFile(Env* env, const std::string& path,
+                            std::string payload, bool sync = true);
+
+/// Reads `path`, verifies and strips the CRC32C footer, and returns the
+/// payload. A missing footer is tolerated (legacy artifact): the full
+/// contents are returned and `*had_footer` (optional) is set false — the
+/// caller decides whether its format version requires one. A present but
+/// mismatching footer is kCorruption. `verify` = false skips the CRC
+/// computation (bench_durability's checksums-off mode) but still strips
+/// the footer.
+Result<std::string> ReadChecksummedFile(Env* env, const std::string& path,
+                                        bool verify = true,
+                                        bool* had_footer = nullptr);
+
+// ---------------------------------------------------------------------
+// Atomic directory publication.
+//
+// Store saves stage everything into "<dir>.tmp-<pid>-<seq>", sync each
+// file and the staged directory, then Env::PublishDir the stage at `dir`
+// in one step — a crash at any point leaves either the old version or the
+// new one, never a mix. A crash between staging and publication strands a
+// tmp directory; loads garbage-collect those.
+
+/// A fresh staging name next to `dir` ("<dir>.tmp-<pid>-<seq>"); the pid +
+/// process-local sequence keep concurrent savers from colliding.
+std::string StagingDirFor(const std::string& dir);
+
+/// Best-effort removal of stranded "<base>.tmp-*" / "<base>.old-*"
+/// siblings of `dir` left behind by a crashed save. Errors are swallowed
+/// (GC must never fail an open); call on every store load.
+void RemoveStaleStagingDirs(Env* env, const std::string& dir);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_COMMON_ENV_H_

@@ -1,0 +1,267 @@
+#include "common/fault_injection_env.h"
+
+#include <algorithm>
+
+namespace entropydb {
+
+/// Wraps a base WritableFile, routing the fault triggers and the
+/// synced-bytes accounting through the owning env.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::string path,
+                    std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override;
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+Status FaultWritableFile::Append(std::string_view data) {
+  {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RETURN_NOT_OK(env_->CountOpLocked());
+    ++env_->appends_;
+    if (env_->fail_append_at_ != 0 &&
+        env_->appends_ == env_->fail_append_at_) {
+      return Status::IOError("injected write failure: " + path_);
+    }
+    if (env_->tear_append_at_ != 0 &&
+        env_->appends_ == env_->tear_append_at_) {
+      // Torn write: half the bytes land, then the "device" fails.
+      const std::string_view half = data.substr(0, data.size() / 2);
+      Status s = base_->Append(half);
+      if (s.ok()) env_->files_[path_].written += half.size();
+      return Status::IOError("injected torn write: " + path_);
+    }
+  }
+  RETURN_NOT_OK(base_->Append(data));
+  std::lock_guard<std::mutex> lock(env_->mu_);
+  env_->files_[path_].written += data.size();
+  return Status::OK();
+}
+
+Status FaultWritableFile::Sync() {
+  {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RETURN_NOT_OK(env_->CountOpLocked());
+  }
+  RETURN_NOT_OK(base_->Sync());
+  std::lock_guard<std::mutex> lock(env_->mu_);
+  FaultInjectionEnv::FileState& state = env_->files_[path_];
+  state.synced = state.written;
+  state.ever_synced = true;
+  return Status::OK();
+}
+
+Status FaultWritableFile::Close() {
+  {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    RETURN_NOT_OK(env_->CountOpLocked());
+  }
+  return base_->Close();
+}
+
+void FaultInjectionEnv::FailAppendAt(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  appends_ = 0;
+  fail_append_at_ = n;
+}
+
+void FaultInjectionEnv::TearAppendAt(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  appends_ = 0;
+  tear_append_at_ = n;
+}
+
+void FaultInjectionEnv::CrashAfter(int64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_ = 0;
+  crash_after_ = k;
+}
+
+uint64_t FaultInjectionEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+void FaultInjectionEnv::ResetFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_ = 0;
+  crash_after_ = -1;
+  appends_ = 0;
+  fail_append_at_ = 0;
+  tear_append_at_ = 0;
+}
+
+Status FaultInjectionEnv::LoseUnsyncedData() {
+  std::map<std::string, FileState> files;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files.swap(files_);
+  }
+  for (const auto& [path, state] : files) {
+    if (!base_->FileExists(path)) continue;  // renamed away or removed
+    if (!state.ever_synced) {
+      RETURN_NOT_OK(base_->RemoveFile(path));
+    } else if (state.synced < state.written) {
+      RETURN_NOT_OK(base_->Truncate(path, state.synced));
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CountOpLocked() {
+  if (crash_after_ >= 0 &&
+      ops_ >= static_cast<uint64_t>(crash_after_)) {
+    return Status::IOError("injected crash");
+  }
+  ++ops_;
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CountOp() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CountOpLocked();
+}
+
+void FaultInjectionEnv::RemapPrefixLocked(const std::string& from,
+                                          const std::string& to) {
+  const std::string from_prefix = from + "/";
+  std::map<std::string, FileState> remapped;
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first == from ||
+        it->first.compare(0, from_prefix.size(), from_prefix) == 0) {
+      std::string new_path =
+          it->first == from ? to : to + "/" + it->first.substr(
+                                             from_prefix.size());
+      remapped.emplace(std::move(new_path), it->second);
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [path, state] : remapped) files_[path] = state;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  RETURN_NOT_OK(CountOp());
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                   base_->NewWritableFile(path, truncate));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (truncate) {
+    files_[path] = FileState{};
+  } else if (files_.find(path) == files_.end()) {
+    // Appending to a file that predates this env: its current bytes are
+    // already durable.
+    FileState state;
+    auto size = base_->FileSize(path);
+    state.written = size.ok() ? *size : 0;
+    state.synced = state.written;
+    state.ever_synced = true;
+    files_[path] = state;
+  }
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, path, std::move(base)));
+}
+
+Status FaultInjectionEnv::ReadFile(const std::string& path,
+                                   std::string* out) {
+  return base_->ReadFile(path, out);
+}
+
+Status FaultInjectionEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  RETURN_NOT_OK(CountOp());
+  RETURN_NOT_OK(base_->Rename(from, to));
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(to);
+  RemapPrefixLocked(from, to);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::PublishDir(const std::string& tmp,
+                                     const std::string& dest) {
+  RETURN_NOT_OK(CountOp());
+  RETURN_NOT_OK(base_->PublishDir(tmp, dest));
+  std::lock_guard<std::mutex> lock(mu_);
+  // The old version's files (if tracked) are gone; the staged tree now
+  // lives at dest.
+  const std::string dest_prefix = dest + "/";
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.compare(0, dest_prefix.size(), dest_prefix) == 0) {
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  RemapPrefixLocked(tmp, dest);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  RETURN_NOT_OK(CountOp());
+  return base_->SyncDir(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& path) {
+  RETURN_NOT_OK(CountOp());
+  return base_->CreateDirs(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::List(
+    const std::string& dir) {
+  return base_->List(dir);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  RETURN_NOT_OK(CountOp());
+  RETURN_NOT_OK(base_->RemoveFile(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveAll(const std::string& path) {
+  RETURN_NOT_OK(CountOp());
+  RETURN_NOT_OK(base_->RemoveAll(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string prefix = path + "/";
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first == path ||
+        it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Status FaultInjectionEnv::Truncate(const std::string& path, uint64_t size) {
+  RETURN_NOT_OK(CountOp());
+  RETURN_NOT_OK(base_->Truncate(path, size));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.written = std::min(it->second.written, size);
+    it->second.synced = std::min(it->second.synced, size);
+  }
+  return Status::OK();
+}
+
+}  // namespace entropydb

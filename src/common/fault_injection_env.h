@@ -1,0 +1,105 @@
+#ifndef ENTROPYDB_COMMON_FAULT_INJECTION_ENV_H_
+#define ENTROPYDB_COMMON_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+
+namespace entropydb {
+
+class FaultWritableFile;
+
+/// \brief Env test double that injects filesystem faults (the RocksDB
+/// FaultInjectionTestEnv idea, sized for EntropyDB).
+///
+/// Wraps a base Env (Env::Default() unless told otherwise) and adds three
+/// failure modes the crash-safety suites drive:
+///
+///  1. **Write failures**: `FailAppendAt(n)` makes the n-th Append (1-based,
+///     counted across all files) fail without writing; `TearAppendAt(n)`
+///     makes it write only the first half of its bytes and then fail — a
+///     torn write.
+///  2. **Crash points**: every mutating Env operation (append, sync, file
+///     close, rename, publish, remove, dir sync) increments an op counter.
+///     `CrashAfter(k)` makes every mutation past the first k fail with
+///     kIOError "injected crash"; `ops()` after a clean run enumerates the
+///     crash points a test matrix should sweep.
+///  3. **Un-synced data loss**: the env tracks, per file written through
+///     it, how many bytes were covered by a successful Sync.
+///     `LoseUnsyncedData()` — "the machine rebooted" — truncates every
+///     tracked file to its last synced size and deletes files never synced
+///     at all. Correct persistence code (sync before publish) survives
+///     this; code that skips a sync loses its tail and fails the matrix.
+///
+/// Reads pass through unchanged. The class is thread-safe (persistence
+/// code fans writes out on the shared pool).
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base = Env::Default()) : base_(base) {}
+
+  // -- Fault controls ----------------------------------------------------
+  /// Fails the n-th Append from now on (1-based); 0 disables.
+  void FailAppendAt(uint64_t n);
+  /// Tears the n-th Append from now on (writes half, then fails).
+  void TearAppendAt(uint64_t n);
+  /// Makes every mutating op after the first `k` fail. Negative disables.
+  void CrashAfter(int64_t k);
+  /// Total mutating ops performed (the crash-matrix upper bound).
+  uint64_t ops() const;
+  /// Resets counters and fault triggers (tracked sync state survives).
+  void ResetFaults();
+
+  /// Simulates power loss: truncates tracked files to their synced size,
+  /// removes tracked files that were never synced, and forgets the
+  /// tracking state. Files never written through this env are untouched.
+  Status LoseUnsyncedData();
+
+  // -- Env interface -----------------------------------------------------
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Status ReadFile(const std::string& path, std::string* out) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status PublishDir(const std::string& tmp, const std::string& dest) override;
+  Status SyncDir(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RemoveAll(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  struct FileState {
+    uint64_t written = 0;
+    uint64_t synced = 0;
+    bool ever_synced = false;
+  };
+
+  /// Returns non-OK when the op counter has passed the crash point. Every
+  /// mutating entry point calls this first.
+  Status CountOp();
+  Status CountOpLocked();
+  /// Remaps tracked paths under `from` to live under `to` (dir renames).
+  void RemapPrefixLocked(const std::string& from, const std::string& to);
+
+  Env* base_;
+  mutable std::mutex mu_;
+  std::map<std::string, FileState> files_;
+  uint64_t ops_ = 0;
+  int64_t crash_after_ = -1;
+  uint64_t appends_ = 0;
+  uint64_t fail_append_at_ = 0;
+  uint64_t tear_append_at_ = 0;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_COMMON_FAULT_INJECTION_ENV_H_

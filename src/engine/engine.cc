@@ -43,19 +43,19 @@ std::shared_ptr<EntropyEngine> EntropyEngine::FromSharded(
 }
 
 Result<std::shared_ptr<EntropyEngine>> EntropyEngine::Open(
-    const std::string& path, SummaryOptions opts) {
+    const std::string& path, SummaryOptions opts, Env* env) {
   if (std::filesystem::is_directory(path)) {
-    if (ShardedStore::IsShardedDir(path)) {
+    if (ShardedStore::IsShardedDir(path, env)) {
       ASSIGN_OR_RETURN(std::shared_ptr<ShardedStore> sharded,
-                       ShardedStore::Load(path, opts));
+                       ShardedStore::Load(path, opts, env));
       return FromSharded(std::move(sharded));
     }
     ASSIGN_OR_RETURN(std::shared_ptr<SourceStore> store,
-                     SourceStore::Load(path, opts));
+                     SourceStore::Load(path, opts, env));
     return FromStore(std::move(store));
   }
   ASSIGN_OR_RETURN(std::shared_ptr<EntropySummary> summary,
-                   EntropySummary::Load(path, opts));
+                   EntropySummary::Load(path, opts, env));
   return FromSummary(std::move(summary));
 }
 

@@ -59,10 +59,12 @@ class EntropyEngine {
   static std::shared_ptr<EntropyEngine> FromSharded(
       std::shared_ptr<ShardedStore> sharded);
   /// Opens a persisted engine: a directory loads as a SourceStore
-  /// (MANIFEST v1/v2) or a ShardedStore (MANIFEST v3), a file as a single
-  /// summary.
+  /// (MANIFEST v1/v2/v4-mono) or a ShardedStore (MANIFEST v3/v4-sharded),
+  /// a file as a single summary. Checksums are verified unless
+  /// `opts.verify_checksums` is off; all I/O goes through `env`.
   static Result<std::shared_ptr<EntropyEngine>> Open(const std::string& path,
-                                                     SummaryOptions opts = {});
+                                                     SummaryOptions opts = {},
+                                                     Env* env = Env::Default());
 
   /// True when this engine routes over a store (vs. one summary).
   bool is_store() const { return store_ != nullptr || sharded_ != nullptr; }

@@ -1,8 +1,9 @@
 #include "engine/sharded_store.h"
 
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 
 #include "common/thread_pool.h"
 
@@ -13,6 +14,17 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kManifestV3[] = "ENTROPYDB_STORE_V3";
+constexpr char kManifestV4[] = "ENTROPYDB_STORE_V4";
+
+std::string ManifestPayload(const ShardedStore::Manifest& m) {
+  std::ostringstream out;
+  out << kManifestV4 << " sharded\n";
+  out << "scheme " << PartitionSchemeName(m.scheme) << "\n";
+  out << "wal_sealed " << m.wal_sealed << "\n";
+  out << "shards " << m.shard_dirs.size() << "\n";
+  for (const std::string& d : m.shard_dirs) out << "shard " << d << "\n";
+  return out.str();
+}
 
 /// Accumulates one shard's estimate into the merged answer. Disjoint row
 /// partitions with independently fit models: expectations and variances
@@ -236,77 +248,135 @@ Result<std::vector<QueryEstimate>> ShardedStore::AnswerAll(
   return out;
 }
 
-Status ShardedStore::Save(const std::string& dir) const {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create store directory " + dir + ": " +
-                           ec.message());
-  }
-  // Shard subdirectories FIRST, manifest LAST: when re-saving over an
-  // existing store, a failed shard write must not leave a fresh manifest
-  // pointing at a mix of new and stale shard data that Load would accept.
-  // Each shard is a self-contained v2 store in its own subdirectory;
-  // writes touch disjoint paths, so they fan out.
-  std::vector<Status> statuses(shards_.size(), Status::OK());
-  ParallelFor(shards_.size(), 2, [&](size_t s) {
-    statuses[s] = shards_[s]->Save(
-        (fs::path(dir) / ("shard_" + std::to_string(s))).string());
-  });
-  for (const Status& s : statuses) {
-    if (!s.ok()) return s;
-  }
-  std::ofstream out(fs::path(dir) / "MANIFEST");
-  if (!out) return Status::IOError("cannot write manifest in " + dir);
-  out << kManifestV3 << "\n";
-  out << "scheme " << PartitionSchemeName(scheme_) << "\n";
-  out << "shards " << shards_.size() << "\n";
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    out << "shard shard_" << s << "\n";
-  }
-  out.close();
-  if (!out.good()) return Status::IOError("manifest write failure in " + dir);
-  return Status::OK();
-}
-
-bool ShardedStore::IsShardedDir(const std::string& dir) {
-  std::ifstream in(fs::path(dir) / "MANIFEST");
-  if (!in) return false;
+Result<ShardedStore::Manifest> ShardedStore::ReadManifest(
+    const std::string& dir, Env* env, bool verify_checksums) {
+  const std::string path = (fs::path(dir) / "MANIFEST").string();
+  bool had_footer = false;
+  ASSIGN_OR_RETURN(
+      std::string payload,
+      ReadChecksummedFile(env, path, verify_checksums, &had_footer));
+  std::istringstream in(payload);
   std::string token;
-  return (in >> token) && token == kManifestV3;
-}
-
-Result<std::shared_ptr<ShardedStore>> ShardedStore::Load(
-    const std::string& dir, SummaryOptions opts) {
-  std::ifstream in(fs::path(dir) / "MANIFEST");
-  if (!in) return Status::IOError("cannot open store manifest in " + dir);
-  std::string token;
-  if (!(in >> token) || token != kManifestV3) {
-    return Status::Corruption("not a sharded (v3) store manifest in " + dir);
+  if (!(in >> token)) {
+    return Status::Corruption("bad store manifest header in " + dir);
   }
+  bool v4 = false;
+  if (token == kManifestV4) {
+    std::string kind;
+    if (!(in >> kind) || kind != "sharded") {
+      return Status::InvalidArgument("not a sharded store manifest in " +
+                                     dir);
+    }
+    if (!had_footer) {
+      return Status::Corruption("missing checksum footer in " + path);
+    }
+    v4 = true;
+  } else if (token != kManifestV3) {
+    return Status::Corruption("not a sharded (v3/v4) store manifest in " +
+                              dir);
+  } else if (!had_footer) {
+    std::fprintf(stderr,
+                 "entropydb: warning: %s has no checksum footer "
+                 "(legacy format, loaded unverified)\n",
+                 path.c_str());
+  }
+  Manifest m;
   std::string scheme_token;
   if (!(in >> token >> scheme_token) || token != "scheme") {
     return Status::Corruption("bad scheme record in " + dir);
   }
-  ASSIGN_OR_RETURN(PartitionScheme scheme,
-                   ParsePartitionScheme(scheme_token));
+  ASSIGN_OR_RETURN(m.scheme, ParsePartitionScheme(scheme_token));
+  if (v4) {
+    if (!(in >> token >> m.wal_sealed) || token != "wal_sealed") {
+      return Status::Corruption("bad wal_sealed record in " + dir);
+    }
+  }
   size_t ns = 0;
   if (!(in >> token >> ns) || token != "shards" || ns == 0) {
     return Status::Corruption("bad shards record in " + dir);
   }
-  std::vector<std::string> shard_dirs(ns);
+  m.shard_dirs.resize(ns);
   for (size_t s = 0; s < ns; ++s) {
-    if (!(in >> token >> shard_dirs[s]) || token != "shard") {
+    if (!(in >> token >> m.shard_dirs[s]) || token != "shard") {
       return Status::Corruption("bad shard record in " + dir);
     }
   }
-  // Shard loads are independent (each is a full v2 store load, itself
+  return m;
+}
+
+Status ShardedStore::WriteManifest(const std::string& dir, const Manifest& m,
+                                   Env* env) {
+  // Stage under a fixed tmp name (a stale one from a crashed flip is
+  // simply overwritten — Load never reads it), sync, then rename over the
+  // live MANIFEST and sync the directory: the shard list and the
+  // wal_sealed cursor flip together.
+  const std::string tmp = (fs::path(dir) / "MANIFEST.tmp").string();
+  const std::string final_path = (fs::path(dir) / "MANIFEST").string();
+  RETURN_NOT_OK(WriteChecksummedFile(env, tmp, ManifestPayload(m)));
+  RETURN_NOT_OK(env->Rename(tmp, final_path));
+  return env->SyncDir(dir);
+}
+
+Status ShardedStore::Save(const std::string& dir, Env* env) const {
+  // Stage the WHOLE tree (shards + manifest), publish once: re-saving over
+  // an existing store can never expose a manifest pointing at a mix of new
+  // and stale shard data. Note Save persists the loaded sources only —
+  // it writes no ingest journal (wal_sealed 0); recover any unsealed WAL
+  // records (engine/ingest.h) before re-saving a store wholesale.
+  const std::string stage = StagingDirFor(dir);
+  Status s = [&]() -> Status {
+    RETURN_NOT_OK(env->CreateDirs(stage));
+    // Shard subtrees touch disjoint paths, so they fan out; inside the
+    // stage nothing is being published, so shards skip their own staging.
+    std::vector<Status> statuses(shards_.size(), Status::OK());
+    ParallelFor(shards_.size(), 2, [&](size_t i) {
+      statuses[i] = shards_[i]->SaveContents(
+          (fs::path(stage) / ("shard_" + std::to_string(i))).string(), env);
+    });
+    for (const Status& st : statuses) {
+      if (!st.ok()) return st;
+    }
+    Manifest m;
+    m.scheme = scheme_;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      m.shard_dirs.push_back("shard_" + std::to_string(i));
+    }
+    RETURN_NOT_OK(WriteChecksummedFile(
+        env, (fs::path(stage) / "MANIFEST").string(), ManifestPayload(m)));
+    return env->SyncDir(stage);
+  }();
+  if (s.ok()) s = env->PublishDir(stage, dir);
+  if (!s.ok()) env->RemoveAll(stage).ok();  // best-effort cleanup
+  return s;
+}
+
+bool ShardedStore::IsShardedDir(const std::string& dir, Env* env) {
+  std::string contents;
+  if (!env->ReadFile((fs::path(dir) / "MANIFEST").string(), &contents)
+           .ok()) {
+    return false;
+  }
+  std::istringstream in(contents);
+  std::string token;
+  if (!(in >> token)) return false;
+  if (token == kManifestV3) return true;
+  std::string kind;
+  return token == kManifestV4 && (in >> kind) && kind == "sharded";
+}
+
+Result<std::shared_ptr<ShardedStore>> ShardedStore::Load(
+    const std::string& dir, SummaryOptions opts, Env* env) {
+  RemoveStaleStagingDirs(env, dir);
+  ASSIGN_OR_RETURN(Manifest m,
+                   ReadManifest(dir, env, opts.verify_checksums));
+  const size_t ns = m.shard_dirs.size();
+  // Shard loads are independent (each is a full store load, itself
   // parallel inside), so fan out across shards too.
   std::vector<std::shared_ptr<SourceStore>> shards(ns);
   std::vector<Status> statuses(ns, Status::OK());
   ParallelFor(ns, 2, [&](size_t s) {
-    auto loaded =
-        SourceStore::Load((fs::path(dir) / shard_dirs[s]).string(), opts);
+    auto loaded = SourceStore::Load((fs::path(dir) / m.shard_dirs[s]).string(),
+                                    opts, env);
     if (!loaded.ok()) {
       statuses[s] = loaded.status();
       return;
@@ -316,7 +386,7 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::Load(
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
-  auto store = FromShards(std::move(shards), scheme);
+  auto store = FromShards(std::move(shards), m.scheme);
   if (!store.ok()) {
     return Status::Corruption("inconsistent sharded store in " + dir + ": " +
                               store.status().message());

@@ -55,10 +55,14 @@ struct ShardedOptions {
 /// is chosen PER SHARD: a rare slice can be served by shard 2's stratified
 /// sample and shard 3's summary in the same merged answer.
 ///
-/// Persistence is a MANIFEST v3 directory: the manifest records the scheme
-/// and shard list; each shard is a self-contained v2 store subdirectory
-/// (SourceStore::Save). v2/v1 directories keep loading as monolithic
-/// stores — EntropyEngine::Open sniffs the manifest header and dispatches.
+/// Persistence is a MANIFEST v4 directory: the manifest records the
+/// scheme, the shard list, and the ingest journal's sealed-batch count
+/// (`wal_sealed`, see engine/ingest.h); each shard is a self-contained
+/// store subdirectory. Save stages the WHOLE tree into a `<dir>.tmp-*`
+/// sibling and publishes it in one rename, so a crash never exposes a
+/// mixed-shard store. v3 (PR 5-era) sharded directories keep loading;
+/// v2/v1 directories load as monolithic stores — EntropyEngine::Open
+/// sniffs the manifest header and dispatches.
 class ShardedStore {
  public:
   /// Partitions `table` and builds every shard's sources in parallel.
@@ -136,18 +140,47 @@ class ShardedStore {
       const std::vector<CountingQuery>& qs,
       std::vector<std::vector<RouteDecision>>* per_shard = nullptr) const;
 
-  /// Persists the store: `dir/MANIFEST` (v3: scheme + shard list) plus one
-  /// self-contained v2 store subdirectory per shard, written in parallel.
-  Status Save(const std::string& dir) const;
-  /// Restores a v3 directory (shards load in parallel; `opts` is passed
-  /// through to every summary load). Rejects v1/v2 manifests — those are
-  /// monolithic stores, which SourceStore::Load owns.
-  static Result<std::shared_ptr<ShardedStore>> Load(const std::string& dir,
-                                                    SummaryOptions opts = {});
+  /// The persisted routing metadata of a sharded directory, exposed so
+  /// the ingest path (engine/ingest.h) can append shards and advance the
+  /// sealed-batch cursor without reloading every shard.
+  struct Manifest {
+    PartitionScheme scheme = PartitionScheme::kRoundRobin;
+    std::vector<std::string> shard_dirs;
+    /// Number of leading WAL records already sealed into shards; replay
+    /// starts after them (0 for a store with no ingest history).
+    uint64_t wal_sealed = 0;
+  };
 
-  /// True when `dir` holds a v3 (sharded) manifest — the dispatch test
-  /// EntropyEngine::Open uses.
-  static bool IsShardedDir(const std::string& dir);
+  /// Reads `dir/MANIFEST`. Accepts v4-sharded (checksummed — footer
+  /// required) and legacy v3 (loads with a stderr warning; wal_sealed 0).
+  static Result<Manifest> ReadManifest(const std::string& dir,
+                                       Env* env = Env::Default(),
+                                       bool verify_checksums = true);
+  /// Atomically replaces `dir/MANIFEST` with a checksummed v4 record of
+  /// `m`: written to a tmp name, synced, renamed into place, directory
+  /// synced. This single flip is what makes an ingest seal atomic — the
+  /// new shard list and the advanced wal_sealed cursor become visible
+  /// together or not at all.
+  static Status WriteManifest(const std::string& dir, const Manifest& m,
+                              Env* env = Env::Default());
+
+  /// Atomically persists the store at `dir`: the whole tree (v4 MANIFEST
+  /// plus one self-contained store subdirectory per shard, written in
+  /// parallel) is staged into a `<dir>.tmp-<nonce>` sibling and published
+  /// in one rename.
+  Status Save(const std::string& dir, Env* env = Env::Default()) const;
+  /// Restores a v4/v3 sharded directory (shards load in parallel; `opts`
+  /// is passed through to every summary load). Rejects v1/v2 manifests —
+  /// those are monolithic stores, which SourceStore::Load owns. Stale
+  /// staging directories next to `dir` are garbage-collected.
+  static Result<std::shared_ptr<ShardedStore>> Load(const std::string& dir,
+                                                    SummaryOptions opts = {},
+                                                    Env* env = Env::Default());
+
+  /// True when `dir` holds a sharded (v3 or v4-sharded) manifest — the
+  /// dispatch test EntropyEngine::Open uses.
+  static bool IsShardedDir(const std::string& dir,
+                           Env* env = Env::Default());
 
  private:
   ShardedStore(std::vector<std::shared_ptr<SourceStore>> shards,

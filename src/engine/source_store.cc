@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "common/thread_pool.h"
 #include "sampling/sample_io.h"
@@ -210,24 +210,18 @@ Result<std::shared_ptr<SourceStore>> SourceStore::Build(const Table& table,
   return FromParts(std::move(entries), std::move(samples));
 }
 
-Status SourceStore::Save(const std::string& dir) const {
-  std::error_code ec;
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create store directory " + dir + ": " +
-                           ec.message());
-  }
-  std::ofstream out(fs::path(dir) / "MANIFEST");
-  if (!out) return Status::IOError("cannot write manifest in " + dir);
-  out << "ENTROPYDB_STORE_V2\n";
+Status SourceStore::SaveContents(const std::string& dir, Env* env) const {
+  RETURN_NOT_OK(env->CreateDirs(dir));
+  std::ostringstream out;
+  out << "ENTROPYDB_STORE_V4 mono\n";
   out << "summaries " << entries_.size() << "\n";
   for (size_t k = 0; k < entries_.size(); ++k) {
     const std::string file = "summary_" + std::to_string(k) + ".edb";
     out << "entry " << file << ' ';
     WritePairs(out, entries_[k].pairs);
     out << '\n';
-    Status s = entries_[k].summary->Save((fs::path(dir) / file).string());
-    if (!s.ok()) return s;
+    RETURN_NOT_OK(
+        entries_[k].summary->Save((fs::path(dir) / file).string(), env));
   }
   out << "samples " << samples_.size() << "\n";
   for (size_t i = 0; i < samples_.size(); ++i) {
@@ -235,23 +229,61 @@ Status SourceStore::Save(const std::string& dir) const {
     out << "sample " << file << ' ';
     WritePairs(out, samples_[i].pairs);
     out << '\n';
-    Status s = SaveSample(*samples_[i].sample, (fs::path(dir) / file).string());
-    if (!s.ok()) return s;
+    RETURN_NOT_OK(SaveSample(*samples_[i].sample,
+                             (fs::path(dir) / file).string(), env));
   }
-  if (!out.good()) return Status::IOError("manifest write failure in " + dir);
-  return Status::OK();
+  if (!out.good()) {
+    return Status::Internal("manifest serialization failure in " + dir);
+  }
+  // The MANIFEST goes last: its presence certifies every file it names was
+  // already written and synced. Then sync the directory so the entries
+  // themselves are durable.
+  RETURN_NOT_OK(WriteChecksummedFile(
+      env, (fs::path(dir) / "MANIFEST").string(), out.str()));
+  return env->SyncDir(dir);
+}
+
+Status SourceStore::Save(const std::string& dir, Env* env) const {
+  const std::string stage = StagingDirFor(dir);
+  Status s = SaveContents(stage, env);
+  if (s.ok()) s = env->PublishDir(stage, dir);
+  if (!s.ok()) env->RemoveAll(stage).ok();  // best-effort cleanup
+  return s;
 }
 
 Result<std::shared_ptr<SourceStore>> SourceStore::Load(
-    const std::string& dir, SummaryOptions opts) {
-  std::ifstream in(fs::path(dir) / "MANIFEST");
-  if (!in) return Status::IOError("cannot open store manifest in " + dir);
+    const std::string& dir, SummaryOptions opts, Env* env) {
+  RemoveStaleStagingDirs(env, dir);
+  const std::string manifest_path = (fs::path(dir) / "MANIFEST").string();
+  bool had_footer = false;
+  ASSIGN_OR_RETURN(std::string payload,
+                   ReadChecksummedFile(env, manifest_path,
+                                       opts.verify_checksums, &had_footer));
+  std::istringstream in(payload);
   std::string token;
   if (!(in >> token) ||
-      (token != "ENTROPYDB_STORE_V1" && token != "ENTROPYDB_STORE_V2")) {
+      (token != "ENTROPYDB_STORE_V1" && token != "ENTROPYDB_STORE_V2" &&
+       token != "ENTROPYDB_STORE_V4")) {
     return Status::Corruption("bad store manifest header in " + dir);
   }
-  const bool v2 = token == "ENTROPYDB_STORE_V2";
+  if (token == "ENTROPYDB_STORE_V4") {
+    std::string kind;
+    if (!(in >> kind) || kind != "mono") {
+      return Status::InvalidArgument(
+          "not a mono store manifest in " + dir +
+          " (open sharded stores through EntropyEngine)");
+    }
+    if (!had_footer) {
+      return Status::Corruption("missing checksum footer in " +
+                                manifest_path);
+    }
+  } else if (!had_footer) {
+    std::fprintf(stderr,
+                 "entropydb: warning: %s has no checksum footer "
+                 "(legacy format, loaded unverified)\n",
+                 manifest_path.c_str());
+  }
+  const bool v2 = token != "ENTROPYDB_STORE_V1";
   size_t k = 0;
   if (!(in >> token >> k) || token != "summaries" || k == 0) {
     return Status::Corruption("bad summaries record in " + dir);
@@ -291,16 +323,16 @@ Result<std::shared_ptr<SourceStore>> SourceStore::Load(
   std::vector<Status> statuses(k + ns, Status::OK());
   ParallelFor(k + ns, 2, [&](size_t i) {
     if (i < k) {
-      auto loaded =
-          EntropySummary::Load((fs::path(dir) / files[i]).string(), opts);
+      auto loaded = EntropySummary::Load((fs::path(dir) / files[i]).string(),
+                                         opts, env);
       if (!loaded.ok()) {
         statuses[i] = loaded.status();
         return;
       }
       entries[i].summary = *loaded;
     } else {
-      auto loaded =
-          LoadSample((fs::path(dir) / sample_files[i - k]).string());
+      auto loaded = LoadSample((fs::path(dir) / sample_files[i - k]).string(),
+                               env, opts.verify_checksums);
       if (!loaded.ok()) {
         statuses[i] = loaded.status();
         return;

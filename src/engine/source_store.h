@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "engine/estimate_source.h"
 #include "maxent/budget_advisor.h"
@@ -154,15 +155,26 @@ class SourceStore {
     return entries_.front().summary->num_attributes();
   }
 
-  /// Persists the store into directory `dir` (created if missing):
-  /// `dir/MANIFEST` (v2) plus `dir/summary_<k>.edb` per summary and
-  /// `dir/sample_<s>.eds` per sample.
-  Status Save(const std::string& dir) const;
+  /// Atomically persists the store at directory `dir`: the contents
+  /// (`MANIFEST` v4 plus `summary_<k>.edb` per summary and
+  /// `sample_<s>.eds` per sample, every file checksummed and synced) are
+  /// staged into a `<dir>.tmp-<nonce>` sibling and published at `dir` in
+  /// one rename — a crash at any point leaves `dir` as exactly the old
+  /// store or the new one, never a mix.
+  Status Save(const std::string& dir, Env* env = Env::Default()) const;
+  /// The non-atomic half of Save: writes and syncs the store's files
+  /// directly into `dir` (created if missing) with no staging. Exposed so
+  /// a sharded save can stage its WHOLE tree once and publish once;
+  /// everyone else wants Save.
+  Status SaveContents(const std::string& dir, Env* env) const;
   /// Restores a saved store without re-solving (sources load in
-  /// parallel). Accepts both MANIFEST v2 and PR 2-era v1 (summary-only)
-  /// directories.
+  /// parallel). Accepts MANIFEST v4 (checksummed era — footer required),
+  /// v2, and PR 2-era v1 (summary-only) directories; legacy manifests
+  /// load with a stderr warning. Garbage-collects stale staging
+  /// directories a crashed save left next to `dir`.
   static Result<std::shared_ptr<SourceStore>> Load(const std::string& dir,
-                                                   SummaryOptions opts = {});
+                                                   SummaryOptions opts = {},
+                                                   Env* env = Env::Default());
 
   /// Assembles a summary-only store from already-built summaries (also
   /// handy for tests). Entries must be non-empty and agree on the

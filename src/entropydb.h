@@ -32,6 +32,7 @@
 /// EntropySummary::Build + AnswerCount, or EntropyEngine::FromSummary to
 /// keep the facade.
 
+#include "common/env.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -39,6 +40,7 @@
 #include "common/timer.h"
 #include "engine/engine.h"
 #include "engine/estimate_source.h"
+#include "engine/ingest.h"
 #include "engine/query_router.h"
 #include "engine/sharded_store.h"
 #include "engine/source_store.h"
@@ -72,6 +74,7 @@
 #include "storage/partitioner.h"
 #include "storage/table.h"
 #include "storage/table_builder.h"
+#include "storage/wal.h"
 #include "workload/flights.h"
 #include "workload/metrics.h"
 #include "workload/particles.h"

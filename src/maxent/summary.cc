@@ -2,7 +2,6 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "common/str_util.h"
@@ -73,10 +72,12 @@ Result<std::vector<double>> ReadDoubles(std::istream& in, size_t count) {
 }
 }  // namespace
 
-Status EntropySummary::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << "ENTROPYDB_SUMMARY_V1\n";
+Status EntropySummary::Save(const std::string& path, Env* env) const {
+  // The payload is composed in memory and handed to the Env in one
+  // checksummed, synced write: stream state cannot be silently dropped,
+  // and FaultInjectionEnv can account for every byte.
+  std::ostringstream out;
+  out << "ENTROPYDB_SUMMARY_V2\n";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", reg_.n());
   out << "n " << buf << "\n";
@@ -111,17 +112,35 @@ Status EntropySummary::Save(const std::string& path) const {
       out << ' ' << buf << ' ' << d.size() << '\n';
     }
   }
-  if (!out.good()) return Status::IOError("write failure: " + path);
-  return Status::OK();
+  if (!out.good()) {
+    return Status::Internal("summary serialization failure: " + path);
+  }
+  return WriteChecksummedFile(env, path, out.str());
 }
 
 Result<std::shared_ptr<EntropySummary>> EntropySummary::Load(
-    const std::string& path, SummaryOptions opts) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
+    const std::string& path, SummaryOptions opts, Env* env) {
+  bool had_footer = false;
+  ASSIGN_OR_RETURN(std::string payload,
+                   ReadChecksummedFile(env, path, opts.verify_checksums,
+                                       &had_footer));
+  std::istringstream in(payload);
   std::string token;
-  if (!(in >> token) || token != "ENTROPYDB_SUMMARY_V1") {
+  if (!(in >> token) ||
+      (token != "ENTROPYDB_SUMMARY_V1" && token != "ENTROPYDB_SUMMARY_V2")) {
     return Status::Corruption("bad summary header in " + path);
+  }
+  // v2 is the checksummed era: a v2 file without a verifiable footer lost
+  // its tail. v1 predates checksums and loads unverified (warn — the
+  // next Save rewrites it as v2).
+  if (token == "ENTROPYDB_SUMMARY_V2" && !had_footer) {
+    return Status::Corruption("missing checksum footer in " + path);
+  }
+  if (!had_footer) {
+    std::fprintf(stderr,
+                 "entropydb: warning: %s has no checksum footer "
+                 "(legacy format, loaded unverified)\n",
+                 path.c_str());
   }
   double n = 0.0;
   size_t m = 0;

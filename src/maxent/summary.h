@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/result.h"
 #include "maxent/answerer.h"
 #include "maxent/polynomial.h"
@@ -15,10 +16,17 @@
 
 namespace entropydb {
 
-/// Build-time knobs for a summary.
+/// Build-time knobs for a summary (the struct is also threaded through
+/// every Load path, so it carries the open-time knobs too).
 struct SummaryOptions {
   SolverOptions solver;
   PolynomialOptions polynomial;
+  /// Verify the CRC32C footer of every artifact read during a load
+  /// (summaries, samples, manifests). On by default; bench_durability
+  /// turns it off to measure the checksum overhead on open. Artifacts
+  /// from pre-checksum format versions load either way (with a stderr
+  /// warning), but a PRESENT footer that mismatches is kCorruption.
+  bool verify_checksums = true;
 };
 
 /// \brief The EntropyDB data summary: the compressed MaxEnt polynomial with
@@ -111,11 +119,18 @@ class EntropySummary {
   const std::vector<Domain>& domains() const { return domains_; }
   bool has_domains() const { return !domains_.empty(); }
 
-  /// Serializes the summary (statistics + solved parameters) to a text file;
-  /// Load restores it without re-solving.
-  Status Save(const std::string& path) const;
+  /// Serializes the summary (statistics + solved parameters) to a text
+  /// file with a CRC32C footer (format v2), synced to stable storage
+  /// before returning; Load restores it without re-solving. All I/O goes
+  /// through `env` (Env::Default() in production; FaultInjectionEnv in
+  /// the crash-safety suites).
+  Status Save(const std::string& path, Env* env = Env::Default()) const;
+  /// Restores a saved summary. v2 files must carry a valid checksum
+  /// footer (kCorruption otherwise); v1 (pre-checksum) files load with a
+  /// warning. opts.verify_checksums = false skips the CRC verification.
   static Result<std::shared_ptr<EntropySummary>> Load(
-      const std::string& path, SummaryOptions opts = {});
+      const std::string& path, SummaryOptions opts = {},
+      Env* env = Env::Default());
 
  private:
   EntropySummary(VariableRegistry reg, CompressedPolynomial poly,

@@ -1,7 +1,7 @@
 #include "sampling/sample_io.h"
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 
 #include "storage/table_builder.h"
 
@@ -19,7 +19,8 @@ bool HasWhitespace(const std::string& s) {
 }
 }  // namespace
 
-Status SaveSample(const WeightedSample& sample, const std::string& path) {
+Status SaveSample(const WeightedSample& sample, const std::string& path,
+                  Env* env) {
   if (sample.rows == nullptr) {
     return Status::InvalidArgument("sample has no row table");
   }
@@ -42,9 +43,8 @@ Status SaveSample(const WeightedSample& sample, const std::string& path) {
                                      t.schema().attribute(a).name + "'");
     }
   }
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << "ENTROPYDB_SAMPLE_V2\n";
+  std::ostringstream out;
+  out << "ENTROPYDB_SAMPLE_V3\n";
   out << "name " << (sample.name.empty() ? "sample" : sample.name) << '\n';
   out << "fraction ";
   WriteDouble(out, sample.fraction);
@@ -87,19 +87,35 @@ Status SaveSample(const WeightedSample& sample, const std::string& path) {
       out << '\n';
     }
   }
-  if (!out.good()) return Status::IOError("write failure: " + path);
-  return Status::OK();
+  if (!out.good()) {
+    return Status::Internal("sample serialization failure: " + path);
+  }
+  return WriteChecksummedFile(env, path, out.str());
 }
 
-Result<WeightedSample> LoadSample(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
+Result<WeightedSample> LoadSample(const std::string& path, Env* env,
+                                  bool verify_checksums) {
+  bool had_footer = false;
+  ASSIGN_OR_RETURN(
+      std::string payload,
+      ReadChecksummedFile(env, path, verify_checksums, &had_footer));
+  std::istringstream in(payload);
   std::string token;
   if (!(in >> token) ||
-      (token != "ENTROPYDB_SAMPLE_V1" && token != "ENTROPYDB_SAMPLE_V2")) {
+      (token != "ENTROPYDB_SAMPLE_V1" && token != "ENTROPYDB_SAMPLE_V2" &&
+       token != "ENTROPYDB_SAMPLE_V3")) {
     return Status::Corruption("bad sample header in " + path);
   }
-  const bool v2 = token == "ENTROPYDB_SAMPLE_V2";
+  if (token == "ENTROPYDB_SAMPLE_V3" && !had_footer) {
+    return Status::Corruption("missing checksum footer in " + path);
+  }
+  if (!had_footer) {
+    std::fprintf(stderr,
+                 "entropydb: warning: %s has no checksum footer "
+                 "(legacy format, loaded unverified)\n",
+                 path.c_str());
+  }
+  const bool v2 = token != "ENTROPYDB_SAMPLE_V1";
   WeightedSample sample;
   if (!(in >> token >> sample.name) || token != "name") {
     return Status::Corruption("bad sample name record in " + path);

@@ -1,0 +1,69 @@
+#include "storage/wal.h"
+
+#include "common/crc32c.h"
+
+namespace entropydb {
+
+namespace {
+
+constexpr size_t kHeaderSize = 8;  // masked crc (4) + length (4)
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  dst->push_back(static_cast<char>(v & 0xff));
+  dst->push_back(static_cast<char>((v >> 8) & 0xff));
+  dst->push_back(static_cast<char>((v >> 16) & 0xff));
+  dst->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
+                                                   const std::string& path) {
+  ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                   env->NewWritableFile(path, /*truncate=*/false));
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(file)));
+}
+
+Status WalWriter::AddRecord(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  PutFixed32(&frame, crc32c::Mask(crc32c::Value(payload)));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return file_->Append(frame);
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+Status WalWriter::Close() { return file_->Close(); }
+
+Result<WalContents> ReadWal(Env* env, const std::string& path) {
+  WalContents out;
+  if (!env->FileExists(path)) return out;
+  std::string contents;
+  RETURN_NOT_OK(env->ReadFile(path, &contents));
+  size_t pos = 0;
+  while (contents.size() - pos >= kHeaderSize) {
+    const uint32_t stored_crc =
+        crc32c::Unmask(GetFixed32(contents.data() + pos));
+    const uint32_t length = GetFixed32(contents.data() + pos + 4);
+    if (contents.size() - pos - kHeaderSize < length) break;  // torn tail
+    const std::string_view payload(contents.data() + pos + kHeaderSize,
+                                   length);
+    if (crc32c::Value(payload) != stored_crc) break;  // corrupt record
+    out.records.emplace_back(payload);
+    pos += kHeaderSize + length;
+  }
+  out.valid_bytes = pos;
+  out.truncated_tail = pos != contents.size();
+  return out;
+}
+
+}  // namespace entropydb

@@ -1,0 +1,70 @@
+#ifndef ENTROPYDB_STORAGE_WAL_H_
+#define ENTROPYDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/result.h"
+
+namespace entropydb {
+
+/// \brief Write-ahead log of opaque records, in the RocksDB `log_writer`
+/// idiom sized down to EntropyDB's batch granularity: each record is
+/// framed as
+///
+///     masked_crc32c : 4 bytes LE   (CRC32C of the payload, masked)
+///     length        : 4 bytes LE
+///     payload       : `length` bytes
+///
+/// with records appended back to back. The CRC is masked (common/crc32c.h)
+/// so WAL payloads that themselves contain CRCs do not degenerate.
+/// Recovery (ReadWal) scans from the front and TRUNCATES at the first
+/// record that is torn (fewer bytes on disk than the header promises) or
+/// corrupt (CRC mismatch): everything before it is trusted, everything at
+/// and after it is discarded — the standard tail-truncation rule for a
+/// log whose tip may have been half-written at a crash.
+class WalWriter {
+ public:
+  /// Opens (creates or appends to) the WAL at `path`.
+  static Result<std::unique_ptr<WalWriter>> Open(Env* env,
+                                                 const std::string& path);
+
+  /// Appends one framed record. The record is NOT durable until Sync.
+  Status AddRecord(std::string_view payload);
+
+  /// fsyncs everything appended so far.
+  Status Sync();
+
+  /// Flushes and closes the underlying file.
+  Status Close();
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  std::unique_ptr<WritableFile> file_;
+};
+
+/// Result of scanning a WAL: the records whose frames verified, in append
+/// order, plus whether the scan stopped early at a torn/corrupt tail and
+/// the byte offset of the first un-trusted byte.
+struct WalContents {
+  std::vector<std::string> records;
+  bool truncated_tail = false;
+  uint64_t valid_bytes = 0;
+};
+
+/// Reads every verifiable record of the WAL at `path`. A missing file is
+/// an empty (not erroneous) WAL — recovery treats "no journal" and "empty
+/// journal" identically. Never returns kCorruption for a damaged tail:
+/// tail damage is the EXPECTED crash signature and is reported via
+/// `truncated_tail` instead.
+Result<WalContents> ReadWal(Env* env, const std::string& path);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_STORAGE_WAL_H_

@@ -1,0 +1,314 @@
+// Crash-recovery matrix: Save and WAL-backed ingest are driven through
+// FaultInjectionEnv with a simulated crash after EVERY mutating
+// filesystem operation, followed by power-loss (un-synced data dropped).
+// The reopened store must always be exactly the pre-crash or the
+// post-crash version — never a torn mix, never unreadable.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/fault_injection_env.h"
+#include "engine/engine.h"
+#include "engine/ingest.h"
+#include "engine/sharded_store.h"
+#include "storage/wal.h"
+
+namespace entropydb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::shared_ptr<Table> TwoPairTable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Code>> rows(n, std::vector<Code>(5));
+  for (auto& row : rows) {
+    row[0] = static_cast<Code>(rng.Uniform(6));
+    row[1] = rng.NextBernoulli(0.85) ? row[0]
+                                     : static_cast<Code>(rng.Uniform(6));
+    row[2] = static_cast<Code>(rng.Uniform(5));
+    row[3] = rng.NextBernoulli(0.85) ? row[2]
+                                     : static_cast<Code>(rng.Uniform(5));
+    row[4] = static_cast<Code>(rng.Uniform(4));
+  }
+  return testutil::MakeTable({6, 6, 5, 5, 4}, rows);
+}
+
+StoreOptions SmallStoreOptions() {
+  StoreOptions opts;
+  opts.num_summaries = 2;
+  opts.total_budget = 40;
+  opts.summary.solver.max_iterations = 120;
+  opts.num_stratified_samples = 1;
+  opts.uniform_sample = true;
+  opts.sample_fraction = 0.2;
+  return opts;
+}
+
+std::string TempDir(const std::string& name) {
+  return (fs::temp_directory_path() / ("entropydb_crash_test_" + name))
+      .string();
+}
+
+/// A 200-row CSV batch over the {6,6,5,5,4} fixture schema (attributes
+/// A0..A4, binned integer domains).
+std::string BatchCsv(uint64_t seed) {
+  Rng rng(seed);
+  std::string csv = "A0,A1,A2,A3,A4\n";
+  for (size_t i = 0; i < 200; ++i) {
+    csv += std::to_string(rng.Uniform(6)) + "," +
+           std::to_string(rng.Uniform(6)) + "," +
+           std::to_string(rng.Uniform(5)) + "," +
+           std::to_string(rng.Uniform(5)) + "," +
+           std::to_string(rng.Uniform(4)) + "\n";
+  }
+  return csv;
+}
+
+/// No stranded `<dir>.tmp-*` staging siblings (Load garbage-collects them).
+void ExpectNoStaleStaging(const std::string& dir) {
+  const fs::path p(dir);
+  const std::string needle = p.filename().string() + ".tmp-";
+  for (const auto& e : fs::directory_iterator(p.parent_path())) {
+    EXPECT_NE(e.path().filename().string().find(needle), 0u)
+        << "stale staging dir " << e.path();
+  }
+}
+
+TEST(CrashRecoveryTest, MonoSaveCrashMatrix) {
+  auto store_a = SourceStore::Build(*TwoPairTable(1200, 171),
+                                    SmallStoreOptions());
+  auto store_b = SourceStore::Build(*TwoPairTable(1500, 173),
+                                    SmallStoreOptions());
+  ASSERT_TRUE(store_a.ok());
+  ASSERT_TRUE(store_b.ok());
+  const std::string dir = TempDir("mono_save");
+  fs::remove_all(dir);
+
+  // Count the mutating ops of a clean B-over-A save — the crash points.
+  uint64_t total_ops = 0;
+  {
+    ASSERT_TRUE((*store_a)->Save(dir).ok());
+    FaultInjectionEnv fenv;
+    ASSERT_TRUE((*store_b)->Save(dir, &fenv).ok());
+    total_ops = fenv.ops();
+    ASSERT_GT(total_ops, 5u);
+  }
+
+  for (uint64_t k = 0; k < total_ops; ++k) {
+    fs::remove_all(dir);
+    ASSERT_TRUE((*store_a)->Save(dir).ok());
+    FaultInjectionEnv fenv;
+    fenv.CrashAfter(static_cast<int64_t>(k));
+    Status s = (*store_b)->Save(dir, &fenv);
+    EXPECT_FALSE(s.ok()) << "crash at " << k << " did not fail the save";
+    ASSERT_TRUE(fenv.LoseUnsyncedData().ok());
+
+    auto reopened = SourceStore::Load(dir);
+    ASSERT_TRUE(reopened.ok())
+        << "crash at " << k << ": " << reopened.status().ToString();
+    const double n = (*reopened)->summary(0).n();
+    EXPECT_TRUE(n == 1200.0 || n == 1500.0) << "crash at " << k << ", n=" << n;
+    // Never a mix of A and B artifacts: every summary agrees on n.
+    for (size_t i = 0; i < (*reopened)->size(); ++i) {
+      EXPECT_EQ((*reopened)->summary(i).n(), n) << "crash at " << k;
+    }
+    ExpectNoStaleStaging(dir);
+  }
+
+  // With no faults the save lands and the new version is visible.
+  ASSERT_TRUE((*store_b)->Save(dir).ok());
+  auto final_store = SourceStore::Load(dir);
+  ASSERT_TRUE(final_store.ok());
+  EXPECT_EQ((*final_store)->summary(0).n(), 1500.0);
+  fs::remove_all(dir);
+}
+
+TEST(CrashRecoveryTest, ShardedSaveCrashMatrix) {
+  ShardedOptions sopts;
+  sopts.num_shards = 2;
+  sopts.store = SmallStoreOptions();
+  auto store_a = ShardedStore::Build(*TwoPairTable(1600, 175), sopts);
+  auto store_b = ShardedStore::Build(*TwoPairTable(2000, 177), sopts);
+  ASSERT_TRUE(store_a.ok());
+  ASSERT_TRUE(store_b.ok());
+  const std::string dir = TempDir("sharded_save");
+  fs::remove_all(dir);
+
+  uint64_t total_ops = 0;
+  {
+    ASSERT_TRUE((*store_a)->Save(dir).ok());
+    FaultInjectionEnv fenv;
+    ASSERT_TRUE((*store_b)->Save(dir, &fenv).ok());
+    total_ops = fenv.ops();
+    ASSERT_GT(total_ops, 10u);
+  }
+
+  for (uint64_t k = 0; k < total_ops; ++k) {
+    fs::remove_all(dir);
+    ASSERT_TRUE((*store_a)->Save(dir).ok());
+    FaultInjectionEnv fenv;
+    fenv.CrashAfter(static_cast<int64_t>(k));
+    Status s = (*store_b)->Save(dir, &fenv);
+    EXPECT_FALSE(s.ok()) << "crash at " << k << " did not fail the save";
+    ASSERT_TRUE(fenv.LoseUnsyncedData().ok());
+
+    auto reopened = EntropyEngine::Open(dir);
+    ASSERT_TRUE(reopened.ok())
+        << "crash at " << k << ": " << reopened.status().ToString();
+    EXPECT_EQ((*reopened)->num_shards(), 2u) << "crash at " << k;
+    const double n = (*reopened)->n();
+    EXPECT_TRUE(n == 1600.0 || n == 2000.0) << "crash at " << k << ", n=" << n;
+    ExpectNoStaleStaging(dir);
+  }
+  fs::remove_all(dir);
+}
+
+class WalIngestCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sopts_.num_shards = 2;
+    sopts_.store = SmallStoreOptions();
+    auto built = ShardedStore::Build(*TwoPairTable(1600, 179), sopts_);
+    ASSERT_TRUE(built.ok());
+    pristine_ = *built;
+    dir_ = TempDir(std::string("wal_") +
+                   ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    ResetDir();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void ResetDir() {
+    fs::remove_all(dir_);
+    ASSERT_TRUE(pristine_->Save(dir_).ok());
+  }
+
+  double OpenedN() {
+    auto opened = EntropyEngine::Open(dir_);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    return opened.ok() ? (*opened)->n() : -1.0;
+  }
+
+  ShardedOptions sopts_;
+  std::shared_ptr<ShardedStore> pristine_;
+  std::string dir_;
+};
+
+TEST_F(WalIngestCrashTest, AppendCrashMatrixIsAllOrNothing) {
+  const std::string csv = BatchCsv(301);
+  const StoreOptions iopts = SmallStoreOptions();
+
+  // Crash-point count for a clean append.
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv fenv;
+    auto report = AppendBatch(dir_, csv, iopts, &fenv);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->journaled, 1u);
+    EXPECT_EQ(report->sealed, 1u);
+    total_ops = fenv.ops();
+    ASSERT_GT(total_ops, 5u);
+  }
+  EXPECT_EQ(OpenedN(), 1800.0);
+
+  // Sweep: crash after every op, lose un-synced data, recover, reopen.
+  // Outcomes must be monotone: once the journal record is durable, every
+  // later crash point recovers the full post-append state.
+  std::vector<bool> post_state;
+  for (uint64_t k = 0; k < total_ops; ++k) {
+    ResetDir();
+    FaultInjectionEnv fenv;
+    fenv.CrashAfter(static_cast<int64_t>(k));
+    auto report = AppendBatch(dir_, csv, iopts, &fenv);
+    EXPECT_FALSE(report.ok()) << "crash at " << k;
+    ASSERT_TRUE(fenv.LoseUnsyncedData().ok());
+
+    auto recovered = RecoverPending(dir_, iopts);
+    ASSERT_TRUE(recovered.ok())
+        << "crash at " << k << ": " << recovered.status().ToString();
+    const double n = OpenedN();
+    EXPECT_TRUE(n == 1600.0 || n == 1800.0) << "crash at " << k << ", n=" << n;
+    post_state.push_back(n == 1800.0);
+  }
+  // Monotone: pre...pre, post...post — no flapping in between.
+  for (size_t k = 1; k < post_state.size(); ++k) {
+    EXPECT_LE(static_cast<int>(post_state[k - 1]),
+              static_cast<int>(post_state[k]))
+        << "outcome regressed at crash point " << k;
+  }
+  // The earliest crash loses everything; the latest recovers everything.
+  EXPECT_FALSE(post_state.front());
+  EXPECT_TRUE(post_state.back());
+}
+
+TEST_F(WalIngestCrashTest, RecoverPendingSealsJournaledBatch) {
+  // Simulate a crash after the journal sync but before any sealing work:
+  // write the WAL record directly, then recover.
+  const std::string csv = BatchCsv(303);
+  {
+    auto writer = WalWriter::Open(Env::Default(),
+                                  (fs::path(dir_) / kIngestWalName).string());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AddRecord(csv).ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto report = RecoverPending(dir_, SmallStoreOptions());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->sealed, 1u);
+  EXPECT_EQ(report->recovered, 1u);
+  EXPECT_EQ(OpenedN(), 1800.0);
+
+  // Idempotent: a second recovery has nothing to do.
+  auto again = RecoverPending(dir_, SmallStoreOptions());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->sealed, 0u);
+}
+
+TEST_F(WalIngestCrashTest, TornWalTailIsTruncatedAndRepaired) {
+  const StoreOptions iopts = SmallStoreOptions();
+  auto first = AppendBatch(dir_, BatchCsv(305), iopts);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(OpenedN(), 1800.0);
+
+  // Second append dies mid-WAL-write: half a frame lands on disk.
+  {
+    FaultInjectionEnv fenv;
+    fenv.TearAppendAt(1);
+    auto torn = AppendBatch(dir_, BatchCsv(307), iopts, &fenv);
+    EXPECT_FALSE(torn.ok());
+  }
+  const std::string wal_path = (fs::path(dir_) / kIngestWalName).string();
+  {
+    auto wal = ReadWal(Env::Default(), wal_path);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ(wal->records.size(), 1u);
+    EXPECT_TRUE(wal->truncated_tail);
+  }
+  // Recovery sees only sealed records — nothing pending, store intact.
+  auto recovered = RecoverPending(dir_, iopts);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->sealed, 0u);
+  EXPECT_EQ(OpenedN(), 1800.0);
+
+  // The next good append truncates the torn tail before journaling, so
+  // the journal stays replayable end to end.
+  auto second = AppendBatch(dir_, BatchCsv(309), iopts);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->sealed, 1u);
+  EXPECT_EQ(OpenedN(), 2000.0);
+  auto wal = ReadWal(Env::Default(), wal_path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal->records.size(), 2u);
+  EXPECT_FALSE(wal->truncated_tail);
+  auto manifest = ShardedStore::ReadManifest(dir_);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->wal_sealed, 2u);
+  EXPECT_EQ(manifest->shard_dirs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace entropydb

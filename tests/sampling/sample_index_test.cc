@@ -226,7 +226,8 @@ TEST(SampleIndexTest, V1FilesRebuildTheIndexOnLoad) {
       (fs::temp_directory_path() / "entropydb_sample_v1.eds").string();
   fs::remove(path);
   ASSERT_TRUE(SaveSample(*drawn, path).ok());
-  // Rewrite the file as a PR 3-era v1: old header, no index block.
+  // Rewrite the file as a PR 3-era v1: old header, no index block, no
+  // checksum footer (v1 predates checksummed formats).
   {
     std::ifstream in(path);
     std::stringstream body;
@@ -235,9 +236,9 @@ TEST(SampleIndexTest, V1FilesRebuildTheIndexOnLoad) {
     const size_t index_at = text.find("\nindex ");
     ASSERT_NE(index_at, std::string::npos);
     text.resize(index_at + 1);  // drop the index block, keep the newline
-    const std::string v2 = "ENTROPYDB_SAMPLE_V2";
-    ASSERT_EQ(text.compare(0, v2.size(), v2), 0);
-    text[v2.size() - 1] = '1';  // V2 -> V1 header
+    const std::string v3 = "ENTROPYDB_SAMPLE_V3";
+    ASSERT_EQ(text.compare(0, v3.size(), v3), 0);
+    text[v3.size() - 1] = '1';  // V3 -> V1 header
     std::ofstream out(path);
     out << text;
   }
@@ -264,11 +265,21 @@ TEST(SampleIndexTest, CorruptV2IndexFailsTheLoad) {
   ASSERT_TRUE(SaveSample(*drawn, path).ok());
   // Flip one permutation entry: the row lands in a group whose code it
   // does not carry. The load must fail loudly, not serve skewed answers.
+  // The file is downgraded to a checksum-less v2 first so the failure
+  // exercises the index-invariant validation, not the CRC footer.
   {
     std::ifstream in(path);
     std::stringstream body;
     body << in.rdbuf();
     std::string text = body.str();
+    const std::string footer_tag = "crc32c ";
+    ASSERT_GE(text.size(), 16u);
+    ASSERT_EQ(text.compare(text.size() - 16, footer_tag.size(), footer_tag),
+              0);
+    text.resize(text.size() - 16);
+    const std::string v3 = "ENTROPYDB_SAMPLE_V3";
+    ASSERT_EQ(text.compare(0, v3.size(), v3), 0);
+    text[v3.size() - 1] = '2';  // V3 -> V2: parsed, but not checksummed
     const size_t perm_at = text.find("\nperm ");
     ASSERT_NE(perm_at, std::string::npos);
     const size_t first = perm_at + 6;

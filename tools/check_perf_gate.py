@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over the bench-emitted gate JSON files.
 
-Two gates, one script (both are claims the PRs that introduced them must
+Three gates, one script (all are claims the PRs that introduced them must
 keep true):
 
   * sample-index (bench_sample_index --index_out): indexed and scan
@@ -16,10 +16,17 @@ keep true):
     degrades inline (strictly more total work than one shard), so the
     wall bar is reported but not enforced; the JSON's `cores` field says
     which regime the measurement ran in.
+  * durability (bench_durability --durability_out, via --durability FILE):
+    opening a store with checksum verification ON stays within
+    --open-tolerance (default 1.05x) of the unverified open. Save wall
+    time and WAL append throughput ride along in the JSON for the
+    trajectory but are fsync-bound, so they are recorded, not enforced.
 
 Usage:
     check_perf_gate.py build/sample_index_gate.json \
-        [--shard build/shard_scaling_gate.json] [--tolerance 1.25]
+        [--shard build/shard_scaling_gate.json] \
+        [--durability build/durability_gate.json] \
+        [--tolerance 1.25] [--open-tolerance 1.05]
 
 Stdlib only (CI runs it on a bare runner). The check_* functions return
 failure-message lists so tools/test_check_perf_gate.py can unit-test the
@@ -97,14 +104,41 @@ def check_shard_scaling(gate):
     return failures
 
 
+def check_durability(gate, open_tolerance=1.05):
+    """Failure messages for a bench_durability gate dict (empty = pass)."""
+    failures = []
+    open_section = gate.get("open", {})
+    for key in ("verified_seconds", "unverified_seconds", "overhead_ratio"):
+        if not isinstance(open_section.get(key), (int, float)):
+            failures.append(f"gate JSON is missing open.{key}")
+    for key in ("synced_records_per_sec", "unsynced_records_per_sec"):
+        if not isinstance(gate.get("wal", {}).get(key), (int, float)):
+            failures.append(f"gate JSON is missing wal.{key}")
+    if failures:
+        return failures
+
+    if open_section["overhead_ratio"] > open_tolerance:
+        failures.append(
+            f"checksummed store open is "
+            f"{open_section['overhead_ratio']:.3f}x the unverified open "
+            f"(tolerance {open_tolerance:.2f}x) — verification overhead "
+            f"regressed")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("gate_json",
                         help="file written by bench_sample_index --index_out")
     parser.add_argument("--shard", metavar="FILE", default=None,
                         help="file written by bench_shard_scaling --shard_out")
+    parser.add_argument("--durability", metavar="FILE", default=None,
+                        help="file written by bench_durability "
+                             "--durability_out")
     parser.add_argument("--tolerance", type=float, default=1.25,
                         help="max indexed/scan ratio on the broad workload")
+    parser.add_argument("--open-tolerance", type=float, default=1.05,
+                        help="max verified/unverified store-open ratio")
     args = parser.parse_args(argv)
 
     with open(args.gate_json) as f:
@@ -139,6 +173,28 @@ def main(argv=None):
             print(f"  merge: count rel err {merge['count_max_rel_err']:.3g}, "
                   f"sum rel err {merge['sum_max_rel_err']:.3g} "
                   f"(bar {SHARD_MERGE_TOLERANCE:.0e})")
+
+    if args.durability is not None:
+        with open(args.durability) as f:
+            durability_gate = json.load(f)
+        failures += check_durability(durability_gate, args.open_tolerance)
+        print(f"durability perf gate over {args.durability}:")
+        open_section = durability_gate.get("open", {})
+        if all(isinstance(open_section.get(k), (int, float))
+               for k in ("verified_seconds", "unverified_seconds",
+                         "overhead_ratio")):
+            print(f"  open: verified {open_section['verified_seconds']:.4f}s "
+                  f"vs unverified "
+                  f"{open_section['unverified_seconds']:.4f}s "
+                  f"({open_section['overhead_ratio']:.3f}x, bar "
+                  f"{args.open_tolerance:.2f}x)")
+        wal = durability_gate.get("wal", {})
+        if all(isinstance(wal.get(k), (int, float))
+               for k in ("synced_records_per_sec",
+                         "unsynced_records_per_sec")):
+            print(f"  wal: {wal['synced_records_per_sec']:.0f} rec/s synced, "
+                  f"{wal['unsynced_records_per_sec']:.0f} rec/s unsynced "
+                  f"(recorded, not enforced)")
 
     for failure in failures:
         print(f"  FAIL: {failure}", file=sys.stderr)

@@ -30,10 +30,22 @@
 // bitwise identical either way, only route-time latency changes.
 // --shards N partitions the rows into N shards (--shard-scheme rr|hash)
 // and builds EVERY shard's summaries + samples in parallel with the same
-// per-shard knobs; the store persists as a MANIFEST v3 directory that
+// per-shard knobs; the store persists as a MANIFEST v4 directory that
 // entropydb_query answers by fanning each query across shards and merging
 // the per-shard estimates additively (each shard routes to its own best
 // source).
+//
+// Ingest (sharded stores only, engine/ingest.h):
+//
+//   entropydb_build --append new_rows.csv --store flights.store
+//   entropydb_build --recover on --store flights.store
+//
+// --append journals one CSV batch (header + rows, matching the store's
+// schema and domains) into <store>/ingest.wal, fsyncs it, then seals it —
+// and any batches a crashed earlier run left pending — into fresh shards
+// appended to the manifest. --recover replays pending batches without
+// appending. For ingest, --budget is the TOTAL statistic budget of each
+// batch shard (the modeled pairs are inherited from shard 0).
 
 #include <cstdio>
 #include <cstring>
@@ -57,7 +69,9 @@ void Usage() {
       "                       [--uniform on] [--sample-index on|off]\n"
       "                       [--shards N] [--shard-scheme rr|hash]\n"
       "                       [--heuristic composite|large|zero]\n"
-      "                       [--iterations N]\n");
+      "                       [--iterations N]\n"
+      "       entropydb_build --append BATCH.csv --store DIR\n"
+      "       entropydb_build --recover on --store DIR\n");
 }
 
 Result<Schema> ParseSchemaSpec(const std::string& spec) {
@@ -99,6 +113,50 @@ int main(int argc, char** argv) {
     }
     args[argv[i] + 2] = argv[i + 1];
   }
+  // Ingest modes act on an EXISTING sharded store: no --csv/--schema
+  // (batch rows encode against the store's persisted domains).
+  if (args.count("append") || args.count("recover")) {
+    if (!args.count("store")) {
+      Usage();
+      return 2;
+    }
+    StoreOptions iopts;
+    if (args.count("budget")) iopts.total_budget = std::stoul(args["budget"]);
+    if (args.count("samples")) {
+      iopts.num_stratified_samples = std::stoul(args["samples"]);
+    }
+    if (args.count("sample-fraction")) {
+      iopts.sample_fraction = std::stod(args["sample-fraction"]);
+    }
+    iopts.uniform_sample = args.count("uniform") && args["uniform"] != "off";
+    iopts.sample_index =
+        !args.count("sample-index") || args["sample-index"] != "off";
+    if (args.count("iterations")) {
+      iopts.summary.solver.max_iterations = std::stoul(args["iterations"]);
+    }
+    auto run = [&]() -> Result<IngestReport> {
+      if (args.count("append")) {
+        std::string csv_text;
+        RETURN_NOT_OK(Env::Default()->ReadFile(args["append"], &csv_text));
+        return AppendBatch(args["store"], csv_text, iopts);
+      }
+      return RecoverPending(args["store"], iopts);
+    };
+    Result<IngestReport> report = run();
+    if (!report.ok()) {
+      std::fprintf(stderr, "ingest: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "journaled %llu batch(es), sealed %llu (%llu recovered) in %s\n",
+        static_cast<unsigned long long>(report->journaled),
+        static_cast<unsigned long long>(report->sealed),
+        static_cast<unsigned long long>(report->recovered),
+        args["store"].c_str());
+    return 0;
+  }
+
   if (!args.count("csv") || !args.count("schema") ||
       (!args.count("out") && !args.count("store"))) {
     Usage();

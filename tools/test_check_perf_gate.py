@@ -107,6 +107,47 @@ class ShardScalingGateTest(unittest.TestCase):
         self.assertTrue(any("missing cores" in f for f in failures))
 
 
+def durability_gate(**overrides):
+    gate = {
+        "rows": 100000,
+        "save_seconds": 0.050,
+        "open": {"verified_seconds": 0.0205, "unverified_seconds": 0.0200,
+                 "overhead_ratio": 1.025},
+        "wal": {"synced_records_per_sec": 900.0,
+                "unsynced_records_per_sec": 400000.0,
+                "bytes_per_record": 1024},
+        "pass": True,
+    }
+    gate.update(overrides)
+    return gate
+
+
+class DurabilityGateTest(unittest.TestCase):
+    def test_healthy_gate_passes(self):
+        self.assertEqual(check_perf_gate.check_durability(durability_gate()),
+                         [])
+
+    def test_open_overhead_beyond_tolerance_fails(self):
+        gate = durability_gate()
+        gate["open"]["overhead_ratio"] = 1.20
+        failures = check_perf_gate.check_durability(gate)
+        self.assertTrue(any("verification overhead" in f for f in failures))
+        self.assertEqual(
+            check_perf_gate.check_durability(gate, open_tolerance=1.5), [])
+
+    def test_missing_fields_fail_instead_of_passing_silently(self):
+        gate = durability_gate()
+        del gate["open"]["overhead_ratio"]
+        failures = check_perf_gate.check_durability(gate)
+        self.assertTrue(any("missing open.overhead_ratio" in f
+                            for f in failures))
+        gate = durability_gate()
+        del gate["wal"]
+        failures = check_perf_gate.check_durability(gate)
+        self.assertTrue(any("missing wal.synced_records_per_sec" in f
+                            for f in failures))
+
+
 class MainTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -145,6 +186,31 @@ class MainTest(unittest.TestCase):
         bad["merge"]["count_max_rel_err"] = 1.0
         shard = self.write("shard.json", bad)
         self.assertEqual(check_perf_gate.main([idx, "--shard", shard]), 1)
+
+    def test_all_three_gates_pass(self):
+        idx = self.write("index.json", index_gate())
+        shard = self.write("shard.json", shard_gate())
+        durability = self.write("durability.json", durability_gate())
+        self.assertEqual(
+            check_perf_gate.main(
+                [idx, "--shard", shard, "--durability", durability]), 0)
+
+    def test_failing_durability_gate_fails_the_run(self):
+        idx = self.write("index.json", index_gate())
+        bad = durability_gate()
+        bad["open"]["overhead_ratio"] = 1.30
+        durability = self.write("durability.json", bad)
+        self.assertEqual(
+            check_perf_gate.main([idx, "--durability", durability]), 1)
+
+    def test_open_tolerance_flag_is_honoured(self):
+        idx = self.write("index.json", index_gate())
+        loose = durability_gate()
+        loose["open"]["overhead_ratio"] = 1.30
+        durability = self.write("durability.json", loose)
+        self.assertEqual(
+            check_perf_gate.main([idx, "--durability", durability,
+                                  "--open-tolerance", "1.5"]), 0)
 
 
 if __name__ == "__main__":
