@@ -93,10 +93,16 @@ Result<QueryEstimate> EntropyEngine::AnswerCount(
     const CountingQuery& q, RouteDecision* decision) const {
   if (sharded_ != nullptr) {
     // Per-shard routing decisions live on ShardedStore::AnswerCount; the
-    // facade-level decision carries the merged variance.
-    if (decision != nullptr) *decision = RouteDecision{};
-    ASSIGN_OR_RETURN(QueryEstimate est, sharded_->AnswerCount(q));
-    if (decision != nullptr) decision->expected_variance = est.variance;
+    // facade-level decision carries the merged variance plus the
+    // pruned/scanned shard counters.
+    if (decision == nullptr) return sharded_->AnswerCount(q);
+    *decision = RouteDecision{};
+    std::vector<RouteDecision> per_shard;
+    ASSIGN_OR_RETURN(QueryEstimate est, sharded_->AnswerCount(q, &per_shard));
+    decision->expected_variance = est.variance;
+    for (const RouteDecision& d : per_shard) {
+      ++(d.pruned ? decision->shards_pruned : decision->shards_scanned);
+    }
     return est;
   }
   if (router_ != nullptr) return router_->Answer(q, decision);
@@ -188,9 +194,15 @@ Result<QueryEstimate> EntropyEngine::AnswerSum(
     AttrId a, const std::vector<double>& weights, const CountingQuery& q,
     RouteDecision* decision) const {
   if (sharded_ != nullptr) {
-    if (decision != nullptr) *decision = RouteDecision{};
-    ASSIGN_OR_RETURN(QueryEstimate est, sharded_->AnswerSum(a, weights, q));
-    if (decision != nullptr) decision->expected_variance = est.variance;
+    if (decision == nullptr) return sharded_->AnswerSum(a, weights, q);
+    *decision = RouteDecision{};
+    std::vector<RouteDecision> per_shard;
+    ASSIGN_OR_RETURN(QueryEstimate est,
+                     sharded_->AnswerSum(a, weights, q, &per_shard));
+    decision->expected_variance = est.variance;
+    for (const RouteDecision& d : per_shard) {
+      ++(d.pruned ? decision->shards_pruned : decision->shards_scanned);
+    }
     return est;
   }
   std::optional<QueryEstimate> routed_cnt;

@@ -8,6 +8,7 @@
 #include "engine/sharded_store.h"
 #include "storage/table_builder.h"
 #include "storage/wal.h"
+#include "storage/zone_map.h"
 
 namespace entropydb {
 
@@ -109,8 +110,18 @@ Status SealBatch(const std::string& dir, ShardedStore::Manifest* m,
   ASSIGN_OR_RETURN(std::shared_ptr<SourceStore> shard,
                    SourceStore::Build(*table, opts));
   const std::string shard_name = "shard_b" + std::to_string(batch_index);
-  RETURN_NOT_OK(shard->Save((fs::path(dir) / shard_name).string(), env));
+  const std::string shard_dir = (fs::path(dir) / shard_name).string();
+  RETURN_NOT_OK(shard->Save(shard_dir, env));
+  // The sealed shard's zone map is durable BEFORE the manifest names it:
+  // the manifest must never point at a zone map that could vanish in a
+  // crash (a missing file only degrades to full fan-out, but the write
+  // order keeps even that from happening on a clean seal). Replay after a
+  // crash rebuilds both the shard and its map idempotently.
+  RETURN_NOT_OK(ZoneMap::Build(*table).Save(
+      env, (fs::path(shard_dir) / kZoneMapFileName).string()));
+  RETURN_NOT_OK(env->SyncDir(shard_dir));
   m->shard_dirs.push_back(shard_name);
+  m->zonemap_dirs.push_back(shard_name);
   m->wal_sealed = batch_index + 1;
   // The commit point: shard list and sealed cursor flip together.
   return ShardedStore::WriteManifest(dir, *m, env);

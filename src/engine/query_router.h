@@ -45,6 +45,20 @@ struct RouteDecision {
   /// The best sample's expected variance; +infinity when the store holds
   /// no samples (the comparison then never picks a sample).
   double sample_variance = std::numeric_limits<double>::infinity();
+
+  // -- Shard pruning (engine/sharded_store.h, storage/zone_map.h) --------
+  // Only sharded answering fills these. Per-shard decision slots carry
+  // `pruned`; the facade-level decision EntropyEngine returns carries the
+  // aggregate counters.
+  /// True when the shard's zone map proved the query cannot match: the
+  /// shard was skipped and contributed an exact {0, 0} to the merge.
+  bool pruned = false;
+  /// The attribute whose zone map proved the miss (valid when `pruned`).
+  AttrId pruned_attr = 0;
+  /// Shards skipped / actually answered for this query (facade-level
+  /// aggregate; both 0 on non-sharded paths).
+  size_t shards_pruned = 0;
+  size_t shards_scanned = 0;
 };
 
 /// \brief Routes each query to the store source — maxent summary or

@@ -19,10 +19,19 @@ constexpr char kManifestV4[] = "ENTROPYDB_STORE_V4";
 std::string ManifestPayload(const ShardedStore::Manifest& m) {
   std::ostringstream out;
   out << kManifestV4 << " sharded\n";
-  out << "scheme " << PartitionSchemeName(m.scheme) << "\n";
+  out << "scheme " << PartitionSpecToken({m.scheme, m.partition_attr})
+      << "\n";
   out << "wal_sealed " << m.wal_sealed << "\n";
   out << "shards " << m.shard_dirs.size() << "\n";
   for (const std::string& d : m.shard_dirs) out << "shard " << d << "\n";
+  // The zone-map section is optional: pre-pruning stores list none and
+  // load unchanged (they simply never prune).
+  if (!m.zonemap_dirs.empty()) {
+    out << "zonemaps " << m.zonemap_dirs.size() << "\n";
+    for (const std::string& d : m.zonemap_dirs) {
+      out << "zonemap " << d << "\n";
+    }
+  }
   return out.str();
 }
 
@@ -36,9 +45,14 @@ void MergeInto(QueryEstimate* merged, const QueryEstimate& shard) {
 
 }  // namespace
 
-ShardedStore::ShardedStore(std::vector<std::shared_ptr<SourceStore>> shards,
-                           PartitionScheme scheme)
-    : shards_(std::move(shards)), scheme_(scheme) {
+ShardedStore::ShardedStore(
+    std::vector<std::shared_ptr<SourceStore>> shards, PartitionScheme scheme,
+    std::vector<std::shared_ptr<const ZoneMap>> zone_maps,
+    AttrId partition_attr)
+    : shards_(std::move(shards)),
+      zone_maps_(std::move(zone_maps)),
+      scheme_(scheme),
+      partition_attr_(partition_attr) {
   engines_.reserve(shards_.size());
   for (const auto& s : shards_) {
     engines_.push_back(EntropyEngine::FromStore(s));
@@ -47,7 +61,9 @@ ShardedStore::ShardedStore(std::vector<std::shared_ptr<SourceStore>> shards,
 }
 
 Result<std::shared_ptr<ShardedStore>> ShardedStore::FromShards(
-    std::vector<std::shared_ptr<SourceStore>> shards, PartitionScheme scheme) {
+    std::vector<std::shared_ptr<SourceStore>> shards, PartitionScheme scheme,
+    std::vector<std::shared_ptr<const ZoneMap>> zone_maps,
+    AttrId partition_attr) {
   if (shards.empty()) {
     return Status::InvalidArgument("a sharded store needs at least one shard");
   }
@@ -76,8 +92,36 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::FromShards(
       }
     }
   }
+  if (zone_maps.empty()) {
+    zone_maps.resize(shards.size());  // nulls: no shard ever prunes
+  } else if (zone_maps.size() != shards.size()) {
+    return Status::InvalidArgument(
+        "zone map list must be empty or hold one entry per shard");
+  }
+  for (const auto& zm : zone_maps) {
+    if (zm == nullptr) continue;
+    if (zm->num_attributes() != ref.num_attributes()) {
+      return Status::InvalidArgument(
+          "zone map disagrees with the shards on the relation arity");
+    }
+    for (AttrId a = 0; a < ref.num_attributes(); ++a) {
+      if (zm->domain_size(a) !=
+          ref.entry(0).summary->registry().domain_size(a)) {
+        return Status::InvalidArgument(
+            "zone map disagrees on the domain of attribute " +
+            std::to_string(a));
+      }
+    }
+  }
+  if (scheme == PartitionScheme::kAttribute &&
+      partition_attr >= ref.num_attributes()) {
+    return Status::InvalidArgument(
+        "partition attribute " + std::to_string(partition_attr) +
+        " out of range");
+  }
   return std::shared_ptr<ShardedStore>(
-      new ShardedStore(std::move(shards), scheme));
+      new ShardedStore(std::move(shards), scheme, std::move(zone_maps),
+                       partition_attr));
 }
 
 Result<std::shared_ptr<ShardedStore>> ShardedStore::Build(const Table& table,
@@ -86,6 +130,7 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::Build(const Table& table,
   popts.num_shards = opts.num_shards;
   popts.scheme = opts.scheme;
   popts.hash_seed = opts.hash_seed;
+  popts.partition_attr = opts.partition_attr;
   ASSIGN_OR_RETURN(std::vector<std::shared_ptr<Table>> shards,
                    TablePartitioner::Partition(table, popts));
 
@@ -103,6 +148,7 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::Build(const Table& table,
   // internal ParallelFor calls degrade inline on worker threads. Outputs
   // land in disjoint slots, so the result is deterministic.
   std::vector<std::shared_ptr<SourceStore>> built(shards.size());
+  std::vector<std::shared_ptr<const ZoneMap>> zone_maps(shards.size());
   std::vector<Status> statuses(shards.size(), Status::OK());
   ParallelFor(shards.size(), 2, [&](size_t s) {
     StoreOptions per_shard = shard_opts;
@@ -115,11 +161,21 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::Build(const Table& table,
       return;
     }
     built[s] = *store;
+    // Seal-time metadata: the zone map records exactly which codes this
+    // shard's rows touch, while the shard table is still in hand.
+    zone_maps[s] = std::make_shared<const ZoneMap>(ZoneMap::Build(*shards[s]));
   });
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
-  return FromShards(std::move(built), opts.scheme);
+  return FromShards(std::move(built), opts.scheme, std::move(zone_maps),
+                    opts.partition_attr);
+}
+
+bool ShardedStore::Prunable(size_t s, const CountingQuery& q,
+                            AttrId* attr) const {
+  if (!prune_ || zone_maps_[s] == nullptr) return false;
+  return !zone_maps_[s]->MightMatch(q, attr);
 }
 
 Result<QueryEstimate> ShardedStore::AnswerCount(
@@ -129,6 +185,16 @@ Result<QueryEstimate> ShardedStore::AnswerCount(
   }
   QueryEstimate merged;
   for (size_t s = 0; s < shards_.size(); ++s) {
+    // A shard whose zone map rules the query out would answer an exact
+    // {0, 0} (see storage/zone_map.h) — skip it; the merge is unchanged.
+    AttrId pruned_attr = 0;
+    if (Prunable(s, q, &pruned_attr)) {
+      if (per_shard != nullptr) {
+        (*per_shard)[s].pruned = true;
+        (*per_shard)[s].pruned_attr = pruned_attr;
+      }
+      continue;
+    }
     ASSIGN_OR_RETURN(
         QueryEstimate est,
         engines_[s]->AnswerCount(
@@ -146,6 +212,16 @@ Result<QueryEstimate> ShardedStore::AnswerSum(
   }
   QueryEstimate merged;
   for (size_t s = 0; s < shards_.size(); ++s) {
+    // An impossible filter makes every per-value term of the SUM an exact
+    // zero too — same skip rule as COUNT.
+    AttrId pruned_attr = 0;
+    if (Prunable(s, q, &pruned_attr)) {
+      if (per_shard != nullptr) {
+        (*per_shard)[s].pruned = true;
+        (*per_shard)[s].pruned_attr = pruned_attr;
+      }
+      continue;
+    }
     ASSIGN_OR_RETURN(
         QueryEstimate est,
         engines_[s]->AnswerSum(
@@ -179,13 +255,19 @@ Result<QueryEstimate> ShardedStore::AnswerAvg(
 
 Result<std::vector<QueryEstimate>> ShardedStore::AnswerGroupByAttribute(
     AttrId a, const CountingQuery& base) const {
-  std::vector<QueryEstimate> merged;
+  if (a >= num_attributes()) {
+    return Status::OutOfRange("group-by attribute out of range");
+  }
+  // Pre-size to the group-by width so a shard pruned on the base filter
+  // can be skipped: an impossible base makes every per-value cell of that
+  // shard an exact {0, 0}.
+  std::vector<QueryEstimate> merged(
+      shards_.front()->entry(0).summary->registry().domain_size(a));
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (Prunable(s, base, nullptr)) continue;
     ASSIGN_OR_RETURN(std::vector<QueryEstimate> part,
                      engines_[s]->AnswerGroupByAttribute(a, base));
-    if (merged.empty()) {
-      merged.resize(part.size());
-    } else if (merged.size() != part.size()) {
+    if (merged.size() != part.size()) {
       return Status::Internal("shards disagree on group-by width");
     }
     for (size_t v = 0; v < part.size(); ++v) MergeInto(&merged[v], part[v]);
@@ -198,7 +280,17 @@ Result<std::map<std::vector<Code>, QueryEstimate>> ShardedStore::AnswerGroupBy(
     const std::vector<std::vector<Code>>& keys,
     const CountingQuery& base) const {
   std::map<std::vector<Code>, QueryEstimate> merged;
+  // Every requested key gets a slot up front, so the result keeps its
+  // shape even when pruning skips every shard (malformed keys still fail,
+  // exactly as the per-shard answerers would make them).
+  for (const auto& key : keys) {
+    if (key.size() != attrs.size()) {
+      return Status::InvalidArgument("group-by key arity mismatch");
+    }
+    merged[key];
+  }
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (Prunable(s, base, nullptr)) continue;
     ASSIGN_OR_RETURN(auto part, engines_[s]->AnswerGroupBy(attrs, keys, base));
     for (const auto& [key, est] : part) MergeInto(&merged[key], est);
   }
@@ -220,6 +312,16 @@ Result<std::vector<QueryEstimate>> ShardedStore::AnswerAll(
   ParallelFor(nq * ns, 2, [&](size_t flat) {
     const size_t i = flat / ns;
     const size_t s = flat % ns;
+    // Pruned cells keep their default-zero estimate — the exact value the
+    // shard would have answered — so the serial merge below is unchanged.
+    AttrId pruned_attr = 0;
+    if (Prunable(s, qs[i], &pruned_attr)) {
+      if (per_shard != nullptr) {
+        cell_decisions[flat].pruned = true;
+        cell_decisions[flat].pruned_attr = pruned_attr;
+      }
+      return;
+    }
     auto est = engines_[s]->AnswerCount(
         qs[i], per_shard != nullptr ? &cell_decisions[flat] : nullptr);
     if (!est.ok()) {
@@ -285,7 +387,9 @@ Result<ShardedStore::Manifest> ShardedStore::ReadManifest(
   if (!(in >> token >> scheme_token) || token != "scheme") {
     return Status::Corruption("bad scheme record in " + dir);
   }
-  ASSIGN_OR_RETURN(m.scheme, ParsePartitionScheme(scheme_token));
+  ASSIGN_OR_RETURN(PartitionSpec spec, ParsePartitionSpec(scheme_token));
+  m.scheme = spec.scheme;
+  m.partition_attr = spec.attr;
   if (v4) {
     if (!(in >> token >> m.wal_sealed) || token != "wal_sealed") {
       return Status::Corruption("bad wal_sealed record in " + dir);
@@ -299,6 +403,20 @@ Result<ShardedStore::Manifest> ShardedStore::ReadManifest(
   for (size_t s = 0; s < ns; ++s) {
     if (!(in >> token >> m.shard_dirs[s]) || token != "shard") {
       return Status::Corruption("bad shard record in " + dir);
+    }
+  }
+  // Optional trailing zone-map section (absent in v3 and in pre-pruning
+  // v4 stores — those simply never prune).
+  if (in >> token) {
+    size_t nz = 0;
+    if (token != "zonemaps" || !(in >> nz) || nz > ns) {
+      return Status::Corruption("bad zonemaps record in " + dir);
+    }
+    m.zonemap_dirs.resize(nz);
+    for (size_t z = 0; z < nz; ++z) {
+      if (!(in >> token >> m.zonemap_dirs[z]) || token != "zonemap") {
+        return Status::Corruption("bad zonemap record in " + dir);
+      }
     }
   }
   return m;
@@ -330,16 +448,25 @@ Status ShardedStore::Save(const std::string& dir, Env* env) const {
     // stage nothing is being published, so shards skip their own staging.
     std::vector<Status> statuses(shards_.size(), Status::OK());
     ParallelFor(shards_.size(), 2, [&](size_t i) {
-      statuses[i] = shards_[i]->SaveContents(
-          (fs::path(stage) / ("shard_" + std::to_string(i))).string(), env);
+      const std::string shard_dir =
+          (fs::path(stage) / ("shard_" + std::to_string(i))).string();
+      statuses[i] = shards_[i]->SaveContents(shard_dir, env);
+      if (statuses[i].ok() && zone_maps_[i] != nullptr) {
+        statuses[i] = zone_maps_[i]->Save(
+            env, (fs::path(shard_dir) / kZoneMapFileName).string());
+      }
     });
     for (const Status& st : statuses) {
       if (!st.ok()) return st;
     }
     Manifest m;
     m.scheme = scheme_;
+    m.partition_attr = partition_attr_;
     for (size_t i = 0; i < shards_.size(); ++i) {
       m.shard_dirs.push_back("shard_" + std::to_string(i));
+      if (zone_maps_[i] != nullptr) {
+        m.zonemap_dirs.push_back(m.shard_dirs.back());
+      }
     }
     RETURN_NOT_OK(WriteChecksummedFile(
         env, (fs::path(stage) / "MANIFEST").string(), ManifestPayload(m)));
@@ -373,6 +500,7 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::Load(
   // Shard loads are independent (each is a full store load, itself
   // parallel inside), so fan out across shards too.
   std::vector<std::shared_ptr<SourceStore>> shards(ns);
+  std::vector<std::shared_ptr<const ZoneMap>> zone_maps(ns);
   std::vector<Status> statuses(ns, Status::OK());
   ParallelFor(ns, 2, [&](size_t s) {
     auto loaded = SourceStore::Load((fs::path(dir) / m.shard_dirs[s]).string(),
@@ -386,7 +514,37 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::Load(
   for (const Status& s : statuses) {
     if (!s.ok()) return s;
   }
-  auto store = FromShards(std::move(shards), m.scheme);
+  // Zone maps the manifest lists: a corrupt one is a typed failure (a
+  // wrong zone map would prune wrongly — silently wrong answers), but a
+  // MISSING one merely degrades that shard to full fan-out, with a
+  // warning. Deleting a zone map is a legal manual repair.
+  for (const std::string& zdir : m.zonemap_dirs) {
+    size_t s = ns;
+    for (size_t i = 0; i < ns; ++i) {
+      if (m.shard_dirs[i] == zdir) {
+        s = i;
+        break;
+      }
+    }
+    if (s == ns) {
+      return Status::Corruption("manifest lists a zone map for unknown shard " +
+                                zdir + " in " + dir);
+    }
+    const std::string path =
+        (fs::path(dir) / zdir / kZoneMapFileName).string();
+    if (!env->FileExists(path)) {
+      std::fprintf(stderr,
+                   "entropydb: warning: zone map %s is missing; shard "
+                   "degrades to full fan-out\n",
+                   path.c_str());
+      continue;
+    }
+    ASSIGN_OR_RETURN(ZoneMap zm, ZoneMap::Load(env, path));
+    zone_maps[s] = std::make_shared<const ZoneMap>(std::move(zm));
+  }
+  auto store =
+      FromShards(std::move(shards), m.scheme, std::move(zone_maps),
+                 m.partition_attr);
   if (!store.ok()) {
     return Status::Corruption("inconsistent sharded store in " + dir + ": " +
                               store.status().message());

@@ -11,6 +11,7 @@
 #include "engine/query_router.h"
 #include "engine/source_store.h"
 #include "storage/partitioner.h"
+#include "storage/zone_map.h"
 
 namespace entropydb {
 
@@ -23,6 +24,11 @@ struct ShardedOptions {
   PartitionScheme scheme = PartitionScheme::kRoundRobin;
   /// Seed for PartitionScheme::kHash.
   uint64_t hash_seed = 0x9e3779b97f4a7c15ull;
+  /// Routing attribute for PartitionScheme::kAttribute (ignored by the
+  /// other schemes). Attribute partitioning gives each shard a contiguous
+  /// slice of this attribute's domain, which is what makes the per-shard
+  /// zone maps maximally selective.
+  AttrId partition_attr = 0;
   /// Per-shard build knobs, applied to every shard's SourceStore::Build:
   /// each shard models its own row partition with the FULL budget/sample
   /// settings (sharding scales data size, it does not dilute per-shard
@@ -71,10 +77,14 @@ class ShardedStore {
 
   /// Assembles a sharded store from already-built per-shard stores (the
   /// path Load uses). Shards must be non-empty and agree on arity and
-  /// per-attribute domain sizes.
+  /// per-attribute domain sizes. `zone_maps` is empty (no pruning) or one
+  /// entry per shard — a null entry means that shard is never pruned; a
+  /// non-null one must agree with the shard's arity and domain sizes.
   static Result<std::shared_ptr<ShardedStore>> FromShards(
       std::vector<std::shared_ptr<SourceStore>> shards,
-      PartitionScheme scheme);
+      PartitionScheme scheme,
+      std::vector<std::shared_ptr<const ZoneMap>> zone_maps = {},
+      AttrId partition_attr = 0);
 
   size_t num_shards() const { return shards_.size(); }
   const SourceStore& shard(size_t s) const { return *shards_[s]; }
@@ -84,6 +94,20 @@ class ShardedStore {
   /// The per-shard serving facade (full hybrid routing per shard).
   const EntropyEngine& shard_engine(size_t s) const { return *engines_[s]; }
   PartitionScheme scheme() const { return scheme_; }
+  /// Routing attribute (meaningful under PartitionScheme::kAttribute).
+  AttrId partition_attr() const { return partition_attr_; }
+  /// Shard s's zone map; null when the shard carries none (legacy store,
+  /// or a deleted zone-map file degraded at load) — such shards are never
+  /// pruned.
+  std::shared_ptr<const ZoneMap> zone_map(size_t s) const {
+    return zone_maps_[s];
+  }
+
+  /// Runtime toggle for zone-map consultation (default on). Turning it
+  /// off forces TRUE full fan-out — the reference the pruning benches and
+  /// bitwise-identity tests compare against.
+  void set_zone_map_pruning(bool on) { prune_ = on; }
+  bool zone_map_pruning() const { return prune_; }
 
   // Schema accessors, identical across shards (validated on FromShards).
   const std::vector<std::string>& attr_names() const {
@@ -145,10 +169,17 @@ class ShardedStore {
   /// sealed-batch cursor without reloading every shard.
   struct Manifest {
     PartitionScheme scheme = PartitionScheme::kRoundRobin;
+    /// Routing attribute, persisted in the scheme token ("attr:<id>")
+    /// when scheme is kAttribute.
+    AttrId partition_attr = 0;
     std::vector<std::string> shard_dirs;
     /// Number of leading WAL records already sealed into shards; replay
     /// starts after them (0 for a store with no ingest history).
     uint64_t wal_sealed = 0;
+    /// Shard dirs (a subset of `shard_dirs`) that carry a ZONEMAP file.
+    /// v3 manifests and pre-pruning v4 manifests list none — such stores
+    /// load unchanged and skip pruning.
+    std::vector<std::string> zonemap_dirs;
   };
 
   /// Reads `dir/MANIFEST`. Accepts v4-sharded (checksummed — footer
@@ -184,11 +215,21 @@ class ShardedStore {
 
  private:
   ShardedStore(std::vector<std::shared_ptr<SourceStore>> shards,
-               PartitionScheme scheme);
+               PartitionScheme scheme,
+               std::vector<std::shared_ptr<const ZoneMap>> zone_maps,
+               AttrId partition_attr);
+
+  /// True when shard `s`'s zone map proves `q` cannot match it (the skip
+  /// test every Answer* path runs). `*attr` gets the proving attribute.
+  bool Prunable(size_t s, const CountingQuery& q, AttrId* attr) const;
 
   std::vector<std::shared_ptr<SourceStore>> shards_;
   std::vector<std::shared_ptr<EntropyEngine>> engines_;
+  /// One slot per shard; null = never pruned.
+  std::vector<std::shared_ptr<const ZoneMap>> zone_maps_;
   PartitionScheme scheme_ = PartitionScheme::kRoundRobin;
+  AttrId partition_attr_ = 0;
+  bool prune_ = true;
   double total_n_ = 0.0;
 };
 

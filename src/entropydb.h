@@ -75,6 +75,7 @@
 #include "storage/table.h"
 #include "storage/table_builder.h"
 #include "storage/wal.h"
+#include "storage/zone_map.h"
 #include "workload/flights.h"
 #include "workload/metrics.h"
 #include "workload/particles.h"

@@ -8,6 +8,8 @@ const char* PartitionSchemeName(PartitionScheme scheme) {
       return "roundrobin";
     case PartitionScheme::kHash:
       return "hash";
+    case PartitionScheme::kAttribute:
+      return "attr";
   }
   return "unknown";
 }
@@ -18,6 +20,31 @@ Result<PartitionScheme> ParsePartitionScheme(const std::string& token) {
   }
   if (token == "hash") return PartitionScheme::kHash;
   return Status::InvalidArgument("unknown partition scheme: " + token);
+}
+
+std::string PartitionSpecToken(const PartitionSpec& spec) {
+  if (spec.scheme == PartitionScheme::kAttribute) {
+    return "attr:" + std::to_string(spec.attr);
+  }
+  return PartitionSchemeName(spec.scheme);
+}
+
+Result<PartitionSpec> ParsePartitionSpec(const std::string& token) {
+  PartitionSpec spec;
+  if (token.rfind("attr:", 0) == 0) {
+    const std::string id = token.substr(5);
+    if (id.empty() ||
+        id.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument(
+          "bad attribute partition spec '" + token +
+          "' (expected attr:<index>)");
+    }
+    spec.scheme = PartitionScheme::kAttribute;
+    spec.attr = static_cast<AttrId>(std::stoul(id));
+    return spec;
+  }
+  ASSIGN_OR_RETURN(spec.scheme, ParsePartitionScheme(token));
+  return spec;
 }
 
 uint64_t TablePartitioner::RowHash(const Table& table, size_t row,
@@ -37,10 +64,21 @@ uint64_t TablePartitioner::RowHash(const Table& table, size_t row,
 
 size_t TablePartitioner::ShardOf(const Table& table, size_t row,
                                  const PartitionOptions& opts) {
-  if (opts.scheme == PartitionScheme::kRoundRobin) {
-    return row % opts.num_shards;
+  switch (opts.scheme) {
+    case PartitionScheme::kRoundRobin:
+      return row % opts.num_shards;
+    case PartitionScheme::kHash:
+      return RowHash(table, row, opts.hash_seed) % opts.num_shards;
+    case PartitionScheme::kAttribute: {
+      // Contiguous domain slices: shard s owns codes in
+      // [s * N / S, (s + 1) * N / S), so both point and range predicates
+      // on the partition attribute touch a contiguous few shards.
+      const uint64_t code = table.at(row, opts.partition_attr);
+      const uint64_t domain = table.domain(opts.partition_attr).size();
+      return static_cast<size_t>(code * opts.num_shards / domain);
+    }
   }
-  return RowHash(table, row, opts.hash_seed) % opts.num_shards;
+  return row % opts.num_shards;
 }
 
 Result<std::vector<std::shared_ptr<Table>>> TablePartitioner::Partition(
@@ -52,6 +90,21 @@ Result<std::vector<std::shared_ptr<Table>>> TablePartitioner::Partition(
     return Status::InvalidArgument(
         "cannot cut " + std::to_string(rows) + " rows into " +
         std::to_string(s) + " shards: every shard needs rows to model");
+  }
+  if (opts.scheme == PartitionScheme::kAttribute) {
+    if (opts.partition_attr >= table.num_attributes()) {
+      return Status::InvalidArgument(
+          "partition attribute " + std::to_string(opts.partition_attr) +
+          " out of range (relation has " +
+          std::to_string(table.num_attributes()) + " attributes)");
+    }
+    if (s > table.domain(opts.partition_attr).size()) {
+      return Status::InvalidArgument(
+          "cannot cut a domain of " +
+          std::to_string(table.domain(opts.partition_attr).size()) +
+          " codes into " + std::to_string(s) +
+          " attribute shards: some slice would be empty");
+    }
   }
 
   // Pass 1: shard of every row, plus per-shard sizes for exact reserves.

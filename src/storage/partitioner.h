@@ -20,12 +20,33 @@ enum class PartitionScheme {
   /// in any order reproduces the same partition — the scheme to use when
   /// shards are built incrementally from unordered feeds.
   kHash,
+  /// Rows are routed by ONE attribute's code: shard = code * S / |domain|,
+  /// so each shard owns a contiguous slice of the partition attribute's
+  /// domain. Point AND range predicates on that attribute then land on few
+  /// shards — the layout that makes zone-map pruning
+  /// (storage/zone_map.h) maximally selective.
+  kAttribute,
 };
 
-/// Scheme name as a manifest/CLI token ("roundrobin" / "hash").
+/// Scheme name as a manifest/CLI token ("roundrobin" / "hash" / "attr").
 const char* PartitionSchemeName(PartitionScheme scheme);
-/// Parses a manifest/CLI token (accepts "roundrobin", "rr", "hash").
+/// Parses a bare scheme token (accepts "roundrobin", "rr", "hash").
+/// kAttribute carries an attribute and parses only as a full spec below.
 Result<PartitionScheme> ParsePartitionScheme(const std::string& token);
+
+/// A scheme plus its parameter: kAttribute needs the partition attribute,
+/// the other schemes ignore it. This is what manifests persist and the
+/// `--shard-scheme` flag parses.
+struct PartitionSpec {
+  PartitionScheme scheme = PartitionScheme::kRoundRobin;
+  AttrId attr = 0;
+};
+
+/// Manifest/CLI token of a spec: "roundrobin", "hash", or "attr:<id>".
+std::string PartitionSpecToken(const PartitionSpec& spec);
+/// Parses "roundrobin" / "rr" / "hash" / "attr:<id>" (id is the numeric
+/// attribute index; CLI layers resolve names to indexes before this).
+Result<PartitionSpec> ParsePartitionSpec(const std::string& token);
 
 /// Knobs for TablePartitioner::Partition.
 struct PartitionOptions {
@@ -35,6 +56,10 @@ struct PartitionOptions {
   /// Seed folded into the row hash (kHash only), so distinct deployments
   /// can decorrelate their shard layouts.
   uint64_t hash_seed = 0x9e3779b97f4a7c15ull;
+  /// The routing attribute (kAttribute only). Must index into the table's
+  /// schema; S must not exceed its domain size or some shard's slice is
+  /// empty.
+  AttrId partition_attr = 0;
 };
 
 /// \brief Splits one encoded Table into S disjoint row-shards.

@@ -14,6 +14,7 @@
 #include "../test_util.h"
 #include "engine/engine.h"
 #include "engine/sharded_store.h"
+#include "storage/zone_map.h"
 
 namespace entropydb {
 namespace {
@@ -135,11 +136,23 @@ class CorruptionTest : public ::testing::Test {
         fs::resize_file(fs::path(dir) / rel, keep);
         ExpectOpenFailsCleanly(dir, rel + " trunc@" + std::to_string(keep));
       }
-      // Deletion.
+      // Deletion. A missing zone map is the ONE tolerated mutation: the
+      // map is skip-ahead metadata, so losing the file degrades that
+      // shard to full fan-out (with a warning) instead of failing the
+      // open — deleting it is a legal manual repair. A PRESENT-but-wrong
+      // zone map (the flips and truncations above) must still fail typed:
+      // it could prune wrongly, which is a silently wrong answer.
       {
         const std::string dir = Clone(pristine);
         fs::remove(fs::path(dir) / rel);
-        ExpectOpenFailsCleanly(dir, rel + " deleted");
+        if (fs::path(rel).filename() == kZoneMapFileName) {
+          auto opened = EntropyEngine::Open(dir);
+          EXPECT_TRUE(opened.ok())
+              << rel << " deleted: degrade-to-full-fan-out failed: "
+              << opened.status().ToString();
+        } else {
+          ExpectOpenFailsCleanly(dir, rel + " deleted");
+        }
       }
     }
   }
@@ -158,6 +171,36 @@ TEST_F(CorruptionTest, MonoStoreSurvivesMutationFuzz) {
 TEST_F(CorruptionTest, ShardedStoreSurvivesMutationFuzz) {
   ASSERT_TRUE(EntropyEngine::Open(ShardedDir()).ok());
   FuzzEveryFile(ShardedDir());
+}
+
+TEST_F(CorruptionTest, DeletedZoneMapDegradesToFullFanOutWithWarning) {
+  auto fresh = EntropyEngine::Open(ShardedDir());
+  ASSERT_TRUE(fresh.ok());
+
+  const std::string dir = Clone(ShardedDir());
+  fs::remove(fs::path(dir) / "shard_0" / kZoneMapFileName);
+
+  ::testing::internal::CaptureStderr();
+  auto degraded = EntropyEngine::Open(dir);
+  const std::string warnings = ::testing::internal::GetCapturedStderr();
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_NE(warnings.find("zone map"), std::string::npos) << warnings;
+  EXPECT_NE(warnings.find("full fan-out"), std::string::npos) << warnings;
+
+  // Shard 0 lost its map (never pruned); shard 1 kept its own.
+  EXPECT_EQ((*degraded)->sharded()->zone_map(0), nullptr);
+  EXPECT_NE((*degraded)->sharded()->zone_map(1), nullptr);
+
+  // Degraded answers are the pristine answers — pruning never changes an
+  // estimate, so losing the ability to prune cannot either.
+  CountingQuery q(5);
+  q.Where(0, AttrPredicate::Point(2)).Where(4, AttrPredicate::Point(1));
+  auto a = (*fresh)->AnswerCount(q);
+  auto b = (*degraded)->AnswerCount(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->expectation, b->expectation);
+  EXPECT_EQ(a->variance, b->variance);
 }
 
 TEST_F(CorruptionTest, VerificationCanBeDisabled) {

@@ -123,6 +123,68 @@ TEST(PartitionerTest, SchemeTokensRoundTrip) {
   EXPECT_TRUE(ParsePartitionScheme("modulo").status().IsInvalidArgument());
 }
 
+TEST(PartitionerTest, AttributeSchemeOwnsContiguousDomainSlices) {
+  // Domain of 12 cut into 4 shards: shard s owns codes [3s, 3s + 3).
+  auto table = testutil::RandomTable({12, 5}, 240, 41);
+  PartitionOptions opts;
+  opts.num_shards = 4;
+  opts.scheme = PartitionScheme::kAttribute;
+  opts.partition_attr = 0;
+  auto shards = TablePartitioner::Partition(*table, opts);
+  ASSERT_TRUE(shards.ok()) << shards.status().ToString();
+  ASSERT_EQ(shards->size(), 4u);
+  size_t total = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    total += (*shards)[s]->num_rows();
+    for (size_t r = 0; r < (*shards)[s]->num_rows(); ++r) {
+      const Code c = (*shards)[s]->at(r, 0);
+      EXPECT_GE(c, 3 * s);
+      EXPECT_LT(c, 3 * s + 3);
+    }
+  }
+  EXPECT_EQ(total, 240u);
+  // Row-order independent: routing depends on the code alone.
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    EXPECT_EQ(TablePartitioner::ShardOf(*table, r, opts),
+              table->at(r, 0) * 4 / 12);
+  }
+}
+
+TEST(PartitionerTest, AttributeSchemeValidatesItsParameters) {
+  auto table = testutil::RandomTable({3, 3}, 50, 43);
+  PartitionOptions opts;
+  opts.scheme = PartitionScheme::kAttribute;
+  opts.num_shards = 2;
+  opts.partition_attr = 7;  // out of range
+  EXPECT_TRUE(TablePartitioner::Partition(*table, opts)
+                  .status()
+                  .IsInvalidArgument());
+  opts.partition_attr = 0;
+  opts.num_shards = 4;  // more shards than the domain has codes
+  EXPECT_TRUE(TablePartitioner::Partition(*table, opts)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PartitionerTest, PartitionSpecTokensRoundTrip) {
+  auto attr = ParsePartitionSpec("attr:3");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->scheme, PartitionScheme::kAttribute);
+  EXPECT_EQ(attr->attr, 3u);
+  EXPECT_EQ(PartitionSpecToken(*attr), "attr:3");
+
+  auto hash = ParsePartitionSpec("hash");
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(hash->scheme, PartitionScheme::kHash);
+  EXPECT_EQ(PartitionSpecToken(*hash), "hash");
+
+  EXPECT_TRUE(ParsePartitionSpec("attr:").status().IsInvalidArgument());
+  EXPECT_TRUE(ParsePartitionSpec("attr:x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParsePartitionSpec("modulo").status().IsInvalidArgument());
+  // The bare scheme parser does NOT accept parameterized tokens.
+  EXPECT_TRUE(ParsePartitionScheme("attr:3").status().IsInvalidArgument());
+}
+
 TEST(PartitionerTest, RejectsDegenerateShardCounts) {
   auto table = testutil::RandomTable({3, 3}, 10, 31);
   PartitionOptions opts;

@@ -1,0 +1,170 @@
+// ZoneMap: presence semantics across both encodings, the density
+// cutover, predicate-shape MightMatch, and checksummed round-trip
+// persistence with typed rejection of damaged files.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "storage/zone_map.h"
+
+namespace entropydb {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / "entropydb_zone_map_test";
+  fs::create_directories(dir);
+  return (dir / name).string();
+}
+
+TEST(ZoneMapTest, RecordsExactPresence) {
+  // Attribute 0 touches {0, 2, 5} of a domain of 8; attribute 1 touches
+  // every code of its domain of 3.
+  auto table = testutil::MakeTable(
+      {8, 3}, {{0, 0}, {2, 1}, {5, 2}, {2, 0}, {0, 1}});
+  ZoneMap zm = ZoneMap::Build(*table);
+  ASSERT_EQ(zm.num_attributes(), 2u);
+  EXPECT_EQ(zm.distinct(0), 3u);
+  EXPECT_EQ(zm.distinct(1), 3u);
+  for (Code c = 0; c < 8; ++c) {
+    EXPECT_EQ(zm.Contains(0, c), c == 0 || c == 2 || c == 5) << c;
+  }
+  for (Code c = 0; c < 3; ++c) EXPECT_TRUE(zm.Contains(1, c));
+  // Out-of-domain codes are never present.
+  EXPECT_FALSE(zm.Contains(0, 8));
+  EXPECT_FALSE(zm.Contains(1, 1000));
+}
+
+TEST(ZoneMapTest, DensityPicksTheEncoding) {
+  // Attribute 0: 1 distinct code of a domain of 64 — occupancy 1/64 is
+  // below the 1/32 cutover, so sparse. Attribute 1: 2 distinct of 64 —
+  // exactly AT the cutover (2 * 32 == 64), which is dense (sparse must be
+  // strictly cheaper). Attribute 2: full occupancy, dense.
+  auto table = testutil::MakeTable({64, 64, 2}, {{7, 1, 0}, {7, 60, 1}});
+  ZoneMap zm = ZoneMap::Build(*table);
+  EXPECT_EQ(zm.encoding(0), ZoneMap::Encoding::kSparse);
+  EXPECT_EQ(zm.encoding(1), ZoneMap::Encoding::kDense);
+  EXPECT_EQ(zm.encoding(2), ZoneMap::Encoding::kDense);
+}
+
+TEST(ZoneMapTest, RangeLookupBothEncodings) {
+  auto table = testutil::MakeTable({256, 8}, {{10, 0}, {200, 3}, {11, 7}});
+  ZoneMap zm = ZoneMap::Build(*table);
+  ASSERT_EQ(zm.encoding(0), ZoneMap::Encoding::kSparse);
+  ASSERT_EQ(zm.encoding(1), ZoneMap::Encoding::kDense);
+  // Sparse attribute: presence at {10, 11, 200}.
+  EXPECT_TRUE(zm.ContainsAnyInRange(0, 0, 10));
+  EXPECT_TRUE(zm.ContainsAnyInRange(0, 11, 199));
+  EXPECT_TRUE(zm.ContainsAnyInRange(0, 200, 255));
+  EXPECT_FALSE(zm.ContainsAnyInRange(0, 12, 199));
+  EXPECT_FALSE(zm.ContainsAnyInRange(0, 201, 255));
+  EXPECT_FALSE(zm.ContainsAnyInRange(0, 0, 9));
+  // Inverted and fully out-of-domain ranges are empty.
+  EXPECT_FALSE(zm.ContainsAnyInRange(0, 20, 10));
+  EXPECT_FALSE(zm.ContainsAnyInRange(0, 256, 300));
+  // Dense attribute: presence at {0, 3, 7}.
+  EXPECT_TRUE(zm.ContainsAnyInRange(1, 1, 3));
+  EXPECT_FALSE(zm.ContainsAnyInRange(1, 4, 6));
+  EXPECT_TRUE(zm.ContainsAnyInRange(1, 4, 7));
+  // hi past the domain clamps.
+  EXPECT_TRUE(zm.ContainsAnyInRange(1, 7, 900));
+}
+
+TEST(ZoneMapTest, MightMatchCoversEveryPredicateShape) {
+  auto table = testutil::MakeTable({8, 4}, {{1, 0}, {2, 0}, {6, 1}});
+  ZoneMap zm = ZoneMap::Build(*table);
+
+  CountingQuery any(2);
+  EXPECT_TRUE(zm.MightMatch(any));
+
+  CountingQuery hit(2);
+  hit.Where(0, AttrPredicate::Point(2));
+  EXPECT_TRUE(zm.MightMatch(hit));
+
+  AttrId pruned_attr = 99;
+  CountingQuery miss_point(2);
+  miss_point.Where(0, AttrPredicate::Point(5));
+  EXPECT_FALSE(zm.MightMatch(miss_point, &pruned_attr));
+  EXPECT_EQ(pruned_attr, 0u);
+
+  CountingQuery miss_range(2);
+  miss_range.Where(0, AttrPredicate::Range(3, 5));
+  EXPECT_FALSE(zm.MightMatch(miss_range, &pruned_attr));
+
+  CountingQuery hit_range(2);
+  hit_range.Where(0, AttrPredicate::Range(5, 7));
+  EXPECT_TRUE(zm.MightMatch(hit_range));
+
+  CountingQuery miss_set(2);
+  miss_set.Where(1, AttrPredicate::InSet({2, 3}));
+  EXPECT_FALSE(zm.MightMatch(miss_set, &pruned_attr));
+  EXPECT_EQ(pruned_attr, 1u);
+
+  CountingQuery hit_set(2);
+  hit_set.Where(1, AttrPredicate::InSet({1, 3}));
+  EXPECT_TRUE(zm.MightMatch(hit_set));
+
+  // A conjunction prunes as soon as ONE attribute proves the miss, even
+  // when the other attribute matches.
+  CountingQuery conj(2);
+  conj.Where(0, AttrPredicate::Point(1)).Where(1, AttrPredicate::Point(3));
+  EXPECT_FALSE(zm.MightMatch(conj, &pruned_attr));
+  EXPECT_EQ(pruned_attr, 1u);
+
+  // Arity-mismatched queries never prune (the answer path rejects them
+  // with its own typed error).
+  CountingQuery wrong_arity(3);
+  wrong_arity.Where(0, AttrPredicate::Point(5));
+  EXPECT_TRUE(zm.MightMatch(wrong_arity));
+}
+
+TEST(ZoneMapTest, RoundTripsThroughDisk) {
+  auto table = testutil::MakeTable({200, 5}, {{3, 0}, {150, 4}, {3, 2}});
+  ZoneMap built = ZoneMap::Build(*table);
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(built.Save(Env::Default(), path).ok());
+
+  auto loaded = ZoneMap::Load(Env::Default(), path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_attributes(), 2u);
+  for (AttrId a = 0; a < 2; ++a) {
+    EXPECT_EQ(loaded->encoding(a), built.encoding(a));
+    EXPECT_EQ(loaded->distinct(a), built.distinct(a));
+    for (Code c = 0; c < loaded->domain_size(a); ++c) {
+      EXPECT_EQ(loaded->Contains(a, c), built.Contains(a, c));
+    }
+  }
+}
+
+TEST(ZoneMapTest, DamagedFilesFailTyped) {
+  auto table = testutil::MakeTable({64, 4}, {{1, 0}, {2, 3}});
+  const std::string path = TempPath("damaged");
+  ASSERT_TRUE(ZoneMap::Build(*table).Save(Env::Default(), path).ok());
+  std::string raw;
+  ASSERT_TRUE(Env::Default()->ReadFile(path, &raw).ok());
+
+  // Bit flip in the payload: checksum mismatch.
+  {
+    std::string flipped = raw;
+    flipped[flipped.size() / 2] ^= 0x04;
+    ASSERT_TRUE(Env::Default()->WriteFile(path, flipped).ok());
+    auto loaded = ZoneMap::Load(Env::Default(), path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+  // Truncation (footer gone): zone maps REQUIRE the footer — a
+  // footerless file must never load as a (possibly wrongly pruning) map.
+  {
+    ASSERT_TRUE(
+        Env::Default()->WriteFile(path, raw.substr(0, raw.size() / 2)).ok());
+    auto loaded = ZoneMap::Load(Env::Default(), path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+}  // namespace
+}  // namespace entropydb

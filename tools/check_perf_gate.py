@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over the bench-emitted gate JSON files.
 
-Three gates, one script (all are claims the PRs that introduced them must
+Four gates, one script (all are claims the PRs that introduced them must
 keep true):
 
   * sample-index (bench_sample_index --index_out): indexed and scan
@@ -21,12 +21,20 @@ keep true):
     --open-tolerance (default 1.05x) of the unverified open. Save wall
     time and WAL append throughput ride along in the JSON for the
     trajectory but are fsync-bound, so they are recorded, not enforced.
+  * shard-pruning (bench_shard_pruning --prune_out, via --prune FILE):
+    pruned answers stayed bitwise identical to the full fan-out, the
+    pruned selective workload beat the full fan-out at S=16 (pruning
+    removes work, so this bar holds on any core count), and the broad
+    workload — where nothing can be pruned — stays within
+    --prune-tolerance of the full fan-out (the zone-map consultation
+    itself must be noise).
 
 Usage:
     check_perf_gate.py build/sample_index_gate.json \
         [--shard build/shard_scaling_gate.json] \
         [--durability build/durability_gate.json] \
-        [--tolerance 1.25] [--open-tolerance 1.05]
+        [--prune build/prune_gate.json] \
+        [--tolerance 1.25] [--open-tolerance 1.05] [--prune-tolerance 1.25]
 
 Stdlib only (CI runs it on a bare runner). The check_* functions return
 failure-message lists so tools/test_check_perf_gate.py can unit-test the
@@ -126,6 +134,41 @@ def check_durability(gate, open_tolerance=1.05):
     return failures
 
 
+def check_prune(gate, prune_tolerance=1.25):
+    """Failure messages for a bench_shard_pruning gate dict (empty = pass)."""
+    failures = []
+    if not gate.get("identical", False):
+        failures.append(
+            "pruned answers are not bitwise identical to the full fan-out")
+    for section in ("selective", "moderate", "broad"):
+        for key in ("pruned_ns", "full_ns"):
+            if not isinstance(gate.get(section, {}).get(key), (int, float)):
+                failures.append(f"gate JSON is missing {section}.{key}")
+    if not isinstance(gate.get("shards"), (int, float)):
+        failures.append("gate JSON is missing shards")
+    if failures:
+        return failures
+
+    selective = gate["selective"]
+    if not selective["pruned_ns"] < selective["full_ns"]:
+        failures.append(
+            f"selective workload: pruned fan-out "
+            f"({selective['pruned_ns']:.0f} ns/query) is not faster than "
+            f"the full fan-out ({selective['full_ns']:.0f} ns/query) at "
+            f"S={gate['shards']:.0f}")
+
+    # Nothing prunes on the broad workload, so any ratio above noise means
+    # the zone-map consultation itself got expensive.
+    broad = gate["broad"]
+    broad_ratio = broad["pruned_ns"] / max(broad["full_ns"], 1.0)
+    if broad_ratio > prune_tolerance:
+        failures.append(
+            f"broad workload: pruning enabled is {broad_ratio:.2f}x the "
+            f"full fan-out (tolerance {prune_tolerance:.2f}x) — zone-map "
+            f"consultation overhead regressed")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("gate_json",
@@ -135,10 +178,16 @@ def main(argv=None):
     parser.add_argument("--durability", metavar="FILE", default=None,
                         help="file written by bench_durability "
                              "--durability_out")
+    parser.add_argument("--prune", metavar="FILE", default=None,
+                        help="file written by bench_shard_pruning "
+                             "--prune_out")
     parser.add_argument("--tolerance", type=float, default=1.25,
                         help="max indexed/scan ratio on the broad workload")
     parser.add_argument("--open-tolerance", type=float, default=1.05,
                         help="max verified/unverified store-open ratio")
+    parser.add_argument("--prune-tolerance", type=float, default=1.25,
+                        help="max pruned/full ratio on the broad (nothing "
+                             "prunable) workload")
     args = parser.parse_args(argv)
 
     with open(args.gate_json) as f:
@@ -195,6 +244,21 @@ def main(argv=None):
             print(f"  wal: {wal['synced_records_per_sec']:.0f} rec/s synced, "
                   f"{wal['unsynced_records_per_sec']:.0f} rec/s unsynced "
                   f"(recorded, not enforced)")
+
+    if args.prune is not None:
+        with open(args.prune) as f:
+            prune_gate = json.load(f)
+        failures += check_prune(prune_gate, args.prune_tolerance)
+        print(f"shard-pruning perf gate over {args.prune}:")
+        for section in ("selective", "moderate", "broad"):
+            row = prune_gate.get(section, {})
+            if all(isinstance(row.get(k), (int, float))
+                   for k in ("pruned_ns", "full_ns")):
+                print(f"  {section}: pruned {row['pruned_ns']:.0f} ns/query "
+                      f"vs full {row['full_ns']:.0f} ns/query "
+                      f"({row.get('speedup', 0.0):.2f}x, "
+                      f"{row.get('avg_pruned_shards', 0.0):.1f}/"
+                      f"{prune_gate.get('shards', 0):.0f} shards pruned)")
 
     for failure in failures:
         print(f"  FAIL: {failure}", file=sys.stderr)

@@ -258,13 +258,30 @@ int main(int argc, char** argv) {
       ShardedOptions shopts;
       shopts.num_shards = std::stoul(args["shards"]);
       if (args.count("shard-scheme")) {
-        auto scheme = ParsePartitionScheme(args["shard-scheme"]);
-        if (!scheme.ok()) {
+        std::string token = args["shard-scheme"];
+        // attr:<name> resolves the attribute by name against the loaded
+        // schema; the core layers (and the manifest) speak attr:<index>,
+        // which ParsePartitionSpec also accepts directly.
+        if (token.rfind("attr:", 0) == 0) {
+          const std::string name = token.substr(5);
+          auto attr = (*table)->schema().IndexOf(name);
+          if (attr.ok()) {
+            token = "attr:" + std::to_string(*attr);
+          } else if (name.find_first_not_of("0123456789") !=
+                     std::string::npos) {
+            std::fprintf(stderr, "shard-scheme: unknown attribute '%s'\n",
+                         name.c_str());
+            return 1;
+          }
+        }
+        auto spec = ParsePartitionSpec(token);
+        if (!spec.ok()) {
           std::fprintf(stderr, "shard-scheme: %s\n",
-                       scheme.status().ToString().c_str());
+                       spec.status().ToString().c_str());
           return 1;
         }
-        shopts.scheme = *scheme;
+        shopts.scheme = spec->scheme;
+        shopts.partition_attr = spec->attr;
       }
       shopts.store = sopts;
       Timer timer;
@@ -274,9 +291,14 @@ int main(int argc, char** argv) {
                      sharded.status().ToString().c_str());
         return 1;
       }
+      std::string scheme_desc = PartitionSchemeName((*sharded)->scheme());
+      if ((*sharded)->scheme() == PartitionScheme::kAttribute) {
+        scheme_desc +=
+            ":" +
+            (*table)->schema().attribute((*sharded)->partition_attr()).name;
+      }
       std::printf("built %zu shards (%s partitioning) in %.2fs (parallel):\n",
-                  (*sharded)->num_shards(),
-                  PartitionSchemeName((*sharded)->scheme()),
+                  (*sharded)->num_shards(), scheme_desc.c_str(),
                   timer.ElapsedSeconds());
       for (size_t s = 0; s < (*sharded)->num_shards(); ++s) {
         const SourceStore& shard = (*sharded)->shard(s);

@@ -35,6 +35,12 @@ namespace {
 void PrintStoreRoute(const std::vector<std::string>& names,
                      const SourceStore& store, const RouteDecision& dec,
                      const std::string& label) {
+  if (dec.pruned) {
+    std::fprintf(stderr,
+                 "  %s: pruned — zone map on %s proves no row can match\n",
+                 label.c_str(), names[dec.pruned_attr].c_str());
+    return;
+  }
   if (dec.from_sample) {
     const SampleEntry& entry = store.sample_entry(dec.sample_index);
     std::fprintf(stderr,
@@ -87,6 +93,18 @@ void PrintShardRoutes(const EntropyEngine& engine,
   for (size_t s = 0; s < decs.size(); ++s) {
     PrintStoreRoute(engine.attr_names(), engine.sharded()->shard(s), decs[s],
                     "shard " + std::to_string(s));
+  }
+  // The per-query pruning summary: how much of the fan-out the zone maps
+  // saved, and which attribute did the proving.
+  size_t pruned = 0;
+  AttrId pruned_attr = 0;
+  for (const RouteDecision& d : decs) {
+    if (d.pruned && pruned++ == 0) pruned_attr = d.pruned_attr;
+  }
+  if (pruned > 0) {
+    std::fprintf(stderr, "  pruned %zu/%zu shards via zone map on %s\n",
+                 pruned, decs.size(),
+                 engine.attr_names()[pruned_attr].c_str());
   }
 }
 
@@ -194,10 +212,20 @@ int main(int argc, char** argv) {
   }
   if ((*engine)->is_sharded()) {
     const ShardedStore& sharded = *(*engine)->sharded();
+    std::string scheme_desc = PartitionSchemeName(sharded.scheme());
+    if (sharded.scheme() == PartitionScheme::kAttribute) {
+      scheme_desc +=
+          ":" + (*engine)->attr_names()[sharded.partition_attr()];
+    }
+    size_t with_zone_maps = 0;
+    for (size_t s = 0; s < sharded.num_shards(); ++s) {
+      with_zone_maps += sharded.zone_map(s) != nullptr ? 1 : 0;
+    }
     std::fprintf(stderr,
-                 "loaded sharded store: %zu shards (%s partitioning), "
+                 "loaded sharded store: %zu shards (%s partitioning, "
+                 "%zu with zone maps), "
                  "%zu summaries + %zu samples total, n = %.0f\n",
-                 sharded.num_shards(), PartitionSchemeName(sharded.scheme()),
+                 sharded.num_shards(), scheme_desc.c_str(), with_zone_maps,
                  (*engine)->num_summaries(), (*engine)->num_samples(),
                  (*engine)->n());
     for (size_t s = 0; s < sharded.num_shards(); ++s) {

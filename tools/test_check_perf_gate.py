@@ -148,6 +148,56 @@ class DurabilityGateTest(unittest.TestCase):
                             for f in failures))
 
 
+def prune_gate(**overrides):
+    gate = {
+        "shards": 16,
+        "rows": 120000,
+        "identical": True,
+        "selective": {"pruned_ns": 4000.0, "full_ns": 52000.0,
+                      "speedup": 13.0, "avg_pruned_shards": 15.0},
+        "moderate": {"pruned_ns": 28000.0, "full_ns": 52000.0,
+                     "speedup": 1.86, "avg_pruned_shards": 8.0},
+        "broad": {"pruned_ns": 52000.0, "full_ns": 52000.0,
+                  "speedup": 1.0, "avg_pruned_shards": 0.0},
+        "pass": True,
+    }
+    gate.update(overrides)
+    return gate
+
+
+class PruneGateTest(unittest.TestCase):
+    def test_healthy_gate_passes(self):
+        self.assertEqual(check_perf_gate.check_prune(prune_gate()), [])
+
+    def test_bitwise_mismatch_fails(self):
+        failures = check_perf_gate.check_prune(prune_gate(identical=False))
+        self.assertTrue(any("bitwise" in f for f in failures))
+
+    def test_slow_selective_fails(self):
+        gate = prune_gate()
+        gate["selective"]["pruned_ns"] = gate["selective"]["full_ns"] + 1
+        failures = check_perf_gate.check_prune(gate)
+        self.assertTrue(any("selective" in f for f in failures))
+
+    def test_broad_overhead_beyond_tolerance_fails(self):
+        gate = prune_gate()
+        gate["broad"]["pruned_ns"] = 2.0 * gate["broad"]["full_ns"]
+        failures = check_perf_gate.check_prune(gate, prune_tolerance=1.25)
+        self.assertTrue(any("broad" in f for f in failures))
+        self.assertEqual(
+            check_perf_gate.check_prune(gate, prune_tolerance=2.5), [])
+
+    def test_missing_sections_fail_instead_of_passing_silently(self):
+        gate = prune_gate()
+        del gate["moderate"]
+        failures = check_perf_gate.check_prune(gate)
+        self.assertTrue(any("missing moderate" in f for f in failures))
+        gate = prune_gate()
+        del gate["shards"]
+        failures = check_perf_gate.check_prune(gate)
+        self.assertTrue(any("missing shards" in f for f in failures))
+
+
 class MainTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -202,6 +252,32 @@ class MainTest(unittest.TestCase):
         durability = self.write("durability.json", bad)
         self.assertEqual(
             check_perf_gate.main([idx, "--durability", durability]), 1)
+
+    def test_all_four_gates_pass(self):
+        idx = self.write("index.json", index_gate())
+        shard = self.write("shard.json", shard_gate())
+        durability = self.write("durability.json", durability_gate())
+        prune = self.write("prune.json", prune_gate())
+        self.assertEqual(
+            check_perf_gate.main(
+                [idx, "--shard", shard, "--durability", durability,
+                 "--prune", prune]), 0)
+
+    def test_failing_prune_gate_fails_the_run(self):
+        idx = self.write("index.json", index_gate())
+        bad = prune_gate(identical=False)
+        prune = self.write("prune.json", bad)
+        self.assertEqual(check_perf_gate.main([idx, "--prune", prune]), 1)
+
+    def test_prune_tolerance_flag_is_honoured(self):
+        idx = self.write("index.json", index_gate())
+        loose = prune_gate()
+        loose["broad"]["pruned_ns"] = 1.4 * loose["broad"]["full_ns"]
+        prune = self.write("prune.json", loose)
+        self.assertEqual(check_perf_gate.main([idx, "--prune", prune]), 1)
+        self.assertEqual(
+            check_perf_gate.main([idx, "--prune", prune,
+                                  "--prune-tolerance", "1.5"]), 0)
 
     def test_open_tolerance_flag_is_honoured(self):
         idx = self.write("index.json", index_gate())
