@@ -93,20 +93,13 @@ Status SealBatch(const std::string& dir, ShardedStore::Manifest* m,
                  const SourceStore& shard0, StoreOptions opts, Env* env) {
   // Every shard must model the SAME pairs (routing metadata is uniform
   // across shards; see ShardedStore::Build) — force shard 0's choice.
-  opts.forced_pairs.clear();
-  for (size_t k = 0; k < shard0.size(); ++k) {
-    for (const ScoredPair& p : shard0.entry(k).pairs) {
-      opts.forced_pairs.push_back(p);
-    }
-  }
+  opts.forced_pairs = InheritedPairs(shard0);
   opts.use_budget_advisor = false;
   // Decorrelate companion draws across batches (same rule the sharded
   // build applies across shards).
   opts.sample_seed += batch_index << 20;
-  ASSIGN_OR_RETURN(
-      std::shared_ptr<Table> table,
-      ParseBatch(SchemaFor(shard0.attr_names(), shard0.domains()),
-                 shard0.domains(), payload, batch_index));
+  ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                   ParseIngestBatch(shard0, payload, batch_index));
   ASSIGN_OR_RETURN(std::shared_ptr<SourceStore> shard,
                    SourceStore::Build(*table, opts));
   const std::string shard_name = "shard_b" + std::to_string(batch_index);
@@ -120,6 +113,14 @@ Status SealBatch(const std::string& dir, ShardedStore::Manifest* m,
   RETURN_NOT_OK(ZoneMap::Build(*table).Save(
       env, (fs::path(shard_dir) / kZoneMapFileName).string()));
   RETURN_NOT_OK(env->SyncDir(shard_dir));
+  // Keep the manifest's per-shard row counts (the compaction planner's
+  // oversize trigger) aligned with the shard list; a legacy manifest
+  // with no counts stays count-free rather than partially counted.
+  if (m->shard_rows.size() == m->shard_dirs.size()) {
+    m->shard_rows.push_back(table->num_rows());
+  } else {
+    m->shard_rows.clear();
+  }
   m->shard_dirs.push_back(shard_name);
   m->zonemap_dirs.push_back(shard_name);
   m->wal_sealed = batch_index + 1;
@@ -171,6 +172,21 @@ Result<uint64_t> SealPending(const std::string& dir,
 }
 
 }  // namespace
+
+Result<std::shared_ptr<Table>> ParseIngestBatch(const SourceStore& donor,
+                                                const std::string& text,
+                                                uint64_t batch_index) {
+  return ParseBatch(SchemaFor(donor.attr_names(), donor.domains()),
+                    donor.domains(), text, batch_index);
+}
+
+std::vector<ScoredPair> InheritedPairs(const SourceStore& donor) {
+  std::vector<ScoredPair> pairs;
+  for (size_t k = 0; k < donor.size(); ++k) {
+    for (const ScoredPair& p : donor.entry(k).pairs) pairs.push_back(p);
+  }
+  return pairs;
+}
 
 Result<IngestReport> RecoverPending(const std::string& store_dir,
                                     StoreOptions opts, Env* env) {

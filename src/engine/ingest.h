@@ -68,6 +68,22 @@ Result<IngestReport> RecoverPending(const std::string& store_dir,
                                     StoreOptions opts = {},
                                     Env* env = Env::Default());
 
+/// Parses one journaled CSV batch (header + rows) against `donor`'s
+/// schema and pinned domains — the encode every seal and every replay
+/// performs. Shared with compaction (engine/compaction.h), which
+/// re-parses the sealed records to recover batch-lineage rows, and
+/// exposed so tests can reconstruct a compaction's input exactly.
+/// `batch_index` only labels error messages.
+Result<std::shared_ptr<Table>> ParseIngestBatch(const SourceStore& donor,
+                                                const std::string& text,
+                                                uint64_t batch_index);
+
+/// The modeled pairs of `donor`, flattened in entry order — what every
+/// ingest-sealed and compaction-built shard forces into its own build so
+/// routing metadata stays uniform across shards (the ShardedStore::Build
+/// rule, applied incrementally).
+std::vector<ScoredPair> InheritedPairs(const SourceStore& donor);
+
 }  // namespace entropydb
 
 #endif  // ENTROPYDB_ENGINE_INGEST_H_

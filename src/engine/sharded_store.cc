@@ -32,6 +32,14 @@ std::string ManifestPayload(const ShardedStore::Manifest& m) {
       out << "zonemap " << d << "\n";
     }
   }
+  // Also optional: compaction lineage (engine/compaction.h) and the
+  // per-shard row counts its planner triggers on. Both default silently
+  // for pre-compaction-era manifests.
+  if (m.compaction_gen > 0) out << "gen " << m.compaction_gen << "\n";
+  if (m.shard_rows.size() == m.shard_dirs.size() && !m.shard_rows.empty()) {
+    out << "shardrows " << m.shard_rows.size() << "\n";
+    for (uint64_t r : m.shard_rows) out << "shardrow " << r << "\n";
+  }
   return out.str();
 }
 
@@ -405,18 +413,39 @@ Result<ShardedStore::Manifest> ShardedStore::ReadManifest(
       return Status::Corruption("bad shard record in " + dir);
     }
   }
-  // Optional trailing zone-map section (absent in v3 and in pre-pruning
-  // v4 stores — those simply never prune).
-  if (in >> token) {
-    size_t nz = 0;
-    if (token != "zonemaps" || !(in >> nz) || nz > ns) {
-      return Status::Corruption("bad zonemaps record in " + dir);
-    }
-    m.zonemap_dirs.resize(nz);
-    for (size_t z = 0; z < nz; ++z) {
-      if (!(in >> token >> m.zonemap_dirs[z]) || token != "zonemap") {
-        return Status::Corruption("bad zonemap record in " + dir);
+  // Optional trailing sections, each absent in older manifests: zone
+  // maps (pre-pruning stores never prune), the compaction generation,
+  // and the per-shard row counts the compaction planner triggers on.
+  while (in >> token) {
+    if (token == "zonemaps") {
+      size_t nz = 0;
+      if (!m.zonemap_dirs.empty() || !(in >> nz) || nz > ns) {
+        return Status::Corruption("bad zonemaps record in " + dir);
       }
+      m.zonemap_dirs.resize(nz);
+      for (size_t z = 0; z < nz; ++z) {
+        if (!(in >> token >> m.zonemap_dirs[z]) || token != "zonemap") {
+          return Status::Corruption("bad zonemap record in " + dir);
+        }
+      }
+    } else if (token == "gen") {
+      if (!(in >> m.compaction_gen)) {
+        return Status::Corruption("bad gen record in " + dir);
+      }
+    } else if (token == "shardrows") {
+      size_t nr = 0;
+      if (!m.shard_rows.empty() || !(in >> nr) || nr != ns) {
+        return Status::Corruption("bad shardrows record in " + dir);
+      }
+      m.shard_rows.resize(nr);
+      for (size_t r = 0; r < nr; ++r) {
+        if (!(in >> token >> m.shard_rows[r]) || token != "shardrow") {
+          return Status::Corruption("bad shardrow record in " + dir);
+        }
+      }
+    } else {
+      return Status::Corruption("unknown manifest record '" + token +
+                                "' in " + dir);
     }
   }
   return m;
@@ -464,6 +493,7 @@ Status ShardedStore::Save(const std::string& dir, Env* env) const {
     m.partition_attr = partition_attr_;
     for (size_t i = 0; i < shards_.size(); ++i) {
       m.shard_dirs.push_back("shard_" + std::to_string(i));
+      m.shard_rows.push_back(static_cast<uint64_t>(shards_[i]->n()));
       if (zone_maps_[i] != nullptr) {
         m.zonemap_dirs.push_back(m.shard_dirs.back());
       }
@@ -496,6 +526,32 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::Load(
   RemoveStaleStagingDirs(env, dir);
   ASSIGN_OR_RETURN(Manifest m,
                    ReadManifest(dir, env, opts.verify_checksums));
+  // GC every `shard_*` entry the manifest does not reference: a crashed
+  // ingest seal or compaction strands half-built shards (and their
+  // `shard_*.tmp-*` staging siblings), and a crash between a
+  // compaction's manifest flip and its cleanup leaves the replaced
+  // ones. Orphan rows are journal-backed, so removal never loses data;
+  // best-effort, because GC must never fail an open.
+  if (auto entries = env->List(dir); entries.ok()) {
+    for (const std::string& name : *entries) {
+      // A crashed WriteManifest leaks its pre-rename tmp file too.
+      if (name == "MANIFEST.tmp") {
+        env->RemoveAll((fs::path(dir) / name).string()).ok();
+        continue;
+      }
+      if (name.rfind("shard_", 0) != 0) continue;
+      bool referenced = false;
+      for (const std::string& d : m.shard_dirs) {
+        if (d == name) {
+          referenced = true;
+          break;
+        }
+      }
+      if (!referenced) {
+        env->RemoveAll((fs::path(dir) / name).string()).ok();
+      }
+    }
+  }
   const size_t ns = m.shard_dirs.size();
   // Shard loads are independent (each is a full store load, itself
   // parallel inside), so fan out across shards too.
@@ -549,6 +605,7 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::Load(
     return Status::Corruption("inconsistent sharded store in " + dir + ": " +
                               store.status().message());
   }
+  (*store)->compaction_gen_ = m.compaction_gen;
   return store;
 }
 

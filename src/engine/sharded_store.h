@@ -96,6 +96,9 @@ class ShardedStore {
   PartitionScheme scheme() const { return scheme_; }
   /// Routing attribute (meaningful under PartitionScheme::kAttribute).
   AttrId partition_attr() const { return partition_attr_; }
+  /// Compaction generation the loaded manifest carried (0 for a store no
+  /// compaction ever ran on, and for in-memory stores).
+  uint64_t compaction_gen() const { return compaction_gen_; }
   /// Shard s's zone map; null when the shard carries none (legacy store,
   /// or a deleted zone-map file degraded at load) — such shards are never
   /// pruned.
@@ -180,6 +183,17 @@ class ShardedStore {
     /// v3 manifests and pre-pruning v4 manifests list none — such stores
     /// load unchanged and skip pruning.
     std::vector<std::string> zonemap_dirs;
+    /// Monotone compaction generation: 0 for a store no compaction ever
+    /// ran on; RunCompaction (engine/compaction.h) bumps it by one at
+    /// each commit and names the shards it publishes after it
+    /// ("shard_c<gen>_<j>").
+    uint64_t compaction_gen = 0;
+    /// Per-shard row counts aligned with `shard_dirs`: either empty
+    /// (unknown — a pre-compaction-era manifest) or exactly one entry
+    /// per shard. The compaction planner's oversize trigger reads these
+    /// without loading any shard; Save, ingest sealing, and compaction
+    /// all maintain them.
+    std::vector<uint64_t> shard_rows;
   };
 
   /// Reads `dir/MANIFEST`. Accepts v4-sharded (checksummed — footer
@@ -203,7 +217,13 @@ class ShardedStore {
   /// Restores a v4/v3 sharded directory (shards load in parallel; `opts`
   /// is passed through to every summary load). Rejects v1/v2 manifests —
   /// those are monolithic stores, which SourceStore::Load owns. Stale
-  /// staging directories next to `dir` are garbage-collected.
+  /// staging directories next to `dir` are garbage-collected, and so is
+  /// every `shard_*` entry inside `dir` the manifest does not reference:
+  /// a crashed ingest seal or compaction strands half-built shards, and
+  /// a crash between a compaction's manifest flip and its cleanup leaves
+  /// replaced ones — either way the orphans' rows are journal-backed
+  /// (or about to be rebuilt from the journal), so removal never loses
+  /// data.
   static Result<std::shared_ptr<ShardedStore>> Load(const std::string& dir,
                                                     SummaryOptions opts = {},
                                                     Env* env = Env::Default());
@@ -229,6 +249,7 @@ class ShardedStore {
   std::vector<std::shared_ptr<const ZoneMap>> zone_maps_;
   PartitionScheme scheme_ = PartitionScheme::kRoundRobin;
   AttrId partition_attr_ = 0;
+  uint64_t compaction_gen_ = 0;
   bool prune_ = true;
   double total_n_ = 0.0;
 };

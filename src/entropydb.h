@@ -38,6 +38,7 @@
 #include "common/status.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "engine/compaction.h"
 #include "engine/engine.h"
 #include "engine/estimate_source.h"
 #include "engine/ingest.h"

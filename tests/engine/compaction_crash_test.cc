@@ -1,0 +1,222 @@
+// Compaction crash matrix: RunCompaction is driven through
+// FaultInjectionEnv with a simulated crash after EVERY mutating
+// filesystem operation, followed by power-loss (un-synced data dropped).
+// The reopened store must always be exactly the pre- or the
+// post-compaction store — never a mix, never unreadable — outcomes must
+// be monotone in the crash point (one commit point, the manifest
+// rename), and the next open must garbage-collect whatever the crashed
+// pass stranded (half-built shard_c* before the flip, replaced shard_b*
+// after it).
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/fault_injection_env.h"
+#include "engine/compaction.h"
+#include "engine/engine.h"
+#include "engine/ingest.h"
+#include "engine/sharded_store.h"
+
+namespace entropydb {
+namespace {
+
+namespace fs = std::filesystem;
+
+StoreOptions FastStoreOptions() {
+  StoreOptions opts;
+  opts.num_summaries = 1;
+  opts.total_budget = 40;
+  opts.summary.solver.max_iterations = 120;
+  opts.num_stratified_samples = 1;
+  opts.sample_fraction = 0.2;
+  return opts;
+}
+
+std::string BatchCsv(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::string csv = "A0,A1\n";
+  for (size_t i = 0; i < rows; ++i) {
+    csv += std::to_string(rng.Uniform(4)) + "," + std::to_string(rng.Uniform(3)) +
+           "\n";
+  }
+  return csv;
+}
+
+CompactionOptions MatrixOptions() {
+  CompactionOptions copts;
+  copts.store = FastStoreOptions();
+  copts.max_batch_shards = 2;     // 3 appended batches trip the trigger
+  copts.split_threshold = 150;    // 270 journal rows -> 2 output shards
+  return copts;
+}
+
+/// The whole matrix shares ONE pristine appended store, cloned per crash
+/// point — building it is far more expensive than copying it.
+class CompactionCrashTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pristine_ = new std::string(
+        (fs::temp_directory_path() / "entropydb_compaction_crash_pristine")
+            .string());
+    fs::remove_all(*pristine_);
+    ShardedOptions sopts;
+    sopts.num_shards = 2;
+    sopts.store = FastStoreOptions();
+    auto built =
+        ShardedStore::Build(*testutil::RandomTable({4, 3}, 600, 97), sopts);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    ASSERT_TRUE((*built)->Save(*pristine_).ok());
+    for (uint64_t b = 0; b < 3; ++b) {
+      auto report = AppendBatch(*pristine_, BatchCsv(90, 500 + b),
+                                FastStoreOptions());
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+    }
+  }
+  static void TearDownTestSuite() {
+    fs::remove_all(*pristine_);
+    delete pristine_;
+    pristine_ = nullptr;
+  }
+
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("entropydb_compaction_crash_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    Reset();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void Reset() {
+    fs::remove_all(dir_);
+    fs::copy(*pristine_, dir_, fs::copy_options::recursive);
+  }
+
+  /// Directory invariant after any reopen: nothing but the manifest, the
+  /// journal, and the shard dirs the manifest references.
+  void ExpectOnlyReferencedEntries(const ShardedStore::Manifest& m) {
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name == "MANIFEST" || name == kIngestWalName) continue;
+      EXPECT_NE(std::find(m.shard_dirs.begin(), m.shard_dirs.end(), name),
+                m.shard_dirs.end())
+          << "unreferenced entry " << name << " survived reopen";
+    }
+  }
+
+  static std::string* pristine_;
+  std::string dir_;
+};
+
+std::string* CompactionCrashTest::pristine_ = nullptr;
+
+TEST_F(CompactionCrashTest, EveryCrashPointLeavesPreOrPostState) {
+  const CompactionOptions copts = MatrixOptions();
+
+  // Clean run: capture the op count (the crash points) and the exact
+  // pre/post shard lists the matrix must distinguish.
+  auto pre_manifest = ShardedStore::ReadManifest(dir_);
+  ASSERT_TRUE(pre_manifest.ok());
+  ASSERT_EQ(pre_manifest->compaction_gen, 0u);
+  uint64_t total_ops = 0;
+  std::vector<std::string> post_dirs;
+  {
+    FaultInjectionEnv fenv;
+    auto report = RunCompaction(dir_, copts, &fenv);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    ASSERT_TRUE(report->ran);
+    EXPECT_EQ(report->generation, 1u);
+    EXPECT_EQ(report->rows, 270u);
+    total_ops = fenv.ops();
+    ASSERT_GT(total_ops, 15u);
+    auto post_manifest = ShardedStore::ReadManifest(dir_);
+    ASSERT_TRUE(post_manifest.ok());
+    EXPECT_EQ(post_manifest->compaction_gen, 1u);
+    post_dirs = post_manifest->shard_dirs;
+  }
+  const double expected_n = 600.0 + 270.0;
+
+  std::vector<bool> post_state;
+  for (uint64_t k = 0; k < total_ops; ++k) {
+    Reset();
+    FaultInjectionEnv fenv;
+    fenv.CrashAfter(static_cast<int64_t>(k));
+    auto crashed = RunCompaction(dir_, copts, &fenv);
+    EXPECT_FALSE(crashed.ok()) << "crash at " << k << " did not fail the run";
+    ASSERT_TRUE(fenv.LoseUnsyncedData().ok());
+
+    // Reopen with the REAL env: exactly pre or post, never a mix, and
+    // the total row count is invariant either way.
+    auto reopened = ShardedStore::Load(dir_);
+    ASSERT_TRUE(reopened.ok())
+        << "crash at " << k << ": " << reopened.status().ToString();
+    EXPECT_DOUBLE_EQ((*reopened)->n(), expected_n) << "crash at " << k;
+    auto m = ShardedStore::ReadManifest(dir_);
+    ASSERT_TRUE(m.ok()) << "crash at " << k;
+    const bool is_post = m->compaction_gen == 1;
+    if (is_post) {
+      EXPECT_EQ(m->shard_dirs, post_dirs) << "crash at " << k;
+    } else {
+      EXPECT_EQ(m->compaction_gen, 0u) << "crash at " << k;
+      EXPECT_EQ(m->shard_dirs, pre_manifest->shard_dirs)
+          << "crash at " << k;
+    }
+    // The reopen GC'd every leftover the crash stranded — half-built
+    // shard_c* orphans before the flip, replaced shard_b* after it.
+    ExpectOnlyReferencedEntries(*m);
+    post_state.push_back(is_post);
+  }
+
+  // Monotone: pre...pre, post...post — one commit point, no flapping.
+  for (size_t k = 1; k < post_state.size(); ++k) {
+    EXPECT_LE(static_cast<int>(post_state[k - 1]),
+              static_cast<int>(post_state[k]))
+        << "outcome regressed at crash point " << k;
+  }
+  // The earliest crash leaves the old store; the latest (everything
+  // durable but the final cleanup sync) has already committed.
+  EXPECT_FALSE(post_state.front());
+  EXPECT_TRUE(post_state.back());
+}
+
+TEST_F(CompactionCrashTest, InterruptedCompactionRetriesToCompletion) {
+  const CompactionOptions copts = MatrixOptions();
+  // Crash mid-run (shard builds in flight), then simply run again with a
+  // healthy filesystem: compaction is a pure function of manifest +
+  // journal, so the retry either re-does the whole pass (crash before
+  // the flip) or finds nothing left to do (crash after it).
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv fenv;
+    ASSERT_TRUE(RunCompaction(dir_, copts, &fenv).ok());
+    total_ops = fenv.ops();
+  }
+  for (uint64_t k : {total_ops / 4, total_ops / 2, total_ops - 2}) {
+    Reset();
+    FaultInjectionEnv fenv;
+    fenv.CrashAfter(static_cast<int64_t>(k));
+    EXPECT_FALSE(RunCompaction(dir_, copts, &fenv).ok());
+    ASSERT_TRUE(fenv.LoseUnsyncedData().ok());
+
+    auto retry = RunCompaction(dir_, copts);
+    ASSERT_TRUE(retry.ok())
+        << "crash at " << k << ": " << retry.status().ToString();
+    auto m = ShardedStore::ReadManifest(dir_);
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(m->compaction_gen, 1u) << "crash at " << k;
+    auto reopened = ShardedStore::Load(dir_);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_DOUBLE_EQ((*reopened)->n(), 870.0);
+    ExpectOnlyReferencedEntries(*m);
+  }
+}
+
+}  // namespace
+}  // namespace entropydb

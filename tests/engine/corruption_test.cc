@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include "../test_util.h"
+#include "engine/compaction.h"
 #include "engine/engine.h"
+#include "engine/ingest.h"
 #include "engine/sharded_store.h"
 #include "storage/zone_map.h"
 
@@ -68,6 +70,33 @@ class CorruptionTest : public ::testing::Test {
     auto sharded = ShardedStore::Build(*table, sopts);
     ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
     ASSERT_TRUE((*sharded)->Save(ShardedDir()).ok());
+
+    // The ingest-grown fixture: two sealed batches, so the walk covers
+    // the journal and the shard_b* dirs ingest publishes.
+    fs::copy(ShardedDir(), AppendedDir(), fs::copy_options::recursive);
+    for (uint64_t b = 0; b < 2; ++b) {
+      Rng rng(211 + b);
+      std::string csv = "A0,A1,A2,A3,A4\n";
+      for (size_t i = 0; i < 120; ++i) {
+        csv += std::to_string(rng.Uniform(6)) + "," +
+               std::to_string(rng.Uniform(6)) + "," +
+               std::to_string(rng.Uniform(5)) + "," +
+               std::to_string(rng.Uniform(5)) + "," +
+               std::to_string(rng.Uniform(4)) + "\n";
+      }
+      auto report = AppendBatch(AppendedDir(), csv, SmallStoreOptions());
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+    }
+
+    // The compacted fixture: the batch shards above folded into a
+    // shard_c* replacement, so the walk covers compaction's artifacts.
+    fs::copy(AppendedDir(), CompactedDir(), fs::copy_options::recursive);
+    CompactionOptions copts;
+    copts.store = SmallStoreOptions();
+    copts.max_batch_shards = 1;
+    auto compacted = RunCompaction(CompactedDir(), copts);
+    ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+    ASSERT_TRUE(compacted->ran);
   }
 
   static void TearDownTestSuite() {
@@ -78,6 +107,8 @@ class CorruptionTest : public ::testing::Test {
 
   static std::string MonoDir() { return *root_ + "/mono"; }
   static std::string ShardedDir() { return *root_ + "/sharded"; }
+  static std::string AppendedDir() { return *root_ + "/appended"; }
+  static std::string CompactedDir() { return *root_ + "/compacted"; }
   std::string ScratchDir() const { return *root_ + "/scratch"; }
 
   /// All regular files under `dir`, as paths relative to it.
@@ -114,6 +145,10 @@ class CorruptionTest : public ::testing::Test {
   /// Runs the full mutation battery against every file of a saved store.
   void FuzzEveryFile(const std::string& pristine) {
     for (const std::string& rel : FilesUnder(pristine)) {
+      // The ingest journal is the ONE file Open never reads (sealing and
+      // recovery own it), so no journal damage may fail an open — torn
+      // or lost records surface on the next ingest call, not at load.
+      const bool is_wal = fs::path(rel).filename() == kIngestWalName;
       const uint64_t size = fs::file_size(fs::path(pristine) / rel);
       ASSERT_GT(size, 0u) << rel;
       // Bit flips: spread through the payload plus the footer region
@@ -128,13 +163,23 @@ class CorruptionTest : public ::testing::Test {
         ASSERT_TRUE(Env::Default()->ReadFile(path, &raw).ok());
         raw[off] ^= 0x04;
         ASSERT_TRUE(Env::Default()->WriteFile(path, raw).ok());
-        ExpectOpenFailsCleanly(dir, rel + " flip@" + std::to_string(off));
+        if (is_wal) {
+          EXPECT_TRUE(EntropyEngine::Open(dir).ok())
+              << rel << " flip@" << off << " failed the open";
+        } else {
+          ExpectOpenFailsCleanly(dir, rel + " flip@" + std::to_string(off));
+        }
       }
       // Truncations: empty, half, and one byte short.
       for (uint64_t keep : {uint64_t{0}, size / 2, size - 1}) {
         const std::string dir = Clone(pristine);
         fs::resize_file(fs::path(dir) / rel, keep);
-        ExpectOpenFailsCleanly(dir, rel + " trunc@" + std::to_string(keep));
+        if (is_wal) {
+          EXPECT_TRUE(EntropyEngine::Open(dir).ok())
+              << rel << " trunc@" << keep << " failed the open";
+        } else {
+          ExpectOpenFailsCleanly(dir, rel + " trunc@" + std::to_string(keep));
+        }
       }
       // Deletion. A missing zone map is the ONE tolerated mutation: the
       // map is skip-ahead metadata, so losing the file degrades that
@@ -145,10 +190,10 @@ class CorruptionTest : public ::testing::Test {
       {
         const std::string dir = Clone(pristine);
         fs::remove(fs::path(dir) / rel);
-        if (fs::path(rel).filename() == kZoneMapFileName) {
+        if (is_wal || fs::path(rel).filename() == kZoneMapFileName) {
           auto opened = EntropyEngine::Open(dir);
           EXPECT_TRUE(opened.ok())
-              << rel << " deleted: degrade-to-full-fan-out failed: "
+              << rel << " deleted: tolerated-damage open failed: "
               << opened.status().ToString();
         } else {
           ExpectOpenFailsCleanly(dir, rel + " deleted");
@@ -171,6 +216,23 @@ TEST_F(CorruptionTest, MonoStoreSurvivesMutationFuzz) {
 TEST_F(CorruptionTest, ShardedStoreSurvivesMutationFuzz) {
   ASSERT_TRUE(EntropyEngine::Open(ShardedDir()).ok());
   FuzzEveryFile(ShardedDir());
+}
+
+TEST_F(CorruptionTest, AppendedStoreSurvivesMutationFuzz) {
+  // Ingest-grown stores add artifacts the bulk-save path never writes:
+  // the journal and the sealed shard_b* dirs. All of them get the same
+  // battery (the journal with inverted expectations — see FuzzEveryFile).
+  auto pristine = EntropyEngine::Open(AppendedDir());
+  ASSERT_TRUE(pristine.ok());
+  EXPECT_EQ((*pristine)->num_shards(), 4u);
+  FuzzEveryFile(AppendedDir());
+}
+
+TEST_F(CorruptionTest, CompactedStoreSurvivesMutationFuzz) {
+  auto pristine = EntropyEngine::Open(CompactedDir());
+  ASSERT_TRUE(pristine.ok());
+  EXPECT_EQ((*pristine)->sharded()->compaction_gen(), 1u);
+  FuzzEveryFile(CompactedDir());
 }
 
 TEST_F(CorruptionTest, DeletedZoneMapDegradesToFullFanOutWithWarning) {

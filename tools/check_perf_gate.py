@@ -28,12 +28,20 @@ keep true):
     workload — where nothing can be pruned — stays within
     --prune-tolerance of the full fan-out (the zone-map consultation
     itself must be noise).
+  * compaction (bench_compaction --compact_out, via --compact FILE):
+    every merged answer on the compacted store stays within the 1e-9
+    merge bar of the batch-bloated store's answer, and the selective
+    workload is strictly faster afterwards (compaction folds shards, so
+    every query fans out over fewer models — enforceable on any core
+    count). Compaction wall time rides along in the JSON for the
+    trajectory but is recorded, not enforced.
 
 Usage:
     check_perf_gate.py build/sample_index_gate.json \
         [--shard build/shard_scaling_gate.json] \
         [--durability build/durability_gate.json] \
         [--prune build/prune_gate.json] \
+        [--compact build/compact_gate.json] \
         [--tolerance 1.25] [--open-tolerance 1.05] [--prune-tolerance 1.25]
 
 Stdlib only (CI runs it on a bare runner). The check_* functions return
@@ -169,6 +177,31 @@ def check_prune(gate, prune_tolerance=1.25):
     return failures
 
 
+def check_compact(gate):
+    """Failure messages for a bench_compaction gate dict (empty = pass)."""
+    failures = []
+    for key in ("merge_max_rel_err", "pre_ns", "post_ns", "pre_shards",
+                "post_shards"):
+        if not isinstance(gate.get(key), (int, float)):
+            failures.append(f"gate JSON is missing {key}")
+    if failures:
+        return failures
+
+    if gate["merge_max_rel_err"] > SHARD_MERGE_TOLERANCE:
+        failures.append(
+            f"compacted-store answers drifted from the pre-compaction "
+            f"store: merge_max_rel_err = {gate['merge_max_rel_err']:.3g} "
+            f"(bar {SHARD_MERGE_TOLERANCE:.0e})")
+    if not gate["post_ns"] < gate["pre_ns"]:
+        failures.append(
+            f"selective workload on the compacted store "
+            f"({gate['post_ns']:.0f} ns/query, "
+            f"{gate['post_shards']:.0f} shards) is not faster than the "
+            f"batch-bloated store ({gate['pre_ns']:.0f} ns/query, "
+            f"{gate['pre_shards']:.0f} shards)")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("gate_json",
@@ -181,6 +214,9 @@ def main(argv=None):
     parser.add_argument("--prune", metavar="FILE", default=None,
                         help="file written by bench_shard_pruning "
                              "--prune_out")
+    parser.add_argument("--compact", metavar="FILE", default=None,
+                        help="file written by bench_compaction "
+                             "--compact_out")
     parser.add_argument("--tolerance", type=float, default=1.25,
                         help="max indexed/scan ratio on the broad workload")
     parser.add_argument("--open-tolerance", type=float, default=1.05,
@@ -259,6 +295,25 @@ def main(argv=None):
                       f"({row.get('speedup', 0.0):.2f}x, "
                       f"{row.get('avg_pruned_shards', 0.0):.1f}/"
                       f"{prune_gate.get('shards', 0):.0f} shards pruned)")
+
+    if args.compact is not None:
+        with open(args.compact) as f:
+            compact_gate = json.load(f)
+        failures += check_compact(compact_gate)
+        print(f"compaction perf gate over {args.compact}:")
+        if all(isinstance(compact_gate.get(k), (int, float))
+               for k in ("pre_ns", "post_ns", "pre_shards", "post_shards")):
+            print(f"  selective: {compact_gate['pre_ns']:.0f} ns/query on "
+                  f"{compact_gate['pre_shards']:.0f} shards -> "
+                  f"{compact_gate['post_ns']:.0f} ns/query on "
+                  f"{compact_gate['post_shards']:.0f} shards "
+                  f"({compact_gate.get('speedup', 0.0):.2f}x)")
+        if isinstance(compact_gate.get("merge_max_rel_err"), (int, float)):
+            print(f"  merge: max rel err "
+                  f"{compact_gate['merge_max_rel_err']:.3g} "
+                  f"(bar {SHARD_MERGE_TOLERANCE:.0e}), compaction wall "
+                  f"{compact_gate.get('compact_seconds', 0.0):.2f}s "
+                  f"(recorded, not enforced)")
 
     for failure in failures:
         print(f"  FAIL: {failure}", file=sys.stderr)

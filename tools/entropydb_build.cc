@@ -46,6 +46,18 @@
 // appended to the manifest. --recover replays pending batches without
 // appending. For ingest, --budget is the TOTAL statistic budget of each
 // batch shard (the modeled pairs are inherited from shard 0).
+//
+// Compaction (engine/compaction.h):
+//
+//   entropydb_build --compact on --store flights.store
+//       [--max-batch-shards N] [--split-threshold R] [--force on]
+//
+// --compact re-partitions all journal-backed batch rows under the store's
+// own scheme and atomically replaces the accumulated shard_b* (and prior
+// shard_c*) shards with full-size ones; answers are unchanged. After a
+// successful --append the same pass runs automatically when the store
+// holds more than --max-batch-shards batch shards (or a shard exceeds
+// --split-threshold rows); --auto-compact off suppresses it.
 
 #include <cstdio>
 #include <cstring>
@@ -71,7 +83,12 @@ void Usage() {
       "                       [--heuristic composite|large|zero]\n"
       "                       [--iterations N]\n"
       "       entropydb_build --append BATCH.csv --store DIR\n"
-      "       entropydb_build --recover on --store DIR\n");
+      "                       [--auto-compact on|off] [--max-batch-shards N]\n"
+      "                       [--split-threshold R]\n"
+      "       entropydb_build --recover on --store DIR\n"
+      "       entropydb_build --compact on --store DIR\n"
+      "                       [--max-batch-shards N] [--split-threshold R]\n"
+      "                       [--force on]\n");
 }
 
 Result<Schema> ParseSchemaSpec(const std::string& spec) {
@@ -113,9 +130,11 @@ int main(int argc, char** argv) {
     }
     args[argv[i] + 2] = argv[i + 1];
   }
-  // Ingest modes act on an EXISTING sharded store: no --csv/--schema
-  // (batch rows encode against the store's persisted domains).
-  if (args.count("append") || args.count("recover")) {
+  // Ingest and compaction modes act on an EXISTING sharded store: no
+  // --csv/--schema (batch rows encode against the store's persisted
+  // domains).
+  if (args.count("append") || args.count("recover") ||
+      args.count("compact")) {
     if (!args.count("store")) {
       Usage();
       return 2;
@@ -133,6 +152,39 @@ int main(int argc, char** argv) {
         !args.count("sample-index") || args["sample-index"] != "off";
     if (args.count("iterations")) {
       iopts.summary.solver.max_iterations = std::stoul(args["iterations"]);
+    }
+    CompactionOptions copts;
+    copts.store = iopts;
+    if (args.count("max-batch-shards")) {
+      copts.max_batch_shards = std::stoul(args["max-batch-shards"]);
+    }
+    if (args.count("split-threshold")) {
+      copts.split_threshold = std::stoul(args["split-threshold"]);
+    }
+    auto compact = [&]() -> int {
+      auto report = RunCompaction(args["store"], copts);
+      if (!report.ok()) {
+        std::fprintf(stderr, "compact: %s\n",
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      if (!report->ran) {
+        std::printf("compaction not triggered in %s\n",
+                    args["store"].c_str());
+        return 0;
+      }
+      std::printf(
+          "compacted %zu shard(s) into %zu (generation %llu, %llu rows) "
+          "in %s\n",
+          report->replaced_shards.size(), report->new_shards.size(),
+          static_cast<unsigned long long>(report->generation),
+          static_cast<unsigned long long>(report->rows),
+          args["store"].c_str());
+      return 0;
+    };
+    if (args.count("compact")) {
+      copts.force = args.count("force") && args["force"] != "off";
+      return compact();
     }
     auto run = [&]() -> Result<IngestReport> {
       if (args.count("append")) {
@@ -154,6 +206,14 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(report->sealed),
         static_cast<unsigned long long>(report->recovered),
         args["store"].c_str());
+    // The batch is durable; compaction is housekeeping on top. It runs
+    // only when the thresholds trip, and a failure here must still exit
+    // nonzero — the store is intact (crash-atomic flip) but the operator
+    // should know the pass did not land.
+    if (args.count("append") &&
+        (!args.count("auto-compact") || args["auto-compact"] != "off")) {
+      return compact();
+    }
     return 0;
   }
 

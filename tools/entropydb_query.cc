@@ -223,9 +223,10 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "loaded sharded store: %zu shards (%s partitioning, "
-                 "%zu with zone maps), "
+                 "%zu with zone maps, compaction generation %llu), "
                  "%zu summaries + %zu samples total, n = %.0f\n",
                  sharded.num_shards(), scheme_desc.c_str(), with_zone_maps,
+                 static_cast<unsigned long long>(sharded.compaction_gen()),
                  (*engine)->num_summaries(), (*engine)->num_samples(),
                  (*engine)->n());
     for (size_t s = 0; s < sharded.num_shards(); ++s) {

@@ -198,6 +198,59 @@ class PruneGateTest(unittest.TestCase):
         self.assertTrue(any("missing shards" in f for f in failures))
 
 
+def compact_gate(**overrides):
+    gate = {
+        "base_rows": 60000,
+        "batches": 12,
+        "batch_rows": 2000,
+        "pre_shards": 16,
+        "post_shards": 6,
+        "compact_seconds": 0.8,
+        "merge_max_rel_err": 7e-14,
+        "pre_ns": 6500.0,
+        "post_ns": 900.0,
+        "speedup": 7.2,
+        "pass": True,
+    }
+    gate.update(overrides)
+    return gate
+
+
+class CompactGateTest(unittest.TestCase):
+    def test_healthy_gate_passes(self):
+        self.assertEqual(check_perf_gate.check_compact(compact_gate()), [])
+
+    def test_merge_drift_fails(self):
+        failures = check_perf_gate.check_compact(
+            compact_gate(merge_max_rel_err=1e-6))
+        self.assertTrue(any("merge_max_rel_err" in f for f in failures))
+
+    def test_slow_compacted_store_fails(self):
+        gate = compact_gate()
+        gate["post_ns"] = gate["pre_ns"] + 1
+        failures = check_perf_gate.check_compact(gate)
+        self.assertTrue(any("not faster" in f for f in failures))
+
+    def test_equal_latency_fails(self):
+        # Compaction removed shards; "no worse" is not good enough — the
+        # bar is strict, like the pruning selective bar.
+        gate = compact_gate()
+        gate["post_ns"] = gate["pre_ns"]
+        failures = check_perf_gate.check_compact(gate)
+        self.assertTrue(any("not faster" in f for f in failures))
+
+    def test_missing_fields_fail_instead_of_passing_silently(self):
+        gate = compact_gate()
+        del gate["merge_max_rel_err"]
+        failures = check_perf_gate.check_compact(gate)
+        self.assertTrue(any("missing merge_max_rel_err" in f
+                            for f in failures))
+        gate = compact_gate()
+        del gate["post_ns"]
+        failures = check_perf_gate.check_compact(gate)
+        self.assertTrue(any("missing post_ns" in f for f in failures))
+
+
 class MainTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -268,6 +321,31 @@ class MainTest(unittest.TestCase):
         bad = prune_gate(identical=False)
         prune = self.write("prune.json", bad)
         self.assertEqual(check_perf_gate.main([idx, "--prune", prune]), 1)
+
+    def test_all_five_gates_pass(self):
+        idx = self.write("index.json", index_gate())
+        shard = self.write("shard.json", shard_gate())
+        durability = self.write("durability.json", durability_gate())
+        prune = self.write("prune.json", prune_gate())
+        compact = self.write("compact.json", compact_gate())
+        self.assertEqual(
+            check_perf_gate.main(
+                [idx, "--shard", shard, "--durability", durability,
+                 "--prune", prune, "--compact", compact]), 0)
+
+    def test_failing_compact_gate_fails_the_run(self):
+        idx = self.write("index.json", index_gate())
+        bad = compact_gate(merge_max_rel_err=1.0)
+        compact = self.write("compact.json", bad)
+        self.assertEqual(check_perf_gate.main([idx, "--compact", compact]), 1)
+
+    def test_partially_written_compact_gate_fails_without_crashing(self):
+        idx = self.write("index.json", index_gate())
+        partial = compact_gate()
+        del partial["pre_ns"]
+        del partial["merge_max_rel_err"]
+        compact = self.write("compact.json", partial)
+        self.assertEqual(check_perf_gate.main([idx, "--compact", compact]), 1)
 
     def test_prune_tolerance_flag_is_honoured(self):
         idx = self.write("index.json", index_gate())
