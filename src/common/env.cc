@@ -208,6 +208,16 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status LinkFile(const std::string& from, const std::string& to) override {
+    if (::link(from.c_str(), to.c_str()) == 0) return Status::OK();
+    if (errno == EXDEV || errno == EPERM || errno == EMLINK) {
+      // Filesystem cannot hard-link (cross-device, or links disallowed):
+      // degrade to the base class's byte copy.
+      return Env::LinkFile(from, to);
+    }
+    return Status::IOError(ErrnoMessage("cannot link " + from + " to", to));
+  }
+
  private:
   static std::string Parent(const std::string& path) {
     const std::string parent = fs::path(path).parent_path().string();
@@ -229,6 +239,12 @@ Status Env::WriteFile(const std::string& path, std::string_view data,
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv;
   return env;
+}
+
+Status Env::LinkFile(const std::string& from, const std::string& to) {
+  std::string contents;
+  RETURN_NOT_OK(ReadFile(from, &contents));
+  return WriteFile(to, contents, /*sync=*/true);
 }
 
 namespace {
@@ -292,6 +308,24 @@ std::string StagingDirFor(const std::string& dir) {
          std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
 }
 
+size_t SweepStaleEntries(Env* env, const std::string& dir,
+                         const std::vector<std::string>& prefixes,
+                         const std::vector<std::string>& keep) {
+  auto entries = env->List(dir);
+  if (!entries.ok()) return 0;
+  size_t removed = 0;
+  for (const std::string& entry : *entries) {
+    const bool matches = std::any_of(
+        prefixes.begin(), prefixes.end(), [&](const std::string& prefix) {
+          return entry.compare(0, prefix.size(), prefix) == 0;
+        });
+    if (!matches) continue;
+    if (std::find(keep.begin(), keep.end(), entry) != keep.end()) continue;
+    if (env->RemoveAll(dir + "/" + entry).ok()) ++removed;
+  }
+  return removed;
+}
+
 void RemoveStaleStagingDirs(Env* env, const std::string& dir) {
   std::string base = dir;
   while (base.size() > 1 && base.back() == '/') base.pop_back();
@@ -300,14 +334,8 @@ void RemoveStaleStagingDirs(Env* env, const std::string& dir) {
       p.parent_path().empty() ? std::string(".") : p.parent_path().string();
   const std::string name = p.filename().string();
   if (name.empty()) return;
-  auto entries = env->List(parent);
-  if (!entries.ok()) return;
-  for (const std::string& entry : *entries) {
-    if (entry.compare(0, name.size() + 5, name + ".tmp-") == 0 ||
-        entry.compare(0, name.size() + 5, name + ".old-") == 0) {
-      env->RemoveAll(parent + "/" + entry).ok();  // best effort
-    }
-  }
+  SweepStaleEntries(env, parent, {name + ".tmp-", name + ".old-"},
+                    /*keep=*/{});
 }
 
 }  // namespace entropydb

@@ -78,6 +78,16 @@ class Env {
   /// this to drop un-synced tails; PosixEnv implements it for symmetry).
   virtual Status Truncate(const std::string& path, uint64_t size) = 0;
 
+  /// Makes `to` refer to the same bytes as `from` without copying when the
+  /// filesystem allows it (hard link); the default implementation copies
+  /// through ReadFile/WriteFile, which is also the PosixEnv fallback for
+  /// cross-device links. Version cloning (storage/version_set.h) uses this
+  /// to derive a new store version from the previous one at O(files) cost
+  /// instead of O(bytes). Callers must treat the linked file as immutable:
+  /// appending through one name would mutate the other. Test Envs that
+  /// inherit the default get fault-injected copies for free.
+  virtual Status LinkFile(const std::string& from, const std::string& to);
+
   /// Convenience: create/truncate `path`, write `data`, optionally Sync,
   /// then Close, propagating the first error.
   Status WriteFile(const std::string& path, std::string_view data,
@@ -126,9 +136,23 @@ Result<std::string> ReadChecksummedFile(Env* env, const std::string& path,
 /// process-local sequence keep concurrent savers from colliding.
 std::string StagingDirFor(const std::string& dir);
 
+/// The ONE staleness rule every directory garbage collector applies
+/// (ShardedStore::Load's unreferenced-shard sweep, VersionSet's
+/// retired-version and stranded-publish sweep, the `.tmp-` staging GC):
+/// an entry of `dir` is stale — and removed — exactly when its name
+/// starts with one of `prefixes` and is NOT listed in `keep`. Removal is
+/// best-effort and recursive; a sweep must never fail the open or publish
+/// that runs it, so errors are swallowed. Returns the number of entries
+/// removed. Factoring the rule here keeps the shard GC and the version GC
+/// from drifting apart (they once each had their own loop).
+size_t SweepStaleEntries(Env* env, const std::string& dir,
+                         const std::vector<std::string>& prefixes,
+                         const std::vector<std::string>& keep);
+
 /// Best-effort removal of stranded "<base>.tmp-*" / "<base>.old-*"
 /// siblings of `dir` left behind by a crashed save. Errors are swallowed
-/// (GC must never fail an open); call on every store load.
+/// (GC must never fail an open); call on every store load. Implemented as
+/// a SweepStaleEntries over `dir`'s parent.
 void RemoveStaleStagingDirs(Env* env, const std::string& dir);
 
 }  // namespace entropydb

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "NotSupported";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

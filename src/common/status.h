@@ -19,6 +19,7 @@ enum class StatusCode {
   kCorruption,
   kNotSupported,
   kResourceExhausted,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -64,6 +65,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -85,6 +89,9 @@ class Status {
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
 

@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.h"
 #include "engine/sharded_store.h"
+#include "storage/version_set.h"
 
 namespace entropydb {
 
@@ -45,6 +46,21 @@ std::shared_ptr<EntropyEngine> EntropyEngine::FromSharded(
 Result<std::shared_ptr<EntropyEngine>> EntropyEngine::Open(
     const std::string& path, SummaryOptions opts, Env* env) {
   if (std::filesystem::is_directory(path)) {
+    if (VersionSet::IsVersionedRoot(path, env)) {
+      // Resolve the atomic CURRENT pointer to the live version's store
+      // directory; opening the root after a publish sees the new version,
+      // while an engine already opened on the previous one keeps serving
+      // its (immutable) files.
+      VersionSet::Options vopts;
+      vopts.verify_checksums = opts.verify_checksums;
+      ASSIGN_OR_RETURN(std::unique_ptr<VersionSet> versions,
+                       VersionSet::Open(path, env, vopts));
+      if (versions->current() == 0) {
+        return Status::FailedPrecondition(
+            "versioned root has no published version: " + path);
+      }
+      return Open(versions->CurrentDir(), opts, env);
+    }
     if (ShardedStore::IsShardedDir(path, env)) {
       ASSIGN_OR_RETURN(std::shared_ptr<ShardedStore> sharded,
                        ShardedStore::Load(path, opts, env));
@@ -89,8 +105,17 @@ double EntropyEngine::n() const {
   return sharded_ != nullptr ? sharded_->n() : primary_->n();
 }
 
+EngineStats EntropyEngine::stats() const {
+  EngineStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_queries = batched_queries_.load(std::memory_order_relaxed);
+  return s;
+}
+
 Result<QueryEstimate> EntropyEngine::AnswerCount(
     const CountingQuery& q, RouteDecision* decision) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
   if (sharded_ != nullptr) {
     // Per-shard routing decisions live on ShardedStore::AnswerCount; the
     // facade-level decision carries the merged variance plus the
@@ -118,6 +143,8 @@ Result<QueryEstimate> EntropyEngine::AnswerCount(
 Result<std::vector<QueryEstimate>> EntropyEngine::AnswerAll(
     const std::vector<CountingQuery>& qs,
     std::vector<RouteDecision>* decisions) const {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_queries_.fetch_add(qs.size(), std::memory_order_relaxed);
   if (sharded_ != nullptr) {
     ASSIGN_OR_RETURN(std::vector<QueryEstimate> out, sharded_->AnswerAll(qs));
     if (decisions != nullptr) {
@@ -193,6 +220,7 @@ const EntropySummary& EntropyEngine::RouteFor(
 Result<QueryEstimate> EntropyEngine::AnswerSum(
     AttrId a, const std::vector<double>& weights, const CountingQuery& q,
     RouteDecision* decision) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
   if (sharded_ != nullptr) {
     if (decision == nullptr) return sharded_->AnswerSum(a, weights, q);
     *decision = RouteDecision{};
@@ -240,6 +268,7 @@ Result<QueryEstimate> EntropyEngine::AnswerSum(
 Result<QueryEstimate> EntropyEngine::AnswerAvg(
     AttrId a, const std::vector<double>& weights, const CountingQuery& q,
     RouteDecision* decision) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
   if (sharded_ != nullptr) {
     if (decision != nullptr) *decision = RouteDecision{};
     ASSIGN_OR_RETURN(QueryEstimate est, sharded_->AnswerAvg(a, weights, q));
@@ -256,6 +285,7 @@ Result<QueryEstimate> EntropyEngine::AnswerAvg(
 
 Result<std::vector<QueryEstimate>> EntropyEngine::AnswerGroupByAttribute(
     AttrId a, const CountingQuery& base, RouteDecision* decision) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
   if (sharded_ != nullptr) {
     if (decision != nullptr) *decision = RouteDecision{};
     return sharded_->AnswerGroupByAttribute(a, base);
@@ -267,6 +297,7 @@ Result<std::map<std::vector<Code>, QueryEstimate>> EntropyEngine::AnswerGroupBy(
     const std::vector<AttrId>& attrs,
     const std::vector<std::vector<Code>>& keys, const CountingQuery& base,
     RouteDecision* decision) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
   if (sharded_ != nullptr) {
     if (decision != nullptr) *decision = RouteDecision{};
     return sharded_->AnswerGroupBy(attrs, keys, base);

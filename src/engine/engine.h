@@ -1,6 +1,7 @@
 #ifndef ENTROPYDB_ENGINE_ENGINE_H_
 #define ENTROPYDB_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -15,6 +16,22 @@
 namespace entropydb {
 
 class ShardedStore;
+
+/// \brief Monotonic engine-level counters, snapshot by
+/// EntropyEngine::stats().
+///
+/// Feeds the server's STATS command (docs/SERVING.md). Increments are
+/// relaxed atomics on the answer paths, so concurrent answering never
+/// serializes on bookkeeping; a snapshot is therefore approximate across
+/// in-flight queries, which is all an operations counter needs.
+struct EngineStats {
+  /// Single-query Answer* calls (count, sum, avg, group-by).
+  uint64_t queries = 0;
+  /// AnswerAll invocations (one per micro-batch).
+  uint64_t batches = 0;
+  /// Queries answered inside those batches.
+  uint64_t batched_queries = 0;
+};
 
 /// \brief The serving facade: one query surface over a single
 /// EntropySummary, a routed SourceStore (summaries + sample companions),
@@ -60,7 +77,11 @@ class EntropyEngine {
       std::shared_ptr<ShardedStore> sharded);
   /// Opens a persisted engine: a directory loads as a SourceStore
   /// (MANIFEST v1/v2/v4-mono) or a ShardedStore (MANIFEST v3/v4-sharded),
-  /// a file as a single summary. Checksums are verified unless
+  /// a file as a single summary. A *versioned root* (a directory holding a
+  /// CURRENT pointer — see storage/version_set.h) resolves to its current
+  /// version's store directory first, so callers point at the root and
+  /// transparently read whatever version is live; to time-travel, open a
+  /// retained "root/v<id>" directly. Checksums are verified unless
   /// `opts.verify_checksums` is off; all I/O goes through `env`.
   static Result<std::shared_ptr<EntropyEngine>> Open(const std::string& path,
                                                      SummaryOptions opts = {},
@@ -128,6 +149,9 @@ class EntropyEngine {
       const std::vector<std::vector<Code>>& keys, const CountingQuery& base,
       RouteDecision* decision = nullptr) const;
 
+  /// Snapshot of the engine-level counters (see EngineStats).
+  EngineStats stats() const;
+
  private:
   EntropyEngine(std::shared_ptr<EntropySummary> summary,
                 std::shared_ptr<SourceStore> store,
@@ -147,6 +171,11 @@ class EntropyEngine {
   std::shared_ptr<SourceStore> store_;
   std::shared_ptr<ShardedStore> sharded_;
   std::unique_ptr<QueryRouter> router_;
+
+  // Answer methods are const; the counters are observability, not state.
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> batches_{0};
+  mutable std::atomic<uint64_t> batched_queries_{0};
 };
 
 }  // namespace entropydb

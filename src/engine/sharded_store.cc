@@ -528,30 +528,14 @@ Result<std::shared_ptr<ShardedStore>> ShardedStore::Load(
                    ReadManifest(dir, env, opts.verify_checksums));
   // GC every `shard_*` entry the manifest does not reference: a crashed
   // ingest seal or compaction strands half-built shards (and their
-  // `shard_*.tmp-*` staging siblings), and a crash between a
-  // compaction's manifest flip and its cleanup leaves the replaced
-  // ones. Orphan rows are journal-backed, so removal never loses data;
-  // best-effort, because GC must never fail an open.
-  if (auto entries = env->List(dir); entries.ok()) {
-    for (const std::string& name : *entries) {
-      // A crashed WriteManifest leaks its pre-rename tmp file too.
-      if (name == "MANIFEST.tmp") {
-        env->RemoveAll((fs::path(dir) / name).string()).ok();
-        continue;
-      }
-      if (name.rfind("shard_", 0) != 0) continue;
-      bool referenced = false;
-      for (const std::string& d : m.shard_dirs) {
-        if (d == name) {
-          referenced = true;
-          break;
-        }
-      }
-      if (!referenced) {
-        env->RemoveAll((fs::path(dir) / name).string()).ok();
-      }
-    }
-  }
+  // `shard_*.tmp-*` staging siblings), a crash between a compaction's
+  // manifest flip and its cleanup leaves the replaced ones, and a crashed
+  // WriteManifest leaks its pre-rename tmp file. Orphan rows are
+  // journal-backed, so removal never loses data. Shares SweepStaleEntries
+  // with the version GC (storage/version_set.cc) so the two staleness
+  // rules can't drift.
+  SweepStaleEntries(env, dir, {"shard_", "MANIFEST.tmp"},
+                    /*keep=*/m.shard_dirs);
   const size_t ns = m.shard_dirs.size();
   // Shard loads are independent (each is a full store load, itself
   // parallel inside), so fan out across shards too.

@@ -1,0 +1,71 @@
+#include "engine/versioned.h"
+
+namespace entropydb {
+
+namespace {
+
+/// Opens the root and requires a published current version — both
+/// wrappers derive their clone from it.
+Result<std::unique_ptr<VersionSet>> OpenNonEmpty(const std::string& root,
+                                                 VersionSet::Options vopts,
+                                                 Env* env) {
+  ASSIGN_OR_RETURN(std::unique_ptr<VersionSet> vs,
+                   VersionSet::Open(root, env, vopts));
+  if (vs->current() == 0) {
+    return Status::FailedPrecondition(
+        "versioned root has no published version: " + root);
+  }
+  return vs;
+}
+
+}  // namespace
+
+Result<VersionAppendReport> AppendVersion(const std::string& root,
+                                          const std::string& csv_text,
+                                          StoreOptions opts,
+                                          VersionSet::Options vopts,
+                                          Env* env) {
+  ASSIGN_OR_RETURN(std::unique_ptr<VersionSet> vs,
+                   OpenNonEmpty(root, vopts, env));
+  const uint64_t id = vs->BeginVersion();
+  RETURN_NOT_OK(vs->CloneCurrentTo(id));
+  VersionAppendReport report;
+  // The clone carries its own ingest.wal copy, so the append journals and
+  // seals entirely inside the unpublished v<id>; a failure or crash here
+  // leaves the current version untouched and the clone stranded for the
+  // next open's sweep.
+  ASSIGN_OR_RETURN(report.ingest,
+                   AppendBatch(vs->VersionDir(id), csv_text, opts, env));
+  RETURN_NOT_OK(vs->Publish(id));
+  report.version = id;
+  return report;
+}
+
+Result<VersionCompactReport> CompactVersion(const std::string& root,
+                                            const CompactionOptions& opts,
+                                            VersionSet::Options vopts,
+                                            Env* env) {
+  ASSIGN_OR_RETURN(std::unique_ptr<VersionSet> vs,
+                   OpenNonEmpty(root, vopts, env));
+  VersionCompactReport report;
+  // Plan against the live version before paying for a clone: most serve
+  // loops call this on a timer and the triggers usually have not fired.
+  ASSIGN_OR_RETURN(CompactionPlan plan,
+                   CompactionPlanner::Plan(vs->CurrentDir(), opts, env));
+  if (!plan.triggered) return report;
+  const uint64_t id = vs->BeginVersion();
+  RETURN_NOT_OK(vs->CloneCurrentTo(id));
+  ASSIGN_OR_RETURN(report.compaction,
+                   RunCompaction(vs->VersionDir(id), opts, env));
+  if (!report.compaction.ran) {
+    // Plan raced with nothing (single writer), but stay defensive: drop
+    // the unused clone rather than publishing an identical version.
+    env->RemoveAll(vs->VersionDir(id)).ok();
+    return report;
+  }
+  RETURN_NOT_OK(vs->Publish(id));
+  report.version = id;
+  return report;
+}
+
+}  // namespace entropydb

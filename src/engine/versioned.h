@@ -1,0 +1,72 @@
+#ifndef ENTROPYDB_ENGINE_VERSIONED_H_
+#define ENTROPYDB_ENGINE_VERSIONED_H_
+
+#include <string>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "engine/compaction.h"
+#include "engine/ingest.h"
+#include "storage/version_set.h"
+
+namespace entropydb {
+
+/// \brief Publish-as-new-version wrappers over ingest and compaction.
+///
+/// PRs 7–8 made `--append` and compaction mutate a store directory in
+/// place (safely — single manifest flip), which is right for a one-process
+/// CLI but wrong under a serving front-end: an in-place flip yanks files
+/// out from under a reader pinned on the old state. These wrappers run the
+/// SAME ingest/compaction code against a cheap clone of the current
+/// version (hard-linked shard data, copied MANIFEST + ingest.wal — see
+/// VersionSet::CloneCurrentTo) and commit by flipping the root's CURRENT
+/// pointer, so:
+///
+///   - readers pinned on v(n) keep every byte they opened;
+///   - the flip is atomic — a crash mid-append strands an unpublished
+///     v(n+1) that the next VersionSet::Open sweeps;
+///   - old versions stay queryable (time travel) until retention GC.
+///
+/// The non-versioned AppendBatch/RunCompaction entry points remain for
+/// plain store directories; a versioned root must only be mutated through
+/// these.
+
+/// What one versioned append did.
+struct VersionAppendReport {
+  /// The version id the batch was published as (the new current).
+  uint64_t version = 0;
+  /// The underlying WAL-backed ingest's report, run against the clone.
+  IngestReport ingest;
+};
+
+/// What one versioned compaction did.
+struct VersionCompactReport {
+  /// The new current version id; 0 when the compaction triggers did not
+  /// fire (nothing was cloned or published).
+  uint64_t version = 0;
+  /// The underlying compaction's report (`ran` == false when untriggered).
+  CompactionReport compaction;
+};
+
+/// Appends one CSV batch to the versioned root at `root` as a NEW version:
+/// clone current -> AppendBatch on the clone -> flip CURRENT. Requires a
+/// published current version. `vopts.retain` (nonzero) also updates the
+/// root's persisted retention window.
+Result<VersionAppendReport> AppendVersion(const std::string& root,
+                                          const std::string& csv_text,
+                                          StoreOptions opts = {},
+                                          VersionSet::Options vopts = {},
+                                          Env* env = Env::Default());
+
+/// Runs one compaction pass against the versioned root at `root`,
+/// publishing the result as a NEW version. Plans against the current
+/// version first: when the triggers do not fire, nothing is cloned and the
+/// report's `version` is 0.
+Result<VersionCompactReport> CompactVersion(const std::string& root,
+                                            const CompactionOptions& opts,
+                                            VersionSet::Options vopts = {},
+                                            Env* env = Env::Default());
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_ENGINE_VERSIONED_H_

@@ -45,6 +45,7 @@
 #include "engine/query_router.h"
 #include "engine/sharded_store.h"
 #include "engine/source_store.h"
+#include "engine/versioned.h"
 #include "maxent/answerer.h"
 #include "maxent/budget_advisor.h"
 #include "maxent/dense_model.h"
@@ -65,6 +66,9 @@
 #include "sampling/sample_io.h"
 #include "sampling/stratified_sampler.h"
 #include "sampling/uniform_sampler.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire_protocol.h"
 #include "stats/correlation.h"
 #include "stats/histogram.h"
 #include "stats/kd_tree.h"
@@ -75,6 +79,7 @@
 #include "storage/partitioner.h"
 #include "storage/table.h"
 #include "storage/table_builder.h"
+#include "storage/version_set.h"
 #include "storage/wal.h"
 #include "storage/zone_map.h"
 #include "workload/flights.h"

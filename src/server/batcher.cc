@@ -1,0 +1,151 @@
+#include "server/batcher.h"
+
+#include <vector>
+
+namespace entropydb {
+
+QueryBatcher::QueryBatcher(Options options) : options_(options) {
+  if (options_.start_worker) {
+    worker_ = std::thread([this] { WorkerLoop(); });
+  }
+}
+
+QueryBatcher::~QueryBatcher() { Stop(); }
+
+Result<std::future<Result<QueryEstimate>>> QueryBatcher::SubmitAsync(
+    std::shared_ptr<const EntropyEngine> engine, CountingQuery query,
+    std::chrono::steady_clock::time_point deadline) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("null engine submitted");
+  }
+  std::future<Result<QueryEstimate>> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return Status::ResourceExhausted("batcher stopped");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      return Status::ResourceExhausted("admission queue full");
+    }
+    Pending pending;
+    pending.engine = std::move(engine);
+    pending.query = std::move(query);
+    pending.deadline = deadline;
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    ++stats_.accepted;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Result<QueryEstimate> QueryBatcher::Submit(
+    std::shared_ptr<const EntropyEngine> engine, CountingQuery query,
+    std::chrono::milliseconds deadline) {
+  const auto deadline_at = std::chrono::steady_clock::now() + deadline;
+  ASSIGN_OR_RETURN(std::future<Result<QueryEstimate>> future,
+                   SubmitAsync(std::move(engine), std::move(query),
+                               deadline_at));
+  if (future.wait_until(deadline_at) != std::future_status::ready) {
+    // The queued entry stays; dispatch will answer it into an abandoned
+    // future (or expire it), but THIS caller's latency bound holds.
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return future.get();
+}
+
+std::vector<QueryBatcher::Pending> QueryBatcher::TakeBatchLocked() {
+  std::vector<Pending> batch;
+  if (queue_.empty()) return batch;
+  const EntropyEngine* engine = queue_.front().engine.get();
+  // One dispatch never mixes engines (= versions); entries for other
+  // engines keep their order for a later dispatch.
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < options_.max_batch;) {
+    if (it->engine.get() == engine) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+size_t QueryBatcher::DrainOnce() {
+  std::vector<Pending> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch = TakeBatchLocked();
+    if (batch.empty()) return 0;
+    ++stats_.batches;
+  }
+  // Fail entries whose deadline already passed instead of spending answer
+  // work on a result nobody is waiting for.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Pending> live;
+  size_t expired = 0;
+  for (Pending& p : batch) {
+    if (p.deadline <= now) {
+      p.promise.set_value(Status::DeadlineExceeded("expired in queue"));
+      ++expired;
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (expired > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.expired += expired;
+  }
+  if (live.empty()) return batch.size();
+
+  std::vector<CountingQuery> queries;
+  queries.reserve(live.size());
+  for (const Pending& p : live) queries.push_back(p.query);
+  auto answers = live.front().engine->AnswerAll(queries);
+  if (!answers.ok()) {
+    // Batch-level failure: every caller gets the status. Per-query errors
+    // (e.g. one arity mismatch) surface this way too — acceptable for a
+    // micro-batch of a few dozen; the session layer reports the code.
+    for (Pending& p : live) p.promise.set_value(answers.status());
+    return batch.size();
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    live[i].promise.set_value((*answers)[i]);
+  }
+  return batch.size();
+}
+
+void QueryBatcher::WorkerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+      if (stopped_) return;
+    }
+    DrainOnce();
+  }
+}
+
+void QueryBatcher::Stop() {
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    leftover.swap(queue_);
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  for (Pending& p : leftover) {
+    p.promise.set_value(Status::ResourceExhausted("batcher stopped"));
+  }
+}
+
+QueryBatcher::Stats QueryBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace entropydb

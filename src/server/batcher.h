@@ -1,0 +1,113 @@
+#ifndef ENTROPYDB_SERVER_BATCHER_H_
+#define ENTROPYDB_SERVER_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace entropydb {
+
+/// \brief Bounded admission queue that micro-batches COUNT queries into
+/// EntropyEngine::AnswerAll.
+///
+/// Concurrently arriving queries from many sessions queue here; a single
+/// dispatcher thread drains up to `max_batch` of them that target the same
+/// engine (one batch never mixes versions) into one AnswerAll call, whose
+/// lock-free workspace fan-out answers them in parallel. That converts N
+/// sessions' serial answer calls into pool-wide batches — the serving-side
+/// use of the batched answering path the benchmarks measure.
+///
+/// Admission control is typed, never blocking-on-full: a Submit against a
+/// full queue returns kResourceExhausted immediately (the wire layer maps
+/// it to SERVER_BUSY), and every request carries a deadline — expired
+/// entries are failed with kDeadlineExceeded at dispatch, and a waiting
+/// Submit gives up with the same code even if its query is still queued
+/// (the eventual result is dropped). Overload therefore degrades to fast
+/// typed errors instead of unbounded latency.
+///
+/// Thread-safe. Tests construct with `start_worker` = false and call
+/// DrainOnce() to step the dispatcher deterministically.
+class QueryBatcher {
+ public:
+  struct Options {
+    /// Admission bound: queries queued-but-not-dispatched beyond this are
+    /// rejected with kResourceExhausted.
+    size_t queue_capacity = 256;
+    /// Most queries one AnswerAll dispatch may carry.
+    size_t max_batch = 64;
+    /// Spawn the dispatcher thread (false for deterministic tests).
+    bool start_worker = true;
+  };
+
+  /// Monotonic counters for STATS.
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    uint64_t expired = 0;
+    uint64_t batches = 0;
+  };
+
+  explicit QueryBatcher(Options options);
+  QueryBatcher() : QueryBatcher(Options()) {}
+  ~QueryBatcher();
+
+  QueryBatcher(const QueryBatcher&) = delete;
+  QueryBatcher& operator=(const QueryBatcher&) = delete;
+
+  /// Enqueues a query against `engine` and returns a future for its
+  /// estimate, or kResourceExhausted when the queue is full. The future
+  /// resolves when a dispatch answers (or expires) the query.
+  Result<std::future<Result<QueryEstimate>>> SubmitAsync(
+      std::shared_ptr<const EntropyEngine> engine, CountingQuery query,
+      std::chrono::steady_clock::time_point deadline);
+
+  /// SubmitAsync + wait: returns the estimate, kResourceExhausted on a
+  /// full queue, or kDeadlineExceeded when `deadline` passes first.
+  Result<QueryEstimate> Submit(std::shared_ptr<const EntropyEngine> engine,
+                               CountingQuery query,
+                               std::chrono::milliseconds deadline);
+
+  /// Dispatches one batch inline (test hook; also usable as a manual
+  /// pump when constructed without a worker). Returns the number of
+  /// queries dispatched or expired.
+  size_t DrainOnce();
+
+  /// Stops the dispatcher and fails everything still queued with
+  /// kResourceExhausted. Idempotent; the destructor calls it.
+  void Stop();
+
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    std::shared_ptr<const EntropyEngine> engine;
+    CountingQuery query;
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<Result<QueryEstimate>> promise;
+  };
+
+  void WorkerLoop();
+  /// Pops up to max_batch entries sharing the front's engine. Caller
+  /// holds mu_.
+  std::vector<Pending> TakeBatchLocked();
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopped_ = false;
+  Stats stats_;
+  std::thread worker_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_SERVER_BATCHER_H_

@@ -1,0 +1,119 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace entropydb {
+
+namespace {
+
+Status SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WireClient::~WireClient() { Close(); }
+
+WireClient::WireClient(WireClient&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+WireClient& WireClient::operator=(WireClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<WireClient> WireClient::Connect(const std::string& host,
+                                       uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  WireClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Result<WireResponse> WireClient::Call(const Request& request) {
+  return CallRaw(EncodeRequest(request));
+}
+
+Result<WireResponse> WireClient::CallRaw(const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  RETURN_NOT_OK(SendAll(fd_, EncodeFrame(payload)));
+  char buf[1 << 14];
+  for (;;) {
+    ASSIGN_OR_RETURN(std::optional<std::string> frame, decoder_.Next());
+    if (frame.has_value()) return ParseResponse(*frame);
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("server closed connection mid-response");
+    }
+    decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Status WireClient::SendBytesAndAwaitClose(const std::string& bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  RETURN_NOT_OK(SendAll(fd_, bytes));
+  char buf[1 << 12];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::OK();
+    // Drain whatever the server sends (e.g. a final error frame) until
+    // it closes.
+  }
+}
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace entropydb

@@ -1,0 +1,55 @@
+#ifndef ENTROPYDB_SERVER_CLIENT_H_
+#define ENTROPYDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "server/wire_protocol.h"
+
+namespace entropydb {
+
+/// \brief Minimal blocking client for the entropydb_serve wire protocol:
+/// one TCP connection, one request/response in flight at a time.
+///
+/// Used by the entropydb_client tool, the server tests, and
+/// bench_serving; concurrency benchmarks open one WireClient per client
+/// thread. Close() (or destruction) closes the socket; the server treats
+/// that as a clean session end.
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(WireClient&& other) noexcept;
+  WireClient& operator=(WireClient&& other) noexcept;
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects to `host`:`port` (numeric IPv4, e.g. "127.0.0.1").
+  static Result<WireClient> Connect(const std::string& host, uint16_t port);
+
+  /// Sends one request and waits for its response frame. A transport
+  /// error (or a response the codec rejects) is an error Status; a typed
+  /// server-side error arrives as a WireResponse with ok == false.
+  Result<WireResponse> Call(const Request& request);
+
+  /// Call with a raw payload — lets tests drive payloads EncodeRequest
+  /// cannot produce.
+  Result<WireResponse> CallRaw(const std::string& payload);
+
+  /// Sends raw bytes without framing (tests: malformed frames) and reads
+  /// until the server closes the connection.
+  Status SendBytesAndAwaitClose(const std::string& bytes);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_SERVER_CLIENT_H_

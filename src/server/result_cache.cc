@@ -1,0 +1,110 @@
+#include "server/result_cache.h"
+
+#include <sstream>
+
+namespace entropydb {
+
+namespace {
+
+/// Renders one predicate through its allowed-code-set semantics, so
+/// equivalent shapes (point, [c,c] range, {c} set) share a rendering.
+void AppendPredicate(std::ostringstream& out, AttrId attr,
+                     const AttrPredicate& pred) {
+  out << ";" << attr;
+  switch (pred.kind()) {
+    case AttrPredicate::Kind::kAny:
+      return;  // not rendered; caller skips ANY
+    case AttrPredicate::Kind::kPoint:
+      out << "=" << pred.lo();
+      return;
+    case AttrPredicate::Kind::kRange:
+      if (pred.lo() == pred.hi()) {
+        out << "=" << pred.lo();
+      } else {
+        out << "[" << pred.lo() << "," << pred.hi() << "]";
+      }
+      return;
+    case AttrPredicate::Kind::kSet: {
+      const std::vector<Code>& codes = pred.set();
+      if (codes.size() == 1) {
+        out << "=" << codes[0];
+        return;
+      }
+      // InSet sorts and dedups on construction, so the rendering is
+      // already order-insensitive.
+      out << "{";
+      for (size_t i = 0; i < codes.size(); ++i) {
+        if (i > 0) out << ",";
+        out << codes[i];
+      }
+      out << "}";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const ParsedQuery& query) {
+  std::ostringstream out;
+  switch (query.aggregate) {
+    case ParsedQuery::Aggregate::kCount:
+      out << "count";
+      break;
+    case ParsedQuery::Aggregate::kSum:
+      out << "sum:" << query.agg_attr;
+      break;
+    case ParsedQuery::Aggregate::kAvg:
+      out << "avg:" << query.agg_attr;
+      break;
+  }
+  for (AttrId a = 0; a < query.where.num_attributes(); ++a) {
+    const AttrPredicate& pred = query.where.predicate(a);
+    if (pred.is_any()) continue;
+    AppendPredicate(out, a, pred);
+  }
+  return out.str();
+}
+
+std::optional<QueryEstimate> ResultCache::Get(uint64_t version,
+                                              const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(FullKey(version, key));
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->estimate;
+}
+
+void ResultCache::Put(uint64_t version, const std::string& key,
+                      const QueryEstimate& estimate) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string full = FullKey(version, key);
+  auto it = index_.find(full);
+  if (it != index_.end()) {
+    it->second->estimate = estimate;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{full, estimate});
+  index_[std::move(full)] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace entropydb

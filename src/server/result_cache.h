@@ -1,0 +1,77 @@
+#ifndef ENTROPYDB_SERVER_RESULT_CACHE_H_
+#define ENTROPYDB_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "maxent/answerer.h"
+#include "query/parser.h"
+
+namespace entropydb {
+
+/// The canonical form of a parsed query, used as the cache key: aggregate
+/// + aggregated attribute + each non-ANY predicate rendered in encoded
+/// (bucket code) space. Because the parser has already resolved labels,
+/// numeric values, and keyword case into codes, every spelling of the same
+/// predicate set shares one key; a point range ([c,c]) and a one-element
+/// IN collapse to the "=c" rendering for the same reason.
+std::string CanonicalQueryKey(const ParsedQuery& query);
+
+/// \brief LRU cache of query estimates, keyed on (version, canonical
+/// query).
+///
+/// Correctness is free: a version's store files never change after its
+/// CURRENT flip (storage/version_set.h), so an estimate computed against
+/// v(n) is valid for v(n) forever. There is no invalidation path —
+/// publishing v(n+1) changes the version half of every new key, and
+/// entries for retired versions simply age out of the LRU. Thread-safe;
+/// one instance serves all sessions.
+class ResultCache {
+ public:
+  /// Monotonic hit/miss counters for STATS.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
+  };
+
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached estimate for (version, key), refreshing its LRU
+  /// position, or nullopt (counted as a miss).
+  std::optional<QueryEstimate> Get(uint64_t version, const std::string& key);
+
+  /// Inserts or refreshes (version, key); evicts the least recently used
+  /// entry past capacity. A capacity of 0 disables caching.
+  void Put(uint64_t version, const std::string& key,
+           const QueryEstimate& estimate);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    QueryEstimate estimate;
+  };
+
+  static std::string FullKey(uint64_t version, const std::string& key) {
+    return "v" + std::to_string(version) + "|" + key;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_SERVER_RESULT_CACHE_H_

@@ -1,0 +1,128 @@
+#ifndef ENTROPYDB_SERVER_WIRE_PROTOCOL_H_
+#define ENTROPYDB_SERVER_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace entropydb {
+
+/// \brief The entropydb_serve wire protocol codec — pure string functions,
+/// no sockets, so tests exercise exactly what the server and client speak
+/// (docs/SERVING.md is the normative spec; keep the two in lockstep).
+///
+/// Framing: every message, in either direction, is one *frame*:
+///
+///     <8 lowercase hex digits: payload byte length> '\n' <payload bytes>
+///
+/// The fixed-width length makes the reader state machine trivial and a
+/// desynchronized peer detectable: a header that is not hex-plus-newline,
+/// or a length above kMaxFramePayload, is a protocol error and the
+/// connection must be closed (there is no way to resynchronize a byte
+/// stream with a corrupt length prefix).
+///
+/// Request payloads are a command on the first line; BATCH carries its
+/// queries on the following lines. Response payloads start with "OK" or
+/// "ERR <CODE> <message>" followed by result lines. See docs/SERVING.md
+/// for the command table and error codes.
+
+/// Hard ceiling on a frame payload (1 MiB). Large enough for a maximal
+/// BATCH, small enough that a garbage length prefix cannot make the
+/// reader buffer gigabytes.
+inline constexpr size_t kMaxFramePayload = 1u << 20;
+
+/// Bytes in a frame header: 8 hex digits + '\n'.
+inline constexpr size_t kFrameHeaderSize = 9;
+
+/// Most queries one BATCH may carry.
+inline constexpr size_t kMaxBatchQueries = 1024;
+
+/// Wraps `payload` in a frame header.
+std::string EncodeFrame(std::string_view payload);
+
+/// \brief Incremental frame reader: feed raw bytes as they arrive, pop
+/// complete payloads. After any malformed header the decoder is poisoned —
+/// every further Next() fails, matching the close-the-connection rule.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the stream.
+  void Feed(std::string_view bytes);
+
+  /// Returns the next complete payload, std::nullopt when more bytes are
+  /// needed, or kInvalidArgument on a malformed or oversized header.
+  Result<std::optional<std::string>> Next();
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+/// The five request commands.
+enum class CommandType { kOpen, kQuery, kBatch, kStats, kVersion };
+
+/// \brief A decoded request payload.
+///
+/// On the wire (first line; '/' attaches the optional per-request deadline
+/// to the command word so query text never needs escaping):
+///
+///     OPEN live | OPEN <version-id>
+///     QUERY[/<deadline-ms>] <query text>
+///     BATCH[/<deadline-ms>] <n>     (then n lines, one query each)
+///     STATS
+///     VERSION
+struct Request {
+  CommandType type = CommandType::kQuery;
+  /// kOpen: the version to pin; 0 means "live" (follow CURRENT).
+  uint64_t version = 0;
+  /// Per-request deadline in ms; 0 means "use the server default".
+  uint64_t deadline_ms = 0;
+  /// kQuery: the query text (the paper dialect, see query/parser.h).
+  std::string query;
+  /// kBatch: the queries, in response order.
+  std::vector<std::string> queries;
+};
+
+/// Renders a request payload (client side).
+std::string EncodeRequest(const Request& req);
+
+/// Parses a request payload (server side). Unknown commands, bad counts,
+/// and oversized batches are kInvalidArgument.
+Result<Request> ParseRequest(const std::string& payload);
+
+/// \brief A decoded response payload: "OK" + result lines, or a typed
+/// error.
+struct WireResponse {
+  bool ok = false;
+  /// Error code word (e.g. "SERVER_BUSY"); empty when ok.
+  std::string code;
+  /// Error message; empty when ok.
+  std::string message;
+  /// Result lines after the status line.
+  std::vector<std::string> lines;
+};
+
+/// Renders "OK" + lines (server side).
+std::string EncodeOkResponse(const std::vector<std::string>& lines);
+
+/// Renders "ERR <CODE> <message>" from a Status (server side); the code is
+/// WireErrorCode of the status code.
+std::string EncodeErrorResponse(const Status& status);
+
+/// Parses a response payload (client side).
+Result<WireResponse> ParseResponse(const std::string& payload);
+
+/// The wire error code for a status: BAD_REQUEST, NOT_FOUND, SERVER_BUSY,
+/// DEADLINE_EXCEEDED, FAILED_PRECONDITION, or INTERNAL.
+std::string_view WireErrorCode(StatusCode code);
+
+/// The client-side inverse: a Status carrying the code a wire error maps
+/// back to (unknown codes become kInternal).
+Status StatusFromWire(const std::string& code, const std::string& message);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_SERVER_WIRE_PROTOCOL_H_

@@ -213,6 +213,70 @@ TEST_F(EnvTest, CrashAfterFailsEveryLaterMutation) {
   EXPECT_TRUE(fenv.ReadFile(Path("a"), &got).ok());
 }
 
+TEST_F(EnvTest, LinkFileSharesBytesButSurvivesSourceRemoval) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->WriteFile(Path("src"), "immutable bytes").ok());
+  ASSERT_TRUE(env->LinkFile(Path("src"), Path("dst")).ok());
+  std::string got;
+  ASSERT_TRUE(env->ReadFile(Path("dst"), &got).ok());
+  EXPECT_EQ(got, "immutable bytes");
+  // A hard link (or copy, on filesystems without links) owns its name:
+  // removing the source must not invalidate the destination. This is what
+  // lets the version GC delete v(n)'s directory while v(n+1) still links
+  // the same shard files.
+  ASSERT_TRUE(env->RemoveAll(Path("src")).ok());
+  got.clear();
+  ASSERT_TRUE(env->ReadFile(Path("dst"), &got).ok());
+  EXPECT_EQ(got, "immutable bytes");
+}
+
+TEST_F(EnvTest, LinkFileToExistingDestinationFails) {
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->WriteFile(Path("src"), "a").ok());
+  ASSERT_TRUE(env->WriteFile(Path("dst"), "b").ok());
+  EXPECT_FALSE(env->LinkFile(Path("src"), Path("dst")).ok());
+}
+
+TEST_F(EnvTest, FaultInjectionEnvLinkFileInjectsFaults) {
+  // The base-class copy fallback routes LinkFile through ReadFile +
+  // WriteFile, so injected faults apply to cloning too.
+  FaultInjectionEnv fenv;
+  ASSERT_TRUE(fenv.WriteFile(Path("src"), "x").ok());
+  ASSERT_TRUE(fenv.LinkFile(Path("src"), Path("copy")).ok());
+  std::string got;
+  ASSERT_TRUE(fenv.ReadFile(Path("copy"), &got).ok());
+  EXPECT_EQ(got, "x");
+  fenv.CrashAfter(0);
+  EXPECT_FALSE(fenv.LinkFile(Path("src"), Path("copy2")).ok());
+}
+
+TEST_F(EnvTest, SweepStaleEntriesAppliesTheOneStalenessRule) {
+  // Stale iff the name starts with a swept prefix AND is not in keep —
+  // the single rule shared by shard GC, version GC, and staging GC.
+  Env* env = Env::Default();
+  ASSERT_TRUE(env->CreateDirs(Path("shard_0")).ok());
+  ASSERT_TRUE(env->WriteFile(Path("shard_0/data"), "d").ok());
+  ASSERT_TRUE(env->CreateDirs(Path("shard_1")).ok());
+  ASSERT_TRUE(env->WriteFile(Path("MANIFEST.tmp-abc"), "torn").ok());
+  ASSERT_TRUE(env->WriteFile(Path("MANIFEST"), "live").ok());
+  ASSERT_TRUE(env->WriteFile(Path("unrelated"), "keep me").ok());
+
+  const size_t removed = SweepStaleEntries(
+      env, dir_, {"shard_", "MANIFEST.tmp"}, /*keep=*/{"shard_0"});
+  EXPECT_EQ(removed, 2u);  // shard_1 and MANIFEST.tmp-abc
+  EXPECT_TRUE(fs::exists(Path("shard_0/data")));
+  EXPECT_FALSE(fs::exists(Path("shard_1")));
+  EXPECT_FALSE(fs::exists(Path("MANIFEST.tmp-abc")));
+  // MANIFEST does not match the "MANIFEST.tmp" prefix; non-matching names
+  // are never touched.
+  EXPECT_TRUE(fs::exists(Path("MANIFEST")));
+  EXPECT_TRUE(fs::exists(Path("unrelated")));
+}
+
+TEST_F(EnvTest, SweepStaleEntriesOnMissingDirIsZero) {
+  EXPECT_EQ(SweepStaleEntries(Env::Default(), Path("nope"), {"x"}, {}), 0u);
+}
+
 TEST_F(EnvTest, PublishDirRemapsTrackedFiles) {
   FaultInjectionEnv fenv;
   const std::string dest = Path("store");

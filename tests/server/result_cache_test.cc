@@ -1,0 +1,114 @@
+// Result cache (server/result_cache.h): canonical keys collapse predicate
+// spellings, entries are keyed on (version, query) so a publish never
+// serves stale answers, and the LRU bounds memory.
+
+#include "server/result_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace entropydb {
+namespace {
+
+std::vector<std::string> Names() { return {"origin", "distance"}; }
+std::vector<Domain> Domains() {
+  return {Domain::Categorical({"CA", "NY", "WA"}),
+          Domain::Binned(0, 100, 10)};
+}
+
+std::string KeyOf(const std::string& text) {
+  auto q = ParseQuery(text, Names(), Domains());
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return CanonicalQueryKey(*q);
+}
+
+TEST(CanonicalQueryKeyTest, SpellingsOfTheSamePredicateShareOneKey) {
+  // Quoting, keyword case, and a one-element IN all resolve to the same
+  // encoded predicate, so every spelling hits the same cache line.
+  const std::string base = KeyOf("COUNT(*) WHERE origin = NY");
+  EXPECT_EQ(KeyOf("COUNT(*) WHERE origin = 'NY'"), base);
+  EXPECT_EQ(KeyOf("count(*) where origin in (NY)"), base);
+  // Numeric equality and the BETWEEN that lands in the same single bucket
+  // collapse too (both become the point predicate on bucket 3).
+  EXPECT_EQ(KeyOf("COUNT(*) WHERE distance = 35"),
+            KeyOf("COUNT(*) WHERE distance BETWEEN 30 AND 35"));
+}
+
+TEST(CanonicalQueryKeyTest, DifferentQueriesGetDifferentKeys) {
+  EXPECT_NE(KeyOf("COUNT(*)"), KeyOf("COUNT(*) WHERE origin = NY"));
+  EXPECT_NE(KeyOf("COUNT(*) WHERE origin = NY"),
+            KeyOf("COUNT(*) WHERE origin = CA"));
+  EXPECT_NE(KeyOf("COUNT(*) WHERE origin = NY"),
+            KeyOf("SUM(distance) WHERE origin = NY"));
+  EXPECT_NE(KeyOf("SUM(distance)"), KeyOf("AVG(distance)"));
+  EXPECT_NE(KeyOf("COUNT(*) WHERE distance BETWEEN 0 AND 49"),
+            KeyOf("COUNT(*) WHERE distance BETWEEN 0 AND 59"));
+}
+
+TEST(ResultCacheTest, HitAfterPutMissBefore) {
+  ResultCache cache(8);
+  const std::string key = KeyOf("COUNT(*) WHERE origin = NY");
+  EXPECT_FALSE(cache.Get(1, key).has_value());
+  QueryEstimate est;
+  est.expectation = 42.5;
+  est.variance = 3.25;
+  cache.Put(1, key, est);
+  auto hit = cache.Get(1, key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->expectation, 42.5);
+  EXPECT_EQ(hit->variance, 3.25);
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, VersionsDoNotShareEntries) {
+  // The version id is half the key: publishing v2 must never surface a
+  // v1 answer, and a pinned v1 session keeps hitting its own entries.
+  ResultCache cache(8);
+  const std::string key = KeyOf("COUNT(*)");
+  QueryEstimate v1;
+  v1.expectation = 100.0;
+  cache.Put(1, key, v1);
+  EXPECT_FALSE(cache.Get(2, key).has_value());
+  QueryEstimate v2;
+  v2.expectation = 250.0;
+  cache.Put(2, key, v2);
+  EXPECT_EQ(cache.Get(1, key)->expectation, 100.0);
+  EXPECT_EQ(cache.Get(2, key)->expectation, 250.0);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  QueryEstimate est;
+  cache.Put(1, "a", est);
+  cache.Put(1, "b", est);
+  ASSERT_TRUE(cache.Get(1, "a").has_value());  // refresh a; b is now LRU
+  cache.Put(1, "c", est);                      // evicts b
+  EXPECT_TRUE(cache.Get(1, "a").has_value());
+  EXPECT_FALSE(cache.Get(1, "b").has_value());
+  EXPECT_TRUE(cache.Get(1, "c").has_value());
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  QueryEstimate est;
+  cache.Put(1, "a", est);
+  EXPECT_FALSE(cache.Get(1, "a").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, PutRefreshesAnExistingEntry) {
+  ResultCache cache(2);
+  QueryEstimate est;
+  est.expectation = 1.0;
+  cache.Put(1, "a", est);
+  est.expectation = 2.0;
+  cache.Put(1, "a", est);  // same key: refresh, not a duplicate
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.Get(1, "a")->expectation, 2.0);
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Markdown link checker (stdlib only) — the CI docs job.
+"""Markdown link and anchor checker (stdlib only) — the CI docs job.
 
 Scans the given markdown files/directories for inline links and images,
 resolves relative targets against each file's location, and fails if any
-target file is missing. External (http/https/mailto) links are not
-fetched — CI must stay offline-friendly — and pure #anchor links are
-skipped.
+target file is missing. `#fragment` links — same-file (`#section`) or
+cross-file (`doc.md#section`) — are validated against the target
+markdown's headings using GitHub's slug rules (lowercase, punctuation
+stripped, spaces to hyphens, `-N` suffixes for duplicates), so a renamed
+section breaks the build, not the reader. External (http/https/mailto)
+links are not fetched — CI must stay offline-friendly — and fragments
+into non-markdown files are skipped (there is nothing to resolve them
+against).
 
 Usage: check_markdown_links.py FILE_OR_DIR...
 """
@@ -18,6 +23,42 @@ import sys
 # (titles like [t](url "title") are split off).
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+# Inline markdown a heading may carry: code spans, emphasis, link text.
+MARKUP_RE = re.compile(r"[`*_]|\[([^\]]*)\]\([^)]*\)")
+
+
+def slugify(heading):
+    """GitHub's anchor slug: markup stripped, lowercased, punctuation
+    dropped, spaces hyphenated."""
+    text = MARKUP_RE.sub(lambda m: m.group(1) or "", heading)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(md_path):
+    """The set of anchor slugs `md_path` exposes (headings outside code
+    fences; duplicate slugs get GitHub's -1/-2/... suffixes)."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(md_path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match is None:
+                continue
+            slug = slugify(match.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
 
 
 def collect_markdown(paths):
@@ -33,22 +74,33 @@ def collect_markdown(paths):
     return sorted(set(out))
 
 
-def check_file(md_path):
+def check_file(md_path, anchor_cache):
     errors = []
     base = os.path.dirname(md_path) or "."
     with open(md_path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, start=1):
             for match in LINK_RE.finditer(line):
                 target = match.group(1)
-                if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                if target.startswith(SKIP_PREFIXES):
                     continue
-                target = target.split("#", 1)[0]
-                if not target:
-                    continue
-                resolved = os.path.normpath(os.path.join(base, target))
+                target, _, fragment = target.partition("#")
+                resolved = (
+                    os.path.normpath(os.path.join(base, target))
+                    if target else md_path
+                )
                 if not os.path.exists(resolved):
                     errors.append(
                         f"{md_path}:{lineno}: broken link -> {target}"
+                    )
+                    continue
+                if not fragment or not resolved.endswith(".md"):
+                    continue
+                if resolved not in anchor_cache:
+                    anchor_cache[resolved] = collect_anchors(resolved)
+                if fragment not in anchor_cache[resolved]:
+                    errors.append(
+                        f"{md_path}:{lineno}: broken anchor -> "
+                        f"{target}#{fragment}"
                     )
     return errors
 
@@ -62,8 +114,9 @@ def main(argv):
         print("no markdown files found", file=sys.stderr)
         return 2
     errors = []
+    anchor_cache = {}
     for md in files:
-        errors.extend(check_file(md))
+        errors.extend(check_file(md, anchor_cache))
     for e in errors:
         print(e, file=sys.stderr)
     print(f"checked {len(files)} markdown files: "

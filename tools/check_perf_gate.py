@@ -35,6 +35,13 @@ keep true):
     every query fans out over fewer models — enforceable on any core
     count). Compaction wall time rides along in the JSON for the
     trajectory but is recorded, not enforced.
+  * serving (bench_serving --serving_out, via --serving FILE): a result
+    cache hit through the wire is >= 10x faster than the uncached query
+    (a hit skips maxent evaluation entirely), and batched throughput at
+    8 concurrent clients is >= serial throughput (one BATCH frame
+    amortizes the per-request round trip and evaluates the shared model
+    once per dispatch). Both bars are core-count independent. p50/p99
+    latency and 1/4/8-client QPS ride along, recorded, not enforced.
 
 Usage:
     check_perf_gate.py build/sample_index_gate.json \
@@ -42,6 +49,7 @@ Usage:
         [--durability build/durability_gate.json] \
         [--prune build/prune_gate.json] \
         [--compact build/compact_gate.json] \
+        [--serving build/serving_gate.json] \
         [--tolerance 1.25] [--open-tolerance 1.05] [--prune-tolerance 1.25]
 
 Stdlib only (CI runs it on a bare runner). The check_* functions return
@@ -55,6 +63,10 @@ import sys
 
 #: Relative-error bar for merged-vs-additive sharded estimates.
 SHARD_MERGE_TOLERANCE = 1e-9
+
+#: Minimum wire-level speedup of a result-cache hit over the uncached
+#: query (a hit skips maxent evaluation entirely).
+SERVING_CACHE_SPEEDUP_BAR = 10.0
 
 
 def check_sample_index(gate, tolerance=1.25):
@@ -202,6 +214,36 @@ def check_compact(gate):
     return failures
 
 
+def check_serving(gate):
+    """Failure messages for a bench_serving gate dict (empty = pass)."""
+    failures = []
+    latency = gate.get("latency", {})
+    for key in ("uncached_ns", "cached_ns", "cache_speedup"):
+        if not isinstance(latency.get(key), (int, float)):
+            failures.append(f"gate JSON is missing latency.{key}")
+    throughput = gate.get("throughput", {})
+    for key in ("qps_8", "batched_qps_8", "batch_speedup"):
+        if not isinstance(throughput.get(key), (int, float)):
+            failures.append(f"gate JSON is missing throughput.{key}")
+    if failures:
+        return failures
+
+    if latency["cache_speedup"] < SERVING_CACHE_SPEEDUP_BAR:
+        failures.append(
+            f"result-cache hit ({latency['cached_ns']:.0f} ns) is only "
+            f"{latency['cache_speedup']:.1f}x faster than the uncached "
+            f"query ({latency['uncached_ns']:.0f} ns) — bar "
+            f"{SERVING_CACHE_SPEEDUP_BAR:.0f}x; a hit must skip maxent "
+            f"evaluation entirely")
+    if throughput["batch_speedup"] < 1.0:
+        failures.append(
+            f"batched throughput at 8 clients "
+            f"({throughput['batched_qps_8']:.0f} QPS) fell below serial "
+            f"({throughput['qps_8']:.0f} QPS) — micro-batching must not "
+            f"cost throughput")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("gate_json",
@@ -217,6 +259,9 @@ def main(argv=None):
     parser.add_argument("--compact", metavar="FILE", default=None,
                         help="file written by bench_compaction "
                              "--compact_out")
+    parser.add_argument("--serving", metavar="FILE", default=None,
+                        help="file written by bench_serving "
+                             "--serving_out")
     parser.add_argument("--tolerance", type=float, default=1.25,
                         help="max indexed/scan ratio on the broad workload")
     parser.add_argument("--open-tolerance", type=float, default=1.05,
@@ -314,6 +359,30 @@ def main(argv=None):
                   f"(bar {SHARD_MERGE_TOLERANCE:.0e}), compaction wall "
                   f"{compact_gate.get('compact_seconds', 0.0):.2f}s "
                   f"(recorded, not enforced)")
+
+    if args.serving is not None:
+        with open(args.serving) as f:
+            serving_gate = json.load(f)
+        failures += check_serving(serving_gate)
+        print(f"serving perf gate over {args.serving}:")
+        latency = serving_gate.get("latency", {})
+        if all(isinstance(latency.get(k), (int, float))
+               for k in ("uncached_ns", "cached_ns", "cache_speedup")):
+            print(f"  latency: uncached {latency['uncached_ns']:.0f} ns "
+                  f"(p50 {latency.get('p50_ns', 0.0):.0f}, "
+                  f"p99 {latency.get('p99_ns', 0.0):.0f}) vs cached "
+                  f"{latency['cached_ns']:.0f} ns "
+                  f"({latency['cache_speedup']:.1f}x, bar "
+                  f"{SERVING_CACHE_SPEEDUP_BAR:.0f}x)")
+        throughput = serving_gate.get("throughput", {})
+        if all(isinstance(throughput.get(k), (int, float))
+               for k in ("qps_1", "qps_4", "qps_8", "batched_qps_8",
+                         "batch_speedup")):
+            print(f"  QPS: 1 client {throughput['qps_1']:.0f}, 4 clients "
+                  f"{throughput['qps_4']:.0f}, 8 clients "
+                  f"{throughput['qps_8']:.0f}, batched at 8 "
+                  f"{throughput['batched_qps_8']:.0f} "
+                  f"({throughput['batch_speedup']:.2f}x serial, bar 1x)")
 
     for failure in failures:
         print(f"  FAIL: {failure}", file=sys.stderr)

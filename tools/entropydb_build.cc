@@ -58,6 +58,24 @@
 // successful --append the same pass runs automatically when the store
 // holds more than --max-batch-shards batch shards (or a shard exceeds
 // --split-threshold rows); --auto-compact off suppresses it.
+//
+// Versioning (storage/version_set.h, engine/versioned.h):
+//
+//   entropydb_build --csv data.csv --schema ... \
+//       --store flights.vdb --shards 4 --versioned on [--retain K]
+//   entropydb_build --append new_rows.csv --store flights.vdb
+//
+// --versioned on publishes the built store as version 1 of a versioned
+// root at --store (a directory of immutable v<id> subdirectories behind
+// one atomic CURRENT pointer) instead of writing the store in place.
+// --append and --compact detect a versioned root automatically and
+// publish a NEW version per mutation — clone-by-hard-link, mutate the
+// clone, flip CURRENT — so concurrent readers (entropydb_serve sessions)
+// keep answering from the version they pinned. --retain K keeps the K
+// newest versions queryable for time travel (persisted in CURRENT;
+// default 2). --recover is refused on a versioned root: published
+// versions are immutable, and a crashed append leaves only an
+// unpublished clone that the next open sweeps.
 
 #include <cstdio>
 #include <cstring>
@@ -82,6 +100,7 @@ void Usage() {
       "                       [--shards N] [--shard-scheme rr|hash]\n"
       "                       [--heuristic composite|large|zero]\n"
       "                       [--iterations N]\n"
+      "                       [--versioned on] [--retain K]\n"
       "       entropydb_build --append BATCH.csv --store DIR\n"
       "                       [--auto-compact on|off] [--max-batch-shards N]\n"
       "                       [--split-threshold R]\n"
@@ -161,7 +180,48 @@ int main(int argc, char** argv) {
     if (args.count("split-threshold")) {
       copts.split_threshold = std::stoul(args["split-threshold"]);
     }
+    // A versioned root routes every mutation through a publish: clone the
+    // current version, mutate the clone, flip CURRENT. Plain stores keep
+    // the in-place path.
+    VersionSet::Options vopts;
+    if (args.count("retain")) vopts.retain = std::stoul(args["retain"]);
+    const bool versioned =
+        VersionSet::IsVersionedRoot(args["store"], Env::Default());
+    if (versioned && args.count("recover")) {
+      std::fprintf(stderr,
+                   "recover: %s is a versioned root; published versions are "
+                   "immutable and a crashed append leaves only an "
+                   "unpublished clone, swept at next open\n",
+                   args["store"].c_str());
+      return 1;
+    }
+    auto print_compaction = [&](const CompactionReport& report) {
+      std::printf(
+          "compacted %zu shard(s) into %zu (generation %llu, %llu rows) "
+          "in %s\n",
+          report.replaced_shards.size(), report.new_shards.size(),
+          static_cast<unsigned long long>(report.generation),
+          static_cast<unsigned long long>(report.rows),
+          args["store"].c_str());
+    };
     auto compact = [&]() -> int {
+      if (versioned) {
+        auto report = CompactVersion(args["store"], copts, vopts);
+        if (!report.ok()) {
+          std::fprintf(stderr, "compact: %s\n",
+                       report.status().ToString().c_str());
+          return 1;
+        }
+        if (report->version == 0) {
+          std::printf("compaction not triggered in %s\n",
+                      args["store"].c_str());
+          return 0;
+        }
+        print_compaction(report->compaction);
+        std::printf("published as v%llu\n",
+                    static_cast<unsigned long long>(report->version));
+        return 0;
+      }
       auto report = RunCompaction(args["store"], copts);
       if (!report.ok()) {
         std::fprintf(stderr, "compact: %s\n",
@@ -173,23 +233,25 @@ int main(int argc, char** argv) {
                     args["store"].c_str());
         return 0;
       }
-      std::printf(
-          "compacted %zu shard(s) into %zu (generation %llu, %llu rows) "
-          "in %s\n",
-          report->replaced_shards.size(), report->new_shards.size(),
-          static_cast<unsigned long long>(report->generation),
-          static_cast<unsigned long long>(report->rows),
-          args["store"].c_str());
+      print_compaction(*report);
       return 0;
     };
     if (args.count("compact")) {
       copts.force = args.count("force") && args["force"] != "off";
       return compact();
     }
+    uint64_t published = 0;
     auto run = [&]() -> Result<IngestReport> {
       if (args.count("append")) {
         std::string csv_text;
         RETURN_NOT_OK(Env::Default()->ReadFile(args["append"], &csv_text));
+        if (versioned) {
+          ASSIGN_OR_RETURN(
+              VersionAppendReport vreport,
+              AppendVersion(args["store"], csv_text, iopts, vopts));
+          published = vreport.version;
+          return vreport.ingest;
+        }
         return AppendBatch(args["store"], csv_text, iopts);
       }
       return RecoverPending(args["store"], iopts);
@@ -206,6 +268,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(report->sealed),
         static_cast<unsigned long long>(report->recovered),
         args["store"].c_str());
+    if (published != 0) {
+      std::printf("published as v%llu\n",
+                  static_cast<unsigned long long>(published));
+    }
     // The batch is durable; compaction is housekeeping on top. It runs
     // only when the thresholds trip, and a failure here must still exit
     // nonzero — the store is intact (crash-atomic flip) but the operator
@@ -282,7 +348,43 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (args.count("versioned") && args["versioned"] != "off" &&
+      !args.count("store")) {
+    std::fprintf(stderr, "--versioned needs --store (a directory root)\n");
+    return 1;
+  }
   if (args.count("store")) {
+    // --versioned on: save the built store as the root's next v<id>
+    // directory, then flip CURRENT. Re-running against an existing root
+    // publishes a fresh version rather than overwriting.
+    std::unique_ptr<VersionSet> version_set;
+    uint64_t version_id = 0;
+    std::string save_path = args["store"];
+    if (args.count("versioned") && args["versioned"] != "off") {
+      VersionSet::Options vopts;
+      if (args.count("retain")) vopts.retain = std::stoul(args["retain"]);
+      auto vs = VersionSet::Open(args["store"], Env::Default(), vopts);
+      if (!vs.ok()) {
+        std::fprintf(stderr, "versioned root: %s\n",
+                     vs.status().ToString().c_str());
+        return 1;
+      }
+      version_set = std::move(*vs);
+      version_id = version_set->BeginVersion();
+      save_path = version_set->VersionDir(version_id);
+    }
+    auto publish = [&]() -> int {
+      if (version_set == nullptr) return 0;
+      Status st = version_set->Publish(version_id);
+      if (!st.ok()) {
+        std::fprintf(stderr, "publish: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("published as v%llu (retaining %zu)\n",
+                  static_cast<unsigned long long>(version_id),
+                  version_set->retain());
+      return 0;
+    };
     StoreOptions sopts;
     sopts.num_summaries =
         args.count("summaries") ? std::stoul(args["summaries"]) : 3;
@@ -365,13 +467,13 @@ int main(int argc, char** argv) {
         std::printf("  shard %zu: %zu summaries + %zu samples, n = %.0f\n",
                     s, shard.size(), shard.num_samples(), shard.n());
       }
-      Status st = (*sharded)->Save(args["store"]);
+      Status st = (*sharded)->Save(save_path);
       if (!st.ok()) {
         std::fprintf(stderr, "save: %s\n", st.ToString().c_str());
         return 1;
       }
-      std::printf("sharded store written to %s\n", args["store"].c_str());
-      return 0;
+      std::printf("sharded store written to %s\n", save_path.c_str());
+      return publish();
     }
 
     Timer timer;
@@ -399,13 +501,13 @@ int main(int argc, char** argv) {
                   smp.name.c_str(), smp.size(), smp.fraction,
                   smp.index != nullptr ? "  [indexed]" : "");
     }
-    Status s = (*store)->Save(args["store"]);
+    Status s = (*store)->Save(save_path);
     if (!s.ok()) {
       std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("store written to %s\n", args["store"].c_str());
-    return 0;
+    std::printf("store written to %s\n", save_path.c_str());
+    return publish();
   }
 
   StatisticSelector selector(heuristic);

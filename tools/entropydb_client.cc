@@ -1,0 +1,138 @@
+// Wire-protocol client for entropydb_serve (docs/SERVING.md).
+//
+//   entropydb_client --port N [--host H]
+//       [--open ID|live]                  # pin a retained version first
+//       [--show-version on] [--stats on]
+//       [--query "COUNT WHERE origin = 'S3'"] [--deadline-ms N]
+//       [--batch FILE]                    # one COUNT query per line
+//
+// Commands run in a fixed order on one connection: OPEN, VERSION, STATS,
+// QUERY, BATCH — so `--open 3 --query ...` answers against version 3
+// (time travel) while the live version keeps moving. OK response lines
+// print to stdout verbatim; an ERR response prints its typed code
+// (BAD_REQUEST, SERVER_BUSY, ...) to stderr and exits 1.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "entropydb.h"
+
+using namespace entropydb;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: entropydb_client --port N [--host H] [--open ID|live]\n"
+      "                        [--show-version on] [--stats on]\n"
+      "                        [--query TEXT] [--deadline-ms N]\n"
+      "                        [--batch FILE]\n");
+}
+
+/// Runs one request; prints OK lines to stdout, ERR to stderr.
+int RunRequest(WireClient& client, const Request& req) {
+  auto resp = client.Call(req);
+  if (!resp.ok()) {
+    std::fprintf(stderr, "client: %s\n", resp.status().ToString().c_str());
+    return 1;
+  }
+  if (!resp->ok) {
+    std::fprintf(stderr, "ERR %s %s\n", resp->code.c_str(),
+                 resp->message.c_str());
+    return 1;
+  }
+  for (const std::string& line : resp->lines) {
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      Usage();
+      return 2;
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  if (!args.count("port")) {
+    Usage();
+    return 2;
+  }
+  const std::string host =
+      args.count("host") ? args["host"] : std::string("127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(std::stoul(args["port"]));
+
+  auto client = WireClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  uint64_t deadline_ms = 0;
+  if (args.count("deadline-ms")) {
+    deadline_ms = std::stoul(args["deadline-ms"]);
+  }
+
+  bool did_anything = false;
+  if (args.count("open")) {
+    Request req;
+    req.type = CommandType::kOpen;
+    if (args["open"] != "live") req.version = std::stoul(args["open"]);
+    if (int rc = RunRequest(*client, req)) return rc;
+    did_anything = true;
+  }
+  if (args.count("show-version") && args["show-version"] != "off") {
+    Request req;
+    req.type = CommandType::kVersion;
+    if (int rc = RunRequest(*client, req)) return rc;
+    did_anything = true;
+  }
+  if (args.count("stats") && args["stats"] != "off") {
+    Request req;
+    req.type = CommandType::kStats;
+    if (int rc = RunRequest(*client, req)) return rc;
+    did_anything = true;
+  }
+  if (args.count("query")) {
+    Request req;
+    req.type = CommandType::kQuery;
+    req.query = args["query"];
+    req.deadline_ms = deadline_ms;
+    if (int rc = RunRequest(*client, req)) return rc;
+    did_anything = true;
+  }
+  if (args.count("batch")) {
+    std::string text;
+    Status st = Env::Default()->ReadFile(args["batch"], &text);
+    if (!st.ok()) {
+      std::fprintf(stderr, "batch file: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    Request req;
+    req.type = CommandType::kBatch;
+    req.deadline_ms = deadline_ms;
+    for (const auto& line : SplitString(text, '\n')) {
+      std::string q(StripWhitespace(line));
+      if (!q.empty()) req.queries.push_back(std::move(q));
+    }
+    if (req.queries.empty()) {
+      std::fprintf(stderr, "batch file has no queries\n");
+      return 1;
+    }
+    if (int rc = RunRequest(*client, req)) return rc;
+    did_anything = true;
+  }
+  if (!did_anything) {
+    Usage();
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Unit tests for check_markdown_links.py (stdlib only; run via
+`python3 -m unittest discover -s tools`)."""
+
+import os
+import tempfile
+import unittest
+
+import check_markdown_links
+
+
+class SlugifyTest(unittest.TestCase):
+    def test_github_rules(self):
+        self.assertEqual(check_markdown_links.slugify("Wire protocol"),
+                         "wire-protocol")
+        self.assertEqual(check_markdown_links.slugify("Serving & versioning"),
+                         "serving--versioning")
+        self.assertEqual(
+            check_markdown_links.slugify("`OPEN` / `QUERY` commands"),
+            "open--query-commands")
+        self.assertEqual(
+            check_markdown_links.slugify("Version lifecycle (publish -> GC)"),
+            "version-lifecycle-publish---gc")
+        self.assertEqual(
+            check_markdown_links.slugify("A [link](docs/X.md) heading"),
+            "a-link-heading")
+
+
+class CheckerTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, text):
+        p = os.path.join(self.dir.name, name)
+        os.makedirs(os.path.dirname(p), exist_ok=True)
+        with open(p, "w") as f:
+            f.write(text)
+        return p
+
+    def check(self, path):
+        return check_markdown_links.check_file(path, {})
+
+    def test_resolving_links_and_anchors_pass(self):
+        self.write("docs/SERVING.md",
+                   "# Serving\n\n## Wire protocol\n\ntext\n")
+        a = self.write(
+            "README.md",
+            "[spec](docs/SERVING.md)\n"
+            "[framing](docs/SERVING.md#wire-protocol)\n"
+            "[top](#intro)\n\n# Intro\n")
+        self.assertEqual(self.check(a), [])
+
+    def test_missing_file_is_reported(self):
+        a = self.write("README.md", "[gone](docs/NOPE.md)\n")
+        errors = self.check(a)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("broken link", errors[0])
+
+    def test_missing_cross_file_anchor_is_reported(self):
+        self.write("docs/SERVING.md", "# Serving\n")
+        a = self.write("README.md", "[x](docs/SERVING.md#wire-protocol)\n")
+        errors = self.check(a)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("broken anchor", errors[0])
+
+    def test_missing_same_file_anchor_is_reported(self):
+        a = self.write("README.md", "# Intro\n\n[x](#missing-section)\n")
+        errors = self.check(a)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("broken anchor", errors[0])
+
+    def test_duplicate_headings_get_numbered_anchors(self):
+        self.write("docs/D.md", "## Options\n\n## Options\n")
+        a = self.write("README.md",
+                       "[first](docs/D.md#options)\n"
+                       "[second](docs/D.md#options-1)\n"
+                       "[third](docs/D.md#options-2)\n")
+        errors = self.check(a)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("#options-2", errors[0])
+
+    def test_headings_inside_code_fences_are_not_anchors(self):
+        self.write("docs/D.md",
+                   "# Real\n\n```\n# fake heading in a shell snippet\n```\n")
+        a = self.write("README.md",
+                       "[ok](docs/D.md#real)\n"
+                       "[bad](docs/D.md#fake-heading-in-a-shell-snippet)\n")
+        errors = self.check(a)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("broken anchor", errors[0])
+
+    def test_fragments_into_non_markdown_files_are_skipped(self):
+        self.write("src/server.h", "// code\n")
+        a = self.write("README.md", "[code](src/server.h#L10)\n")
+        self.assertEqual(self.check(a), [])
+
+    def test_external_links_are_skipped(self):
+        a = self.write("README.md",
+                       "[w](https://example.com/x#frag)\n"
+                       "[m](mailto:x@example.com)\n")
+        self.assertEqual(self.check(a), [])
+
+    def test_main_fails_on_broken_tree_and_passes_on_clean_one(self):
+        self.write("docs/SERVING.md", "# Serving\n\n## Runbook\n")
+        self.write("README.md", "[ops](docs/SERVING.md#runbook)\n")
+        self.assertEqual(
+            check_markdown_links.main(["prog", self.dir.name]), 0)
+        self.write("BAD.md", "[x](docs/SERVING.md#nope)\n")
+        self.assertEqual(
+            check_markdown_links.main(["prog", self.dir.name]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -251,6 +251,58 @@ class CompactGateTest(unittest.TestCase):
         self.assertTrue(any("missing post_ns" in f for f in failures))
 
 
+def serving_gate(**overrides):
+    gate = {
+        "rows": 10000,
+        "requests": 400,
+        "latency": {"uncached_ns": 5200000.0, "p50_ns": 4800000.0,
+                    "p99_ns": 9100000.0, "cached_ns": 90000.0,
+                    "cache_speedup": 57.8},
+        "throughput": {"qps_1": 190.0, "qps_4": 210.0, "qps_8": 215.0,
+                       "batched_qps_8": 820.0, "batch_speedup": 3.81},
+        "cores": 1,
+        "pass": True,
+    }
+    gate.update(overrides)
+    return gate
+
+
+class ServingGateTest(unittest.TestCase):
+    def test_healthy_gate_passes(self):
+        self.assertEqual(check_perf_gate.check_serving(serving_gate()), [])
+
+    def test_weak_cache_speedup_fails(self):
+        gate = serving_gate()
+        gate["latency"]["cache_speedup"] = 4.0
+        failures = check_perf_gate.check_serving(gate)
+        self.assertTrue(any("result-cache hit" in f for f in failures))
+
+    def test_batching_below_serial_fails(self):
+        gate = serving_gate()
+        gate["throughput"]["batch_speedup"] = 0.8
+        failures = check_perf_gate.check_serving(gate)
+        self.assertTrue(any("batched throughput" in f for f in failures))
+
+    def test_break_even_batching_passes(self):
+        # The bar is >= serial: batching must never COST throughput, but
+        # on one core it is allowed to merely break even.
+        gate = serving_gate()
+        gate["throughput"]["batch_speedup"] = 1.0
+        self.assertEqual(check_perf_gate.check_serving(gate), [])
+
+    def test_missing_sections_fail_instead_of_passing_silently(self):
+        gate = serving_gate()
+        del gate["latency"]["cache_speedup"]
+        failures = check_perf_gate.check_serving(gate)
+        self.assertTrue(any("missing latency.cache_speedup" in f
+                            for f in failures))
+        gate = serving_gate()
+        del gate["throughput"]
+        failures = check_perf_gate.check_serving(gate)
+        self.assertTrue(any("missing throughput.qps_8" in f
+                            for f in failures))
+
+
 class MainTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -346,6 +398,34 @@ class MainTest(unittest.TestCase):
         del partial["merge_max_rel_err"]
         compact = self.write("compact.json", partial)
         self.assertEqual(check_perf_gate.main([idx, "--compact", compact]), 1)
+
+    def test_all_six_gates_pass(self):
+        idx = self.write("index.json", index_gate())
+        shard = self.write("shard.json", shard_gate())
+        durability = self.write("durability.json", durability_gate())
+        prune = self.write("prune.json", prune_gate())
+        compact = self.write("compact.json", compact_gate())
+        serving = self.write("serving.json", serving_gate())
+        self.assertEqual(
+            check_perf_gate.main(
+                [idx, "--shard", shard, "--durability", durability,
+                 "--prune", prune, "--compact", compact,
+                 "--serving", serving]), 0)
+
+    def test_failing_serving_gate_fails_the_run(self):
+        idx = self.write("index.json", index_gate())
+        bad = serving_gate()
+        bad["latency"]["cache_speedup"] = 2.0
+        serving = self.write("serving.json", bad)
+        self.assertEqual(check_perf_gate.main([idx, "--serving", serving]), 1)
+
+    def test_partially_written_serving_gate_fails_without_crashing(self):
+        idx = self.write("index.json", index_gate())
+        partial = serving_gate()
+        del partial["latency"]["uncached_ns"]
+        del partial["throughput"]
+        serving = self.write("serving.json", partial)
+        self.assertEqual(check_perf_gate.main([idx, "--serving", serving]), 1)
 
     def test_prune_tolerance_flag_is_honoured(self):
         idx = self.write("index.json", index_gate())
