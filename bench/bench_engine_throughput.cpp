@@ -93,7 +93,7 @@ void BM_SingleSummaryConcurrent(benchmark::State& state) {
   const size_t stride = static_cast<size_t>(state.thread_index()) * 7 + 1;
   size_t i = 0;
   for (auto _ : state) {
-    auto est = f.summary->AnswerCount(f.workload[i % f.workload.size()]);
+    auto est = f.summary->Answer(f.workload[i % f.workload.size()]);
     benchmark::DoNotOptimize(est);
     i += stride;
   }
@@ -112,7 +112,7 @@ void BM_MutexSerializedBaseline(benchmark::State& state) {
   size_t i = 0;
   for (auto _ : state) {
     std::lock_guard<std::mutex> lock(mu);
-    auto est = f.summary->AnswerCount(f.workload[i % f.workload.size()]);
+    auto est = f.summary->Answer(f.workload[i % f.workload.size()]);
     benchmark::DoNotOptimize(est);
     i += stride;
   }
@@ -128,7 +128,7 @@ void BM_StoreRoutedConcurrent(benchmark::State& state) {
   const size_t stride = static_cast<size_t>(state.thread_index()) * 7 + 1;
   size_t i = 0;
   for (auto _ : state) {
-    auto est = f.engine->AnswerCount(f.workload[i % f.workload.size()]);
+    auto est = f.engine->Answer(f.workload[i % f.workload.size()]);
     benchmark::DoNotOptimize(est);
     i += stride;
   }

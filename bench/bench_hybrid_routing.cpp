@@ -135,8 +135,8 @@ WorkloadErrors Measure(const std::vector<CountingQuery>& workload) {
   WorkloadErrors e;
   for (const auto& q : workload) {
     const double truth = static_cast<double>(f.exact->Count(q));
-    auto via_summary = f.store->summary(0).AnswerCount(q);
-    auto via_sample = f.store->sample_source(0).AnswerCount(q);
+    auto via_summary = f.store->summary(0).Answer(q);
+    auto via_sample = f.store->sample_source(0).Answer(q);
     RouteDecision dec;
     auto routed = router.Answer(q, &dec);
     if (!via_summary.ok() || !via_sample.ok() || !routed.ok()) {
@@ -165,7 +165,7 @@ void BM_HybridRoutedSelective(benchmark::State& state) {
   auto& f = HybridFixture::Get();
   size_t i = 0;
   for (auto _ : state) {
-    auto est = f.engine->AnswerCount(f.selective[i % f.selective.size()]);
+    auto est = f.engine->Answer(f.selective[i % f.selective.size()]);
     benchmark::DoNotOptimize(est);
     ++i;
   }
@@ -177,7 +177,7 @@ void BM_HybridRoutedBroad(benchmark::State& state) {
   auto& f = HybridFixture::Get();
   size_t i = 0;
   for (auto _ : state) {
-    auto est = f.engine->AnswerCount(f.broad[i % f.broad.size()]);
+    auto est = f.engine->Answer(f.broad[i % f.broad.size()]);
     benchmark::DoNotOptimize(est);
     ++i;
   }
@@ -191,7 +191,7 @@ void BM_SummaryDirectSelective(benchmark::State& state) {
   auto& f = HybridFixture::Get();
   size_t i = 0;
   for (auto _ : state) {
-    auto est = f.store->summary(0).AnswerCount(
+    auto est = f.store->summary(0).Answer(
         f.selective[i % f.selective.size()]);
     benchmark::DoNotOptimize(est);
     ++i;

@@ -169,26 +169,27 @@ MergeErr MeasureMergeError() {
   for (size_t i = 0; i < f.workload.size(); ++i) {
     double ref_e = 0.0, ref_v = 0.0, ref_se = 0.0, ref_sv = 0.0;
     for (size_t k = 0; k < s.num_shards(); ++k) {
-      auto cnt = s.shard_engine(k).AnswerCount(f.workload[i]);
-      auto sum = s.shard_engine(k).AnswerSum(2, weights, f.workload[i]);
+      auto cnt = s.shard_engine(k).Answer(f.workload[i]);
+      auto sum = s.shard_engine(k).Answer(
+          AggregateQuery::Sum(2, weights, f.workload[i]));
       if (!cnt.ok() || !sum.ok()) {
         std::fprintf(stderr, "per-shard reference failed\n");
         std::exit(1);
       }
       ref_e += cnt->expectation;
       ref_v += cnt->variance;
-      ref_se += sum->expectation;
-      ref_sv += sum->variance;
+      ref_se += sum->estimate.expectation;
+      ref_sv += sum->estimate.variance;
     }
     err.count = std::max(err.count, rel((*batch)[i].expectation, ref_e));
     err.count = std::max(err.count, rel((*batch)[i].variance, ref_v));
-    auto merged_sum = s.AnswerSum(2, weights, f.workload[i]);
+    auto merged_sum = s.Answer(AggregateQuery::Sum(2, weights, f.workload[i]));
     if (!merged_sum.ok()) {
       std::fprintf(stderr, "merged sum failed\n");
       std::exit(1);
     }
-    err.sum = std::max(err.sum, rel(merged_sum->expectation, ref_se));
-    err.sum = std::max(err.sum, rel(merged_sum->variance, ref_sv));
+    err.sum = std::max(err.sum, rel(merged_sum->estimate.expectation, ref_se));
+    err.sum = std::max(err.sum, rel(merged_sum->estimate.variance, ref_sv));
   }
   return err;
 }
@@ -208,18 +209,18 @@ BENCHMARK(BM_ShardedBuild)->Arg(1)->Arg(2)->Arg(kShards)
 /// Merged COUNT latency vs. shard count over the ONE fixture workload:
 /// with construction hoisted, the S = 1 -> kShards trend is pure fan-out
 /// plus merge.
-void BM_MergedAnswerCount(benchmark::State& state) {
+void BM_MergedAnswer(benchmark::State& state) {
   auto& f = ScalingFixture::Get();
   const auto& store = *f.stores.at(static_cast<size_t>(state.range(0)));
   size_t i = 0;
   for (auto _ : state) {
-    auto est = store.AnswerCount(f.workload[i % f.workload.size()]);
+    auto est = store.Answer(f.workload[i % f.workload.size()]);
     benchmark::DoNotOptimize(est);
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MergedAnswerCount)->Arg(1)->Arg(2)->Arg(kShards);
+BENCHMARK(BM_MergedAnswer)->Arg(1)->Arg(2)->Arg(kShards);
 
 void BM_MergedAnswerAll(benchmark::State& state) {
   auto& f = ScalingFixture::Get();

@@ -91,7 +91,7 @@ Result<FlightsSummaries> BuildFlightsSummaries(const Table& table,
 Method SummaryMethod(std::string name,
                      std::shared_ptr<EntropySummary> summary) {
   return Method{std::move(name), [summary](const CountingQuery& q) {
-                  auto est = summary->AnswerCount(q);
+                  auto est = summary->Answer(q);
                   return est.ok() ? est->expectation : 0.0;
                 }};
 }

@@ -77,7 +77,7 @@ int main() {
     q.Where(origin, AttrPredicate::Point(key[0]))
         .Where(dest, AttrPredicate::Point(key[1]));
     RouteDecision dec;
-    auto est = Unwrap(engine->AnswerCount(q, &dec));
+    auto est = Unwrap(engine->Answer(q, &dec));
     std::printf("  %s -> %s: true %llu, estimate %.2f\n",
                 table.domain(origin).LabelFor(key[0]).c_str(),
                 table.domain(dest).LabelFor(key[1]).c_str(),
@@ -98,9 +98,11 @@ int main() {
   CountingQuery broad(table.num_attributes());
   broad.Where(origin, AttrPredicate::Point(0));
   RouteDecision dec;
-  auto sum = Unwrap(engine->AnswerSum(distance, weights, broad, &dec));
+  auto sum = Unwrap(
+      engine->Answer(AggregateQuery::Sum(distance, weights, broad), &dec));
   std::printf("  SUM(distance) WHERE origin = %s: estimate %.3g\n",
-              table.domain(origin).LabelFor(0).c_str(), sum.expectation);
+              table.domain(origin).LabelFor(0).c_str(),
+              sum.estimate.expectation);
   DescribeRoute(*engine, dec);
 
   // 3. A value the sample never saw: its miss floor keeps the variance
@@ -115,7 +117,7 @@ int main() {
           .Where(dest, AttrPredicate::Point(d));
       if (exact.Count(q) != 0) continue;
       RouteDecision dec2;
-      auto est = Unwrap(engine->AnswerCount(q, &dec2));
+      auto est = Unwrap(engine->Answer(q, &dec2));
       std::printf("  %s -> %s: true 0, estimate %.2f\n",
                   table.domain(origin).LabelFor(o).c_str(),
                   table.domain(dest).LabelFor(d).c_str(), est.expectation);

@@ -67,7 +67,7 @@ int main() {
     CountingQuery q(table.num_attributes());
     q.Where(snapshot, AttrPredicate::Point(s));
     q.Where(grp, AttrPredicate::Point(1));
-    auto est = Unwrap(summary->AnswerCount(q));
+    auto est = Unwrap(summary->Answer(q));
     std::printf("  %-10u %12.0f %12llu\n", s, est.expectation,
                 static_cast<unsigned long long>(exact.Count(q)));
   }
@@ -78,7 +78,7 @@ int main() {
   q2.Where(grp, AttrPredicate::Point(1));
   q2.Where(type, AttrPredicate::Point(0));
   q2.Where(density, AttrPredicate::Range(35, 57));
-  auto est2 = Unwrap(summary->AnswerCount(q2));
+  auto est2 = Unwrap(summary->Answer(q2));
   std::printf("  estimate %.0f +/- %.0f, true %llu\n", est2.expectation,
               1.96 * est2.StdDev(),
               static_cast<unsigned long long>(exact.Count(q2)));
@@ -89,7 +89,7 @@ int main() {
   q3.Where(grp, AttrPredicate::Point(0));
   q3.Where(type, AttrPredicate::Point(2));
   q3.Where(density, AttrPredicate::Range(45, 57));
-  auto est3 = Unwrap(summary->AnswerCount(q3));
+  auto est3 = Unwrap(summary->Answer(q3));
   std::printf(
       "\nbackground stars at halo-core density: estimate %.2f (rounds to "
       "%.0f), true %llu\n",

@@ -86,7 +86,7 @@ int main() {
       return 1;
     }
     RouteDecision dec;
-    auto est = engine->AnswerCount(*ex.query, &dec);
+    auto est = engine->Answer(*ex.query, &dec);
     if (!est.ok()) {
       std::fprintf(stderr, "answer: %s\n", est.status().ToString().c_str());
       return 1;

@@ -50,12 +50,12 @@ int main() {
   std::vector<double> ent_light, ent_null, uni_light, uni_null;
   for (const auto& p : w.light) {
     auto q = PointQuery(table.num_attributes(), w.attrs, p.key);
-    ent_light.push_back(Unwrap(summary->AnswerCount(q)).expectation);
+    ent_light.push_back(Unwrap(summary->Answer(q)).expectation);
     uni_light.push_back(sample.Count(q).expectation);
   }
   for (const auto& p : w.nonexistent) {
     auto q = PointQuery(table.num_attributes(), w.attrs, p.key);
-    ent_null.push_back(Unwrap(summary->AnswerCount(q)).expectation);
+    ent_null.push_back(Unwrap(summary->Answer(q)).expectation);
     uni_null.push_back(sample.Count(q).expectation);
   }
 

@@ -83,7 +83,7 @@ int main() {
     CountingQuery q(summary->num_attributes());
     q.Where(4, AttrPredicate::Range(15, 30));
     Timer qt;
-    auto est = Unwrap(summary->AnswerCount(q));
+    auto est = Unwrap(summary->Answer(q));
     std::printf("COUNT(distance in buckets [15,30]) = %.0f +/- %.0f "
                 "(answered in %.2f ms)\n",
                 est.expectation, 1.96 * est.StdDev(), qt.ElapsedMillis());
@@ -91,7 +91,7 @@ int main() {
     CountingQuery q2(summary->num_attributes());
     q2.Where(3, AttrPredicate::Range(0, 9));
     q2.Where(4, AttrPredicate::Range(40, 80));
-    auto est2 = Unwrap(summary->AnswerCount(q2));
+    auto est2 = Unwrap(summary->Answer(q2));
     std::printf("COUNT(short time AND long distance) = %.2f (a "
                 "near-impossible slice; rounds to %.0f)\n",
                 est2.expectation, est2.RoundedCount());
@@ -102,7 +102,7 @@ int main() {
     std::printf("\nstore: loaded %zu summaries in %.1f ms\n",
                 engine->num_summaries(), store_timer.ElapsedMillis());
     RouteDecision dec;
-    auto est3 = Unwrap(engine->AnswerCount(q2, &dec));
+    auto est3 = Unwrap(engine->Answer(q2, &dec));
     std::printf("COUNT(short time AND long distance) = %.2f via summary %zu"
                 "%s\n",
                 est3.expectation, dec.index,

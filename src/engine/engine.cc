@@ -4,6 +4,8 @@
 
 #include "common/thread_pool.h"
 #include "engine/sharded_store.h"
+#include "maxent/join_fusion.h"
+#include "maxent/quantile.h"
 #include "storage/version_set.h"
 
 namespace entropydb {
@@ -113,17 +115,17 @@ EngineStats EntropyEngine::stats() const {
   return s;
 }
 
-Result<QueryEstimate> EntropyEngine::AnswerCount(
-    const CountingQuery& q, RouteDecision* decision) const {
+Result<QueryEstimate> EntropyEngine::Answer(const CountingQuery& q,
+                                            RouteDecision* decision) const {
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (sharded_ != nullptr) {
-    // Per-shard routing decisions live on ShardedStore::AnswerCount; the
+    // Per-shard routing decisions live on ShardedStore::Answer; the
     // facade-level decision carries the merged variance plus the
     // pruned/scanned shard counters.
-    if (decision == nullptr) return sharded_->AnswerCount(q);
+    if (decision == nullptr) return sharded_->Answer(q);
     *decision = RouteDecision{};
     std::vector<RouteDecision> per_shard;
-    ASSIGN_OR_RETURN(QueryEstimate est, sharded_->AnswerCount(q, &per_shard));
+    ASSIGN_OR_RETURN(QueryEstimate est, sharded_->Answer(q, &per_shard));
     decision->expected_variance = est.variance;
     for (const RouteDecision& d : per_shard) {
       ++(d.pruned ? decision->shards_pruned : decision->shards_scanned);
@@ -132,12 +134,147 @@ Result<QueryEstimate> EntropyEngine::AnswerCount(
   }
   if (router_ != nullptr) return router_->Answer(q, decision);
   if (decision != nullptr) *decision = RouteDecision{};
-  auto est = primary_->AnswerCount(q);
+  auto est = primary_->Answer(q);
   if (est.ok() && decision != nullptr) {
     decision->expected_variance = est->variance;
     decision->summary_variance = est->variance;
   }
   return est;
+}
+
+Result<QueryResult> EntropyEngine::Answer(const AggregateQuery& q,
+                                          RouteDecision* decision) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  switch (q.kind) {
+    case AggregateKind::kCount:
+    case AggregateKind::kSum:
+    case AggregateKind::kAvg: {
+      if (sharded_ != nullptr) {
+        RouteDecision dec;
+        std::vector<RouteDecision> per_shard;
+        ASSIGN_OR_RETURN(QueryResult out, sharded_->Answer(q, &per_shard));
+        dec.expected_variance = out.estimate.variance;
+        for (const RouteDecision& d : per_shard) {
+          ++(d.pruned ? dec.shards_pruned : dec.shards_scanned);
+        }
+        out.route = dec;
+        if (decision != nullptr) *decision = dec;
+        return out;
+      }
+      if (router_ != nullptr) return router_->Answer(q, decision);
+      ASSIGN_OR_RETURN(QueryResult out, primary_->Answer(q));
+      if (decision != nullptr) *decision = out.route;
+      return out;
+    }
+    case AggregateKind::kQuantile: {
+      RouteDecision dec;
+      ASSIGN_OR_RETURN(std::vector<QueryEstimate> cells,
+                       GroupByMarginal(q.agg_attr, q.where, &dec));
+      ASSIGN_OR_RETURN(QueryResult out,
+                       QuantileFromMarginal(cells, q.weights, q.q, n()));
+      dec.expected_variance = out.estimate.variance;
+      dec.summary_variance = out.estimate.variance;
+      out.route = dec;
+      if (decision != nullptr) *decision = dec;
+      return out;
+    }
+    case AggregateKind::kTopK: {
+      RouteDecision dec;
+      ASSIGN_OR_RETURN(std::vector<QueryEstimate> cells,
+                       GroupByMarginal(q.agg_attr, q.where, &dec));
+      ASSIGN_OR_RETURN(QueryResult out, TopKFromMarginal(cells, q.k));
+      dec.expected_variance = out.estimate.variance;
+      dec.summary_variance = out.estimate.variance;
+      out.route = dec;
+      if (decision != nullptr) *decision = dec;
+      return out;
+    }
+    case AggregateKind::kJoinCount:
+    case AggregateKind::kJoinSum:
+      return Status::InvalidArgument(
+          "join queries fuse two engines — use AnswerJoin with the "
+          "right-side engine");
+  }
+  return Status::Internal("unhandled aggregate kind");
+}
+
+Result<QueryResult> EntropyEngine::AnswerJoin(const AggregateQuery& q,
+                                              const EntropyEngine& right,
+                                              RouteDecision* decision) const {
+  if (q.kind != AggregateKind::kJoinCount &&
+      q.kind != AggregateKind::kJoinSum) {
+    return Status::InvalidArgument(
+        std::string("AnswerJoin answers join kinds only, not ") +
+        AggregateKindName(q.kind));
+  }
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (q.join_attr >= num_attributes() ||
+      q.right_join_attr >= right.num_attributes()) {
+    return Status::OutOfRange("join attribute out of range");
+  }
+  RouteDecision dec;
+  // Each side contributes its filtered join-attribute marginal from its
+  // own routed model (sharded sides merge additively underneath); the
+  // fusion itself is pure marginal algebra.
+  ASSIGN_OR_RETURN(std::vector<QueryEstimate> left_cells,
+                   GroupByMarginal(q.join_attr, q.where, &dec));
+  ASSIGN_OR_RETURN(
+      std::vector<QueryEstimate> right_cells,
+      right.GroupByMarginal(q.right_join_attr, q.right_where, nullptr));
+  JoinSideMarginal right_marg;
+  right_marg.n = right.n();
+  right_marg.mass.reserve(right_cells.size());
+  for (const QueryEstimate& c : right_cells) {
+    right_marg.mass.push_back(c.expectation);
+  }
+
+  QueryResult out;
+  if (q.kind == AggregateKind::kJoinCount) {
+    JoinSideMarginal left_marg;
+    left_marg.n = n();
+    left_marg.mass.reserve(left_cells.size());
+    for (const QueryEstimate& c : left_cells) {
+      left_marg.mass.push_back(c.expectation);
+    }
+    ASSIGN_OR_RETURN(out, FuseJoinCount(left_marg, right_marg));
+  } else {
+    if (q.agg_attr >= num_attributes()) {
+      return Status::OutOfRange("aggregate attribute out of range");
+    }
+    const size_t width = primary_->registry().domain_size(q.agg_attr);
+    if (q.weights.size() != width) {
+      return Status::InvalidArgument(
+          "weight vector must have one entry per value of the attribute");
+    }
+    // The left (join-code, value) grid: one point group-by over the two
+    // attributes, every code combination as a key. s_j = sum_v w_v c_jv
+    // then feeds the fusion.
+    const std::vector<AttrId> attrs = {q.join_attr, q.agg_attr};
+    std::vector<std::vector<Code>> keys;
+    keys.reserve(left_cells.size() * width);
+    for (Code j = 0; j < left_cells.size(); ++j) {
+      for (Code v = 0; v < width; ++v) {
+        keys.push_back({j, v});
+      }
+    }
+    Result<std::map<std::vector<Code>, QueryEstimate>> grid_map =
+        sharded_ != nullptr
+            ? sharded_->AnswerGroupBy(attrs, keys, q.where)
+            : RouteFor(q.where, attrs, nullptr)
+                  .AnswerGroupBy(attrs, keys, q.where);
+    if (!grid_map.ok()) return grid_map.status();
+    std::vector<std::vector<double>> grid(
+        left_cells.size(), std::vector<double>(width, 0.0));
+    for (const auto& [key, est] : *grid_map) {
+      grid[key[0]][key[1]] = est.expectation;
+    }
+    ASSIGN_OR_RETURN(out, FuseJoinSum(n(), grid, q.weights, right_marg));
+  }
+  dec.expected_variance = out.estimate.variance;
+  dec.summary_variance = out.estimate.variance;
+  out.route = dec;
+  if (decision != nullptr) *decision = dec;
+  return out;
 }
 
 Result<std::vector<QueryEstimate>> EntropyEngine::AnswerAll(
@@ -160,7 +297,7 @@ Result<std::vector<QueryEstimate>> EntropyEngine::AnswerAll(
   std::vector<QueryEstimate> out(qs.size());
   std::vector<Status> statuses(qs.size(), Status::OK());
   ParallelFor(qs.size(), 2, [&](size_t i) {
-    auto est = primary_->AnswerCount(qs[i]);
+    auto est = primary_->Answer(qs[i]);
     if (!est.ok()) {
       statuses[i] = est.status();
       return;
@@ -176,121 +313,28 @@ Result<std::vector<QueryEstimate>> EntropyEngine::AnswerAll(
 
 const EntropySummary& EntropyEngine::RouteFor(
     const CountingQuery& q, const std::vector<AttrId>& extra_attrs,
-    RouteDecision* decision,
-    std::optional<QueryEstimate>* filter_count) const {
+    RouteDecision* decision) const {
   if (decision != nullptr) *decision = RouteDecision{};
   if (router_ == nullptr || q.num_attributes() != store_->num_attributes()) {
     // Arity errors surface from the summary's own validation.
     return *primary_;
   }
-  std::vector<uint8_t> constrained = q.ConstrainedMask();
-  for (AttrId a : extra_attrs) {
-    if (a < constrained.size()) constrained[a] = 1;
-  }
-  size_t covered = 0;
-  std::vector<size_t> candidates =
-      router_->CoveringEntries(constrained, &covered);
-  size_t index = candidates.front();
-  if (candidates.size() > 1) {
-    // Tie-break like QueryRouter::Answer does, using the filter count's
-    // variance as the routing objective (the aggregate itself would cost
-    // a batched derivative pass per candidate).
-    double best_var = 0.0;
-    bool have = false;
-    for (size_t k : candidates) {
-      auto est = store_->summary(k).AnswerCount(q);
-      if (!est.ok()) continue;
-      if (!have || est->variance < best_var) {
-        best_var = est->variance;
-        index = k;
-        have = true;
-        if (filter_count != nullptr) *filter_count = *est;
-      }
-    }
-  }
-  if (decision != nullptr) {
-    decision->index = index;
-    decision->covered_pairs = covered;
-    decision->candidates = candidates.size();
-    decision->fallback = covered == 0;
-  }
-  return store_->summary(index);
+  return store_->summary(router_->RouteEntry(q, extra_attrs, decision));
 }
 
-Result<QueryEstimate> EntropyEngine::AnswerSum(
-    AttrId a, const std::vector<double>& weights, const CountingQuery& q,
-    RouteDecision* decision) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  if (sharded_ != nullptr) {
-    if (decision == nullptr) return sharded_->AnswerSum(a, weights, q);
-    *decision = RouteDecision{};
-    std::vector<RouteDecision> per_shard;
-    ASSIGN_OR_RETURN(QueryEstimate est,
-                     sharded_->AnswerSum(a, weights, q, &per_shard));
-    decision->expected_variance = est.variance;
-    for (const RouteDecision& d : per_shard) {
-      ++(d.pruned ? decision->shards_pruned : decision->shards_scanned);
-    }
-    return est;
-  }
-  std::optional<QueryEstimate> routed_cnt;
-  const EntropySummary& s = RouteFor(q, {a}, decision, &routed_cnt);
-  // Hybrid stage for SUM: the router's stage-3 comparison on the filter
-  // count's variance (the shared routing objective), then answer the
-  // aggregate from the winner. The tie-break may have evaluated the
-  // winner's count already; reuse it.
-  if (router_ != nullptr && store_->num_samples() > 0 &&
-      q.num_attributes() == store_->num_attributes()) {
-    auto cnt = routed_cnt.has_value() ? Result<QueryEstimate>(*routed_cnt)
-                                      : s.AnswerCount(q);
-    if (cnt.ok()) {
-      size_t sample_index = 0;
-      ASSIGN_OR_RETURN(
-          const bool from_sample,
-          router_->HybridChallenge(q, *cnt, decision, &sample_index, nullptr));
-      if (from_sample) {
-        auto est =
-            store_->sample_source(sample_index).AnswerSum(a, weights, q);
-        if (est.ok() && decision != nullptr) {
-          decision->expected_variance = est->variance;
-        }
-        return est;
-      }
-    }
-  }
-  auto est = s.AnswerSum(a, weights, q);
-  if (est.ok() && decision != nullptr) {
-    decision->expected_variance = est->variance;
-  }
-  return est;
-}
-
-Result<QueryEstimate> EntropyEngine::AnswerAvg(
-    AttrId a, const std::vector<double>& weights, const CountingQuery& q,
-    RouteDecision* decision) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  if (sharded_ != nullptr) {
-    if (decision != nullptr) *decision = RouteDecision{};
-    ASSIGN_OR_RETURN(QueryEstimate est, sharded_->AnswerAvg(a, weights, q));
-    if (decision != nullptr) decision->expected_variance = est.variance;
-    return est;
-  }
-  const EntropySummary& s = RouteFor(q, {a}, decision);
-  auto est = s.AnswerAvg(a, weights, q);
-  if (est.ok() && decision != nullptr) {
-    decision->expected_variance = est->variance;
-  }
-  return est;
-}
-
-Result<std::vector<QueryEstimate>> EntropyEngine::AnswerGroupByAttribute(
+Result<std::vector<QueryEstimate>> EntropyEngine::GroupByMarginal(
     AttrId a, const CountingQuery& base, RouteDecision* decision) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);
   if (sharded_ != nullptr) {
     if (decision != nullptr) *decision = RouteDecision{};
     return sharded_->AnswerGroupByAttribute(a, base);
   }
   return RouteFor(base, {a}, decision).AnswerGroupByAttribute(a, base);
+}
+
+Result<std::vector<QueryEstimate>> EntropyEngine::AnswerGroupByAttribute(
+    AttrId a, const CountingQuery& base, RouteDecision* decision) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return GroupByMarginal(a, base, decision);
 }
 
 Result<std::map<std::vector<Code>, QueryEstimate>> EntropyEngine::AnswerGroupBy(

@@ -12,6 +12,7 @@
 #include "engine/query_router.h"
 #include "engine/source_store.h"
 #include "maxent/summary.h"
+#include "query/aggregate.h"
 
 namespace entropydb {
 
@@ -25,7 +26,7 @@ class ShardedStore;
 /// serializes on bookkeeping; a snapshot is therefore approximate across
 /// in-flight queries, which is all an operations counter needs.
 struct EngineStats {
-  /// Single-query Answer* calls (count, sum, avg, group-by).
+  /// Single-query Answer calls (any aggregate kind, joins, group-bys).
   uint64_t queries = 0;
   /// AnswerAll invocations (one per micro-batch).
   uint64_t batches = 0;
@@ -43,27 +44,28 @@ struct EngineStats {
 /// multi-source store directory is a flag change:
 ///
 ///   auto engine = EntropyEngine::Open(path);   // file or store directory
-///   auto est = (*engine)->AnswerCount(query);  // routed when store-backed
+///   auto res = (*engine)->Answer(AggregateQuery::Count(query));
 ///
 /// Open sniffs a directory's MANIFEST header and dispatches transparently:
 /// a v1/v2 manifest loads as a monolithic SourceStore, a v3 manifest as a
 /// ShardedStore — callers never branch on the layout. Sharded engines fan
-/// each COUNT/SUM out to every shard (the best source is picked PER SHARD
-/// by that shard's router) and merge the per-shard estimates; point
-/// estimates and variances are additive across disjoint row partitions.
+/// each COUNT/SUM/AVG out to every shard (the best source is picked PER
+/// SHARD by that shard's router) and merge the per-shard moments; point
+/// estimates, variances, and the SUM/COUNT covariance are additive across
+/// disjoint row partitions, so the merged AVG keeps the full delta-method
+/// variance.
 ///
-/// Store-backed engines route each query per QueryRouter's hybrid rules
+/// The ONE query entry point is Answer(AggregateQuery): COUNT and SUM
+/// route across summaries AND samples per QueryRouter's hybrid rules
 /// (coverage -> summary variance -> summary-vs-sample variance; see
-/// docs/ESTIMATORS.md) and report the decision on request; single-summary
-/// engines answer directly (the decision then names entry 0). COUNT and
-/// SUM route across summaries AND samples; AVG and the group-bys are
-/// summary-only (samples have no batched-derivative path), routing on the
-/// filter's constrained attributes PLUS the aggregated attribute, since
-/// the per-value split exercises that attribute's correlations too;
-/// coverage ties break on the filter count's variance (running the
-/// aggregate itself per candidate would cost a derivative pass each).
-/// All entry points are safe to call concurrently; per-summary throughput
-/// scales on the answerer's workspace pool.
+/// docs/ESTIMATORS.md); AVG and the group-bys are summary-only (samples
+/// have no batched-derivative path); QUANTILE and TOPK derive here at the
+/// facade from the routed group-by marginal (maxent/quantile.h), so they
+/// work uniformly over single summaries, stores, and sharded stores. The
+/// JOIN kinds fuse TWO engines' models on a shared attribute — see
+/// AnswerJoin and maxent/join_fusion.h. All entry points are safe to call
+/// concurrently; per-summary throughput scales on the answerer's
+/// workspace pool.
 class EntropyEngine {
  public:
   /// Wraps a single summary (no routing).
@@ -118,26 +120,38 @@ class EntropyEngine {
   /// Relation arity m.
   size_t num_attributes() const { return primary_->num_attributes(); }
 
-  /// COUNT(*) — routed across summaries and samples when store-backed.
-  Result<QueryEstimate> AnswerCount(const CountingQuery& q,
-                                    RouteDecision* decision = nullptr) const;
+  /// COUNT(*) — the routed counting primitive the batcher fans out on
+  /// (bitwise the Answer(AggregateQuery::Count(q)) estimate).
+  Result<QueryEstimate> Answer(const CountingQuery& q,
+                               RouteDecision* decision = nullptr) const;
+
+  /// The unified aggregate surface: COUNT/SUM/AVG routed per the class
+  /// comment, QUANTILE/TOPK derived from the routed group-by marginal.
+  /// JOIN kinds need a right-side engine — use AnswerJoin; here they are
+  /// kInvalidArgument. The result's `route` always carries the decision
+  /// (facade-level pruning counters included when sharded); `decision`
+  /// (optional) receives the same value.
+  Result<QueryResult> Answer(const AggregateQuery& q,
+                             RouteDecision* decision = nullptr) const;
+
+  /// Fused-join estimates (kJoinCount / kJoinSum): this engine serves the
+  /// LEFT relation (q.where, q.join_attr, and for JOIN_SUM q.agg_attr /
+  /// q.weights), `right` the right relation (q.right_where,
+  /// q.right_join_attr). Each side contributes its filtered join-attribute
+  /// marginal from its own routed model; the fusion is the first-order
+  /// delta estimate of maxent/join_fusion.h. The two join attributes'
+  /// domains must agree in size (codes are matched positionally — fuse
+  /// relations encoded against the same dictionary).
+  Result<QueryResult> AnswerJoin(const AggregateQuery& q,
+                                 const EntropyEngine& right,
+                                 RouteDecision* decision = nullptr) const;
+
   /// Batched COUNT(*) workload, fanned across the thread pool; slot i
-  /// matches qs[i] and equals the serial AnswerCount answer.
+  /// matches qs[i] and equals the serial Answer answer.
   Result<std::vector<QueryEstimate>> AnswerAll(
       const std::vector<CountingQuery>& qs,
       std::vector<RouteDecision>* decisions = nullptr) const;
 
-  /// SUM of a per-value weight over attribute `a` — routed across
-  /// summaries and samples (the hybrid comparison uses the filter count's
-  /// variance as its objective).
-  Result<QueryEstimate> AnswerSum(AttrId a, const std::vector<double>& weights,
-                                  const CountingQuery& q,
-                                  RouteDecision* decision = nullptr) const;
-  /// AVG of a per-value weight over attribute `a` (delta-method ratio
-  /// variance) — summary-routed.
-  Result<QueryEstimate> AnswerAvg(AttrId a, const std::vector<double>& weights,
-                                  const CountingQuery& q,
-                                  RouteDecision* decision = nullptr) const;
   /// Whole-attribute group-by (one batched derivative pass) —
   /// summary-routed.
   Result<std::vector<QueryEstimate>> AnswerGroupByAttribute(
@@ -158,14 +172,16 @@ class EntropyEngine {
                 std::shared_ptr<ShardedStore> sharded);
 
   /// Picks the serving summary for a filter + extra constrained attributes
-  /// (aggregate / group-by attributes), filling `decision`. When the
-  /// tie-break already evaluated the winner's filter count, it is handed
-  /// back through `filter_count` (if non-null) so hybrid aggregate routing
-  /// does not pay the masked evaluation twice.
+  /// (aggregate / group-by attributes), filling `decision` — the router's
+  /// RouteEntry behind the single-summary fallback.
   const EntropySummary& RouteFor(
       const CountingQuery& q, const std::vector<AttrId>& extra_attrs,
-      RouteDecision* decision,
-      std::optional<QueryEstimate>* filter_count = nullptr) const;
+      RouteDecision* decision) const;
+
+  /// The routed whole-attribute marginal the group-by, quantile, and join
+  /// surfaces share (dispatches sharded / store / single-summary).
+  Result<std::vector<QueryEstimate>> GroupByMarginal(
+      AttrId a, const CountingQuery& base, RouteDecision* decision) const;
 
   std::shared_ptr<EntropySummary> primary_;
   std::shared_ptr<SourceStore> store_;

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "maxent/summary.h"
+#include "query/aggregate.h"
 #include "query/counting_query.h"
 #include "sampling/sample.h"
 #include "sampling/sample_estimator.h"
@@ -14,13 +15,19 @@
 namespace entropydb {
 
 /// \brief One answerable backend behind the hybrid router: anything that can
-/// turn a counting query into an estimate PLUS an expected variance.
+/// turn a query into an estimate PLUS an expected variance.
 ///
 /// The paper's central evaluation (Figs. 5-6) pits maxent summaries against
 /// stratified/uniform samples; this interface is what lets the serving
 /// engine hold BOTH kinds behind one surface and route each query to
 /// whichever source expects the lower variance (see engine/query_router.h
 /// and docs/ESTIMATORS.md for the per-source variance formulas).
+///
+/// The surface is the unified aggregate API: ONE Answer(AggregateQuery)
+/// entry point for every kind a single source can serve (COUNT/SUM, and
+/// AVG for summaries), plus the bare counting primitive the router's hot
+/// path and the batcher fan out on. Results carry the SUM/COUNT moment
+/// legs and their covariance so cross-shard merging stays exact.
 ///
 /// Implementations are immutable after construction and safe to call
 /// concurrently; the routed answer is always the chosen source's own answer
@@ -39,12 +46,13 @@ class EstimateSource {
   virtual const std::string& name() const = 0;
   /// Arity of the relation this source summarizes.
   virtual size_t num_attributes() const = 0;
-  /// COUNT(*) estimate with expected variance for a conjunctive query.
-  virtual Result<QueryEstimate> AnswerCount(const CountingQuery& q) const = 0;
-  /// SUM of a per-value weight over attribute `a` under filter `q`.
-  virtual Result<QueryEstimate> AnswerSum(
-      AttrId a, const std::vector<double>& weights,
-      const CountingQuery& q) const = 0;
+  /// COUNT(*) estimate with expected variance — the routing primitive.
+  virtual Result<QueryEstimate> Answer(const CountingQuery& q) const = 0;
+  /// The unified aggregate surface. Summaries answer COUNT/SUM/AVG;
+  /// samples answer COUNT/SUM (with Horvitz-Thompson moment legs) and
+  /// report kNotSupported for AVG. QUANTILE/TOPK/JOIN kinds derive at the
+  /// engine facade and are kNotSupported on every single source.
+  virtual Result<QueryResult> Answer(const AggregateQuery& q) const = 0;
 };
 
 /// \brief EstimateSource over a solved EntropySummary: multinomial-moment
@@ -60,13 +68,11 @@ class SummarySource : public EstimateSource {
   size_t num_attributes() const override {
     return summary_->num_attributes();
   }
-  Result<QueryEstimate> AnswerCount(const CountingQuery& q) const override {
-    return summary_->AnswerCount(q);
+  Result<QueryEstimate> Answer(const CountingQuery& q) const override {
+    return summary_->Answer(q);
   }
-  Result<QueryEstimate> AnswerSum(AttrId a,
-                                  const std::vector<double>& weights,
-                                  const CountingQuery& q) const override {
-    return summary_->AnswerSum(a, weights, q);
+  Result<QueryResult> Answer(const AggregateQuery& q) const override {
+    return summary_->Answer(q);
   }
 
   /// The wrapped summary.
@@ -90,10 +96,8 @@ class SampleSource : public EstimateSource {
   size_t num_attributes() const override {
     return sample_->rows ? sample_->rows->num_attributes() : 0;
   }
-  Result<QueryEstimate> AnswerCount(const CountingQuery& q) const override;
-  Result<QueryEstimate> AnswerSum(AttrId a,
-                                  const std::vector<double>& weights,
-                                  const CountingQuery& q) const override;
+  Result<QueryEstimate> Answer(const CountingQuery& q) const override;
+  Result<QueryResult> Answer(const AggregateQuery& q) const override;
 
   /// The wrapped sample.
   const WeightedSample& sample() const { return *sample_; }

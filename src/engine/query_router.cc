@@ -24,11 +24,53 @@ std::vector<size_t> QueryRouter::CoveringEntries(
   return out;
 }
 
+size_t QueryRouter::RouteEntry(
+    const CountingQuery& q, const std::vector<AttrId>& extra_attrs,
+    RouteDecision* decision,
+    std::optional<QueryEstimate>* filter_count) const {
+  if (decision != nullptr) *decision = RouteDecision{};
+  if (q.num_attributes() != store_->num_attributes()) {
+    // Arity errors surface from the chosen summary's own validation.
+    return store_->widest();
+  }
+  std::vector<uint8_t> constrained = q.ConstrainedMask();
+  for (AttrId a : extra_attrs) {
+    if (a < constrained.size()) constrained[a] = 1;
+  }
+  size_t covered = 0;
+  std::vector<size_t> candidates = CoveringEntries(constrained, &covered);
+  size_t index = candidates.front();
+  if (candidates.size() > 1) {
+    // Tie-break like the counting path does, using the filter count's
+    // variance as the routing objective (the aggregate itself would cost
+    // a batched derivative pass per candidate).
+    double best_var = 0.0;
+    bool have = false;
+    for (size_t k : candidates) {
+      auto est = store_->summary(k).Answer(q);
+      if (!est.ok()) continue;
+      if (!have || est->variance < best_var) {
+        best_var = est->variance;
+        index = k;
+        have = true;
+        if (filter_count != nullptr) *filter_count = *est;
+      }
+    }
+  }
+  if (decision != nullptr) {
+    decision->index = index;
+    decision->covered_pairs = covered;
+    decision->candidates = candidates.size();
+    decision->fallback = covered == 0;
+  }
+  return index;
+}
+
 Result<bool> QueryRouter::BestSample(const CountingQuery& q, size_t* index,
                                      QueryEstimate* est) const {
   bool have = false;
   for (size_t s = 0; s < store_->num_samples(); ++s) {
-    auto cand = store_->sample_source(s).AnswerCount(q);
+    auto cand = store_->sample_source(s).Answer(q);
     if (!cand.ok()) {
       // An arity mismatch means this companion simply cannot serve the
       // query — an expected probe miss, skip it. Anything else (a corrupt
@@ -87,7 +129,7 @@ Result<QueryEstimate> QueryRouter::Answer(const CountingQuery& q,
   size_t best_index = candidates.front();
   bool have = false;
   for (size_t k : candidates) {
-    ASSIGN_OR_RETURN(QueryEstimate est, store_->summary(k).AnswerCount(q));
+    ASSIGN_OR_RETURN(QueryEstimate est, store_->summary(k).Answer(q));
     if (!have || est.variance < best_est.variance) {
       best_est = est;
       best_index = k;
@@ -112,6 +154,71 @@ Result<QueryEstimate> QueryRouter::Answer(const CountingQuery& q,
         from_sample ? sample_est.variance : best_est.variance;
   }
   return from_sample ? sample_est : best_est;
+}
+
+Result<QueryResult> QueryRouter::Answer(const AggregateQuery& q,
+                                        RouteDecision* decision) const {
+  RouteDecision dec;
+  switch (q.kind) {
+    case AggregateKind::kCount: {
+      // COUNT runs the counting pipeline verbatim, so the aggregate
+      // surface is bitwise the batcher's answer for the same filter.
+      ASSIGN_OR_RETURN(QueryEstimate est, Answer(q.where, &dec));
+      QueryResult out;
+      out.estimate = est;
+      out.count = est;
+      out.has_moments = true;
+      out.route = dec;
+      if (decision != nullptr) *decision = dec;
+      return out;
+    }
+    case AggregateKind::kSum: {
+      std::optional<QueryEstimate> routed_cnt;
+      const size_t index = RouteEntry(q.where, {q.agg_attr}, &dec, &routed_cnt);
+      const EntropySummary& s = store_->summary(index);
+      // Hybrid stage for SUM: stage-3 comparison on the filter count's
+      // variance (the shared routing objective), then answer the
+      // aggregate from the winner. The tie-break may have evaluated the
+      // winner's count already; reuse it.
+      if (store_->num_samples() > 0 &&
+          q.where.num_attributes() == store_->num_attributes()) {
+        auto cnt = routed_cnt.has_value() ? Result<QueryEstimate>(*routed_cnt)
+                                          : s.Answer(q.where);
+        if (cnt.ok()) {
+          size_t sample_index = 0;
+          ASSIGN_OR_RETURN(
+              const bool from_sample,
+              HybridChallenge(q.where, *cnt, &dec, &sample_index, nullptr));
+          if (from_sample) {
+            ASSIGN_OR_RETURN(QueryResult out,
+                             store_->sample_source(sample_index).Answer(q));
+            dec.expected_variance = out.estimate.variance;
+            out.route = dec;
+            if (decision != nullptr) *decision = dec;
+            return out;
+          }
+        }
+      }
+      ASSIGN_OR_RETURN(QueryResult out, s.Answer(q));
+      dec.expected_variance = out.estimate.variance;
+      out.route = dec;
+      if (decision != nullptr) *decision = dec;
+      return out;
+    }
+    case AggregateKind::kAvg: {
+      // Summary-only: samples have no batched ratio path.
+      const size_t index = RouteEntry(q.where, {q.agg_attr}, &dec);
+      ASSIGN_OR_RETURN(QueryResult out, store_->summary(index).Answer(q));
+      dec.expected_variance = out.estimate.variance;
+      out.route = dec;
+      if (decision != nullptr) *decision = dec;
+      return out;
+    }
+    default:
+      return Status::NotSupported(
+          std::string("aggregate kind ") + AggregateKindName(q.kind) +
+          " is derived at the engine facade, not routed over one store");
+  }
 }
 
 Result<std::vector<QueryEstimate>> QueryRouter::AnswerAll(

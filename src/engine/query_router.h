@@ -3,63 +3,16 @@
 
 #include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
 #include "engine/source_store.h"
 #include "maxent/answerer.h"
+#include "query/aggregate.h"
 #include "query/counting_query.h"
 
 namespace entropydb {
-
-/// Why a query landed on the source it did — surfaced by the query tool's
-/// --store mode and asserted by the routing tests.
-struct RouteDecision {
-  /// Chosen summary entry; when `from_sample` is true this is the summary
-  /// RUNNER-UP the winning sample was compared against.
-  size_t index = 0;
-  /// Modeled pairs of the chosen entry fully inside the query's constrained
-  /// attribute set.
-  size_t covered_pairs = 0;
-  /// Entries that tied on maximal coverage (candidates the variance rule
-  /// then decided between).
-  size_t candidates = 1;
-  /// True when NO entry covered a pair: summary routing fell back to the
-  /// widest summary.
-  bool fallback = false;
-  /// The chosen source's estimate variance (the routing objective).
-  double expected_variance = 0.0;
-
-  // -- Hybrid stage (summary vs. sample), see docs/ESTIMATORS.md ---------
-  // COUNT routing always fills these; aggregate routing (AnswerSum) fills
-  // them with the FILTER COUNT's variances — the shared objective — and
-  // only when the store holds samples (they keep their defaults when the
-  // hybrid stage is skipped).
-  /// True when a sample source won the variance comparison: the answer
-  /// came from store sample `sample_index`.
-  bool from_sample = false;
-  /// Winning sample (valid only when `from_sample`).
-  size_t sample_index = 0;
-  /// The best summary candidate's expected variance (stage-2 winner).
-  double summary_variance = 0.0;
-  /// The best sample's expected variance; +infinity when the store holds
-  /// no samples (the comparison then never picks a sample).
-  double sample_variance = std::numeric_limits<double>::infinity();
-
-  // -- Shard pruning (engine/sharded_store.h, storage/zone_map.h) --------
-  // Only sharded answering fills these. Per-shard decision slots carry
-  // `pruned`; the facade-level decision EntropyEngine returns carries the
-  // aggregate counters.
-  /// True when the shard's zone map proved the query cannot match: the
-  /// shard was skipped and contributed an exact {0, 0} to the merge.
-  bool pruned = false;
-  /// The attribute whose zone map proved the miss (valid when `pruned`).
-  AttrId pruned_attr = 0;
-  /// Shards skipped / actually answered for this query (facade-level
-  /// aggregate; both 0 on non-sharded paths).
-  size_t shards_pruned = 0;
-  size_t shards_scanned = 0;
-};
 
 /// \brief Routes each query to the store source — maxent summary or
 /// weighted sample — expected to answer it best, and fans batched
@@ -84,6 +37,14 @@ struct RouteDecision {
 ///     w_max (w_max - 1) (never a confident zero), which routes rare
 ///     slices the sample missed back to a summary.
 ///
+/// The unified Answer(AggregateQuery) runs the same pipeline per kind:
+/// COUNT routes the full three stages (and is bitwise the counting-path
+/// answer), SUM routes stages 1-2 on the filter PLUS the aggregated
+/// attribute and challenges hybrid on the filter count's variance (the
+/// shared objective), AVG routes summary-only (samples have no batched
+/// ratio path). QUANTILE/TOPK/JOIN derive at the engine facade from
+/// group-by marginals — kNotSupported here.
+///
 /// The routed answer IS the chosen source's own answer — bit-for-bit what
 /// that summary's QueryAnswerer or that sample's SampleEstimator returns —
 /// so routing never perturbs estimates. Stateless over an immutable store:
@@ -101,6 +62,22 @@ class QueryRouter {
   /// means nothing covers and the result is just the widest entry.
   std::vector<size_t> CoveringEntries(const std::vector<uint8_t>& constrained,
                                       size_t* covered) const;
+
+  /// Stages 1-2 for aggregate routing: the serving summary ENTRY for a
+  /// filter whose effective constrained set also includes `extra_attrs`
+  /// (aggregate / group-by attributes — the per-value split exercises
+  /// their correlations too). Coverage ties break on the filter COUNT's
+  /// variance (running the aggregate itself per candidate would cost a
+  /// batched derivative pass each); when the tie-break evaluated the
+  /// winner's filter count it is handed back through `filter_count` so
+  /// hybrid aggregate routing does not pay the masked evaluation twice.
+  /// Resets and fills the decision's stage-1/2 fields. An arity-mismatched
+  /// query routes to the widest entry — the summary's own validation then
+  /// surfaces the error when answering.
+  size_t RouteEntry(const CountingQuery& q,
+                    const std::vector<AttrId>& extra_attrs,
+                    RouteDecision* decision,
+                    std::optional<QueryEstimate>* filter_count = nullptr) const;
 
   /// Stage-3 helper: the sample companion with the lowest expected COUNT
   /// variance for `q` (first wins ties, keeping routing deterministic).
@@ -124,9 +101,16 @@ class QueryRouter {
                                RouteDecision* decision, size_t* sample_index,
                                QueryEstimate* sample_est) const;
 
-  /// Routes and answers one counting query across all sources.
+  /// Routes and answers one counting query across all sources — the
+  /// primitive the batcher and the COUNT aggregate share.
   Result<QueryEstimate> Answer(const CountingQuery& q,
                                RouteDecision* decision = nullptr) const;
+
+  /// The unified aggregate surface (COUNT/SUM/AVG; see the class comment
+  /// for the per-kind pipeline). The result's `route` always carries the
+  /// decision; `decision` (optional) receives the same value.
+  Result<QueryResult> Answer(const AggregateQuery& q,
+                             RouteDecision* decision = nullptr) const;
 
   /// Routes and answers a whole workload, fanned across the shared thread
   /// pool; slot i of the result (and of `decisions`) corresponds to qs[i].

@@ -186,7 +186,7 @@ bool ShardedStore::Prunable(size_t s, const CountingQuery& q,
   return !zone_maps_[s]->MightMatch(q, attr);
 }
 
-Result<QueryEstimate> ShardedStore::AnswerCount(
+Result<QueryEstimate> ShardedStore::Answer(
     const CountingQuery& q, std::vector<RouteDecision>* per_shard) const {
   if (per_shard != nullptr) {
     per_shard->assign(shards_.size(), RouteDecision{});
@@ -205,25 +205,32 @@ Result<QueryEstimate> ShardedStore::AnswerCount(
     }
     ASSIGN_OR_RETURN(
         QueryEstimate est,
-        engines_[s]->AnswerCount(
+        engines_[s]->Answer(
             q, per_shard != nullptr ? &(*per_shard)[s] : nullptr));
     MergeInto(&merged, est);
   }
   return merged;
 }
 
-Result<QueryEstimate> ShardedStore::AnswerSum(
-    AttrId a, const std::vector<double>& weights, const CountingQuery& q,
-    std::vector<RouteDecision>* per_shard) const {
+Result<QueryResult> ShardedStore::Answer(
+    const AggregateQuery& q, std::vector<RouteDecision>* per_shard) const {
+  if (q.kind != AggregateKind::kCount && q.kind != AggregateKind::kSum &&
+      q.kind != AggregateKind::kAvg) {
+    return Status::NotSupported(
+        std::string("aggregate kind ") + AggregateKindName(q.kind) +
+        " is derived at the engine facade, not merged across shards");
+  }
   if (per_shard != nullptr) {
     per_shard->assign(shards_.size(), RouteDecision{});
   }
-  QueryEstimate merged;
+  // Disjoint row partitions with independently fit models: the estimates,
+  // BOTH moment legs, and the SUM/COUNT covariance are all additive (a
+  // pruned shard contributes the exact zeros it would have answered).
+  QueryResult merged;
+  merged.has_moments = true;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    // An impossible filter makes every per-value term of the SUM an exact
-    // zero too — same skip rule as COUNT.
     AttrId pruned_attr = 0;
-    if (Prunable(s, q, &pruned_attr)) {
+    if (Prunable(s, q.where, &pruned_attr)) {
       if (per_shard != nullptr) {
         (*per_shard)[s].pruned = true;
         (*per_shard)[s].pruned_attr = pruned_attr;
@@ -231,34 +238,31 @@ Result<QueryEstimate> ShardedStore::AnswerSum(
       continue;
     }
     ASSIGN_OR_RETURN(
-        QueryEstimate est,
-        engines_[s]->AnswerSum(
-            a, weights, q, per_shard != nullptr ? &(*per_shard)[s] : nullptr));
-    MergeInto(&merged, est);
+        QueryResult part,
+        engines_[s]->Answer(
+            q, per_shard != nullptr ? &(*per_shard)[s] : nullptr));
+    MergeInto(&merged.estimate, part.estimate);
+    MergeInto(&merged.sum, part.sum);
+    MergeInto(&merged.count, part.count);
+    merged.sum_count_cov += part.sum_count_cov;
+  }
+  if (q.kind == AggregateKind::kAvg) {
+    // ONE delta method over the MERGED moments — the covariance term the
+    // per-shard results surfaced stays in the ratio variance, so the
+    // cross-shard AVG matches the unsharded formula instead of the old
+    // covariance-free approximation (docs/ESTIMATORS.md).
+    merged.estimate = QueryEstimate{};
+    if (merged.count.expectation > 0.0) {
+      const double c = merged.count.expectation;
+      const double r = merged.sum.expectation / c;
+      merged.estimate.expectation = r;
+      merged.estimate.variance = std::max(
+          0.0, (merged.sum.variance - 2.0 * r * merged.sum_count_cov +
+                r * r * merged.count.variance) /
+                   (c * c));
+    }
   }
   return merged;
-}
-
-Result<QueryEstimate> ShardedStore::AnswerAvg(
-    AttrId a, const std::vector<double>& weights, const CountingQuery& q,
-    std::vector<RouteDecision>* per_shard) const {
-  // AVG is a ratio, not additive — merge the two additive legs and apply
-  // the delta method across shards. The per-shard estimators expose no
-  // SUM/COUNT covariance, so the cross term is dropped (the monolithic
-  // AnswerAvg keeps it; docs/ESTIMATORS.md discusses the gap).
-  ASSIGN_OR_RETURN(QueryEstimate sum, AnswerSum(a, weights, q, per_shard));
-  ASSIGN_OR_RETURN(QueryEstimate cnt, AnswerCount(q));
-  QueryEstimate out;
-  if (cnt.expectation <= 0.0) {
-    out.expectation = 0.0;
-    out.variance = 0.0;
-    return out;
-  }
-  const double r = sum.expectation / cnt.expectation;
-  out.expectation = r;
-  out.variance = (sum.variance + r * r * cnt.variance) /
-                 (cnt.expectation * cnt.expectation);
-  return out;
 }
 
 Result<std::vector<QueryEstimate>> ShardedStore::AnswerGroupByAttribute(
@@ -330,7 +334,7 @@ Result<std::vector<QueryEstimate>> ShardedStore::AnswerAll(
       }
       return;
     }
-    auto est = engines_[s]->AnswerCount(
+    auto est = engines_[s]->Answer(
         qs[i], per_shard != nullptr ? &cell_decisions[flat] : nullptr);
     if (!est.ok()) {
       statuses[flat] = est.status();

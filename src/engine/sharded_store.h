@@ -128,23 +128,22 @@ class ShardedStore {
   /// variances sum. `per_shard` (optional) receives shard s's own routing
   /// decision in slot s — the "per-shard route printing" surface of
   /// entropydb_query.
-  Result<QueryEstimate> AnswerCount(
+  Result<QueryEstimate> Answer(
       const CountingQuery& q,
       std::vector<RouteDecision>* per_shard = nullptr) const;
 
-  /// Merged SUM of a per-value weight over attribute `a` (additive, same
-  /// rule as COUNT; each shard routes hybrid).
-  Result<QueryEstimate> AnswerSum(
-      AttrId a, const std::vector<double>& weights, const CountingQuery& q,
-      std::vector<RouteDecision>* per_shard = nullptr) const;
-
-  /// Merged AVG: the ratio of the merged SUM and merged COUNT, with a
-  /// cross-shard delta-method variance (per-shard SUM/COUNT covariance is
-  /// not surfaced by the per-shard estimators, so the covariance term is
-  /// dropped — documented in docs/ESTIMATORS.md). `per_shard` receives the
-  /// SUM leg's routing decisions.
-  Result<QueryEstimate> AnswerAvg(
-      AttrId a, const std::vector<double>& weights, const CountingQuery& q,
+  /// The unified aggregate surface, merged across shards. COUNT and SUM
+  /// are additive: estimates, variances, BOTH moment legs, and the
+  /// SUM/COUNT covariance all sum over the disjoint row partitions
+  /// (independently fit models make the per-shard estimators independent).
+  /// AVG merges the per-shard moment legs the same way and then applies
+  /// ONE delta method to the merged moments — covariance term included, so
+  /// the cross-shard ratio variance matches the unsharded formula instead
+  /// of dropping Cov(S, C) (docs/ESTIMATORS.md "Cross-shard merging").
+  /// QUANTILE/TOPK/JOIN derive at the engine facade from the merged
+  /// group-by marginals — kNotSupported here.
+  Result<QueryResult> Answer(
+      const AggregateQuery& q,
       std::vector<RouteDecision>* per_shard = nullptr) const;
 
   /// Merged whole-attribute group-by: per-value counts are additive across
@@ -161,7 +160,7 @@ class ShardedStore {
   /// Batched COUNT workload: the shards x queries grid fans out flat on
   /// the ParallelFor pool (each cell is one shard answering one query into
   /// a disjoint slot), then per-query merges run serially in shard order —
-  /// so slot i is bitwise AnswerCount(qs[i]). `per_shard` (optional) gets
+  /// so slot i is bitwise Answer(qs[i]). `per_shard` (optional) gets
   /// decisions[i][s] = shard s's decision on qs[i].
   Result<std::vector<QueryEstimate>> AnswerAll(
       const std::vector<CountingQuery>& qs,

@@ -23,14 +23,16 @@
 ///                .WhereBetween("distance", 500, 1000)
 ///                .Build();
 ///   RouteDecision why;
-///   auto estimate = engine->AnswerCount(*q, &why);  // routed per-query
+///   auto result = engine->Answer(AggregateQuery::Count(*q), &why);
 ///   // why.from_sample tells you which estimator family won;
-///   // docs/ESTIMATORS.md derives the variance comparison.
+///   // docs/ESTIMATORS.md derives the variance comparison. The same
+///   // Answer surface takes Sum/Avg/Quantile/TopK; AnswerJoin fuses two
+///   // engines' models on a shared attribute.
 /// \endcode
 ///
-/// Single-summary path (the original seed API) is unchanged:
-/// EntropySummary::Build + AnswerCount, or EntropyEngine::FromSummary to
-/// keep the facade.
+/// Single-summary path (the original seed API) keeps the same shape:
+/// EntropySummary::Build + Answer, or EntropyEngine::FromSummary to keep
+/// the facade.
 
 #include "common/env.h"
 #include "common/result.h"

@@ -5,16 +5,6 @@
 
 namespace entropydb {
 
-double QueryEstimate::StdDev() const { return std::sqrt(variance); }
-
-std::pair<double, double> QueryEstimate::ConfidenceInterval(double z,
-                                                            double n) const {
-  double half = z * StdDev();
-  return {std::max(0.0, expectation - half), std::min(n, expectation + half)};
-}
-
-double QueryEstimate::RoundedCount() const { return std::round(expectation); }
-
 QueryAnswerer::QueryAnswerer(const VariableRegistry& reg,
                              const CompressedPolynomial& poly,
                              const ModelState& state)
@@ -37,6 +27,74 @@ Result<QueryEstimate> QueryAnswerer::Answer(const CountingQuery& q) const {
   est.expectation = reg_.n() * p;
   est.variance = reg_.n() * p * (1.0 - p);
   return est;
+}
+
+Result<QueryResult> QueryAnswerer::Answer(const AggregateQuery& q) const {
+  QueryResult out;
+  if (q.kind == AggregateKind::kCount) {
+    ASSIGN_OR_RETURN(out.estimate, Answer(q.where));
+    // The count leg repeats the estimate so moment merging is uniform
+    // across kinds; the (absent) sum leg and covariance stay zero.
+    out.count = out.estimate;
+    out.has_moments = true;
+    out.route.expected_variance = out.estimate.variance;
+    out.route.summary_variance = out.estimate.variance;
+    return out;
+  }
+  if (q.kind != AggregateKind::kSum && q.kind != AggregateKind::kAvg) {
+    return Status::NotSupported(
+        std::string("aggregate kind ") + AggregateKindName(q.kind) +
+        " is derived at the engine facade, not answered by one model");
+  }
+  const AttrId a = q.agg_attr;
+  if (a >= reg_.num_attributes()) {
+    return Status::OutOfRange("aggregate attribute out of range");
+  }
+  if (q.weights.size() != reg_.domain_size(a)) {
+    return Status::InvalidArgument(
+        "weight vector must have one entry per value of the attribute");
+  }
+  // One batched pass for the per-value counts; the matching total C comes
+  // from Answer(where) so the ratio's denominator (and the count leg) is
+  // the same estimate a plain COUNT reports.
+  ASSIGN_OR_RETURN(std::vector<QueryEstimate> counts,
+                   AnswerGroupByAttribute(a, q.where));
+  ASSIGN_OR_RETURN(out.count, Answer(q.where));
+
+  // Multinomial cell moments over the matching values:
+  //   Var S  = n (sum w^2 p - (sum w p)^2)
+  //   Var C  = n P (1 - P)
+  //   Cov    = n (sum w p) (1 - P)
+  const double n = reg_.n();
+  double swp = 0.0, sw2p = 0.0;
+  for (Code v = 0; v < q.weights.size(); ++v) {
+    const double pv = counts[v].expectation / n;
+    out.sum.expectation += q.weights[v] * counts[v].expectation;
+    swp += q.weights[v] * pv;
+    sw2p += q.weights[v] * q.weights[v] * pv;
+  }
+  out.sum.variance = std::max(0.0, n * (sw2p - swp * swp));
+  const double big_p = std::clamp(out.count.expectation / n, 0.0, 1.0);
+  const double mean_wp = out.sum.expectation / n;  // sum_v w_v p_v
+  out.sum_count_cov = n * mean_wp * (1.0 - big_p);
+  out.has_moments = true;
+
+  if (q.kind == AggregateKind::kSum) {
+    out.estimate = out.sum;
+  } else if (out.count.expectation > 0.0) {
+    // Delta method on R = S/C with the moments above — the covariance is
+    // kept, not assumed away.
+    const double c = out.count.expectation;
+    const double r = out.sum.expectation / c;
+    out.estimate.expectation = r;
+    out.estimate.variance = std::max(
+        0.0, (out.sum.variance - 2.0 * r * out.sum_count_cov +
+              r * r * out.count.variance) /
+                 (c * c));
+  }
+  out.route.expected_variance = out.estimate.variance;
+  out.route.summary_variance = out.estimate.variance;
+  return out;
 }
 
 Result<std::vector<QueryEstimate>> QueryAnswerer::AnswerGroupByAttribute(
@@ -80,80 +138,6 @@ Result<std::vector<QueryEstimate>> QueryAnswerer::AnswerGroupByAttribute(
   return out;
 }
 
-Result<QueryEstimate> QueryAnswerer::AnswerSum(
-    AttrId a, const std::vector<double>& weights,
-    const CountingQuery& q) const {
-  if (a >= reg_.num_attributes()) {
-    return Status::OutOfRange("aggregate attribute out of range");
-  }
-  if (weights.size() != reg_.domain_size(a)) {
-    return Status::InvalidArgument(
-        "weight vector must have one entry per value of the attribute");
-  }
-  ASSIGN_OR_RETURN(std::vector<QueryEstimate> counts,
-                   AnswerGroupByAttribute(a, q));
-  QueryEstimate est;
-  // Var S = n (sum w^2 p - (sum w p)^2) under the multinomial law over
-  // the matching cells — the same moments AnswerAvg's delta method uses,
-  // so SUM and AVG report one consistent dispersion model.
-  const double n = reg_.n();
-  double swp = 0.0, sw2p = 0.0;
-  for (Code v = 0; v < weights.size(); ++v) {
-    const double pv = counts[v].expectation / n;
-    est.expectation += weights[v] * counts[v].expectation;
-    swp += weights[v] * pv;
-    sw2p += weights[v] * weights[v] * pv;
-  }
-  est.variance = std::max(0.0, n * (sw2p - swp * swp));
-  return est;
-}
-
-Result<QueryEstimate> QueryAnswerer::AnswerAvg(
-    AttrId a, const std::vector<double>& weights,
-    const CountingQuery& q) const {
-  if (a >= reg_.num_attributes()) {
-    return Status::OutOfRange("aggregate attribute out of range");
-  }
-  if (weights.size() != reg_.domain_size(a)) {
-    return Status::InvalidArgument(
-        "weight vector must have one entry per value of the attribute");
-  }
-  // One batched pass for the per-value counts; the matching total C comes
-  // from Answer(q) so the ratio's denominator is the same estimate
-  // AnswerCount reports.
-  ASSIGN_OR_RETURN(std::vector<QueryEstimate> counts,
-                   AnswerGroupByAttribute(a, q));
-  ASSIGN_OR_RETURN(QueryEstimate count, Answer(q));
-  QueryEstimate est;
-  if (!(count.expectation > 0.0)) return est;
-
-  const double n = reg_.n();
-  double s = 0.0;       // E[S] = sum_v w_v E[X_v]
-  double sw2p = 0.0;    // sum_v w_v^2 p_v
-  for (Code v = 0; v < weights.size(); ++v) {
-    const double pv = counts[v].expectation / n;
-    s += weights[v] * counts[v].expectation;
-    sw2p += weights[v] * weights[v] * pv;
-  }
-  const double c = count.expectation;
-  const double r = s / c;
-  est.expectation = r;
-
-  // Delta method on R = S/C with multinomial cell moments:
-  //   Var S  = n (sum w^2 p - (sum w p)^2)
-  //   Var C  = n P (1 - P)
-  //   Cov    = n (sum w p) (1 - P)
-  //   Var R ~= (Var S - 2 R Cov + R^2 Var C) / C^2
-  const double mean_wp = s / n;  // sum_v w_v p_v
-  const double big_p = std::clamp(c / n, 0.0, 1.0);
-  const double var_s = n * (sw2p - mean_wp * mean_wp);
-  const double var_c = n * big_p * (1.0 - big_p);
-  const double cov = n * mean_wp * (1.0 - big_p);
-  est.variance =
-      std::max(0.0, (var_s - 2.0 * r * cov + r * r * var_c) / (c * c));
-  return est;
-}
-
 Result<std::map<std::vector<Code>, QueryEstimate>> QueryAnswerer::AnswerGroupBy(
     const std::vector<AttrId>& attrs,
     const std::vector<std::vector<Code>>& keys,
@@ -187,9 +171,16 @@ Result<std::map<std::vector<Code>, QueryEstimate>> QueryAnswerer::AnswerGroupBy(
       return Status::InvalidArgument("group-by key arity mismatch");
     }
     QueryEstimate est;
+    // A key cell contributes only if it lies in the domain AND satisfies
+    // the base filter on its own attribute — relaxing above widened the
+    // mask, so the filter must be re-applied per cell (the same contract
+    // AnswerGroupByAttribute keeps via pred.Matches).
     bool in_domain = true;
     for (size_t i = 0; i < attrs.size(); ++i) {
-      if (key[i] >= reg_.domain_size(attrs[i])) in_domain = false;
+      if (key[i] >= reg_.domain_size(attrs[i]) ||
+          !base.predicate(attrs[i]).Matches(key[i])) {
+        in_domain = false;
+      }
     }
     if (in_domain) {
       const double masked =

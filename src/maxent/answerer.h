@@ -8,28 +8,10 @@
 #include "maxent/polynomial.h"
 #include "maxent/variable_registry.h"
 #include "maxent/workspace_pool.h"
+#include "query/aggregate.h"
 #include "query/counting_query.h"
 
 namespace entropydb {
-
-/// \brief A probabilistic query answer: expectation plus dispersion.
-///
-/// Under the solved MaxEnt model the n tuples are i.i.d. draws from the
-/// tuple distribution (the partition function factorizes as Z = P^n,
-/// Lemma 3.1), so any counting query is Binomial(n, p) with
-/// p = P[mask] / P. That yields the closed-form variance the paper lists as
-/// its single-statistic formula (Sec 7).
-struct QueryEstimate {
-  double expectation = 0.0;
-  double variance = 0.0;
-
-  double StdDev() const;
-  /// Central `z`-sigma interval, clamped to [0, n].
-  std::pair<double, double> ConfidenceInterval(double z, double n) const;
-  /// Expectation rounded to the nearest integer count (the paper rounds
-  /// sub-0.5 estimates to zero when detecting nonexistent values, Sec 4.3).
-  double RoundedCount() const;
-};
 
 /// \brief Answers linear counting queries on a solved MaxEnt model via the
 /// optimized evaluation of Sec 4.2: zero the excluded 1-D variables,
@@ -51,8 +33,30 @@ class QueryAnswerer {
   QueryAnswerer(const VariableRegistry& reg, const CompressedPolynomial& poly,
                 const ModelState& state);
 
-  /// E[<q, I>] (and variance) for a conjunctive counting query.
+  /// E[<q, I>] (and variance) for a conjunctive counting query — the
+  /// COUNT(*) primitive every aggregate builds on.
   Result<QueryEstimate> Answer(const CountingQuery& q) const;
+
+  /// The unified aggregate dispatcher for the kinds a single model can
+  /// answer: COUNT, SUM, AVG. Every result carries the SUM/COUNT moment
+  /// legs plus their covariance under the model's multinomial law over
+  /// the aggregated attribute's cells (X_v ~ Multinomial(n, p_v)):
+  ///
+  ///   E[S]      = n sum_v w_v p_v
+  ///   Var S     = n (sum_v w_v^2 p_v - (sum_v w_v p_v)^2)
+  ///   Var C     = n P (1 - P),   P = sum over matching v of p_v
+  ///   Cov(S, C) = n (sum_v w_v p_v) (1 - P)
+  ///
+  /// AVG's headline estimate is the ratio S/C with the delta-method
+  /// variance Var(S/C) ~= (Var S - 2 R Cov + R^2 Var C) / C^2 — and
+  /// because the legs and the covariance are SURFACED, not just consumed,
+  /// a sharded store can merge per-shard legs additively and apply the
+  /// same delta method once across shards without dropping the cross term
+  /// (docs/ESTIMATORS.md "Cross-shard merging").
+  ///
+  /// QUANTILE/TOPK/JOIN kinds are derived at the engine facade from
+  /// group-by marginals, not here — kNotSupported.
+  Result<QueryResult> Answer(const AggregateQuery& q) const;
 
   /// Point-group-by: for each listed code combination of `attrs`, the
   /// estimate of COUNT(*) at that point with `base` as the residual filter.
@@ -74,27 +78,6 @@ class QueryAnswerer {
   /// "GROUP BY A ORDER BY cnt LIMIT k" template should be evaluated.
   Result<std::vector<QueryEstimate>> AnswerGroupByAttribute(
       AttrId a, const CountingQuery& base) const;
-
-  /// SUM aggregate of a per-value weight over one attribute:
-  /// E[sum over matching rows of weight(A_a)] — a general linear query
-  /// (Sec 3.1). `weights` has one entry per value of `a` (e.g. bucket
-  /// midpoints for a bucketized numeric attribute). The variance is
-  /// Var S = n (sum_v w_v^2 p_v - (sum_v w_v p_v)^2) under the model's
-  /// multinomial law over the matching cells (cell anticorrelation
-  /// included — the same moments AnswerAvg's delta method uses).
-  Result<QueryEstimate> AnswerSum(AttrId a,
-                                  const std::vector<double>& weights,
-                                  const CountingQuery& q) const;
-
-  /// AVG aggregate: AnswerSum / AnswerCount (returns 0 when the matching
-  /// count is 0). The variance is the delta-method ratio variance
-  /// Var(S/C) ~= (Var S - 2 R Cov(S,C) + R^2 Var C) / C^2 with the moments
-  /// taken under the model's multinomial law over the matching values
-  /// (X_v ~ Multinomial(n, p_v) cell counts), so the anticorrelation
-  /// between cells is accounted for rather than assumed away.
-  Result<QueryEstimate> AnswerAvg(AttrId a,
-                                  const std::vector<double>& weights,
-                                  const CountingQuery& q) const;
 
   /// Unmasked P (the normalization constant's base).
   double FullPolynomialValue() const { return full_value_; }

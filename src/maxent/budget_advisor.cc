@@ -54,18 +54,18 @@ Result<std::vector<BudgetCandidate>> BudgetAdvisor::Advise(
       std::vector<double> truths, ests, light_est, null_est;
       for (const auto& pt : w.heavy) {
         auto q = PointQuery(table.num_attributes(), w.attrs, pt.key);
-        ASSIGN_OR_RETURN(auto est, summary->AnswerCount(q));
+        ASSIGN_OR_RETURN(auto est, summary->Answer(q));
         truths.push_back(pt.true_count);
         ests.push_back(est.RoundedCount());
       }
       for (const auto& pt : w.light) {
         auto q = PointQuery(table.num_attributes(), w.attrs, pt.key);
-        ASSIGN_OR_RETURN(auto est, summary->AnswerCount(q));
+        ASSIGN_OR_RETURN(auto est, summary->Answer(q));
         light_est.push_back(est.expectation);
       }
       for (const auto& pt : w.nonexistent) {
         auto q = PointQuery(table.num_attributes(), w.attrs, pt.key);
-        ASSIGN_OR_RETURN(auto est, summary->AnswerCount(q));
+        ASSIGN_OR_RETURN(auto est, summary->Answer(q));
         null_est.push_back(est.expectation);
       }
       err_sum += AverageError(truths, ests);

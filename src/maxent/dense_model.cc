@@ -78,7 +78,7 @@ double DenseMaxEntModel::DeltaDerivative(const ModelState& state,
   return d;
 }
 
-double DenseMaxEntModel::AnswerCount(const ModelState& state,
+double DenseMaxEntModel::CountEstimate(const ModelState& state,
                                      const CountingQuery& q) const {
   const double full = EvaluateUnmasked(state);
   if (!(full > 0.0)) return 0.0;

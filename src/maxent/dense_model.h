@@ -44,7 +44,7 @@ class DenseMaxEntModel {
   double DeltaDerivative(const ModelState& state, uint32_t j) const;
 
   /// E[<q,I>] = n * P[mask]/P for a counting query, by enumeration.
-  double AnswerCount(const ModelState& state, const CountingQuery& q) const;
+  double CountEstimate(const ModelState& state, const CountingQuery& q) const;
 
   /// Naive coordinate solver (Algorithm 1 with dense derivatives); used to
   /// cross-check the optimized solver on small instances.

@@ -1,0 +1,90 @@
+#include "maxent/join_fusion.h"
+
+#include <algorithm>
+
+namespace entropydb {
+
+namespace {
+
+/// n * weighted population variance of `value` under the cell distribution
+/// p_j = mass_j / n — the one-side delta term. Degenerates to 0 for n <= 0
+/// (an empty side contributes no randomness).
+double SideVariance(double n, const std::vector<double>& mass,
+                    const std::vector<double>& value) {
+  if (!(n > 0.0)) return 0.0;
+  double mean = 0.0, mean_sq = 0.0;
+  for (size_t j = 0; j < mass.size(); ++j) {
+    const double p = mass[j] / n;
+    mean += p * value[j];
+    mean_sq += p * value[j] * value[j];
+  }
+  return std::max(0.0, n * (mean_sq - mean * mean));
+}
+
+}  // namespace
+
+Result<QueryResult> FuseJoinCount(const JoinSideMarginal& left,
+                                  const JoinSideMarginal& right) {
+  if (left.mass.size() != right.mass.size()) {
+    return Status::InvalidArgument(
+        "join fusion requires equal join-attribute domains");
+  }
+  QueryResult out;
+  for (size_t j = 0; j < left.mass.size(); ++j) {
+    out.estimate.expectation += left.mass[j] * right.mass[j];
+  }
+  out.estimate.variance = SideVariance(left.n, left.mass, right.mass) +
+                          SideVariance(right.n, right.mass, left.mass);
+  // The count leg repeats the estimate, as everywhere else.
+  out.count = out.estimate;
+  out.route.expected_variance = out.estimate.variance;
+  out.route.summary_variance = out.estimate.variance;
+  return out;
+}
+
+Result<QueryResult> FuseJoinSum(
+    double left_n, const std::vector<std::vector<double>>& left_grid,
+    const std::vector<double>& weights, const JoinSideMarginal& right) {
+  if (left_grid.size() != right.mass.size()) {
+    return Status::InvalidArgument(
+        "join fusion requires equal join-attribute domains");
+  }
+  // s_j = sum_v w_v c_jv: the left side's expected weighted mass per join
+  // code — the quantity the fixed right marginal multiplies.
+  std::vector<double> s(left_grid.size(), 0.0);
+  for (size_t j = 0; j < left_grid.size(); ++j) {
+    if (left_grid[j].size() != weights.size()) {
+      return Status::InvalidArgument(
+          "join grid row width must match the weight vector");
+    }
+    for (size_t v = 0; v < weights.size(); ++v) {
+      s[j] += weights[v] * left_grid[j][v];
+    }
+  }
+  QueryResult out;
+  for (size_t j = 0; j < s.size(); ++j) {
+    out.estimate.expectation += s[j] * right.mass[j];
+  }
+  // Left term: the multinomial runs over the FLAT (j, v) cells, each seen
+  // through the fixed right mass b_j and its value weight w_v.
+  double var_l = 0.0;
+  if (left_n > 0.0) {
+    double mean = 0.0, mean_sq = 0.0;
+    for (size_t j = 0; j < left_grid.size(); ++j) {
+      for (size_t v = 0; v < weights.size(); ++v) {
+        const double p = left_grid[j][v] / left_n;
+        const double value = weights[v] * right.mass[j];
+        mean += p * value;
+        mean_sq += p * value * value;
+      }
+    }
+    var_l = std::max(0.0, left_n * (mean_sq - mean * mean));
+  }
+  out.estimate.variance = var_l + SideVariance(right.n, right.mass, s);
+  out.sum = out.estimate;
+  out.route.expected_variance = out.estimate.variance;
+  out.route.summary_variance = out.estimate.variance;
+  return out;
+}
+
+}  // namespace entropydb

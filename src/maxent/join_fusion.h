@@ -1,0 +1,67 @@
+#ifndef ENTROPYDB_MAXENT_JOIN_FUSION_H_
+#define ENTROPYDB_MAXENT_JOIN_FUSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "query/aggregate.h"
+
+namespace entropydb {
+
+/// \brief Fusing two independently built summaries' models on a shared
+/// join attribute — the cross-relation estimate the paper's single-relation
+/// summaries cannot answer alone (docs/ESTIMATORS.md "Join fusion").
+///
+/// Both relations expose the same primitive: the per-value marginal of the
+/// join attribute under that relation's own filter, a_j = E[count(R where
+/// filter_R and J = j)] and b_j symmetrically. Because the two models were
+/// fit on disjoint relations they are independent random variables, so the
+/// equi-join cardinality
+///
+///   |R filter_R JOIN_J S filter_S|  ~  sum_j a_j b_j
+///
+/// has a first-order delta-method variance that splits into one term per
+/// side, each propagating that side's multinomial cell covariances
+/// (Cov(a_j, a_k) = -n_R p_j p_k, Var a_j = n_R p_j (1 - p_j)) through the
+/// fixed other side:
+///
+///   Var ~= n_R [ sum_j p_j b_j^2 - (sum_j p_j b_j)^2 ]
+///        + n_S [ sum_j q_j a_j^2 - (sum_j q_j a_j)^2 ],
+///   p_j = a_j / n_R,  q_j = b_j / n_S.
+///
+/// The bracketed factors are weighted population variances, so each term is
+/// nonnegative up to rounding (clamped at 0). Nothing here touches a model:
+/// the fusion is pure marginal algebra, reusable over ANY marginal source.
+
+/// One side's contribution to a fused join estimate.
+struct JoinSideMarginal {
+  /// The relation's cardinality n (the model's normalization mass).
+  double n = 0.0;
+  /// mass[j] = expected count of rows matching the side's filter with
+  /// join-attribute code j; one entry per code of the join attribute.
+  std::vector<double> mass;
+};
+
+/// Fused equi-join COUNT estimate with the two-sided delta variance above.
+/// The sides' `mass` vectors must have equal length (the shared join
+/// domain, matched positionally).
+Result<QueryResult> FuseJoinCount(const JoinSideMarginal& left,
+                                  const JoinSideMarginal& right);
+
+/// Fused equi-join SUM of a left-side attribute: `left_grid[j][v]` is the
+/// expected count of left rows with join code j AND aggregated-attribute
+/// code v (under the left filter), `weights[v]` the summed value of code v.
+/// The estimate is sum_j s_j b_j with s_j = sum_v w_v c_jv; the variance
+/// propagates the left multinomial over (j, v) cells through the fixed
+/// right marginal and vice versa:
+///
+///   Var ~= n_R [ sum_jv p_jv (w_v b_j)^2 - (sum_jv p_jv w_v b_j)^2 ]
+///        + n_S [ sum_j  q_j  s_j^2       - (sum_j  q_j  s_j)^2 ].
+Result<QueryResult> FuseJoinSum(double left_n,
+                                const std::vector<std::vector<double>>& left_grid,
+                                const std::vector<double>& weights,
+                                const JoinSideMarginal& right);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_MAXENT_JOIN_FUSION_H_

@@ -1,0 +1,103 @@
+#include "maxent/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace entropydb {
+
+namespace {
+
+constexpr double kZ = 1.96;  // the 95% bound every tool surface reports
+
+/// Smallest code whose cumulative count reaches `target` (the CDF
+/// inversion). `target` <= 0 lands on the first code with any mass;
+/// a target beyond the total lands on the last such code.
+size_t InvertCdf(const std::vector<QueryEstimate>& cells, double target) {
+  double cum = 0.0;
+  size_t last_mass = 0;
+  for (size_t v = 0; v < cells.size(); ++v) {
+    if (cells[v].expectation > 0.0) last_mass = v;
+    cum += cells[v].expectation;
+    if (cum >= target && cells[v].expectation > 0.0) return v;
+  }
+  return last_mass;
+}
+
+}  // namespace
+
+Result<QueryResult> QuantileFromMarginal(
+    const std::vector<QueryEstimate>& cells, const std::vector<double>& reps,
+    double q, double n) {
+  if (!(q > 0.0) || !(q < 1.0)) {
+    return Status::InvalidArgument("quantile rank must be in (0, 1)");
+  }
+  if (reps.size() != cells.size()) {
+    return Status::InvalidArgument(
+        "representative vector must have one entry per value");
+  }
+  if (cells.empty()) {
+    return Status::InvalidArgument("quantile over an empty domain");
+  }
+  double total = 0.0;
+  for (const QueryEstimate& c : cells) total += c.expectation;
+  if (!(total > 0.0)) {
+    return Status::FailedPrecondition(
+        "quantile of a selection with no estimated mass");
+  }
+  const double target = q * total;
+  const size_t v_star = InvertCdf(cells, target);
+
+  // The cumulative count at the target is Binomial(n, p): shift the
+  // inversion target by z of its sd to bound the quantile in value space.
+  const double p = n > 0.0 ? std::clamp(target / n, 0.0, 1.0) : 0.0;
+  const double sd = n > 0.0 ? std::sqrt(n * p * (1.0 - p)) : 0.0;
+  const size_t v_lo = InvertCdf(cells, target - kZ * sd);
+  const size_t v_hi = InvertCdf(cells, std::min(total, target + kZ * sd));
+
+  QueryResult out;
+  out.estimate.expectation = reps[v_star];
+  out.bound_lo = reps[v_lo];
+  out.bound_hi = reps[v_hi];
+  out.has_bound = true;
+  // Matched normal proxy so variance consumers (CIs, routing surfaces)
+  // see a dispersion consistent with the typed bound.
+  const double half = (out.bound_hi - out.bound_lo) / (2.0 * kZ);
+  out.estimate.variance = half * half;
+  out.route.expected_variance = out.estimate.variance;
+  out.route.summary_variance = out.estimate.variance;
+  return out;
+}
+
+Result<QueryResult> TopKFromMarginal(const std::vector<QueryEstimate>& cells,
+                                     size_t k) {
+  if (k == 0) {
+    return Status::InvalidArgument("top-k needs k >= 1");
+  }
+  if (cells.empty()) {
+    return Status::InvalidArgument("top-k over an empty domain");
+  }
+  std::vector<size_t> order(cells.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (cells[a].expectation != cells[b].expectation) {
+      return cells[a].expectation > cells[b].expectation;
+    }
+    return a < b;
+  });
+  QueryResult out;
+  const size_t take = std::min(k, cells.size());
+  out.cells.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    GroupCell cell;
+    cell.code = static_cast<Code>(order[i]);
+    cell.estimate = cells[order[i]];
+    out.cells.push_back(cell);
+  }
+  out.estimate = out.cells.front().estimate;
+  out.route.expected_variance = out.estimate.variance;
+  out.route.summary_variance = out.estimate.variance;
+  return out;
+}
+
+}  // namespace entropydb

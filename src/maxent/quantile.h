@@ -1,0 +1,48 @@
+#ifndef ENTROPYDB_MAXENT_QUANTILE_H_
+#define ENTROPYDB_MAXENT_QUANTILE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "query/aggregate.h"
+
+namespace entropydb {
+
+/// \brief Order statistics from a summary's group-by marginal — pure
+/// marginal algebra over the per-value counts AnswerGroupByAttribute
+/// already computes, so quantiles and top-k work uniformly over single
+/// summaries, routed stores, and sharded stores (whose marginals merge
+/// additively). Derivations in docs/ESTIMATORS.md "Quantiles and top-k".
+
+/// The q-quantile of attribute values under a filter, by inverting the
+/// estimated CDF: with per-value counts c_v (ascending code order, codes
+/// ARE value order for both categorical and bucketed-numeric domains) and
+/// C = sum c_v, the estimate is reps[v*] for the smallest v* whose
+/// cumulative count reaches q C.
+///
+/// The typed error bound comes from the same inversion at shifted targets:
+/// the cumulative count at the quantile is a Binomial(n, p) mass with
+/// sd = sqrt(n p (1 - p)), p = q C / n, so re-inverting at q C -+ z sd
+/// (z = 1.96) yields a value-space interval [bound_lo, bound_hi]. The
+/// variance field carries the matched normal proxy ((hi - lo) / 2z)^2 so
+/// downstream variance consumers keep working.
+///
+/// `reps` holds one value representative per code (BucketWeights); `n` is
+/// the relation cardinality the counts were estimated against. Fails with
+/// kInvalidArgument for q outside (0, 1) or a reps/cells size mismatch,
+/// and kFailedPrecondition when no mass matches the filter (C <= 0).
+Result<QueryResult> QuantileFromMarginal(const std::vector<QueryEstimate>& cells,
+                                         const std::vector<double>& reps,
+                                         double q, double n);
+
+/// The k largest estimated group-by cells, ordered by descending
+/// expectation (ties broken by ascending code, keeping the order
+/// deterministic). Each reported cell keeps its own Binomial variance as
+/// the per-cell error bound; the headline estimate is the largest cell.
+/// k is clamped to the domain size; k == 0 is kInvalidArgument.
+Result<QueryResult> TopKFromMarginal(const std::vector<QueryEstimate>& cells,
+                                     size_t k);
+
+}  // namespace entropydb
+
+#endif  // ENTROPYDB_MAXENT_QUANTILE_H_

@@ -35,7 +35,7 @@ struct SummaryOptions {
 /// This is the system's primary public entry point:
 ///
 ///   auto summary = EntropySummary::Build(*table, stats);
-///   auto est = summary->AnswerCount(query);
+///   auto est = summary->Answer(query);
 ///   est->expectation;   // approximate COUNT(*)
 ///
 /// Building extracts the complete 1-D statistics from the table, compresses
@@ -69,7 +69,14 @@ class EntropySummary {
       std::vector<Domain> domains = {});
 
   /// Approximate COUNT(*) with variance for a conjunctive query.
-  Result<QueryEstimate> AnswerCount(const CountingQuery& q) const {
+  Result<QueryEstimate> Answer(const CountingQuery& q) const {
+    return answerer_->Answer(q);
+  }
+
+  /// The unified aggregate surface (COUNT/SUM/AVG; see
+  /// QueryAnswerer::Answer(const AggregateQuery&) for the moment model
+  /// every result carries).
+  Result<QueryResult> Answer(const AggregateQuery& q) const {
     return answerer_->Answer(q);
   }
 
@@ -86,18 +93,6 @@ class EntropySummary {
   Result<std::vector<QueryEstimate>> AnswerGroupByAttribute(
       AttrId a, const CountingQuery& base) const {
     return answerer_->AnswerGroupByAttribute(a, base);
-  }
-
-  /// SUM / AVG of a per-value weight over one attribute (linear queries).
-  Result<QueryEstimate> AnswerSum(AttrId a,
-                                  const std::vector<double>& weights,
-                                  const CountingQuery& q) const {
-    return answerer_->AnswerSum(a, weights, q);
-  }
-  Result<QueryEstimate> AnswerAvg(AttrId a,
-                                  const std::vector<double>& weights,
-                                  const CountingQuery& q) const {
-    return answerer_->AnswerAvg(a, weights, q);
   }
 
   double n() const { return reg_.n(); }

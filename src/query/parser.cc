@@ -93,13 +93,11 @@ Result<Code> ResolveValue(const std::string& token, const Domain& domain) {
   return domain.BucketOf(v);
 }
 
-Status ParseCondition(Tokenizer& tok, const std::vector<std::string>& names,
-                      const std::vector<Domain>& domains,
-                      CountingQuery* where) {
-  if (tok.Done()) return Status::InvalidArgument("dangling WHERE/AND");
-  ASSIGN_OR_RETURN(AttrId attr, ResolveAttr(tok.Next(), names));
-  const Domain& domain = domains[attr];
-
+/// The operator half of a condition (everything after the attribute name),
+/// shared by the single-relation and join dialects.
+Status ParseConditionOps(Tokenizer& tok, AttrId attr, const Domain& domain,
+                         const std::string& display_name,
+                         CountingQuery* where) {
   if (tok.Eat("=")) {
     if (tok.Done()) return Status::InvalidArgument("missing value after =");
     ASSIGN_OR_RETURN(Code code, ResolveValue(tok.Next(), domain));
@@ -142,7 +140,38 @@ Status ParseCondition(Tokenizer& tok, const std::vector<std::string>& names,
     return Status::OK();
   }
   return Status::InvalidArgument("expected =, BETWEEN, or IN after '" +
-                                 names[attr] + "'");
+                                 display_name + "'");
+}
+
+Status ParseCondition(Tokenizer& tok, const std::vector<std::string>& names,
+                      const std::vector<Domain>& domains,
+                      CountingQuery* where) {
+  if (tok.Done()) return Status::InvalidArgument("dangling WHERE/AND");
+  ASSIGN_OR_RETURN(AttrId attr, ResolveAttr(tok.Next(), names));
+  return ParseConditionOps(tok, attr, domains[attr], names[attr], where);
+}
+
+/// Strips a "left." / "right." qualifier from a join-dialect token.
+/// Returns the side through `is_left` and the bare name through `rest`.
+Status SplitSide(const std::string& token, bool* is_left, std::string* rest) {
+  const size_t dot = token.find('.');
+  if (dot == std::string::npos) {
+    return Status::InvalidArgument(
+        "join conditions must qualify attributes with 'left.' or "
+        "'right.', got '" +
+        token + "'");
+  }
+  const std::string side = token.substr(0, dot);
+  *rest = token.substr(dot + 1);
+  if (side == "left") {
+    *is_left = true;
+  } else if (side == "right") {
+    *is_left = false;
+  } else {
+    return Status::InvalidArgument("unknown join side '" + side +
+                                   "' (use left.<attr> or right.<attr>)");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -155,8 +184,16 @@ std::string ParsedQuery::AggregateName() const {
       return "SUM";
     case Aggregate::kAvg:
       return "AVG";
+    case Aggregate::kQuantile:
+      return "QUANTILE";
+    case Aggregate::kTopK:
+      return "TOPK";
   }
   return "?";
+}
+
+std::string ParsedJoinQuery::AggregateName() const {
+  return aggregate == Aggregate::kCount ? "JOIN_COUNT" : "JOIN_SUM";
 }
 
 Result<ParsedQuery> ParseQuery(const std::string& text,
@@ -187,14 +224,109 @@ Result<ParsedQuery> ParseQuery(const std::string& text,
   } else if (tok.Eat("AVG")) {
     out.aggregate = ParsedQuery::Aggregate::kAvg;
     RETURN_NOT_OK(parse_agg_attr());
+  } else if (tok.Eat("QUANTILE")) {
+    out.aggregate = ParsedQuery::Aggregate::kQuantile;
+    RETURN_NOT_OK(tok.Expect("("));
+    if (tok.Done()) return Status::InvalidArgument("missing aggregate attr");
+    ASSIGN_OR_RETURN(out.agg_attr, ResolveAttr(tok.Next(), attr_names));
+    RETURN_NOT_OK(tok.Expect(","));
+    if (tok.Done()) return Status::InvalidArgument("missing quantile rank");
+    ASSIGN_OR_RETURN(out.quantile, ParseDouble(tok.Next()));
+    if (!(out.quantile > 0.0) || !(out.quantile < 1.0)) {
+      return Status::InvalidArgument("quantile rank must be in (0, 1)");
+    }
+    RETURN_NOT_OK(tok.Expect(")"));
+  } else if (tok.Eat("TOPK")) {
+    out.aggregate = ParsedQuery::Aggregate::kTopK;
+    RETURN_NOT_OK(tok.Expect("("));
+    if (tok.Done()) return Status::InvalidArgument("missing aggregate attr");
+    ASSIGN_OR_RETURN(out.agg_attr, ResolveAttr(tok.Next(), attr_names));
+    RETURN_NOT_OK(tok.Expect(","));
+    if (tok.Done()) return Status::InvalidArgument("missing top-k count");
+    ASSIGN_OR_RETURN(const double k, ParseDouble(tok.Next()));
+    if (!(k >= 1.0) || k != static_cast<uint64_t>(k)) {
+      return Status::InvalidArgument("TOPK count must be a positive integer");
+    }
+    out.top_k = static_cast<uint64_t>(k);
+    RETURN_NOT_OK(tok.Expect(")"));
   } else {
-    return Status::InvalidArgument("query must start with COUNT, SUM or AVG");
+    return Status::InvalidArgument(
+        "query must start with COUNT, SUM, AVG, QUANTILE or TOPK");
   }
 
   if (tok.Done()) return out;
   RETURN_NOT_OK(tok.Expect("WHERE"));
   do {
     RETURN_NOT_OK(ParseCondition(tok, attr_names, domains, &out.where));
+  } while (tok.Eat("AND"));
+
+  if (!tok.Done()) {
+    return Status::InvalidArgument("trailing tokens after query: '" +
+                                   tok.Peek() + "'");
+  }
+  return out;
+}
+
+Result<ParsedJoinQuery> ParseJoinQuery(
+    const std::string& text, const std::vector<std::string>& left_names,
+    const std::vector<Domain>& left_domains,
+    const std::vector<std::string>& right_names,
+    const std::vector<Domain>& right_domains) {
+  if (left_names.size() != left_domains.size() ||
+      right_names.size() != right_domains.size()) {
+    return Status::InvalidArgument("attribute/domain arity mismatch");
+  }
+  ASSIGN_OR_RETURN(Tokenizer tok, Tokenizer::Split(text));
+  ParsedJoinQuery out;
+  out.left_where = CountingQuery(left_names.size());
+  out.right_where = CountingQuery(right_names.size());
+
+  if (tok.Eat("COUNT")) {
+    out.aggregate = ParsedJoinQuery::Aggregate::kCount;
+    RETURN_NOT_OK(tok.Expect("("));
+    RETURN_NOT_OK(tok.Expect("*"));
+    RETURN_NOT_OK(tok.Expect(")"));
+  } else if (tok.Eat("SUM")) {
+    out.aggregate = ParsedJoinQuery::Aggregate::kSum;
+    RETURN_NOT_OK(tok.Expect("("));
+    if (tok.Done()) return Status::InvalidArgument("missing aggregate attr");
+    // SUM aggregates a LEFT-side attribute; the qualifier is optional.
+    std::string name = tok.Next();
+    if (name.rfind("left.", 0) == 0) name = name.substr(5);
+    ASSIGN_OR_RETURN(out.agg_attr, ResolveAttr(name, left_names));
+    RETURN_NOT_OK(tok.Expect(")"));
+  } else {
+    return Status::InvalidArgument(
+        "join query must start with COUNT or SUM");
+  }
+
+  RETURN_NOT_OK(tok.Expect("ON"));
+  if (tok.Done()) return Status::InvalidArgument("missing join attribute");
+  const std::string left_tok = tok.Next();
+  ASSIGN_OR_RETURN(out.left_join, ResolveAttr(left_tok, left_names));
+  if (tok.Eat("=")) {
+    if (tok.Done()) {
+      return Status::InvalidArgument("missing right join attribute");
+    }
+    ASSIGN_OR_RETURN(out.right_join, ResolveAttr(tok.Next(), right_names));
+  } else {
+    // The bare form joins the SAME name on both sides.
+    ASSIGN_OR_RETURN(out.right_join, ResolveAttr(left_tok, right_names));
+  }
+
+  if (tok.Done()) return out;
+  RETURN_NOT_OK(tok.Expect("WHERE"));
+  do {
+    if (tok.Done()) return Status::InvalidArgument("dangling WHERE/AND");
+    bool is_left = true;
+    std::string name;
+    RETURN_NOT_OK(SplitSide(tok.Next(), &is_left, &name));
+    const std::vector<std::string>& names = is_left ? left_names : right_names;
+    const std::vector<Domain>& domains = is_left ? left_domains : right_domains;
+    CountingQuery* where = is_left ? &out.left_where : &out.right_where;
+    ASSIGN_OR_RETURN(AttrId attr, ResolveAttr(name, names));
+    RETURN_NOT_OK(
+        ParseConditionOps(tok, attr, domains[attr], names[attr], where));
   } while (tok.Eat("AND"));
 
   if (!tok.Done()) {

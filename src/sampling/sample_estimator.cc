@@ -84,4 +84,30 @@ QueryEstimate SampleEstimator::Sum(AttrId a,
   return est;
 }
 
+QueryResult SampleEstimator::Moments(AttrId a,
+                                     const std::vector<double>& values,
+                                     const CountingQuery& q) const {
+  const Table& t = *sample_.rows;
+  QueryResult out;
+  bool matched = false;
+  ForEachMatchingRow(q, [&](size_t r) {
+    const double w = sample_.weights[r];
+    const double v = values[t.at(r, a)];
+    out.count.expectation += w;
+    out.count.variance += w * (w - 1.0);
+    out.sum.expectation += w * v;
+    out.sum.variance += w * (w - 1.0) * v * v;
+    out.sum_count_cov += w * (w - 1.0) * v;
+    matched = true;
+  });
+  if (!matched) {
+    double v2_max = 0.0;
+    for (double v : values) v2_max = std::max(v2_max, v * v);
+    out.count.variance = miss_floor_;
+    out.sum.variance = miss_floor_ * v2_max;
+  }
+  out.has_moments = true;
+  return out;
+}
+
 }  // namespace entropydb

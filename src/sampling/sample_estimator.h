@@ -49,6 +49,18 @@ class SampleEstimator {
   QueryEstimate Sum(AttrId a, const std::vector<double>& values,
                     const CountingQuery& q) const;
 
+  /// SUM and COUNT moment legs plus their covariance in ONE matching-row
+  /// pass: per row, the count leg gains (w, w (w - 1)), the sum leg
+  /// (w v, w (w - 1) v^2), and the covariance w (w - 1) v — the
+  /// Horvitz-Thompson cross term Cov(S, C) under Bernoulli sampling
+  /// (docs/ESTIMATORS.md "Cross-shard merging"). Each accumulator runs
+  /// the identical statements in the identical row order as Count/Sum,
+  /// so the legs are bitwise the separate calls' answers. When no row
+  /// matches, the legs take their miss floors and the covariance stays 0
+  /// (a silent miss carries no cross information).
+  QueryResult Moments(AttrId a, const std::vector<double>& values,
+                      const CountingQuery& q) const;
+
   /// The zero-match variance floor w_max (w_max - 1), where w_max is the
   /// largest expansion weight in the sample (for an EMPTY sample, the
   /// nominal weight 1/fraction). 0 for a full (weight-1) sample, where a

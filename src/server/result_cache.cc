@@ -1,5 +1,6 @@
 #include "server/result_cache.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace entropydb {
@@ -57,6 +58,17 @@ std::string CanonicalQueryKey(const ParsedQuery& query) {
     case ParsedQuery::Aggregate::kAvg:
       out << "avg:" << query.agg_attr;
       break;
+    case ParsedQuery::Aggregate::kQuantile: {
+      // %.17g round-trips the parsed rank, so QUANTILE(x, 0.5) and
+      // QUANTILE(x, 0.50) share a key while distinct ranks never collide.
+      char rank[32];
+      std::snprintf(rank, sizeof(rank), "%.17g", query.quantile);
+      out << "quantile:" << query.agg_attr << ":" << rank;
+      break;
+    }
+    case ParsedQuery::Aggregate::kTopK:
+      out << "topk:" << query.agg_attr << ":" << query.top_k;
+      break;
   }
   for (AttrId a = 0; a < query.where.num_attributes(); ++a) {
     const AttrPredicate& pred = query.where.predicate(a);
@@ -66,8 +78,36 @@ std::string CanonicalQueryKey(const ParsedQuery& query) {
   return out.str();
 }
 
-std::optional<QueryEstimate> ResultCache::Get(uint64_t version,
-                                              const std::string& key) {
+std::string CanonicalJoinQueryKey(const ParsedJoinQuery& query) {
+  std::ostringstream out;
+  switch (query.aggregate) {
+    case ParsedJoinQuery::Aggregate::kCount:
+      out << "joinc";
+      break;
+    case ParsedJoinQuery::Aggregate::kSum:
+      out << "joins:" << query.agg_attr;
+      break;
+  }
+  out << ":" << query.left_join << "=" << query.right_join;
+  // "|L"/"|R" fence the sides: '|' never appears in a predicate rendering,
+  // so left/right predicate sets cannot be confused with one another.
+  out << "|L";
+  for (AttrId a = 0; a < query.left_where.num_attributes(); ++a) {
+    const AttrPredicate& pred = query.left_where.predicate(a);
+    if (pred.is_any()) continue;
+    AppendPredicate(out, a, pred);
+  }
+  out << "|R";
+  for (AttrId a = 0; a < query.right_where.num_attributes(); ++a) {
+    const AttrPredicate& pred = query.right_where.predicate(a);
+    if (pred.is_any()) continue;
+    AppendPredicate(out, a, pred);
+  }
+  return out.str();
+}
+
+std::optional<QueryResult> ResultCache::Get(uint64_t version,
+                                            const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(FullKey(version, key));
   if (it == index_.end()) {
@@ -76,21 +116,21 @@ std::optional<QueryEstimate> ResultCache::Get(uint64_t version,
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->estimate;
+  return it->second->result;
 }
 
 void ResultCache::Put(uint64_t version, const std::string& key,
-                      const QueryEstimate& estimate) {
+                      const QueryResult& result) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   std::string full = FullKey(version, key);
   auto it = index_.find(full);
   if (it != index_.end()) {
-    it->second->estimate = estimate;
+    it->second->result = result;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front(Entry{full, estimate});
+  lru_.push_front(Entry{full, result});
   index_[std::move(full)] = lru_.begin();
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);

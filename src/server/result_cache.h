@@ -9,20 +9,26 @@
 #include <unordered_map>
 #include <utility>
 
-#include "maxent/answerer.h"
+#include "query/aggregate.h"
 #include "query/parser.h"
 
 namespace entropydb {
 
 /// The canonical form of a parsed query, used as the cache key: aggregate
-/// + aggregated attribute + each non-ANY predicate rendered in encoded
-/// (bucket code) space. Because the parser has already resolved labels,
-/// numeric values, and keyword case into codes, every spelling of the same
-/// predicate set shares one key; a point range ([c,c]) and a one-element
-/// IN collapse to the "=c" rendering for the same reason.
+/// (plus its rank/count parameter for QUANTILE/TOPK) + aggregated
+/// attribute + each non-ANY predicate rendered in encoded (bucket code)
+/// space. Because the parser has already resolved labels, numeric values,
+/// and keyword case into codes, every spelling of the same predicate set
+/// shares one key; a point range ([c,c]) and a one-element IN collapse to
+/// the "=c" rendering for the same reason.
 std::string CanonicalQueryKey(const ParsedQuery& query);
 
-/// \brief LRU cache of query estimates, keyed on (version, canonical
+/// The canonical form of a parsed JOIN query: aggregate + join-attribute
+/// pair + both sides' predicates (left rendered before right, separated so
+/// identical predicate sets on different sides cannot collide).
+std::string CanonicalJoinQueryKey(const ParsedJoinQuery& query);
+
+/// \brief LRU cache of query answers, keyed on (version, canonical
 /// query).
 ///
 /// Correctness is free: a version's store files never change after its
@@ -42,21 +48,23 @@ class ResultCache {
 
   explicit ResultCache(size_t capacity) : capacity_(capacity) {}
 
-  /// Returns the cached estimate for (version, key), refreshing its LRU
-  /// position, or nullopt (counted as a miss).
-  std::optional<QueryEstimate> Get(uint64_t version, const std::string& key);
+  /// Returns the cached answer for (version, key), refreshing its LRU
+  /// position, or nullopt (counted as a miss). The stored QueryResult is
+  /// returned bit-for-bit, so a response rendered from a hit is byte-
+  /// identical to the response that populated the entry.
+  std::optional<QueryResult> Get(uint64_t version, const std::string& key);
 
   /// Inserts or refreshes (version, key); evicts the least recently used
   /// entry past capacity. A capacity of 0 disables caching.
   void Put(uint64_t version, const std::string& key,
-           const QueryEstimate& estimate);
+           const QueryResult& result);
 
   Stats stats() const;
 
  private:
   struct Entry {
     std::string key;
-    QueryEstimate estimate;
+    QueryResult result;
   };
 
   static std::string FullKey(uint64_t version, const std::string& key) {

@@ -40,6 +40,42 @@ std::string EstimateLine(const QueryEstimate& est) {
   return buf;
 }
 
+/// Result lines for any aggregate kind, rendered purely from the
+/// QueryResult — the cache stores QueryResults, so a hit re-renders the
+/// exact bytes the original answer produced:
+///
+///     estimate <expectation> <variance>
+///     [bound <lo> <hi>]                  (QUANTILE's value-space bound)
+///     [cell <code> <expectation> <variance>]...   (TOPK, largest first)
+std::vector<std::string> ResultLines(const QueryResult& result) {
+  std::vector<std::string> lines;
+  lines.push_back(EstimateLine(result.estimate));
+  if (result.has_bound) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "bound %.17g %.17g", result.bound_lo,
+                  result.bound_hi);
+    lines.push_back(buf);
+  }
+  for (const GroupCell& cell : result.cells) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "cell %llu %.17g %.17g",
+                  static_cast<unsigned long long>(cell.code),
+                  cell.estimate.expectation, cell.estimate.variance);
+    lines.push_back(buf);
+  }
+  return lines;
+}
+
+/// Wraps a batcher COUNT estimate the way Answer(AggregateQuery::Count)
+/// does, so QUERY and BATCH populate the cache with identical values.
+QueryResult CountResult(const QueryEstimate& est) {
+  QueryResult out;
+  out.estimate = est;
+  out.count = est;
+  out.has_moments = true;
+  return out;
+}
+
 /// Bucket-representative weights for SUM/AVG over `attr` (the
 /// entropydb_query rule: label order index for categorical attributes,
 /// bucket midpoints for numeric ones).
@@ -77,6 +113,11 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Start(
   } else {
     ASSIGN_OR_RETURN(server->static_engine_,
                      EntropyEngine::Open(options.path, options.summary, env));
+  }
+  if (!options.join_path.empty()) {
+    ASSIGN_OR_RETURN(
+        server->join_engine_,
+        EntropyEngine::Open(options.join_path, options.summary, env));
   }
 
   QueryBatcher::Options bopts;
@@ -216,6 +257,8 @@ Result<std::string> QueryServer::HandleRequest(Session* session,
   switch (req.type) {
     case CommandType::kQuery:
       return HandleQuery(session, req);
+    case CommandType::kJoin:
+      return HandleJoin(session, req);
     case CommandType::kBatch:
       return HandleBatch(session, req);
     case CommandType::kOpen:
@@ -251,33 +294,94 @@ Result<std::string> QueryServer::HandleQuery(Session* session,
       ParseQuery(req.query, engine->attr_names(), engine->domains()));
   const std::string key = CanonicalQueryKey(parsed);
   if (auto cached = cache_.Get(version, key); cached.has_value()) {
-    return EncodeOkResponse({EstimateLine(*cached), "cached 1"});
+    std::vector<std::string> lines = ResultLines(*cached);
+    lines.push_back("cached 1");
+    return EncodeOkResponse(lines);
   }
   const std::chrono::milliseconds deadline(
       req.deadline_ms > 0 ? req.deadline_ms : options_.default_deadline_ms);
-  QueryEstimate est;
+  QueryResult result;
   switch (parsed.aggregate) {
     case ParsedQuery::Aggregate::kCount: {
-      ASSIGN_OR_RETURN(est, batcher_->Submit(engine, parsed.where, deadline));
+      // COUNT keeps riding the micro-batcher (the admission-controlled
+      // path); everything else answers through the unified surface.
+      ASSIGN_OR_RETURN(QueryEstimate est,
+                       batcher_->Submit(engine, parsed.where, deadline));
+      result = CountResult(est);
       break;
     }
     case ParsedQuery::Aggregate::kSum: {
       ASSIGN_OR_RETURN(
-          est, engine->AnswerSum(parsed.agg_attr,
-                                 AggregateWeights(*engine, parsed.agg_attr),
-                                 parsed.where));
+          result, engine->Answer(AggregateQuery::Sum(
+                      parsed.agg_attr,
+                      AggregateWeights(*engine, parsed.agg_attr),
+                      parsed.where)));
       break;
     }
     case ParsedQuery::Aggregate::kAvg: {
       ASSIGN_OR_RETURN(
-          est, engine->AnswerAvg(parsed.agg_attr,
-                                 AggregateWeights(*engine, parsed.agg_attr),
-                                 parsed.where));
+          result, engine->Answer(AggregateQuery::Avg(
+                      parsed.agg_attr,
+                      AggregateWeights(*engine, parsed.agg_attr),
+                      parsed.where)));
+      break;
+    }
+    case ParsedQuery::Aggregate::kQuantile: {
+      ASSIGN_OR_RETURN(
+          result, engine->Answer(AggregateQuery::Quantile(
+                      parsed.agg_attr,
+                      AggregateWeights(*engine, parsed.agg_attr),
+                      parsed.quantile, parsed.where)));
+      break;
+    }
+    case ParsedQuery::Aggregate::kTopK: {
+      ASSIGN_OR_RETURN(
+          result, engine->Answer(AggregateQuery::TopK(
+                      parsed.agg_attr, parsed.top_k, parsed.where)));
       break;
     }
   }
-  cache_.Put(version, key, est);
-  return EncodeOkResponse({EstimateLine(est), "cached 0"});
+  cache_.Put(version, key, result);
+  std::vector<std::string> lines = ResultLines(result);
+  lines.push_back("cached 0");
+  return EncodeOkResponse(lines);
+}
+
+Result<std::string> QueryServer::HandleJoin(Session* session,
+                                            const Request& req) {
+  if (join_engine_ == nullptr) {
+    return Status::FailedPrecondition(
+        "server has no join relation (start with --join <path>)");
+  }
+  ASSIGN_OR_RETURN(auto resolved, ResolveEngine(session));
+  const std::shared_ptr<EntropyEngine>& engine = resolved.first;
+  const uint64_t version = resolved.second;
+  ASSIGN_OR_RETURN(
+      ParsedJoinQuery parsed,
+      ParseJoinQuery(req.query, engine->attr_names(), engine->domains(),
+                     join_engine_->attr_names(), join_engine_->domains()));
+  // The right-side engine is loaded once at startup and immutable, so the
+  // left version alone still keys the cache correctly.
+  const std::string key = CanonicalJoinQueryKey(parsed);
+  if (auto cached = cache_.Get(version, key); cached.has_value()) {
+    std::vector<std::string> lines = ResultLines(*cached);
+    lines.push_back("cached 1");
+    return EncodeOkResponse(lines);
+  }
+  AggregateQuery query =
+      parsed.aggregate == ParsedJoinQuery::Aggregate::kCount
+          ? AggregateQuery::JoinCount(parsed.left_join, parsed.right_join,
+                                      parsed.left_where, parsed.right_where)
+          : AggregateQuery::JoinSum(
+                parsed.agg_attr, AggregateWeights(*engine, parsed.agg_attr),
+                parsed.left_join, parsed.right_join, parsed.left_where,
+                parsed.right_where);
+  ASSIGN_OR_RETURN(QueryResult result,
+                   engine->AnswerJoin(query, *join_engine_));
+  cache_.Put(version, key, result);
+  std::vector<std::string> lines = ResultLines(result);
+  lines.push_back("cached 0");
+  return EncodeOkResponse(lines);
 }
 
 Result<std::string> QueryServer::HandleBatch(Session* session,
@@ -295,7 +399,7 @@ Result<std::string> QueryServer::HandleBatch(Session* session,
   // the whole batch without burning answer work.
   struct Slot {
     std::string key;
-    std::optional<QueryEstimate> cached;
+    std::optional<QueryResult> cached;
     std::future<Result<QueryEstimate>> future;
   };
   std::vector<Slot> slots(req.queries.size());
@@ -321,7 +425,7 @@ Result<std::string> QueryServer::HandleBatch(Session* session,
   lines.reserve(slots.size());
   for (size_t i = 0; i < slots.size(); ++i) {
     if (slots[i].cached.has_value()) {
-      lines.push_back(EstimateLine(*slots[i].cached));
+      lines.push_back(EstimateLine(slots[i].cached->estimate));
       continue;
     }
     if (slots[i].future.wait_until(deadline_at) !=
@@ -329,7 +433,7 @@ Result<std::string> QueryServer::HandleBatch(Session* session,
       return Status::DeadlineExceeded("batch deadline exceeded");
     }
     ASSIGN_OR_RETURN(QueryEstimate est, slots[i].future.get());
-    cache_.Put(version, slots[i].key, est);
+    cache_.Put(version, slots[i].key, CountResult(est));
     lines.push_back(EstimateLine(est));
   }
   return EncodeOkResponse(lines);
@@ -386,13 +490,18 @@ Result<std::string> QueryServer::HandleStats(Session* session) {
 }
 
 Result<std::string> QueryServer::HandleVersion() {
+  // The capability list lets a client feature-detect the aggregate surface
+  // instead of probing with throwaway queries; "join" appears only when a
+  // right-side relation is configured.
+  std::string capabilities = "capabilities count sum avg quantile topk batch";
+  if (join_engine_ != nullptr) capabilities += " join";
   if (catalog_ == nullptr) {
-    return EncodeOkResponse({"current 0", "retained "});
+    return EncodeOkResponse({"current 0", "retained ", capabilities});
   }
   RETURN_NOT_OK(catalog_->Refresh().status());
   return EncodeOkResponse(
       {"current " + std::to_string(catalog_->current()),
-       "retained " + JoinIds(catalog_->versions())});
+       "retained " + JoinIds(catalog_->versions()), capabilities});
 }
 
 }  // namespace entropydb

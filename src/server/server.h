@@ -33,11 +33,19 @@ namespace entropydb {
 ///
 /// Request flow per session (one thread per connection; sessions are
 /// independent): frame decode -> ParseRequest -> result cache probe
-/// (keyed on (version, canonical predicate) — immutable versions make
-/// hits trivially correct) -> COUNT queries micro-batch through the
-/// shared QueryBatcher into AnswerAll, SUM/AVG answer directly -> framed
-/// response. Overload returns typed SERVER_BUSY/DEADLINE_EXCEEDED errors
-/// (see server/batcher.h) instead of queuing without bound.
+/// (keyed on (version, canonical query) — immutable versions make hits
+/// trivially correct) -> COUNT queries micro-batch through the shared
+/// QueryBatcher into AnswerAll, every other aggregate kind answers
+/// directly through the engine's unified Answer(AggregateQuery) surface
+/// -> framed response rendered from the QueryResult (so a cache hit is
+/// byte-identical to the miss that populated it). Overload returns typed
+/// SERVER_BUSY/DEADLINE_EXCEEDED errors (see server/batcher.h) instead of
+/// queuing without bound.
+///
+/// When Options::join_path names a second store, the JOIN command fuses
+/// the served (LEFT) engine with that static right-side engine
+/// (EntropyEngine::AnswerJoin); VERSION advertises the "join" capability
+/// only then, and JOIN without it is FAILED_PRECONDITION.
 ///
 /// The wire protocol is specified in docs/SERVING.md and implemented in
 /// server/wire_protocol.h; entropydb_client and WireClient speak it.
@@ -58,6 +66,9 @@ class QueryServer {
     uint64_t default_deadline_ms = 30000;
     /// Store/summary load knobs (checksum verification etc.).
     SummaryOptions summary;
+    /// Right-side relation for JOIN queries (store directory or summary
+    /// file, loaded once at startup); empty disables the JOIN command.
+    std::string join_path;
   };
 
   /// Server-level monotonic counters (the STATS command also merges
@@ -109,6 +120,7 @@ class QueryServer {
   Result<std::pair<std::shared_ptr<EntropyEngine>, uint64_t>> ResolveEngine(
       Session* session);
   Result<std::string> HandleQuery(Session* session, const Request& req);
+  Result<std::string> HandleJoin(Session* session, const Request& req);
   Result<std::string> HandleBatch(Session* session, const Request& req);
   Result<std::string> HandleOpen(Session* session, const Request& req);
   Result<std::string> HandleStats(Session* session);
@@ -120,6 +132,8 @@ class QueryServer {
   /// Exactly one of catalog_ (versioned root) / static_engine_ is set.
   std::unique_ptr<VersionCatalog> catalog_;
   std::shared_ptr<EntropyEngine> static_engine_;
+  /// Right-side JOIN relation; null unless Options::join_path was set.
+  std::shared_ptr<EntropyEngine> join_engine_;
 
   std::unique_ptr<QueryBatcher> batcher_;
   ResultCache cache_;

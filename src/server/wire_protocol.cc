@@ -105,6 +105,11 @@ std::string EncodeRequest(const Request& req) {
       if (req.deadline_ms > 0) out << "/" << req.deadline_ms;
       out << " " << req.query;
       break;
+    case CommandType::kJoin:
+      out << "JOIN";
+      if (req.deadline_ms > 0) out << "/" << req.deadline_ms;
+      out << " " << req.query;
+      break;
     case CommandType::kBatch:
       out << "BATCH";
       if (req.deadline_ms > 0) out << "/" << req.deadline_ms;
@@ -157,6 +162,10 @@ Result<Request> ParseRequest(const std::string& payload) {
   } else if (word == "QUERY") {
     req.type = CommandType::kQuery;
     if (rest.empty()) return Status::InvalidArgument("QUERY without text");
+    req.query = rest;
+  } else if (word == "JOIN") {
+    req.type = CommandType::kJoin;
+    if (rest.empty()) return Status::InvalidArgument("JOIN without text");
     req.query = rest;
   } else if (word == "BATCH") {
     req.type = CommandType::kBatch;

@@ -61,8 +61,8 @@ class FrameDecoder {
   bool poisoned_ = false;
 };
 
-/// The five request commands.
-enum class CommandType { kOpen, kQuery, kBatch, kStats, kVersion };
+/// The six request commands.
+enum class CommandType { kOpen, kQuery, kBatch, kStats, kVersion, kJoin };
 
 /// \brief A decoded request payload.
 ///
@@ -71,6 +71,7 @@ enum class CommandType { kOpen, kQuery, kBatch, kStats, kVersion };
 ///
 ///     OPEN live | OPEN <version-id>
 ///     QUERY[/<deadline-ms>] <query text>
+///     JOIN[/<deadline-ms>] <join query text>
 ///     BATCH[/<deadline-ms>] <n>     (then n lines, one query each)
 ///     STATS
 ///     VERSION
@@ -81,6 +82,7 @@ struct Request {
   /// Per-request deadline in ms; 0 means "use the server default".
   uint64_t deadline_ms = 0;
   /// kQuery: the query text (the paper dialect, see query/parser.h).
+  /// kJoin: the two-relation join dialect (ParseJoinQuery).
   std::string query;
   /// kBatch: the queries, in response order.
   std::vector<std::string> queries;

@@ -92,17 +92,17 @@ std::vector<QueryEstimate> Snapshot(const ShardedStore& store) {
   std::vector<QueryEstimate> out;
   const std::vector<CountingQuery> qs = Battery();
   for (const CountingQuery& q : qs) {
-    auto c = store.AnswerCount(q);
+    auto c = store.Answer(q);
     EXPECT_TRUE(c.ok()) << c.status().ToString();
     out.push_back(c.ok() ? *c : QueryEstimate{});
   }
   const std::vector<double> weights = {1.0, 5.0, 9.0, 13.0};
-  auto sum = store.AnswerSum(0, weights, qs[5]);
+  auto sum = store.Answer(AggregateQuery::Sum(0, weights, qs[5]));
   EXPECT_TRUE(sum.ok()) << sum.status().ToString();
-  out.push_back(sum.ok() ? *sum : QueryEstimate{});
-  auto avg = store.AnswerAvg(0, weights, qs[6]);
+  out.push_back(sum.ok() ? sum->estimate : QueryEstimate{});
+  auto avg = store.Answer(AggregateQuery::Avg(0, weights, qs[6]));
   EXPECT_TRUE(avg.ok()) << avg.status().ToString();
-  out.push_back(avg.ok() ? *avg : QueryEstimate{});
+  out.push_back(avg.ok() ? avg->estimate : QueryEstimate{});
   auto by_attr = store.AnswerGroupByAttribute(1, qs[1]);
   EXPECT_TRUE(by_attr.ok()) << by_attr.status().ToString();
   if (by_attr.ok()) out.insert(out.end(), by_attr->begin(), by_attr->end());
@@ -364,8 +364,8 @@ TEST_P(CompactionTest, CompactedStoreMatchesDeterministicRebuild) {
   ASSERT_TRUE(expected_store.ok()) << expected_store.status().ToString();
 
   for (const CountingQuery& q : Battery()) {
-    auto got = (*post_store)->AnswerCount(q);
-    auto want = (*expected_store)->AnswerCount(q);
+    auto got = (*post_store)->Answer(q);
+    auto want = (*expected_store)->Answer(q);
     ASSERT_TRUE(got.ok() && want.ok());
     EXPECT_NEAR(got->expectation, want->expectation,
                 kMergeBar * std::max(1.0, std::fabs(want->expectation)));
@@ -395,9 +395,9 @@ TEST_P(CompactionTest, ZoneMapPruningStaysExactOnCompactedShards) {
   // shard's zone map PROVES zero matches, so skipping it changes nothing.
   for (const CountingQuery& q : Battery()) {
     (*loaded)->set_zone_map_pruning(true);
-    auto pruned = (*loaded)->AnswerCount(q);
+    auto pruned = (*loaded)->Answer(q);
     (*loaded)->set_zone_map_pruning(false);
-    auto full = (*loaded)->AnswerCount(q);
+    auto full = (*loaded)->Answer(q);
     ASSERT_TRUE(pruned.ok() && full.ok());
     EXPECT_EQ(pruned->expectation, full->expectation);
     EXPECT_EQ(pruned->variance, full->variance);

@@ -257,8 +257,8 @@ TEST_F(CorruptionTest, DeletedZoneMapDegradesToFullFanOutWithWarning) {
   // estimate, so losing the ability to prune cannot either.
   CountingQuery q(5);
   q.Where(0, AttrPredicate::Point(2)).Where(4, AttrPredicate::Point(1));
-  auto a = (*fresh)->AnswerCount(q);
-  auto b = (*degraded)->AnswerCount(q);
+  auto a = (*fresh)->Answer(q);
+  auto b = (*degraded)->Answer(q);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->expectation, b->expectation);
@@ -354,8 +354,8 @@ TEST_F(CorruptionTest, LegacyMonoDirectoryStillLoads) {
   // Same store: identical answer on a selective conjunctive query.
   CountingQuery q(5);
   q.Where(0, AttrPredicate::Point(1)).Where(1, AttrPredicate::Point(1));
-  auto a = (*fresh)->AnswerCount(q);
-  auto b = (*legacy)->AnswerCount(q);
+  auto a = (*fresh)->Answer(q);
+  auto b = (*legacy)->Answer(q);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_NEAR(a->expectation, b->expectation, 1e-9 * (1.0 + a->expectation));
@@ -395,8 +395,8 @@ TEST_F(CorruptionTest, LegacyShardedDirectoryStillLoads) {
 
   CountingQuery q(5);
   q.Where(2, AttrPredicate::Point(1)).Where(3, AttrPredicate::Point(1));
-  auto a = (*fresh)->AnswerCount(q);
-  auto b = (*legacy)->AnswerCount(q);
+  auto a = (*fresh)->Answer(q);
+  auto b = (*legacy)->Answer(q);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_NEAR(a->expectation, b->expectation, 1e-9 * (1.0 + a->expectation));

@@ -47,8 +47,8 @@ TEST(EntropyEngineTest, SingleSummaryFacadeAnswersLikeTheSummary) {
   CountingQuery q(5);
   q.Where(0, AttrPredicate::Point(2));
   RouteDecision dec;
-  auto via_engine = engine->AnswerCount(q, &dec);
-  auto direct = (*summary)->AnswerCount(q);
+  auto via_engine = engine->Answer(q, &dec);
+  auto direct = (*summary)->Answer(q);
   ASSERT_TRUE(via_engine.ok());
   ASSERT_TRUE(direct.ok());
   EXPECT_EQ(via_engine->expectation, direct->expectation);
@@ -66,10 +66,10 @@ TEST(EntropyEngineTest, StoreBackedEngineRoutes) {
   CountingQuery q(5);
   q.Where(0, AttrPredicate::Point(1)).Where(1, AttrPredicate::Point(1));
   RouteDecision dec;
-  auto est = engine->AnswerCount(q, &dec);
+  auto est = engine->Answer(q, &dec);
   ASSERT_TRUE(est.ok());
   EXPECT_FALSE(dec.fallback);
-  auto direct = engine->store()->summary(dec.index).AnswerCount(q);
+  auto direct = engine->store()->summary(dec.index).Answer(q);
   ASSERT_TRUE(direct.ok());
   EXPECT_EQ(est->expectation, direct->expectation);
 }
@@ -88,7 +88,7 @@ TEST(EntropyEngineTest, BatchedAnswersMatchSerial) {
   auto batch = engine->AnswerAll(qs);
   ASSERT_TRUE(batch.ok());
   for (size_t i = 0; i < qs.size(); ++i) {
-    auto serial = engine->AnswerCount(qs[i]);
+    auto serial = engine->Answer(qs[i]);
     ASSERT_TRUE(serial.ok());
     EXPECT_EQ((*batch)[i].expectation, serial->expectation);
   }
@@ -112,18 +112,19 @@ TEST(EntropyEngineTest, AggregatesRouteOnTheAggregatedAttribute) {
   CountingQuery q(5);
   q.Where(1, AttrPredicate::Point(2));
   RouteDecision dec;
-  auto est = engine->AnswerSum(0, weights, q, &dec);
+  auto est = engine->Answer(AggregateQuery::Sum(0, weights, q), &dec);
   ASSERT_TRUE(est.ok());
   EXPECT_EQ(dec.index, pair01);
   EXPECT_FALSE(dec.fallback);
-  auto direct = engine->store()->summary(pair01).AnswerSum(0, weights, q);
+  auto direct = engine->store()->summary(pair01).Answer(
+      AggregateQuery::Sum(0, weights, q));
   ASSERT_TRUE(direct.ok());
-  EXPECT_EQ(est->expectation, direct->expectation);
+  EXPECT_EQ(est->estimate.expectation, direct->estimate.expectation);
 
-  auto avg = engine->AnswerAvg(0, weights, q, &dec);
+  auto avg = engine->Answer(AggregateQuery::Avg(0, weights, q), &dec);
   ASSERT_TRUE(avg.ok());
   EXPECT_EQ(dec.index, pair01);
-  EXPECT_GT(avg->expectation, 0.0);
+  EXPECT_GT(avg->estimate.expectation, 0.0);
 }
 
 TEST(EntropyEngineTest, OpenDispatchesOnFileVsDirectory) {
@@ -152,7 +153,7 @@ TEST(EntropyEngineTest, OpenDispatchesOnFileVsDirectory) {
 
   CountingQuery q(5);
   q.Where(0, AttrPredicate::Point(1)).Where(1, AttrPredicate::Point(1));
-  auto est = (*from_dir)->AnswerCount(q);
+  auto est = (*from_dir)->Answer(q);
   ASSERT_TRUE(est.ok());
   EXPECT_GT(est->expectation, 0.0);
 
@@ -186,7 +187,7 @@ TEST(EntropyEngineTest, OpenRestoresHybridStoresWithSamples) {
     CountingQuery q(5);
     q.Where(2, AttrPredicate::Point(v)).Where(3, AttrPredicate::Point(v));
     RouteDecision got, want;
-    auto est = (*engine)->AnswerCount(q, &got);
+    auto est = (*engine)->Answer(q, &got);
     auto ref = reference.Answer(q, &want);
     ASSERT_TRUE(est.ok());
     ASSERT_TRUE(ref.ok());

@@ -105,7 +105,7 @@ TEST(HybridRouterTest, RareAlignedQueriesRouteToTheSample) {
     ++sampled;
     // Bitwise the sample's own answer — and stratification on (2, 3)
     // makes whole-stratum queries exact.
-    auto direct = f.store->sample_source(dec.sample_index).AnswerCount(q);
+    auto direct = f.store->sample_source(dec.sample_index).Answer(q);
     ASSERT_TRUE(direct.ok());
     EXPECT_EQ(est->expectation, direct->expectation);
     EXPECT_EQ(est->variance, direct->variance);
@@ -127,7 +127,7 @@ TEST(HybridRouterTest, BroadModeledQueriesStayOnTheSummary) {
     EXPECT_FALSE(dec.from_sample);
     EXPECT_FALSE(dec.fallback);
     EXPECT_GT(dec.sample_variance, dec.summary_variance);
-    auto direct = f.store->summary(dec.index).AnswerCount(q);
+    auto direct = f.store->summary(dec.index).Answer(q);
     ASSERT_TRUE(direct.ok());
     EXPECT_EQ(est->expectation, direct->expectation);
     EXPECT_EQ(est->variance, direct->variance);
@@ -175,14 +175,15 @@ TEST(HybridRouterTest, EngineSumRoutesHybrid) {
   for (const auto& cell : rare) {
     CountingQuery q = CellQuery(cell[0], cell[1]);
     RouteDecision dec;
-    auto est = engine->AnswerSum(0, values, q, &dec);
+    auto est = engine->Answer(AggregateQuery::Sum(0, values, q), &dec);
     ASSERT_TRUE(est.ok());
     if (!dec.from_sample) continue;
     ++sampled;
-    auto direct = f.store->sample_source(dec.sample_index).AnswerSum(0, values, q);
+    auto direct = f.store->sample_source(dec.sample_index)
+                      .Answer(AggregateQuery::Sum(0, values, q));
     ASSERT_TRUE(direct.ok());
-    EXPECT_EQ(est->expectation, direct->expectation);
-    EXPECT_EQ(est->variance, direct->variance);
+    EXPECT_EQ(est->estimate.expectation, direct->estimate.expectation);
+    EXPECT_EQ(est->estimate.variance, direct->estimate.variance);
   }
   EXPECT_GT(sampled, 0u);
 
@@ -190,12 +191,13 @@ TEST(HybridRouterTest, EngineSumRoutesHybrid) {
   CountingQuery broad(4);
   broad.Where(1, AttrPredicate::Point(2));
   RouteDecision dec;
-  auto est = engine->AnswerSum(0, values, broad, &dec);
+  auto est = engine->Answer(AggregateQuery::Sum(0, values, broad), &dec);
   ASSERT_TRUE(est.ok());
   EXPECT_FALSE(dec.from_sample);
-  auto direct = f.store->summary(dec.index).AnswerSum(0, values, broad);
+  auto direct =
+      f.store->summary(dec.index).Answer(AggregateQuery::Sum(0, values, broad));
   ASSERT_TRUE(direct.ok());
-  EXPECT_EQ(est->expectation, direct->expectation);
+  EXPECT_EQ(est->estimate.expectation, direct->estimate.expectation);
 }
 
 TEST(HybridRouterTest, AnswerAllMatchesSerialWithSamples) {

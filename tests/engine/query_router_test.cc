@@ -111,8 +111,8 @@ TEST(QueryRouterTest, PicksLowestVarianceAmongTiedCandidates) {
   EXPECT_EQ(dec.candidates, 2u);
   EXPECT_FALSE(dec.fallback);
 
-  auto a = f.store->summary(f.pair01).AnswerCount(q);
-  auto b = f.store->summary(f.pair23).AnswerCount(q);
+  auto a = f.store->summary(f.pair01).Answer(q);
+  auto b = f.store->summary(f.pair23).Answer(q);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   const double min_var = std::min(a->variance, b->variance);

@@ -102,13 +102,13 @@ TEST(ShardPruningTest, PrunedAnswersBitwiseEqualFullFanOutAcrossSchemes) {
     for (const CountingQuery& q : FuzzQueries(80, 311)) {
       (*sharded)->set_zone_map_pruning(true);
       std::vector<RouteDecision> decs;
-      auto cnt_on = (*sharded)->AnswerCount(q, &decs);
-      auto sum_on = (*sharded)->AnswerSum(2, weights, q);
-      auto avg_on = (*sharded)->AnswerAvg(2, weights, q);
+      auto cnt_on = (*sharded)->Answer(q, &decs);
+      auto sum_on = (*sharded)->Answer(AggregateQuery::Sum(2, weights, q));
+      auto avg_on = (*sharded)->Answer(AggregateQuery::Avg(2, weights, q));
       (*sharded)->set_zone_map_pruning(false);
-      auto cnt_off = (*sharded)->AnswerCount(q);
-      auto sum_off = (*sharded)->AnswerSum(2, weights, q);
-      auto avg_off = (*sharded)->AnswerAvg(2, weights, q);
+      auto cnt_off = (*sharded)->Answer(q);
+      auto sum_off = (*sharded)->Answer(AggregateQuery::Sum(2, weights, q));
+      auto avg_off = (*sharded)->Answer(AggregateQuery::Avg(2, weights, q));
       ASSERT_TRUE(cnt_on.ok() && cnt_off.ok());
       ASSERT_TRUE(sum_on.ok() && sum_off.ok());
       ASSERT_TRUE(avg_on.ok() && avg_off.ok());
@@ -116,10 +116,10 @@ TEST(ShardPruningTest, PrunedAnswersBitwiseEqualFullFanOutAcrossSchemes) {
       // {0.0, 0.0}, so skipping it cannot move the merge by even an ulp.
       EXPECT_EQ(cnt_on->expectation, cnt_off->expectation);
       EXPECT_EQ(cnt_on->variance, cnt_off->variance);
-      EXPECT_EQ(sum_on->expectation, sum_off->expectation);
-      EXPECT_EQ(sum_on->variance, sum_off->variance);
-      EXPECT_EQ(avg_on->expectation, avg_off->expectation);
-      EXPECT_EQ(avg_on->variance, avg_off->variance);
+      EXPECT_EQ(sum_on->estimate.expectation, sum_off->estimate.expectation);
+      EXPECT_EQ(sum_on->estimate.variance, sum_off->estimate.variance);
+      EXPECT_EQ(avg_on->estimate.expectation, avg_off->estimate.expectation);
+      EXPECT_EQ(avg_on->estimate.variance, avg_off->estimate.variance);
       for (const RouteDecision& d : decs) pruned_total += d.pruned ? 1 : 0;
     }
     // Attribute partitioning concentrates each code in one shard, so the
@@ -144,7 +144,7 @@ TEST(ShardPruningTest, AttributePointQueryPrunesAllButTheOwnerShard) {
   CountingQuery q(4);
   q.Where(0, AttrPredicate::Point(7));
   std::vector<RouteDecision> decs;
-  auto merged = (*sharded)->AnswerCount(q, &decs);
+  auto merged = (*sharded)->Answer(q, &decs);
   ASSERT_TRUE(merged.ok());
   ASSERT_EQ(decs.size(), 4u);
   for (size_t s = 0; s < 4; ++s) {
@@ -152,7 +152,7 @@ TEST(ShardPruningTest, AttributePointQueryPrunesAllButTheOwnerShard) {
     if (decs[s].pruned) EXPECT_EQ(decs[s].pruned_attr, 0u);
   }
   // The merge reduces to the owner shard alone — bitwise.
-  auto owner = (*sharded)->shard_engine(2).AnswerCount(q);
+  auto owner = (*sharded)->shard_engine(2).Answer(q);
   ASSERT_TRUE(owner.ok());
   EXPECT_EQ(merged->expectation, owner->expectation);
   EXPECT_EQ(merged->variance, owner->variance);
@@ -250,8 +250,8 @@ TEST(ShardPruningTest, SaveLoadPreservesZoneMapsAndPartitionAttr) {
   CountingQuery q(4);
   q.Where(0, AttrPredicate::Point(1));
   std::vector<RouteDecision> built_decs, loaded_decs;
-  auto a = (*built)->AnswerCount(q, &built_decs);
-  auto b = (*loaded)->AnswerCount(q, &loaded_decs);
+  auto a = (*built)->Answer(q, &built_decs);
+  auto b = (*loaded)->Answer(q, &loaded_decs);
   ASSERT_TRUE(a.ok() && b.ok());
   ASSERT_EQ(built_decs.size(), loaded_decs.size());
   for (size_t s = 0; s < built_decs.size(); ++s) {
@@ -295,11 +295,11 @@ TEST(ShardPruningTest, LegacyV3ManifestLoadsWithoutZoneMapsAndNeverPrunes) {
   CountingQuery q(4);
   q.Where(0, AttrPredicate::Point(3)).Where(2, AttrPredicate::Point(1));
   std::vector<RouteDecision> decs;
-  auto est = (*loaded)->AnswerCount(q, &decs);
+  auto est = (*loaded)->Answer(q, &decs);
   ASSERT_TRUE(est.ok());
   for (const RouteDecision& d : decs) EXPECT_FALSE(d.pruned);
   (*built)->set_zone_map_pruning(false);
-  auto ref = (*built)->AnswerCount(q);
+  auto ref = (*built)->Answer(q);
   ASSERT_TRUE(ref.ok());
   EXPECT_NEAR(est->expectation, ref->expectation,
               1e-12 * (1.0 + std::abs(ref->expectation)));
@@ -368,9 +368,9 @@ TEST(ShardPruningTest, IngestSealedShardsCarryZoneMaps) {
   CountingQuery q(5);
   q.Where(4, AttrPredicate::Point(0));
   std::vector<RouteDecision> decs;
-  auto on = (*loaded)->AnswerCount(q, &decs);
+  auto on = (*loaded)->Answer(q, &decs);
   (*loaded)->set_zone_map_pruning(false);
-  auto off = (*loaded)->AnswerCount(q);
+  auto off = (*loaded)->Answer(q);
   ASSERT_TRUE(on.ok() && off.ok());
   ASSERT_EQ(decs.size(), 3u);
   EXPECT_TRUE(decs[2].pruned);

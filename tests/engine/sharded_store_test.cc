@@ -109,33 +109,88 @@ TEST(ShardedStoreTest, MergedEstimatesMatchAdditiveReferenceFuzz) {
     // in both moments.
     double ref_e = 0.0, ref_v = 0.0, ref_se = 0.0, ref_sv = 0.0;
     for (size_t s = 0; s < (*sharded)->num_shards(); ++s) {
-      auto cnt = (*sharded)->shard_engine(s).AnswerCount(q);
+      auto cnt = (*sharded)->shard_engine(s).Answer(q);
       ASSERT_TRUE(cnt.ok());
       ref_e += cnt->expectation;
       ref_v += cnt->variance;
-      auto sum = (*sharded)->shard_engine(s).AnswerSum(2, weights, q);
+      auto sum = (*sharded)->shard_engine(s).Answer(
+          AggregateQuery::Sum(2, weights, q));
       ASSERT_TRUE(sum.ok());
-      ref_se += sum->expectation;
-      ref_sv += sum->variance;
+      ref_se += sum->estimate.expectation;
+      ref_sv += sum->estimate.variance;
     }
 
-    auto merged = (*sharded)->AnswerCount(q);
+    auto merged = (*sharded)->Answer(q);
     ASSERT_TRUE(merged.ok());
     EXPECT_LE(std::abs(merged->expectation - ref_e),
               1e-9 * (1.0 + std::abs(ref_e)));
     EXPECT_LE(std::abs(merged->variance - ref_v),
               1e-9 * (1.0 + std::abs(ref_v)));
 
-    auto merged_sum = (*sharded)->AnswerSum(2, weights, q);
+    auto merged_sum = (*sharded)->Answer(AggregateQuery::Sum(2, weights, q));
     ASSERT_TRUE(merged_sum.ok());
-    EXPECT_LE(std::abs(merged_sum->expectation - ref_se),
+    EXPECT_LE(std::abs(merged_sum->estimate.expectation - ref_se),
               1e-9 * (1.0 + std::abs(ref_se)));
-    EXPECT_LE(std::abs(merged_sum->variance - ref_sv),
+    EXPECT_LE(std::abs(merged_sum->estimate.variance - ref_sv),
               1e-9 * (1.0 + std::abs(ref_sv)));
   }
 }
 
-TEST(ShardedStoreTest, AnswerAllMatchesSerialAnswerCountBitwise) {
+TEST(ShardedStoreTest, CovarianceAwareAvgMatchesUnshardedReferenceFuzz) {
+  auto table = CorrelatedTable(2400, 233);
+  auto sharded = ShardedStore::Build(*table, SmallShardedOptions(3));
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+  std::vector<double> weights((*sharded)->domains()[2].size());
+  for (size_t v = 0; v < weights.size(); ++v) weights[v] = 1.5 + 0.5 * v;
+
+  double max_cov_effect = 0.0;
+  for (const CountingQuery& q : FuzzQueries(120, 239)) {
+    // Unsharded-style reference: sum every moment leg (S, C, Var S, Var C,
+    // Cov(S, C)) across shards, then apply ONE delta method — exactly what
+    // a single engine holding all the rows would do with those moments.
+    double s_e = 0.0, s_v = 0.0, c_e = 0.0, c_v = 0.0, cov = 0.0;
+    for (size_t s = 0; s < (*sharded)->num_shards(); ++s) {
+      auto part = (*sharded)->shard_engine(s).Answer(
+          AggregateQuery::Avg(2, weights, q));
+      ASSERT_TRUE(part.ok()) << part.status().ToString();
+      ASSERT_TRUE(part->has_moments);
+      s_e += part->sum.expectation;
+      s_v += part->sum.variance;
+      c_e += part->count.expectation;
+      c_v += part->count.variance;
+      cov += part->sum_count_cov;
+    }
+
+    auto merged = (*sharded)->Answer(AggregateQuery::Avg(2, weights, q));
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    if (c_e <= 0.0) {
+      EXPECT_DOUBLE_EQ(merged->estimate.expectation, 0.0);
+      continue;
+    }
+    const double r = s_e / c_e;
+    const double ref_var = std::max(
+        0.0, (s_v - 2.0 * r * cov + r * r * c_v) / (c_e * c_e));
+    EXPECT_LE(std::abs(merged->estimate.expectation - r),
+              1e-9 * (1.0 + std::abs(r)));
+    EXPECT_LE(std::abs(merged->estimate.variance - ref_var),
+              1e-9 * (1.0 + std::abs(ref_var)));
+
+    // The covariance-FREE formula (the pre-fix approximation) must NOT
+    // reproduce the reference on correlated data — track how far off it
+    // gets across the fuzz set.
+    const double naive_var = std::max(0.0, (s_v + r * r * c_v) / (c_e * c_e));
+    if (ref_var > 0.0) {
+      max_cov_effect = std::max(
+          max_cov_effect, std::abs(naive_var - ref_var) / ref_var);
+    }
+  }
+  // Cov(S, C) is materially nonzero on this workload: dropping it moves
+  // the AVG variance by well over the merge tolerance.
+  EXPECT_GT(max_cov_effect, 1e-3);
+}
+
+TEST(ShardedStoreTest, AnswerAllMatchesSerialAnswerBitwise) {
   auto table = CorrelatedTable(1600, 229);
   auto sharded = ShardedStore::Build(*table, SmallShardedOptions(4));
   ASSERT_TRUE(sharded.ok());
@@ -148,7 +203,7 @@ TEST(ShardedStoreTest, AnswerAllMatchesSerialAnswerCountBitwise) {
   ASSERT_EQ(decisions.size(), qs.size());
   for (size_t i = 0; i < qs.size(); ++i) {
     std::vector<RouteDecision> serial_decs;
-    auto serial = (*sharded)->AnswerCount(qs[i], &serial_decs);
+    auto serial = (*sharded)->Answer(qs[i], &serial_decs);
     ASSERT_TRUE(serial.ok());
     // The batched grid merges in the same shard order: bitwise equal.
     EXPECT_EQ((*batch)[i].expectation, serial->expectation);
@@ -208,8 +263,8 @@ TEST(ShardedStoreTest, ManifestV3RoundTripsBitwise) {
   EXPECT_DOUBLE_EQ((*loaded)->n(), (*built)->n());
 
   for (const CountingQuery& q : FuzzQueries(40, 251)) {
-    auto a = (*built)->AnswerCount(q);
-    auto b = (*loaded)->AnswerCount(q);
+    auto a = (*built)->Answer(q);
+    auto b = (*loaded)->Answer(q);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_NEAR(a->expectation, b->expectation,
@@ -255,8 +310,8 @@ TEST(ShardedStoreTest, EngineOpenDispatchesShardedVsMonolithic) {
   // estimates merge additively so totals track the monolithic ones.
   CountingQuery q(4);
   q.Where(0, AttrPredicate::Point(2)).Where(1, AttrPredicate::Point(2));
-  auto sharded_est = (*v3engine)->AnswerCount(q);
-  auto mono_est = (*v2engine)->AnswerCount(q);
+  auto sharded_est = (*v3engine)->Answer(q);
+  auto mono_est = (*v2engine)->Answer(q);
   ASSERT_TRUE(sharded_est.ok());
   ASSERT_TRUE(mono_est.ok());
   EXPECT_GT(sharded_est->expectation, 0.0);

@@ -90,8 +90,8 @@ TEST(SourceStoreTest, SaveLoadRoundTripsSamplesAndSummaries) {
     // The restored sample answers queries identically.
     CountingQuery q(5);
     q.Where(2, AttrPredicate::Point(1)).Where(3, AttrPredicate::Point(1));
-    auto ea = (*built)->sample_source(s).AnswerCount(q);
-    auto eb = (*loaded)->sample_source(s).AnswerCount(q);
+    auto ea = (*built)->sample_source(s).Answer(q);
+    auto eb = (*loaded)->sample_source(s).Answer(q);
     ASSERT_TRUE(ea.ok());
     ASSERT_TRUE(eb.ok());
     EXPECT_EQ(ea->expectation, eb->expectation);
@@ -141,8 +141,8 @@ TEST(SourceStoreTest, LoadsV1SummaryOnlyDirectoriesUnchanged) {
   CountingQuery q(5);
   q.Where(0, AttrPredicate::Point(1)).Where(1, AttrPredicate::Point(1));
   for (size_t k = 0; k < (*built)->size(); ++k) {
-    auto a = (*built)->summary(k).AnswerCount(q);
-    auto b = (*loaded)->summary(k).AnswerCount(q);
+    auto a = (*built)->summary(k).Answer(q);
+    auto b = (*loaded)->summary(k).Answer(q);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_NEAR(a->expectation, b->expectation,

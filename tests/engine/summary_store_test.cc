@@ -65,7 +65,7 @@ TEST(SummaryStoreTest, BuildsOneSummaryPerTopPair) {
     EXPECT_EQ((*store)->summary(k).num_attributes(), 5u);
     CountingQuery q(5);
     q.Where(0, AttrPredicate::Point(1));
-    auto est = (*store)->summary(k).AnswerCount(q);
+    auto est = (*store)->summary(k).Answer(q);
     ASSERT_TRUE(est.ok());
     EXPECT_GT(est->expectation, 0.0);
   }
@@ -115,8 +115,8 @@ TEST(SummaryStoreTest, SaveLoadRoundTripPreservesAnswers) {
   }
   for (size_t k = 0; k < (*built)->size(); ++k) {
     for (const auto& q : probes) {
-      auto a = (*built)->summary(k).AnswerCount(q);
-      auto b = (*loaded)->summary(k).AnswerCount(q);
+      auto a = (*built)->summary(k).Answer(q);
+      auto b = (*loaded)->summary(k).Answer(q);
       ASSERT_TRUE(a.ok());
       ASSERT_TRUE(b.ok());
       EXPECT_NEAR(a->expectation, b->expectation,

@@ -49,7 +49,7 @@ TEST_F(FlightsPipelineTest, SummaryBeatsNoStatsOnCorrelatedPair) {
     std::vector<double> truths, ests;
     for (const auto& p : points) {
       auto q = PointQuery(t.num_attributes(), w->attrs, p.key);
-      auto est = s.AnswerCount(q);
+      auto est = s.Answer(q);
       EXPECT_TRUE(est.ok());
       truths.push_back(p.true_count);
       ests.push_back(est->RoundedCount());
@@ -86,7 +86,7 @@ TEST_F(FlightsPipelineTest, SummaryCompetitiveWithUniformSampleOnLight) {
   std::vector<double> truths, ent_ests, uni_ests;
   for (const auto& p : w->light) {
     auto q = PointQuery(t.num_attributes(), w->attrs, p.key);
-    auto e = (*summary)->AnswerCount(q);
+    auto e = (*summary)->Answer(q);
     ASSERT_TRUE(e.ok());
     truths.push_back(p.true_count);
     ent_ests.push_back(e->RoundedCount());
@@ -129,7 +129,7 @@ TEST_F(FlightsPipelineTest, FMeasureBeatsUniformSampling) {
     return out;
   };
   auto [ent_l, ent_n] = collect([&](const CountingQuery& q) {
-    auto e = (*summary)->AnswerCount(q);
+    auto e = (*summary)->Answer(q);
     return e.ok() ? e->expectation : 0.0;
   });
   auto [uni_l, uni_n] = collect(
@@ -163,7 +163,7 @@ TEST(ParticlesPipelineTest, EndToEnd) {
                .WhereCodeRange("density", 30, 57)
                .Build();
   ASSERT_TRUE(q.ok());
-  auto est = (*summary)->AnswerCount(*q);
+  auto est = (*summary)->Answer(*q);
   ASSERT_TRUE(est.ok());
   double truth = static_cast<double>(exact.Count(*q));
   EXPECT_NEAR(est->expectation, truth, 0.25 * truth + 10.0);
@@ -198,8 +198,8 @@ TEST(SerializationPipelineTest, OfflineBuildOnlineQuery) {
 
   auto q = QueryBuilder(table).WhereBetween("distance", 300, 900).Build();
   ASSERT_TRUE(q.ok());
-  auto e1 = (*built)->AnswerCount(*q);
-  auto e2 = (*loaded)->AnswerCount(*q);
+  auto e1 = (*built)->Answer(*q);
+  auto e2 = (*loaded)->Answer(*q);
   ASSERT_TRUE(e1.ok());
   ASSERT_TRUE(e2.ok());
   EXPECT_NEAR(e1->expectation, e2->expectation, 1e-9);
@@ -238,7 +238,7 @@ TEST(ParsedQueryPipelineTest, RawValueQueriesFromSummaryFileAlone) {
       "COUNT(*) WHERE origin = S2 AND distance BETWEEN 400 AND 900",
       (*loaded)->attr_names(), (*loaded)->domains());
   ASSERT_TRUE(parsed.ok());
-  auto est = (*loaded)->AnswerCount(parsed->where);
+  auto est = (*loaded)->Answer(parsed->where);
   ASSERT_TRUE(est.ok());
 
   // Same predicate resolved against the live table must agree exactly.
@@ -247,7 +247,7 @@ TEST(ParsedQueryPipelineTest, RawValueQueriesFromSummaryFileAlone) {
                .WhereBetween("distance", 400, 900)
                .Build();
   ASSERT_TRUE(q.ok());
-  auto direct = (*built)->AnswerCount(*q);
+  auto direct = (*built)->Answer(*q);
   ASSERT_TRUE(direct.ok());
   EXPECT_NEAR(est->expectation, direct->expectation, 1e-9);
 
@@ -277,8 +277,8 @@ TEST(ParsedQueryPipelineTest, SumAvgThroughParser) {
   for (Code v = 0; v < dom.size(); ++v) {
     weights[v] = dom.RepresentativeFor(v).as_double();
   }
-  auto avg =
-      (*summary)->AnswerAvg(parsed->agg_attr, weights, parsed->where);
+  auto avg = (*summary)->Answer(
+      AggregateQuery::Avg(parsed->agg_attr, weights, parsed->where));
   ASSERT_TRUE(avg.ok());
 
   // Compare against the exact average distance (bucket-midpoint resolution
@@ -296,18 +296,18 @@ TEST(ParsedQueryPipelineTest, SumAvgThroughParser) {
   // No 2-D stats: the model sees origin and distance as independent, so we
   // only check the estimate is a sane distance, not that it matches the
   // conditional truth.
-  EXPECT_GT(avg->expectation, 100.0);
-  EXPECT_LT(avg->expectation, 2900.0);
+  EXPECT_GT(avg->estimate.expectation, 100.0);
+  EXPECT_LT(avg->estimate.expectation, 2900.0);
   // With the unconditional query the answer must match the global mean.
-  auto global = (*summary)->AnswerAvg(
-      parsed->agg_attr, weights, CountingQuery(table.num_attributes()));
+  auto global = (*summary)->Answer(AggregateQuery::Avg(
+      parsed->agg_attr, weights, CountingQuery(table.num_attributes())));
   ASSERT_TRUE(global.ok());
   double global_truth = 0.0;
   for (size_t r = 0; r < table.num_rows(); ++r) {
     global_truth += weights[table.at(r, dist)];
   }
   global_truth /= static_cast<double>(table.num_rows());
-  EXPECT_NEAR(global->expectation, global_truth, 1.0);
+  EXPECT_NEAR(global->estimate.expectation, global_truth, 1.0);
 }
 
 }  // namespace

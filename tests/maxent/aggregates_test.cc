@@ -20,6 +20,24 @@ struct Solved {
   ModelState state;
 };
 
+/// Headline estimates off the unified Answer surface, so the assertions
+/// below read the same as the counting ones.
+Result<QueryEstimate> Sum(const QueryAnswerer& answerer, AttrId a,
+                          std::vector<double> weights,
+                          const CountingQuery& q) {
+  ASSIGN_OR_RETURN(QueryResult r, answerer.Answer(AggregateQuery::Sum(
+                                      a, std::move(weights), q)));
+  return r.estimate;
+}
+
+Result<QueryEstimate> Avg(const QueryAnswerer& answerer, AttrId a,
+                          std::vector<double> weights,
+                          const CountingQuery& q) {
+  ASSIGN_OR_RETURN(QueryResult r, answerer.Answer(AggregateQuery::Avg(
+                                      a, std::move(weights), q)));
+  return r.estimate;
+}
+
 Solved SolveFor(const Table& table, std::vector<MultiDimStatistic> stats) {
   auto reg = MakeRegistry(table, std::move(stats));
   auto poly = CompressedPolynomial::Build(reg);
@@ -102,7 +120,7 @@ TEST(SumTest, MatchesWeightedPointQueries) {
   std::vector<double> weights{1.5, 2.5, 3.5, 4.5, 5.5};  // bucket midpoints
   CountingQuery q(2);
   q.Where(1, AttrPredicate::Range(0, 2));
-  auto sum = answerer.AnswerSum(0, weights, q);
+  auto sum = Sum(answerer, 0, weights, q);
   ASSERT_TRUE(sum.ok());
   double expected = 0.0;
   for (Code v = 0; v < 5; ++v) {
@@ -132,7 +150,7 @@ TEST(SumTest, ExactWhenModelIsExact) {
   std::vector<double> weights{10, 20, 30, 40};
   CountingQuery q(2);
   q.Where(1, AttrPredicate::Point(1));
-  auto sum = answerer.AnswerSum(0, weights, q);
+  auto sum = Sum(answerer, 0, weights, q);
   ASSERT_TRUE(sum.ok());
   double truth = 0.0;
   for (size_t r = 0; r < table->num_rows(); ++r) {
@@ -150,7 +168,7 @@ TEST(SumTest, UnitWeightsReproduceTheCountVariance) {
   QueryAnswerer answerer(s.reg, s.poly, s.state);
   CountingQuery q(2);
   q.Where(1, AttrPredicate::Range(1, 3));
-  auto sum = answerer.AnswerSum(0, std::vector<double>(5, 1.0), q);
+  auto sum = Sum(answerer, 0, std::vector<double>(5, 1.0), q);
   auto count = answerer.Answer(q);
   ASSERT_TRUE(sum.ok());
   ASSERT_TRUE(count.ok());
@@ -164,7 +182,7 @@ TEST(SumTest, ValidatesWeightArity) {
   auto table = RandomTable({4, 4}, 100, 140);
   auto s = SolveFor(*table, {});
   QueryAnswerer answerer(s.reg, s.poly, s.state);
-  EXPECT_TRUE(answerer.AnswerSum(0, {1.0, 2.0}, CountingQuery(2))
+  EXPECT_TRUE(Sum(answerer, 0, {1.0, 2.0}, CountingQuery(2))
                   .status()
                   .IsInvalidArgument());
 }
@@ -176,8 +194,8 @@ TEST(AvgTest, IsSumOverCount) {
   std::vector<double> weights{0, 1, 2, 3, 4};
   CountingQuery q(2);
   q.Where(1, AttrPredicate::Range(1, 2));
-  auto avg = answerer.AnswerAvg(0, weights, q);
-  auto sum = answerer.AnswerSum(0, weights, q);
+  auto avg = Avg(answerer, 0, weights, q);
+  auto sum = Sum(answerer, 0, weights, q);
   auto cnt = answerer.Answer(q);
   ASSERT_TRUE(avg.ok());
   EXPECT_NEAR(avg->expectation, sum->expectation / cnt->expectation, 1e-9);
@@ -193,7 +211,7 @@ TEST(AvgTest, DeltaMethodVarianceMatchesMultinomialMoments) {
   std::vector<double> weights{2.0, 3.5, 5.0, 7.0, 11.0};
   CountingQuery q(2);
   q.Where(1, AttrPredicate::Range(1, 2));
-  auto avg = answerer.AnswerAvg(0, weights, q);
+  auto avg = Avg(answerer, 0, weights, q);
   ASSERT_TRUE(avg.ok());
   EXPECT_GT(avg->variance, 0.0);
 
@@ -233,7 +251,7 @@ TEST(AvgTest, ConstantWeightsHaveZeroVariance) {
   std::vector<double> weights(4, 6.25);
   CountingQuery q(2);
   q.Where(1, AttrPredicate::Range(0, 1));
-  auto avg = answerer.AnswerAvg(0, weights, q);
+  auto avg = Avg(answerer, 0, weights, q);
   ASSERT_TRUE(avg.ok());
   EXPECT_NEAR(avg->expectation, 6.25, 1e-9);
   EXPECT_NEAR(avg->variance, 0.0, 1e-9);
@@ -249,8 +267,8 @@ TEST(AvgTest, VarianceShrinksWithSelectivity) {
   CountingQuery wide(2);  // all values of attr 1
   CountingQuery narrow(2);
   narrow.Where(1, AttrPredicate::Point(3));
-  auto wide_avg = answerer.AnswerAvg(0, weights, wide);
-  auto narrow_avg = answerer.AnswerAvg(0, weights, narrow);
+  auto wide_avg = Avg(answerer, 0, weights, wide);
+  auto narrow_avg = Avg(answerer, 0, weights, narrow);
   ASSERT_TRUE(wide_avg.ok());
   ASSERT_TRUE(narrow_avg.ok());
   EXPECT_LT(wide_avg->variance, narrow_avg->variance);
@@ -262,7 +280,7 @@ TEST(AvgTest, ZeroCountGivesZero) {
   QueryAnswerer answerer(s.reg, s.poly, s.state);
   CountingQuery q(2);
   q.Where(1, AttrPredicate::InSet({}));  // impossible
-  auto avg = answerer.AnswerAvg(0, {1, 2, 3, 4}, q);
+  auto avg = Avg(answerer, 0, {1, 2, 3, 4}, q);
   ASSERT_TRUE(avg.ok());
   EXPECT_DOUBLE_EQ(avg->expectation, 0.0);
 }

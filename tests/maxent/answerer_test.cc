@@ -52,7 +52,7 @@ TEST(AnswererTest, MatchesDenseModelOnRandomQueries) {
     }
     auto est = answerer.Answer(q);
     ASSERT_TRUE(est.ok());
-    EXPECT_NEAR(est->expectation, dense->AnswerCount(s.state, q), 1e-6);
+    EXPECT_NEAR(est->expectation, dense->CountEstimate(s.state, q), 1e-6);
   }
 }
 

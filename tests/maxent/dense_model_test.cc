@@ -71,7 +71,7 @@ TEST(DenseModelTest, NaiveSolverConvergesOnSmallInstance) {
   EXPECT_LT(report.final_error, 1e-9);
 }
 
-TEST(DenseModelTest, AnswerCountOnExamplePaper) {
+TEST(DenseModelTest, CountEstimateOnExamplePaper) {
   // Paper Sec 2 intro example: 500k flights over 50x50 states, uniform ->
   // CA->NY estimate = 500000 / 2500 = 200.
   std::vector<uint32_t> sizes{50, 50};
@@ -84,7 +84,7 @@ TEST(DenseModelTest, AnswerCountOnExamplePaper) {
   ModelState st = ModelState::InitialState(*reg);
   CountingQuery q(2);
   q.Where(0, AttrPredicate::Point(0)).Where(1, AttrPredicate::Point(1));
-  EXPECT_NEAR(dense->AnswerCount(st, q), 200.0, 1e-6);
+  EXPECT_NEAR(dense->CountEstimate(st, q), 200.0, 1e-6);
 }
 
 }  // namespace

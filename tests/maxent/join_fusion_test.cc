@@ -1,0 +1,203 @@
+// Join fusion (maxent/join_fusion.h): fusing two relations' join-attribute
+// marginals reproduces the exact equi-join COUNT/SUM when the marginals are
+// exact, the delta variance matches the hand formula, and engine-level
+// fusion over solved MaxEnt models tracks brute-force ground truth.
+
+#include "maxent/join_fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "engine/engine.h"
+#include "query/exact_evaluator.h"
+
+namespace entropydb {
+namespace {
+
+using testutil::RandomTable;
+
+/// Brute-force |L filter_L JOIN_j S filter_S| by nested histogram product:
+/// the exact equi-join count is sum_j countL(j) * countR(j).
+double ExactJoinCount(const Table& left, AttrId lj,
+                      const CountingQuery& lwhere, const Table& right,
+                      AttrId rj, const CountingQuery& rwhere) {
+  ExactEvaluator le(left), re(right);
+  double total = 0.0;
+  for (Code j = 0; j < left.domain(lj).size(); ++j) {
+    CountingQuery lq = lwhere;
+    lq.Where(lj, AttrPredicate::Point(j));
+    CountingQuery rq = rwhere;
+    rq.Where(rj, AttrPredicate::Point(j));
+    total += static_cast<double>(le.Count(lq)) *
+             static_cast<double>(re.Count(rq));
+  }
+  return total;
+}
+
+/// Same, SUM of the left attribute `agg` valued by `weights[code]`.
+double ExactJoinSum(const Table& left, AttrId lj, AttrId agg,
+                    const std::vector<double>& weights, const Table& right,
+                    AttrId rj) {
+  ExactEvaluator le(left), re(right);
+  double total = 0.0;
+  for (Code j = 0; j < left.domain(lj).size(); ++j) {
+    CountingQuery rq(right.num_attributes());
+    rq.Where(rj, AttrPredicate::Point(j));
+    const double b = static_cast<double>(re.Count(rq));
+    for (Code v = 0; v < left.domain(agg).size(); ++v) {
+      CountingQuery lq(left.num_attributes());
+      lq.Where(lj, AttrPredicate::Point(j));
+      lq.Where(agg, AttrPredicate::Point(v));
+      total += static_cast<double>(le.Count(lq)) * weights[v] * b;
+    }
+  }
+  return total;
+}
+
+JoinSideMarginal ExactMarginal(const Table& t, AttrId a) {
+  ExactEvaluator eval(t);
+  JoinSideMarginal side;
+  side.n = static_cast<double>(t.num_rows());
+  for (uint64_t c : eval.Histogram1D(a)) {
+    side.mass.push_back(static_cast<double>(c));
+  }
+  return side;
+}
+
+TEST(FuseJoinCountTest, ExactMarginalsReproduceTheExactJoinCount) {
+  auto left = RandomTable({5, 4}, 400, 41);
+  auto right = RandomTable({5, 3}, 250, 42);
+  auto fused = FuseJoinCount(ExactMarginal(*left, 0), ExactMarginal(*right, 0));
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  const double truth =
+      ExactJoinCount(*left, 0, CountingQuery(2), *right, 0, CountingQuery(2));
+  EXPECT_NEAR(fused->estimate.expectation, truth, 1e-9 * truth);
+  EXPECT_GT(fused->estimate.variance, 0.0);
+}
+
+TEST(FuseJoinCountTest, DeltaVarianceMatchesTheHandFormula) {
+  // left n=4, mass {3,1}; right n=2, mass {1,1}: estimate 3*1 + 1*1 = 4.
+  // The left term vanishes (right marginal is constant); the right term is
+  // n_S [ sum q_j a_j^2 - (sum q_j a_j)^2 ] = 2 [5 - 4] = 2.
+  JoinSideMarginal left{4.0, {3.0, 1.0}};
+  JoinSideMarginal right{2.0, {1.0, 1.0}};
+  auto fused = FuseJoinCount(left, right);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  EXPECT_DOUBLE_EQ(fused->estimate.expectation, 4.0);
+  EXPECT_NEAR(fused->estimate.variance, 2.0, 1e-12);
+}
+
+TEST(FuseJoinCountTest, DegenerateMarginalsHaveZeroVariance) {
+  // All mass on one join value on both sides: the join count is a constant
+  // n_L * n_R, so both delta terms vanish.
+  JoinSideMarginal left{10.0, {10.0, 0.0}};
+  JoinSideMarginal right{7.0, {7.0, 0.0}};
+  auto fused = FuseJoinCount(left, right);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_DOUBLE_EQ(fused->estimate.expectation, 70.0);
+  EXPECT_NEAR(fused->estimate.variance, 0.0, 1e-12);
+}
+
+TEST(FuseJoinCountTest, MismatchedDomainsAreRejected) {
+  JoinSideMarginal left{4.0, {2.0, 2.0}};
+  JoinSideMarginal right{4.0, {2.0, 1.0, 1.0}};
+  EXPECT_TRUE(FuseJoinCount(left, right).status().IsInvalidArgument());
+}
+
+TEST(FuseJoinSumTest, ExactGridReproducesTheExactJoinSum) {
+  auto left = RandomTable({4, 5}, 300, 43);
+  auto right = RandomTable({4, 3}, 200, 44);
+  // Weights are the bucket representatives of the aggregated attribute.
+  std::vector<double> weights;
+  for (Code v = 0; v < left->domain(1).size(); ++v) {
+    weights.push_back(2.0 * v + 1.0);
+  }
+  ExactEvaluator le(*left);
+  const std::vector<uint64_t> h2 = le.Histogram2D(0, 1);
+  std::vector<std::vector<double>> grid(left->domain(0).size());
+  for (Code j = 0; j < left->domain(0).size(); ++j) {
+    for (Code v = 0; v < left->domain(1).size(); ++v) {
+      grid[j].push_back(
+          static_cast<double>(h2[j * left->domain(1).size() + v]));
+    }
+  }
+  auto fused = FuseJoinSum(static_cast<double>(left->num_rows()), grid,
+                           weights, ExactMarginal(*right, 0));
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  const double truth = ExactJoinSum(*left, 0, 1, weights, *right, 0);
+  EXPECT_NEAR(fused->estimate.expectation, truth, 1e-9 * truth);
+  EXPECT_GT(fused->estimate.variance, 0.0);
+}
+
+/// Full point-pair 2-D statistics over (a, b): with these the MaxEnt model
+/// reproduces the table's (a, b) joint exactly, so filtered join-attribute
+/// marginals are exact and the fused estimate must hit ground truth.
+std::vector<MultiDimStatistic> FullPairStats(const Table& t, AttrId a,
+                                             AttrId b) {
+  ExactEvaluator eval(t);
+  const std::vector<uint64_t> h2 = eval.Histogram2D(a, b);
+  const uint32_t nb = t.domain(b).size();
+  std::vector<MultiDimStatistic> stats;
+  for (Code ca = 0; ca < t.domain(a).size(); ++ca) {
+    for (Code cb = 0; cb < nb; ++cb) {
+      stats.push_back(Make2DStatistic(
+          a, Interval{ca, ca}, b, Interval{cb, cb},
+          static_cast<double>(h2[ca * nb + cb])));
+    }
+  }
+  return stats;
+}
+
+TEST(EngineJoinFusionTest, FusedEstimateHitsGroundTruthWithFilters) {
+  auto lt = RandomTable({5, 4}, 600, 45);
+  auto rt = RandomTable({5, 3}, 400, 46);
+  auto ls = EntropySummary::Build(*lt, FullPairStats(*lt, 0, 1));
+  auto rs = EntropySummary::Build(*rt, FullPairStats(*rt, 0, 1));
+  ASSERT_TRUE(ls.ok()) << ls.status().ToString();
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  auto left = EntropyEngine::FromSummary(*ls);
+  auto right = EntropyEngine::FromSummary(*rs);
+
+  CountingQuery lwhere(2);
+  lwhere.Where(1, AttrPredicate::Range(1, 2));
+  CountingQuery rwhere(2);
+  rwhere.Where(1, AttrPredicate::Point(0));
+  auto fused =
+      left->AnswerJoin(AggregateQuery::JoinCount(0, 0, lwhere, rwhere), *right);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  const double truth = ExactJoinCount(*lt, 0, lwhere, *rt, 0, rwhere);
+  ASSERT_GT(truth, 0.0);
+  // The (join, filter) joint is pinned exactly by the 2-D statistics, so
+  // the only slack is solver tolerance.
+  EXPECT_NEAR(fused->estimate.expectation, truth, 1e-4 * truth);
+  EXPECT_GT(fused->estimate.variance, 0.0);
+
+  // JOIN_SUM of the left filter attribute with unit weights equals a
+  // weighted join count; check it against brute force too.
+  std::vector<double> weights(lt->domain(1).size());
+  for (size_t v = 0; v < weights.size(); ++v) weights[v] = 1.0 + v;
+  auto sum = left->AnswerJoin(
+      AggregateQuery::JoinSum(1, weights, 0, 0, CountingQuery(2),
+                              CountingQuery(2)),
+      *right);
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  const double sum_truth = ExactJoinSum(*lt, 0, 1, weights, *rt, 0);
+  EXPECT_NEAR(sum->estimate.expectation, sum_truth, 1e-4 * sum_truth);
+}
+
+TEST(EngineJoinFusionTest, MismatchedJoinDomainsAreRejected) {
+  auto lt = RandomTable({5, 4}, 100, 47);
+  auto rt = RandomTable({6, 3}, 100, 48);
+  auto ls = EntropySummary::Build(*lt, {});
+  auto rs = EntropySummary::Build(*rt, {});
+  ASSERT_TRUE(ls.ok() && rs.ok());
+  auto left = EntropyEngine::FromSummary(*ls);
+  auto right = EntropyEngine::FromSummary(*rs);
+  auto fused = left->AnswerJoin(
+      AggregateQuery::JoinCount(0, 0, CountingQuery(2), CountingQuery(2)),
+      *right);
+  EXPECT_TRUE(fused.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace entropydb

@@ -1,0 +1,169 @@
+// Quantile / top-k from a group-by marginal (maxent/quantile.h): CDF
+// inversion over exact cells reproduces the exact order statistic, the
+// typed bound brackets the estimate, top-k ordering is deterministic, and
+// the engine facade's QUANTILE/TOPK hit exact ground truth when the model
+// pins the relevant joint.
+
+#include "maxent/quantile.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "engine/engine.h"
+#include "query/exact_evaluator.h"
+
+namespace entropydb {
+namespace {
+
+using testutil::RandomTable;
+
+std::vector<QueryEstimate> Cells(const std::vector<double>& counts,
+                                 double variance = 0.0) {
+  std::vector<QueryEstimate> cells;
+  for (double c : counts) {
+    QueryEstimate e;
+    e.expectation = c;
+    e.variance = variance;
+    cells.push_back(e);
+  }
+  return cells;
+}
+
+TEST(QuantileFromMarginalTest, InvertsTheExactCdf) {
+  // Value multiset {10, 20x2, 30x3, 40x4}: the 0.5-quantile (5th of 10)
+  // is 30, the 0.1-quantile is 10, the 0.95-quantile is 40.
+  const std::vector<double> reps = {10, 20, 30, 40};
+  auto cells = Cells({1, 2, 3, 4});
+  auto median = QuantileFromMarginal(cells, reps, 0.5, 10.0);
+  ASSERT_TRUE(median.ok()) << median.status().ToString();
+  EXPECT_DOUBLE_EQ(median->estimate.expectation, 30.0);
+  auto low = QuantileFromMarginal(cells, reps, 0.1, 10.0);
+  ASSERT_TRUE(low.ok());
+  EXPECT_DOUBLE_EQ(low->estimate.expectation, 10.0);
+  auto high = QuantileFromMarginal(cells, reps, 0.95, 10.0);
+  ASSERT_TRUE(high.ok());
+  EXPECT_DOUBLE_EQ(high->estimate.expectation, 40.0);
+}
+
+TEST(QuantileFromMarginalTest, BoundBracketsTheEstimateAndSetsVariance) {
+  const std::vector<double> reps = {10, 20, 30, 40};
+  auto q = QuantileFromMarginal(Cells({5, 10, 10, 5}), reps, 0.5, 60.0);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->has_bound);
+  EXPECT_LE(q->bound_lo, q->estimate.expectation);
+  EXPECT_GE(q->bound_hi, q->estimate.expectation);
+  // The variance is the matched normal proxy of the bound width.
+  const double half = (q->bound_hi - q->bound_lo) / (2.0 * 1.96);
+  EXPECT_NEAR(q->estimate.variance, half * half, 1e-12);
+}
+
+TEST(QuantileFromMarginalTest, RejectsBadInputs) {
+  const std::vector<double> reps = {10, 20};
+  EXPECT_TRUE(QuantileFromMarginal(Cells({1, 1}), reps, 0.0, 2.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(QuantileFromMarginal(Cells({1, 1}), reps, 1.0, 2.0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(QuantileFromMarginal(Cells({1, 1, 1}), reps, 0.5, 3.0)
+                  .status()
+                  .IsInvalidArgument());
+  // No mass under the filter: there is no order statistic to report.
+  EXPECT_TRUE(QuantileFromMarginal(Cells({0, 0}), reps, 0.5, 2.0)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(TopKFromMarginalTest, OrdersByExpectationThenCode) {
+  auto top = TopKFromMarginal(Cells({3, 7, 7, 1, 9}), 3);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->cells.size(), 3u);
+  EXPECT_EQ(top->cells[0].code, 4u);  // 9
+  EXPECT_EQ(top->cells[1].code, 1u);  // 7, tie broken by ascending code
+  EXPECT_EQ(top->cells[2].code, 2u);  // 7
+  // The headline estimate is the largest cell.
+  EXPECT_DOUBLE_EQ(top->estimate.expectation, 9.0);
+}
+
+TEST(TopKFromMarginalTest, ClampsKAndRejectsZero) {
+  auto all = TopKFromMarginal(Cells({1, 2}), 10);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->cells.size(), 2u);
+  EXPECT_TRUE(TopKFromMarginal(Cells({1, 2}), 0).status().IsInvalidArgument());
+}
+
+/// Full point-pair 2-D statistics pin the (a, b) joint exactly (same
+/// helper idea as join_fusion_test).
+std::vector<MultiDimStatistic> FullPairStats(const Table& t, AttrId a,
+                                             AttrId b) {
+  ExactEvaluator eval(t);
+  const std::vector<uint64_t> h2 = eval.Histogram2D(a, b);
+  const uint32_t nb = t.domain(b).size();
+  std::vector<MultiDimStatistic> stats;
+  for (Code ca = 0; ca < t.domain(a).size(); ++ca) {
+    for (Code cb = 0; cb < nb; ++cb) {
+      stats.push_back(Make2DStatistic(a, Interval{ca, ca}, b,
+                                      Interval{cb, cb},
+                                      static_cast<double>(h2[ca * nb + cb])));
+    }
+  }
+  return stats;
+}
+
+/// Exact quantile in representative space: reps[v*] for the smallest v*
+/// whose cumulative exact count reaches q * C.
+double ExactQuantile(const std::vector<uint64_t>& hist,
+                     const std::vector<double>& reps, double q) {
+  double total = 0.0;
+  for (uint64_t c : hist) total += static_cast<double>(c);
+  double cum = 0.0;
+  for (size_t v = 0; v < hist.size(); ++v) {
+    cum += static_cast<double>(hist[v]);
+    if (cum >= q * total) return reps[v];
+  }
+  return reps.back();
+}
+
+TEST(EngineOrderStatisticsTest, QuantileAndTopKHitExactGroundTruth) {
+  auto table = RandomTable({6, 5}, 900, 51);
+  auto summary = EntropySummary::Build(*table, FullPairStats(*table, 0, 1));
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  auto engine = EntropyEngine::FromSummary(*summary);
+  const std::vector<double> reps = BucketWeights(table->domain(1));
+
+  // Filtered quantile: the (0, 1) joint is exact, so the estimated CDF is
+  // the exact CDF and the inversion lands on the exact order statistic.
+  CountingQuery where(2);
+  where.Where(0, AttrPredicate::Range(1, 3));
+  auto q = engine->Answer(AggregateQuery::Quantile(1, reps, 0.5, where));
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ExactEvaluator eval(*table);
+  std::vector<uint64_t> hist(table->domain(1).size(), 0);
+  for (Code v = 0; v < table->domain(1).size(); ++v) {
+    CountingQuery pt = where;
+    pt.Where(1, AttrPredicate::Point(v));
+    hist[v] = eval.Count(pt);
+  }
+  EXPECT_DOUBLE_EQ(q->estimate.expectation, ExactQuantile(hist, reps, 0.5));
+  ASSERT_TRUE(q->has_bound);
+  EXPECT_LE(q->bound_lo, q->estimate.expectation);
+  EXPECT_GE(q->bound_hi, q->estimate.expectation);
+
+  // TOPK under the same filter matches the exact top-2 cells, in order.
+  auto top = engine->Answer(AggregateQuery::TopK(1, 2, where));
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top->cells.size(), 2u);
+  std::vector<Code> order(hist.size());
+  for (size_t v = 0; v < order.size(); ++v) order[v] = static_cast<Code>(v);
+  std::stable_sort(order.begin(), order.end(), [&](Code a, Code b) {
+    return hist[a] > hist[b];
+  });
+  EXPECT_EQ(top->cells[0].code, order[0]);
+  EXPECT_EQ(top->cells[1].code, order[1]);
+  EXPECT_NEAR(top->cells[0].estimate.expectation,
+              static_cast<double>(hist[order[0]]), 1e-4 * hist[order[0]]);
+}
+
+}  // namespace
+}  // namespace entropydb

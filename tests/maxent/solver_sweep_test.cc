@@ -82,7 +82,7 @@ TEST_P(SolverSweepTest, QueriesAgreeWithDenseOracle) {
     }
     auto est = answerer.Answer(q);
     ASSERT_TRUE(est.ok());
-    EXPECT_NEAR(est->expectation, dense->AnswerCount(state_, q), 1e-5);
+    EXPECT_NEAR(est->expectation, dense->CountEstimate(state_, q), 1e-5);
   }
 }
 

@@ -24,7 +24,7 @@ TEST(SummaryTest, BuildFromTableAnswersSanely) {
   EXPECT_EQ((*summary)->attr_names()[0], "A0");
 
   // The whole-table query must return n.
-  auto est = (*summary)->AnswerCount(CountingQuery(3));
+  auto est = (*summary)->Answer(CountingQuery(3));
   ASSERT_TRUE(est.ok());
   EXPECT_NEAR(est->expectation, 1000.0, 1e-6);
 }
@@ -39,7 +39,7 @@ TEST(SummaryTest, EstimatesTrackTruthOnHeavyRegions) {
   // Aggregate over a coarse region: estimate within 15% of truth.
   CountingQuery q(2);
   q.Where(0, AttrPredicate::Range(0, 2));
-  auto est = (*summary)->AnswerCount(q);
+  auto est = (*summary)->Answer(q);
   ASSERT_TRUE(est.ok());
   double truth = static_cast<double>(exact.Count(q));
   EXPECT_NEAR(est->expectation, truth, 0.15 * truth + 5.0);
@@ -78,8 +78,8 @@ TEST_F(SummaryIoTest, SaveLoadRoundTripPreservesAnswers) {
                          (*built)->registry().domain_size(a) - lo));
       q.Where(a, AttrPredicate::Range(lo, hi));
     }
-    auto e1 = (*built)->AnswerCount(q);
-    auto e2 = (*loaded)->AnswerCount(q);
+    auto e1 = (*built)->Answer(q);
+    auto e2 = (*loaded)->Answer(q);
     ASSERT_TRUE(e1.ok());
     ASSERT_TRUE(e2.ok());
     EXPECT_NEAR(e1->expectation, e2->expectation, 1e-9);
@@ -130,8 +130,8 @@ TEST_F(SummaryIoTest, RegistryBuiltSummaryHasNoDomains) {
   // Code-space queries still work.
   CountingQuery q(2);
   q.Where(0, AttrPredicate::Point(1));
-  auto e1 = (*built)->AnswerCount(q);
-  auto e2 = (*loaded)->AnswerCount(q);
+  auto e1 = (*built)->Answer(q);
+  auto e2 = (*loaded)->Answer(q);
   ASSERT_TRUE(e1.ok());
   ASSERT_TRUE(e2.ok());
   EXPECT_NEAR(e1->expectation, e2->expectation, 1e-9);

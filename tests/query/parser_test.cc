@@ -132,5 +132,118 @@ TEST(ParserTest, ArityMismatchRejected) {
       ParseQuery("COUNT(*)", {"a"}, {}).status().IsInvalidArgument());
 }
 
+TEST(ParserTest, QuantileCarriesRankAndAttr) {
+  auto q = ParseQuery("QUANTILE(distance, 0.5) WHERE origin = CA", Names(),
+                      Domains());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggregate, ParsedQuery::Aggregate::kQuantile);
+  EXPECT_EQ(q->agg_attr, 1u);
+  EXPECT_DOUBLE_EQ(q->quantile, 0.5);
+  EXPECT_EQ(q->where.predicate(0), AttrPredicate::Point(0));
+  EXPECT_EQ(q->AggregateName(), "QUANTILE");
+}
+
+TEST(ParserTest, TopKCarriesKAndAttr) {
+  auto q = ParseQuery("topk(origin, 2)", Names(), Domains());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggregate, ParsedQuery::Aggregate::kTopK);
+  EXPECT_EQ(q->agg_attr, 0u);
+  EXPECT_EQ(q->top_k, 2u);
+  EXPECT_EQ(q->AggregateName(), "TOPK");
+}
+
+TEST(ParserTest, QuantileAndTopKValidateTheirParameters) {
+  // The unknown-verb message is pinned: the server forwards it verbatim as
+  // an ERR BAD_REQUEST payload, so a rewording is a wire-visible change.
+  EXPECT_EQ(ParseQuery("MEDIAN(distance)", Names(), Domains())
+                .status()
+                .message(),
+            "query must start with COUNT, SUM, AVG, QUANTILE or TOPK");
+  EXPECT_EQ(ParseQuery("QUANTILE(distance, 1.5)", Names(), Domains())
+                .status()
+                .message(),
+            "quantile rank must be in (0, 1)");
+  EXPECT_EQ(ParseQuery("QUANTILE(distance, 0)", Names(), Domains())
+                .status()
+                .message(),
+            "quantile rank must be in (0, 1)");
+  EXPECT_EQ(ParseQuery("TOPK(origin, 0)", Names(), Domains())
+                .status()
+                .message(),
+            "TOPK count must be a positive integer");
+  EXPECT_EQ(ParseQuery("TOPK(origin, 2.5)", Names(), Domains())
+                .status()
+                .message(),
+            "TOPK count must be a positive integer");
+  EXPECT_TRUE(ParseQuery("QUANTILE(distance)", Names(), Domains())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseQuery("QUANTILE(nope, 0.5)", Names(), Domains())
+                  .status()
+                  .IsNotFound());
+}
+
+// --- ParseJoinQuery ----------------------------------------------------
+
+/// RIGHT schema for join parses: shares `origin`, adds its own column.
+std::vector<std::string> RightNames() { return {"origin", "delay"}; }
+std::vector<Domain> RightDomains() {
+  return {Domain::Categorical({"CA", "NY", "WA"}), Domain::Binned(0, 30, 3)};
+}
+
+Result<ParsedJoinQuery> ParseJoin(const std::string& text) {
+  return ParseJoinQuery(text, Names(), Domains(), RightNames(),
+                        RightDomains());
+}
+
+TEST(JoinParserTest, BareFormJoinsTheSameNameOnBothSides) {
+  auto q = ParseJoin("COUNT(*) ON origin");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggregate, ParsedJoinQuery::Aggregate::kCount);
+  EXPECT_EQ(q->left_join, 0u);
+  EXPECT_EQ(q->right_join, 0u);
+  EXPECT_EQ(q->AggregateName(), "JOIN_COUNT");
+}
+
+TEST(JoinParserTest, ExplicitPairAndSidedPredicates) {
+  auto q = ParseJoin(
+      "SUM(distance) ON origin = origin WHERE left.distance BETWEEN 10 AND "
+      "49 AND right.delay = 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->aggregate, ParsedJoinQuery::Aggregate::kSum);
+  EXPECT_EQ(q->agg_attr, 1u);
+  // left.distance lands on the LEFT where; right.delay on the RIGHT.
+  EXPECT_EQ(q->left_where.predicate(1), AttrPredicate::Range(1, 4));
+  EXPECT_EQ(q->right_where.predicate(1), AttrPredicate::Point(0));
+  EXPECT_EQ(q->left_where.NumConstrained(), 1u);
+  EXPECT_EQ(q->right_where.NumConstrained(), 1u);
+}
+
+TEST(JoinParserTest, SumAttrAcceptsOptionalLeftQualifier) {
+  auto q = ParseJoin("SUM(left.distance) ON origin");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->agg_attr, 1u);  // same as the unqualified SUM(distance)
+}
+
+TEST(JoinParserTest, ErrorsAreInformative) {
+  EXPECT_EQ(ParseJoin("AVG(distance) ON origin").status().message(),
+            "join query must start with COUNT or SUM");
+  EXPECT_TRUE(ParseJoin("COUNT(*)").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseJoin("COUNT(*) ON nope").status().IsNotFound());
+  // The join attribute must resolve on BOTH sides: `distance` exists on
+  // the left only.
+  EXPECT_TRUE(ParseJoin("COUNT(*) ON distance").status().IsNotFound());
+  // Join predicates must carry a side qualifier — there is no default.
+  EXPECT_TRUE(ParseJoin("COUNT(*) ON origin WHERE delay = 5")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseJoin("COUNT(*) ON origin WHERE right.delay = 5").ok());
+  EXPECT_TRUE(ParseJoin("COUNT(*) ON origin WHERE middle.delay = 5")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseJoin("COUNT(*) ON origin trailing").status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace entropydb

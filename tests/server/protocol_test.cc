@@ -137,6 +137,28 @@ TEST(RequestTest, StatsAndVersionRoundTrip) {
   EXPECT_EQ(version->type, CommandType::kVersion);
 }
 
+TEST(RequestTest, JoinRoundTrip) {
+  Request req;
+  req.type = CommandType::kJoin;
+  req.query = "COUNT(*) ON carrier WHERE left.distance BETWEEN 100 AND 500";
+  EXPECT_EQ(EncodeRequest(req),
+            "JOIN COUNT(*) ON carrier WHERE left.distance BETWEEN 100 AND "
+            "500");
+  auto parsed = ParseRequest(EncodeRequest(req));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, CommandType::kJoin);
+  EXPECT_EQ(parsed->query, req.query);
+  EXPECT_EQ(parsed->deadline_ms, 0u);
+
+  // JOIN carries a deadline on the command word like QUERY does.
+  req.deadline_ms = 250;
+  EXPECT_EQ(EncodeRequest(req).substr(0, 9), "JOIN/250 ");
+  auto timed = ParseRequest(EncodeRequest(req));
+  ASSERT_TRUE(timed.ok());
+  EXPECT_EQ(timed->deadline_ms, 250u);
+  EXPECT_EQ(timed->query, req.query);
+}
+
 TEST(RequestTest, MalformedRequestsAreRejected) {
   const char* bad[] = {
       "",                        // empty
@@ -151,6 +173,8 @@ TEST(RequestTest, MalformedRequestsAreRejected) {
       "QUERY/0 COUNT(*)",        // zero deadline
       "QUERY/abc COUNT(*)",      // non-numeric deadline
       "QUERY COUNT(*)\nextra",   // trailing lines on a one-line command
+      "JOIN",                    // no join query text
+      "JOIN/0 COUNT(*) ON a",    // zero deadline
       "BATCH two\nCOUNT(*)",     // non-numeric count
       "BATCH 2\nCOUNT(*)",       // count does not match lines
       "BATCH 1\nCOUNT(*)\nx",    // count does not match lines

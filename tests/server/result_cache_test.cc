@@ -44,18 +44,49 @@ TEST(CanonicalQueryKeyTest, DifferentQueriesGetDifferentKeys) {
             KeyOf("COUNT(*) WHERE distance BETWEEN 0 AND 59"));
 }
 
+TEST(CanonicalQueryKeyTest, QuantileAndTopKKeyOnTheirParameters) {
+  // The rank / k is part of the key: QUANTILE(x, 0.5) and QUANTILE(x, 0.9)
+  // are different queries; equal ranks spelled differently share one key.
+  EXPECT_NE(KeyOf("QUANTILE(distance, 0.5)"),
+            KeyOf("QUANTILE(distance, 0.9)"));
+  EXPECT_EQ(KeyOf("QUANTILE(distance, 0.5)"),
+            KeyOf("quantile(distance, 0.50)"));
+  EXPECT_NE(KeyOf("TOPK(origin, 2)"), KeyOf("TOPK(origin, 3)"));
+  EXPECT_NE(KeyOf("QUANTILE(distance, 0.5)"), KeyOf("AVG(distance)"));
+  EXPECT_NE(KeyOf("TOPK(distance, 1)"), KeyOf("COUNT(*)"));
+  EXPECT_NE(KeyOf("QUANTILE(distance, 0.5) WHERE origin = NY"),
+            KeyOf("QUANTILE(distance, 0.5)"));
+}
+
+std::string JoinKeyOf(const std::string& text) {
+  auto q = ParseJoinQuery(text, Names(), Domains(), Names(), Domains());
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return CanonicalJoinQueryKey(*q);
+}
+
+TEST(CanonicalJoinQueryKeyTest, SidesAndAggregatesDoNotCollide) {
+  // The same predicate on opposite sides is a different query.
+  EXPECT_NE(JoinKeyOf("COUNT(*) ON origin WHERE left.distance = 35"),
+            JoinKeyOf("COUNT(*) ON origin WHERE right.distance = 35"));
+  EXPECT_NE(JoinKeyOf("COUNT(*) ON origin"),
+            JoinKeyOf("SUM(distance) ON origin"));
+  // Spellings still collapse inside a side.
+  EXPECT_EQ(JoinKeyOf("COUNT(*) ON origin WHERE left.origin = NY"),
+            JoinKeyOf("count(*) on origin where left.origin in (NY)"));
+}
+
 TEST(ResultCacheTest, HitAfterPutMissBefore) {
   ResultCache cache(8);
   const std::string key = KeyOf("COUNT(*) WHERE origin = NY");
   EXPECT_FALSE(cache.Get(1, key).has_value());
-  QueryEstimate est;
-  est.expectation = 42.5;
-  est.variance = 3.25;
-  cache.Put(1, key, est);
+  QueryResult res;
+  res.estimate.expectation = 42.5;
+  res.estimate.variance = 3.25;
+  cache.Put(1, key, res);
   auto hit = cache.Get(1, key);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->expectation, 42.5);
-  EXPECT_EQ(hit->variance, 3.25);
+  EXPECT_EQ(hit->estimate.expectation, 42.5);
+  EXPECT_EQ(hit->estimate.variance, 3.25);
   const ResultCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
@@ -67,20 +98,20 @@ TEST(ResultCacheTest, VersionsDoNotShareEntries) {
   // v1 answer, and a pinned v1 session keeps hitting its own entries.
   ResultCache cache(8);
   const std::string key = KeyOf("COUNT(*)");
-  QueryEstimate v1;
-  v1.expectation = 100.0;
+  QueryResult v1;
+  v1.estimate.expectation = 100.0;
   cache.Put(1, key, v1);
   EXPECT_FALSE(cache.Get(2, key).has_value());
-  QueryEstimate v2;
-  v2.expectation = 250.0;
+  QueryResult v2;
+  v2.estimate.expectation = 250.0;
   cache.Put(2, key, v2);
-  EXPECT_EQ(cache.Get(1, key)->expectation, 100.0);
-  EXPECT_EQ(cache.Get(2, key)->expectation, 250.0);
+  EXPECT_EQ(cache.Get(1, key)->estimate.expectation, 100.0);
+  EXPECT_EQ(cache.Get(2, key)->estimate.expectation, 250.0);
 }
 
 TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
   ResultCache cache(2);
-  QueryEstimate est;
+  QueryResult est;
   cache.Put(1, "a", est);
   cache.Put(1, "b", est);
   ASSERT_TRUE(cache.Get(1, "a").has_value());  // refresh a; b is now LRU
@@ -93,7 +124,7 @@ TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
 
 TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
   ResultCache cache(0);
-  QueryEstimate est;
+  QueryResult est;
   cache.Put(1, "a", est);
   EXPECT_FALSE(cache.Get(1, "a").has_value());
   EXPECT_EQ(cache.stats().entries, 0u);
@@ -101,13 +132,13 @@ TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
 
 TEST(ResultCacheTest, PutRefreshesAnExistingEntry) {
   ResultCache cache(2);
-  QueryEstimate est;
-  est.expectation = 1.0;
+  QueryResult est;
+  est.estimate.expectation = 1.0;
   cache.Put(1, "a", est);
-  est.expectation = 2.0;
+  est.estimate.expectation = 2.0;
   cache.Put(1, "a", est);  // same key: refresh, not a duplicate
   EXPECT_EQ(cache.stats().entries, 1u);
-  EXPECT_EQ(cache.Get(1, "a")->expectation, 2.0);
+  EXPECT_EQ(cache.Get(1, "a")->estimate.expectation, 2.0);
 }
 
 }  // namespace

@@ -137,7 +137,7 @@ TEST_F(ServerTest, QueryAnswersBitwiseLikeTheEngine) {
   auto parsed = ParseQuery(text, (*engine)->attr_names(),
                            (*engine)->domains());
   ASSERT_TRUE(parsed.ok());
-  auto direct = (*engine)->AnswerCount(parsed->where);
+  auto direct = (*engine)->Answer(parsed->where);
   ASSERT_TRUE(direct.ok());
   // %.17g round-trips doubles exactly: the wire answer IS the engine
   // answer, bit for bit.
@@ -328,6 +328,147 @@ TEST_F(ServerTest, ConcurrentPublishesKeepPinnedReaderBitwiseStable) {
   EXPECT_EQ(gone->code, "NOT_FOUND");
   // …but the already-pinned session keeps its snapshot.
   EXPECT_EQ(Line0(MustCall(pinned, query)), baseline);
+}
+
+TEST_F(ServerTest, QuantileAndTopKAnswerOverTheWireAndCacheBitwise) {
+  StartServer();
+  WireClient client = Connect();
+
+  // QUANTILE answers estimate + bound; the repeat is a cache hit whose
+  // payload lines (minus the cached flag) are byte-identical.
+  WireResponse q1 = MustCall(client, "QUERY QUANTILE(A2, 0.5) WHERE A0 = 1");
+  ASSERT_EQ(q1.lines.size(), 3u);
+  EXPECT_EQ(q1.lines[0].rfind("estimate ", 0), 0u);
+  EXPECT_EQ(q1.lines[1].rfind("bound ", 0), 0u);
+  EXPECT_EQ(q1.lines[2], "cached 0");
+  WireResponse q2 = MustCall(client, "QUERY quantile(A2, 0.50) WHERE A0 = 1");
+  ASSERT_EQ(q2.lines.size(), 3u);
+  EXPECT_EQ(q2.lines[0], q1.lines[0]);
+  EXPECT_EQ(q2.lines[1], q1.lines[1]);
+  EXPECT_EQ(q2.lines[2], "cached 1");
+
+  // TOPK answers estimate + one cell line per requested group.
+  WireResponse t1 = MustCall(client, "QUERY TOPK(A1, 3)");
+  ASSERT_EQ(t1.lines.size(), 5u);
+  EXPECT_EQ(t1.lines[0].rfind("estimate ", 0), 0u);
+  for (size_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(t1.lines[i].rfind("cell ", 0), 0u) << t1.lines[i];
+  }
+  EXPECT_EQ(t1.lines[4], "cached 0");
+  WireResponse t2 = MustCall(client, "QUERY TOPK(A1, 3)");
+  ASSERT_EQ(t2.lines.size(), 5u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(t2.lines[i], t1.lines[i]);
+  EXPECT_EQ(t2.lines[4], "cached 1");
+}
+
+TEST_F(ServerTest, UnknownAggregateIsByteExactBadRequest) {
+  StartServer();
+  WireClient client = Connect();
+  // These messages are part of the wire contract: clients match on them.
+  auto median = client.CallRaw("QUERY MEDIAN(A2)");
+  ASSERT_TRUE(median.ok());
+  EXPECT_FALSE(median->ok);
+  EXPECT_EQ(median->code, "BAD_REQUEST");
+  EXPECT_EQ(median->message,
+            "query must start with COUNT, SUM, AVG, QUANTILE or TOPK");
+  auto rank = client.CallRaw("QUERY QUANTILE(A2, 1.5)");
+  ASSERT_TRUE(rank.ok());
+  EXPECT_FALSE(rank->ok);
+  EXPECT_EQ(rank->code, "BAD_REQUEST");
+  EXPECT_EQ(rank->message, "quantile rank must be in (0, 1)");
+  auto k = client.CallRaw("QUERY TOPK(A1, 0)");
+  ASSERT_TRUE(k.ok());
+  EXPECT_FALSE(k->ok);
+  EXPECT_EQ(k->code, "BAD_REQUEST");
+  EXPECT_EQ(k->message, "TOPK count must be a positive integer");
+}
+
+TEST_F(ServerTest, JoinWithoutARightRelationIsFailedPrecondition) {
+  StartServer();
+  WireClient client = Connect();
+  auto resp = client.CallRaw("JOIN COUNT(*) ON A0");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, "FAILED_PRECONDITION");
+  EXPECT_EQ(resp->message,
+            "server has no join relation (start with --join <path>)");
+  // The connection survives; VERSION does not advertise the capability.
+  WireResponse version = MustCall(client, "VERSION");
+  ASSERT_FALSE(version.lines.empty());
+  EXPECT_EQ(version.lines.back(),
+            "capabilities count sum avg quantile topk batch");
+}
+
+TEST_F(ServerTest, JoinAnswersOverTheWireAndCaches) {
+  // A second relation sharing A0 (and A1's name, with a smaller domain)
+  // saved as a plain store next to the fixture root.
+  const std::string right_path = root_ + "_right";
+  fs::remove_all(right_path);
+  ShardedOptions sopts;
+  sopts.num_shards = 2;
+  sopts.store = SmallStoreOptions();
+  auto right = ShardedStore::Build(
+      *testutil::RandomTable({6, 4}, 500, 211), sopts);
+  ASSERT_TRUE(right.ok()) << right.status().ToString();
+  ASSERT_TRUE((*right)->Save(right_path).ok());
+
+  StartServer([&](QueryServer::Options* opts) {
+    opts->join_path = right_path;
+  });
+  WireClient client = Connect();
+
+  // VERSION advertises the join capability when a right relation loads.
+  WireResponse version = MustCall(client, "VERSION");
+  ASSERT_FALSE(version.lines.empty());
+  EXPECT_EQ(version.lines.back(),
+            "capabilities count sum avg quantile topk batch join");
+
+  const std::string text =
+      "COUNT(*) ON A0 WHERE left.A1 = 2 AND right.A1 = 1";
+  WireResponse first = MustCall(client, "JOIN " + text);
+  ASSERT_EQ(first.lines.size(), 2u);
+  double e = 0, v = 0;
+  ASSERT_EQ(std::sscanf(first.lines[0].c_str(), "estimate %lf %lf", &e, &v),
+            2);
+  EXPECT_GT(e, 0.0);
+  EXPECT_GT(v, 0.0);
+  EXPECT_EQ(first.lines[1], "cached 0");
+
+  // The wire answer is the engines' fused answer, bit for bit.
+  auto left_engine = EntropyEngine::Open(root_);
+  ASSERT_TRUE(left_engine.ok());
+  auto right_engine = EntropyEngine::Open(right_path);
+  ASSERT_TRUE(right_engine.ok());
+  auto parsed = ParseJoinQuery(
+      text, (*left_engine)->attr_names(), (*left_engine)->domains(),
+      (*right_engine)->attr_names(), (*right_engine)->domains());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto direct = (*left_engine)->AnswerJoin(
+      AggregateQuery::JoinCount(parsed->left_join, parsed->right_join,
+                                parsed->left_where, parsed->right_where),
+      **right_engine);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(e, direct->estimate.expectation);
+  EXPECT_EQ(v, direct->estimate.variance);
+
+  // A different spelling of the same join hits the cache byte-for-byte.
+  WireResponse second = MustCall(
+      client, "JOIN count(*) ON A0 WHERE left.A1 IN (2) AND right.A1 = 1");
+  ASSERT_EQ(second.lines.size(), 2u);
+  EXPECT_EQ(second.lines[0], first.lines[0]);
+  EXPECT_EQ(second.lines[1], "cached 1");
+
+  // JOIN_SUM answers too, and a bad verb pins its BAD_REQUEST message.
+  WireResponse sum = MustCall(client, "JOIN SUM(A2) ON A0");
+  ASSERT_EQ(sum.lines.size(), 2u);
+  EXPECT_EQ(sum.lines[0].rfind("estimate ", 0), 0u);
+  auto bad = client.CallRaw("JOIN AVG(A2) ON A0");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->ok);
+  EXPECT_EQ(bad->code, "BAD_REQUEST");
+  EXPECT_EQ(bad->message, "join query must start with COUNT or SUM");
+
+  fs::remove_all(right_path);
 }
 
 TEST_F(ServerTest, UnversionedStoreServesWithoutVersionCommands) {

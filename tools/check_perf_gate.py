@@ -35,6 +35,12 @@ keep true):
     every query fans out over fewer models — enforceable on any core
     count). Compaction wall time rides along in the JSON for the
     trajectory but is recorded, not enforced.
+  * join (bench_join --join_out, via --join FILE): fused JOIN_COUNT and
+    JOIN_SUM estimates over exactly-pinned models stay within 1e-4
+    (relative) of brute-force ground truth across the query battery, and
+    the fused estimate beats the exact two-sided scan (the fusion reads
+    two model marginals; the scan reads every row of both relations —
+    enforceable on any core count).
   * serving (bench_serving --serving_out, via --serving FILE): a result
     cache hit through the wire is >= 10x faster than the uncached query
     (a hit skips maxent evaluation entirely), and batched throughput at
@@ -50,6 +56,7 @@ Usage:
         [--prune build/prune_gate.json] \
         [--compact build/compact_gate.json] \
         [--serving build/serving_gate.json] \
+        [--join build/join_gate.json] \
         [--tolerance 1.25] [--open-tolerance 1.05] [--prune-tolerance 1.25]
 
 Stdlib only (CI runs it on a bare runner). The check_* functions return
@@ -67,6 +74,11 @@ SHARD_MERGE_TOLERANCE = 1e-9
 #: Minimum wire-level speedup of a result-cache hit over the uncached
 #: query (a hit skips maxent evaluation entirely).
 SERVING_CACHE_SPEEDUP_BAR = 10.0
+
+#: Relative-error bar for fused join estimates against brute-force ground
+#: truth on exactly-pinned models (bench_join pins the per-side joints with
+#: full pair statistics, so only the fusion algebra is on trial).
+JOIN_FIDELITY_BAR = 1e-4
 
 
 def check_sample_index(gate, tolerance=1.25):
@@ -244,6 +256,35 @@ def check_serving(gate):
     return failures
 
 
+def check_join(gate):
+    """Failure messages for a bench_join gate dict (empty = pass)."""
+    failures = []
+    fidelity = gate.get("fidelity", {})
+    for key in ("count_max_rel_err", "sum_max_rel_err"):
+        if not isinstance(fidelity.get(key), (int, float)):
+            failures.append(f"gate JSON is missing fidelity.{key}")
+    latency = gate.get("latency", {})
+    for key in ("fused_ns", "exact_ns"):
+        if not isinstance(latency.get(key), (int, float)):
+            failures.append(f"gate JSON is missing latency.{key}")
+    if failures:
+        return failures
+
+    for key in ("count_max_rel_err", "sum_max_rel_err"):
+        if fidelity[key] > JOIN_FIDELITY_BAR:
+            failures.append(
+                f"fused join estimates drifted from brute-force ground "
+                f"truth: fidelity.{key} = {fidelity[key]:.3g} "
+                f"(bar {JOIN_FIDELITY_BAR:.0e})")
+    if not latency["fused_ns"] < latency["exact_ns"]:
+        failures.append(
+            f"fused join ({latency['fused_ns']:.0f} ns/query) is not "
+            f"faster than the exact two-sided scan "
+            f"({latency['exact_ns']:.0f} ns/query) — fusing two model "
+            f"marginals must beat reading every row")
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("gate_json",
@@ -262,6 +303,8 @@ def main(argv=None):
     parser.add_argument("--serving", metavar="FILE", default=None,
                         help="file written by bench_serving "
                              "--serving_out")
+    parser.add_argument("--join", metavar="FILE", default=None,
+                        help="file written by bench_join --join_out")
     parser.add_argument("--tolerance", type=float, default=1.25,
                         help="max indexed/scan ratio on the broad workload")
     parser.add_argument("--open-tolerance", type=float, default=1.05,
@@ -383,6 +426,25 @@ def main(argv=None):
                   f"{throughput['qps_8']:.0f}, batched at 8 "
                   f"{throughput['batched_qps_8']:.0f} "
                   f"({throughput['batch_speedup']:.2f}x serial, bar 1x)")
+
+    if args.join is not None:
+        with open(args.join) as f:
+            join_gate = json.load(f)
+        failures += check_join(join_gate)
+        print(f"join perf gate over {args.join}:")
+        fidelity = join_gate.get("fidelity", {})
+        if all(isinstance(fidelity.get(k), (int, float))
+               for k in ("count_max_rel_err", "sum_max_rel_err")):
+            print(f"  fidelity: count rel err "
+                  f"{fidelity['count_max_rel_err']:.3g}, sum rel err "
+                  f"{fidelity['sum_max_rel_err']:.3g} "
+                  f"(bar {JOIN_FIDELITY_BAR:.0e})")
+        latency = join_gate.get("latency", {})
+        if all(isinstance(latency.get(k), (int, float))
+               for k in ("fused_ns", "exact_ns")):
+            print(f"  latency: fused {latency['fused_ns']:.0f} ns/query vs "
+                  f"exact scan {latency['exact_ns']:.0f} ns/query "
+                  f"({latency.get('speedup', 0.0):.1f}x)")
 
     for failure in failures:
         print(f"  FAIL: {failure}", file=sys.stderr)

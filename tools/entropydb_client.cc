@@ -4,10 +4,11 @@
 //       [--open ID|live]                  # pin a retained version first
 //       [--show-version on] [--stats on]
 //       [--query "COUNT WHERE origin = 'S3'"] [--deadline-ms N]
+//       [--join "COUNT(*) ON attr WHERE left.x = 1"]
 //       [--batch FILE]                    # one COUNT query per line
 //
 // Commands run in a fixed order on one connection: OPEN, VERSION, STATS,
-// QUERY, BATCH — so `--open 3 --query ...` answers against version 3
+// QUERY, JOIN, BATCH — so `--open 3 --query ...` answers against version 3
 // (time travel) while the live version keeps moving. OK response lines
 // print to stdout verbatim; an ERR response prints its typed code
 // (BAD_REQUEST, SERVER_BUSY, ...) to stderr and exits 1.
@@ -28,8 +29,8 @@ void Usage() {
       stderr,
       "usage: entropydb_client --port N [--host H] [--open ID|live]\n"
       "                        [--show-version on] [--stats on]\n"
-      "                        [--query TEXT] [--deadline-ms N]\n"
-      "                        [--batch FILE]\n");
+      "                        [--query TEXT] [--join TEXT]\n"
+      "                        [--deadline-ms N] [--batch FILE]\n");
 }
 
 /// Runs one request; prints OK lines to stdout, ERR to stderr.
@@ -105,6 +106,14 @@ int main(int argc, char** argv) {
     Request req;
     req.type = CommandType::kQuery;
     req.query = args["query"];
+    req.deadline_ms = deadline_ms;
+    if (int rc = RunRequest(*client, req)) return rc;
+    did_anything = true;
+  }
+  if (args.count("join")) {
+    Request req;
+    req.type = CommandType::kJoin;
+    req.query = args["join"];
     req.deadline_ms = deadline_ms;
     if (int rc = RunRequest(*client, req)) return rc;
     did_anything = true;

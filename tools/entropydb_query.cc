@@ -15,6 +15,13 @@
 // each query prints ONE route line PER SHARD: the fan-out picks the best
 // source independently inside every shard before the estimates merge.
 // Without --query, reads one query per line from stdin (a tiny REPL).
+//
+// The dialect covers COUNT/SUM/AVG plus QUANTILE(attr, q) and
+// TOPK(attr, k). With --join PATH a second (RIGHT) relation loads and the
+// shell switches to the two-relation dialect:
+//
+//   entropydb_query --store flights.store --join carriers.store \
+//       --query "COUNT(*) ON carrier WHERE left.distance BETWEEN 100 AND 500"
 
 #include <cstdio>
 #include <cstring>
@@ -114,73 +121,116 @@ int RunOne(const EntropyEngine& engine, const std::string& text) {
     std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
     return 1;
   }
+  // Bucket-representative weights (midpoints / label order index for
+  // categorical attributes) — the same rule the server applies.
+  const AttrId agg = parsed->agg_attr;
+  AggregateQuery query;
+  switch (parsed->aggregate) {
+    case ParsedQuery::Aggregate::kCount:
+      query = AggregateQuery::Count(parsed->where);
+      break;
+    case ParsedQuery::Aggregate::kSum:
+      query = AggregateQuery::Sum(agg, BucketWeights(engine.domains()[agg]),
+                                  parsed->where);
+      break;
+    case ParsedQuery::Aggregate::kAvg:
+      query = AggregateQuery::Avg(agg, BucketWeights(engine.domains()[agg]),
+                                  parsed->where);
+      break;
+    case ParsedQuery::Aggregate::kQuantile:
+      query = AggregateQuery::Quantile(agg,
+                                       BucketWeights(engine.domains()[agg]),
+                                       parsed->quantile, parsed->where);
+      break;
+    case ParsedQuery::Aggregate::kTopK:
+      query = AggregateQuery::TopK(agg, parsed->top_k, parsed->where);
+      break;
+  }
   Timer timer;
   RouteDecision dec;
-  // Sharded engines answer through the sharded store directly so the
-  // per-shard routing decisions are available for printing.
+  // COUNT/SUM/AVG on sharded engines answer through the sharded store
+  // directly so the per-shard routing decisions are available for
+  // printing; QUANTILE/TOPK derive at the engine facade either way.
   std::vector<RouteDecision> shard_decs;
+  const bool per_shard =
+      engine.is_sharded() &&
+      (query.kind == AggregateKind::kCount ||
+       query.kind == AggregateKind::kSum || query.kind == AggregateKind::kAvg);
+  auto res = per_shard ? engine.sharded()->Answer(query, &shard_decs)
+                       : engine.Answer(query, &dec);
+  if (!res.ok()) {
+    std::fprintf(stderr, "answer: %s\n", res.status().ToString().c_str());
+    return 1;
+  }
+  const double ms = timer.ElapsedMillis();
   switch (parsed->aggregate) {
     case ParsedQuery::Aggregate::kCount: {
-      auto est = engine.is_sharded()
-                     ? engine.sharded()->AnswerCount(parsed->where,
-                                                     &shard_decs)
-                     : engine.AnswerCount(parsed->where, &dec);
-      if (!est.ok()) {
-        std::fprintf(stderr, "answer: %s\n",
-                     est.status().ToString().c_str());
-        return 1;
-      }
-      auto [lo, hi] = est->ConfidenceInterval(1.96, engine.n());
+      auto [lo, hi] = res->estimate.ConfidenceInterval(1.96, engine.n());
       std::printf("%.1f    (95%% CI [%.1f, %.1f], %.2f ms)\n",
-                  est->expectation, lo, hi, timer.ElapsedMillis());
-      if (engine.is_sharded()) {
-        PrintShardRoutes(engine, shard_decs);
-      } else {
-        PrintRoute(engine, dec);
-      }
-      return 0;
+                  res->estimate.expectation, lo, hi, ms);
+      break;
     }
     case ParsedQuery::Aggregate::kSum:
-    case ParsedQuery::Aggregate::kAvg: {
-      // Weights = bucket representatives (midpoints / label order index
-      // for categorical attributes).
-      const Domain& dom = engine.domains()[parsed->agg_attr];
-      std::vector<double> weights(dom.size());
-      for (Code v = 0; v < dom.size(); ++v) {
-        weights[v] = dom.is_categorical()
-                         ? static_cast<double>(v)
-                         : dom.RepresentativeFor(v).as_double();
+    case ParsedQuery::Aggregate::kAvg:
+      std::printf("%.3f    (+/- %.3f, %.2f ms)\n",
+                  res->estimate.expectation, 1.96 * res->estimate.StdDev(),
+                  ms);
+      break;
+    case ParsedQuery::Aggregate::kQuantile:
+      std::printf("%.3f    (95%% bound [%.3f, %.3f], %.2f ms)\n",
+                  res->estimate.expectation, res->bound_lo, res->bound_hi,
+                  ms);
+      break;
+    case ParsedQuery::Aggregate::kTopK: {
+      const Domain& dom = engine.domains()[agg];
+      std::printf("top %zu of %s (%.2f ms):\n", res->cells.size(),
+                  engine.attr_names()[agg].c_str(), ms);
+      for (const GroupCell& cell : res->cells) {
+        std::printf("  %-16s %.1f    (+/- %.1f)\n",
+                    dom.LabelFor(cell.code).c_str(),
+                    cell.estimate.expectation,
+                    1.96 * cell.estimate.StdDev());
       }
-      const bool is_sum = parsed->aggregate == ParsedQuery::Aggregate::kSum;
-      auto est = [&]() -> Result<QueryEstimate> {
-        if (engine.is_sharded()) {
-          return is_sum
-                     ? engine.sharded()->AnswerSum(parsed->agg_attr, weights,
-                                                   parsed->where, &shard_decs)
-                     : engine.sharded()->AnswerAvg(parsed->agg_attr, weights,
-                                                   parsed->where, &shard_decs);
-        }
-        return is_sum ? engine.AnswerSum(parsed->agg_attr, weights,
-                                         parsed->where, &dec)
-                      : engine.AnswerAvg(parsed->agg_attr, weights,
-                                         parsed->where, &dec);
-      }();
-      if (!est.ok()) {
-        std::fprintf(stderr, "answer: %s\n",
-                     est.status().ToString().c_str());
-        return 1;
-      }
-      std::printf("%.3f    (+/- %.3f, %.2f ms)\n", est->expectation,
-                  1.96 * est->StdDev(), timer.ElapsedMillis());
-      if (engine.is_sharded()) {
-        PrintShardRoutes(engine, shard_decs);
-      } else {
-        PrintRoute(engine, dec);
-      }
-      return 0;
+      break;
     }
   }
-  return 1;
+  if (per_shard) {
+    PrintShardRoutes(engine, shard_decs);
+  } else {
+    PrintRoute(engine, dec);
+  }
+  return 0;
+}
+
+/// --join mode: this engine is the LEFT relation, `right` the RIGHT; the
+/// fused estimate comes from EntropyEngine::AnswerJoin (docs/ESTIMATORS.md
+/// "Join fusion").
+int RunOneJoin(const EntropyEngine& left, const EntropyEngine& right,
+               const std::string& text) {
+  auto parsed = ParseJoinQuery(text, left.attr_names(), left.domains(),
+                               right.attr_names(), right.domains());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  AggregateQuery query =
+      parsed->aggregate == ParsedJoinQuery::Aggregate::kCount
+          ? AggregateQuery::JoinCount(parsed->left_join, parsed->right_join,
+                                      parsed->left_where, parsed->right_where)
+          : AggregateQuery::JoinSum(
+                parsed->agg_attr,
+                BucketWeights(left.domains()[parsed->agg_attr]),
+                parsed->left_join, parsed->right_join, parsed->left_where,
+                parsed->right_where);
+  Timer timer;
+  auto res = left.AnswerJoin(query, right);
+  if (!res.ok()) {
+    std::fprintf(stderr, "answer: %s\n", res.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%.1f    (+/- %.1f, %.2f ms)\n", res->estimate.expectation,
+              1.96 * res->estimate.StdDev(), timer.ElapsedMillis());
+  return 0;
 }
 
 }  // namespace
@@ -192,9 +242,9 @@ int main(int argc, char** argv) {
     args[argv[i] + 2] = argv[i + 1];
   }
   if (!args.count("summary") && !args.count("store")) {
-    std::fprintf(
-        stderr,
-        "usage: entropydb_query (--summary FILE | --store DIR) [--query Q]\n");
+    std::fprintf(stderr,
+                 "usage: entropydb_query (--summary FILE | --store DIR) "
+                 "[--join PATH] [--query Q]\n");
     return 2;
   }
   const std::string path =
@@ -203,6 +253,24 @@ int main(int argc, char** argv) {
   if (!engine.ok()) {
     std::fprintf(stderr, "load: %s\n", engine.status().ToString().c_str());
     return 1;
+  }
+  // --join switches the shell to the two-relation dialect: the main path
+  // is the LEFT relation, --join names the RIGHT.
+  std::shared_ptr<EntropyEngine> right;
+  if (args.count("join")) {
+    auto opened = EntropyEngine::Open(args["join"]);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "load join relation: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    right = *opened;
+    if (!right->has_domains()) {
+      std::fprintf(stderr,
+                   "join relation has no domain metadata; rebuild it with "
+                   "entropydb_build\n");
+      return 1;
+    }
   }
   if (!(*engine)->has_domains()) {
     std::fprintf(stderr,
@@ -274,13 +342,15 @@ int main(int argc, char** argv) {
   }
 
   if (args.count("query")) {
-    return RunOne(**engine, args["query"]);
+    return right != nullptr ? RunOneJoin(**engine, *right, args["query"])
+                            : RunOne(**engine, args["query"]);
   }
   std::string line;
   int rc = 0;
   while (std::getline(std::cin, line)) {
     if (std::string(StripWhitespace(line)).empty()) continue;
-    rc = RunOne(**engine, line);
+    rc = right != nullptr ? RunOneJoin(**engine, *right, line)
+                          : RunOne(**engine, line);
   }
   return rc;
 }

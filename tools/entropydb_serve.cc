@@ -1,9 +1,13 @@
 // Query server: serves a summary, store directory, or versioned root over
 // the length-prefixed text protocol in docs/SERVING.md.
 //
-//   entropydb_serve --store flights.vdb [--port N]
+//   entropydb_serve --store flights.vdb [--port N] [--join PATH]
 //       [--queue N] [--max-batch N] [--cache N] [--deadline-ms N]
 //       [--verify-checksums on|off]
+//
+// --join loads a second (RIGHT) relation once at startup and enables the
+// JOIN wire command against it; VERSION then advertises the "join"
+// capability.
 //
 // Binds 127.0.0.1 (port 0 = ephemeral; the bound port is printed either
 // way, so harnesses can parse it). Runs until SIGINT/SIGTERM, then drains:
@@ -31,7 +35,7 @@ namespace {
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: entropydb_serve --store PATH [--port N]\n"
+      "usage: entropydb_serve --store PATH [--port N] [--join PATH]\n"
       "                       [--queue N] [--max-batch N] [--cache N]\n"
       "                       [--deadline-ms N]\n"
       "                       [--verify-checksums on|off]\n");
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
 
   QueryServer::Options opts;
   opts.path = args["store"];
+  if (args.count("join")) opts.join_path = args["join"];
   if (args.count("port")) {
     opts.port = static_cast<uint16_t>(std::stoul(args["port"]));
   }

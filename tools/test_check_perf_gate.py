@@ -303,6 +303,58 @@ class ServingGateTest(unittest.TestCase):
                             for f in failures))
 
 
+def join_gate(**overrides):
+    gate = {
+        "left_rows": 100000,
+        "right_rows": 50000,
+        "queries": 48,
+        "fidelity": {"count_max_rel_err": 2e-6, "sum_max_rel_err": 5e-6},
+        "latency": {"fused_ns": 40000.0, "exact_ns": 900000.0,
+                    "speedup": 22.5},
+        "pass": True,
+    }
+    gate.update(overrides)
+    return gate
+
+
+class JoinGateTest(unittest.TestCase):
+    def test_healthy_gate_passes(self):
+        self.assertEqual(check_perf_gate.check_join(join_gate()), [])
+
+    def test_count_fidelity_drift_fails(self):
+        gate = join_gate()
+        gate["fidelity"]["count_max_rel_err"] = 1e-2
+        failures = check_perf_gate.check_join(gate)
+        self.assertTrue(any("drifted from brute-force ground truth" in f
+                            for f in failures))
+        self.assertTrue(any("count_max_rel_err" in f for f in failures))
+
+    def test_sum_fidelity_drift_fails(self):
+        gate = join_gate()
+        gate["fidelity"]["sum_max_rel_err"] = 1e-3
+        failures = check_perf_gate.check_join(gate)
+        self.assertTrue(any("sum_max_rel_err" in f for f in failures))
+
+    def test_fused_not_beating_exact_fails(self):
+        gate = join_gate()
+        gate["latency"]["fused_ns"] = gate["latency"]["exact_ns"]
+        failures = check_perf_gate.check_join(gate)
+        self.assertTrue(any("not faster than the exact two-sided scan" in f
+                            for f in failures))
+
+    def test_missing_fields_fail_instead_of_passing_silently(self):
+        gate = join_gate()
+        del gate["fidelity"]["count_max_rel_err"]
+        failures = check_perf_gate.check_join(gate)
+        self.assertTrue(any("missing fidelity.count_max_rel_err" in f
+                            for f in failures))
+        gate = join_gate()
+        del gate["latency"]["fused_ns"]
+        failures = check_perf_gate.check_join(gate)
+        self.assertTrue(any("missing latency.fused_ns" in f
+                            for f in failures))
+
+
 class MainTest(unittest.TestCase):
     def setUp(self):
         self.dir = tempfile.TemporaryDirectory()
@@ -426,6 +478,35 @@ class MainTest(unittest.TestCase):
         del partial["throughput"]
         serving = self.write("serving.json", partial)
         self.assertEqual(check_perf_gate.main([idx, "--serving", serving]), 1)
+
+    def test_all_seven_gates_pass(self):
+        idx = self.write("index.json", index_gate())
+        shard = self.write("shard.json", shard_gate())
+        durability = self.write("durability.json", durability_gate())
+        prune = self.write("prune.json", prune_gate())
+        compact = self.write("compact.json", compact_gate())
+        serving = self.write("serving.json", serving_gate())
+        join = self.write("join.json", join_gate())
+        self.assertEqual(
+            check_perf_gate.main(
+                [idx, "--shard", shard, "--durability", durability,
+                 "--prune", prune, "--compact", compact,
+                 "--serving", serving, "--join", join]), 0)
+
+    def test_failing_join_gate_fails_the_run(self):
+        idx = self.write("index.json", index_gate())
+        bad = join_gate()
+        bad["fidelity"]["count_max_rel_err"] = 1e-2
+        join = self.write("join.json", bad)
+        self.assertEqual(check_perf_gate.main([idx, "--join", join]), 1)
+
+    def test_partially_written_join_gate_fails_without_crashing(self):
+        idx = self.write("index.json", index_gate())
+        partial = join_gate()
+        del partial["latency"]
+        del partial["fidelity"]["sum_max_rel_err"]
+        join = self.write("join.json", partial)
+        self.assertEqual(check_perf_gate.main([idx, "--join", join]), 1)
 
     def test_prune_tolerance_flag_is_honoured(self):
         idx = self.write("index.json", index_gate())
